@@ -1,0 +1,69 @@
+"""Ablation — ε-distance join (the paper's motivating workload).
+
+The introduction motivates matching taxi pickups to road segments via
+point-to-nearest-polyline distance; the experiments never run it.  This
+bench measures the distance join end to end across systems and sweeps the
+radius to expose the filter/refinement trade-off.
+"""
+
+import pytest
+
+from repro.core import within_distance
+from repro.data import taxi_points, tiger_edges
+from repro.data.synthetic import DOMAIN_NYC
+from repro.systems import ALL_SYSTEMS, RunEnvironment, make_system
+
+from conftest import emit, verify
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return taxi_points(1500, seed=71), tiger_edges(1200, seed=72, domain=DOMAIN_NYC)
+
+
+@pytest.mark.parametrize("system_name", sorted(ALL_SYSTEMS))
+def test_distance_join_wallclock(benchmark, system_name, workload):
+    pts, roads = workload
+
+    def run():
+        env = RunEnvironment.create(block_size=1 << 14)
+        return make_system(system_name).run(env, pts, roads, within_distance(0.002))
+
+    report = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert report.ok
+
+
+def test_radius_sweep(benchmark, workload):
+    verify(benchmark, lambda: None)  # keep running under --benchmark-only
+    pts, roads = workload
+    lines = ["Distance-join radius sweep (SpatialSpark, simulated WS seconds):",
+             f"  {'radius':>8}{'pairs':>8}{'candidates':>12}{'sim s':>8}"]
+    prev_pairs = -1
+    for radius in (0.0005, 0.002, 0.008):
+        env = RunEnvironment.create(block_size=1 << 14)
+        report = make_system("SpatialSpark").run(
+            env, pts, roads, within_distance(radius)
+        ).costed()
+        assert report.ok
+        assert len(report.pairs) >= prev_pairs  # monotone in radius
+        prev_pairs = len(report.pairs)
+        lines.append(
+            f"  {radius:>8}{len(report.pairs):>8,}"
+            f"{report.counters['join.candidates']:>12,.0f}"
+            f"{report.clock.total_seconds:>8.1f}"
+        )
+    emit("\n".join(lines))
+
+
+def test_systems_agree_on_distance_join(benchmark, workload):
+    verify(benchmark, lambda: None)  # keep running under --benchmark-only
+    pts, roads = workload
+    results = {}
+    for name in sorted(ALL_SYSTEMS):
+        env = RunEnvironment.create(block_size=1 << 14)
+        results[name] = make_system(name).run(env, pts, roads, within_distance(0.002))
+    assert len({r.pairs for r in results.values()}) == 1
+    emit(
+        "Distance join parity: "
+        + ", ".join(f"{k}={len(v.pairs):,} pairs" for k, v in results.items())
+    )

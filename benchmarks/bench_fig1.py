@@ -1,0 +1,72 @@
+"""Fig. 1 — the generalized framework for analyzing design choices.
+
+The figure is structural, not numeric: it maps each system's components
+onto the three stages and shows where each runs and what touches HDFS.
+This bench regenerates the trace, checks the properties the paper reads
+off the figure, and benchmarks an executed end-to-end pipeline per system
+at a small scale (the real code behind each box of the figure).
+"""
+
+import pytest
+
+from repro.core import RunsOn, Stage
+from repro.data import census_blocks, taxi_points
+from repro.experiments import fig1
+from repro.systems import ALL_SYSTEMS, RunEnvironment, make_system
+
+from conftest import emit, verify
+
+
+def test_fig1_regeneration(benchmark):
+    text = verify(benchmark, fig1)
+    emit(text)
+    assert "HadoopGIS" in text and "SpatialSpark" in text
+    assert "streaming" in text and "functional" in text
+
+
+class TestFrameworkProperties:
+    """What the paper's Section II derives from the figure."""
+
+    def test_hdfs_interaction_ordering(self, benchmark):
+        touch = verify(benchmark, lambda: {
+            name: ALL_SYSTEMS[name]().stage_trace().hdfs_touch_points
+            for name in ALL_SYSTEMS
+        })
+        assert touch["HadoopGIS"] > touch["SpatialHadoop"] > touch["SpatialSpark"]
+
+    def test_spatialspark_single_hdfs_read(self, benchmark):
+        trace = verify(benchmark, ALL_SYSTEMS["SpatialSpark"]().stage_trace)
+        assert sum(s.reads_hdfs for s in trace.steps) == 1
+        assert not any(s.writes_hdfs for s in trace.steps)
+
+    def test_hadoopgis_preprocessing_is_six_plus_steps(self, benchmark):
+        trace = verify(benchmark, ALL_SYSTEMS["HadoopGIS"]().stage_trace)
+        assert len(trace.steps_in(Stage.PREPROCESSING)) >= 6
+
+    def test_serial_bottlenecks(self, benchmark):
+        # HadoopGIS: serial local programs; SpatialHadoop: serial master
+        # join; SpatialSpark: nothing serial beyond the driver-side build.
+        hg, sh = verify(
+            benchmark,
+            lambda: (
+                ALL_SYSTEMS["HadoopGIS"]().stage_trace(),
+                ALL_SYSTEMS["SpatialHadoop"]().stage_trace(),
+            ),
+        )
+        assert any(s.runs_on == RunsOn.LOCAL_PROGRAM for s in hg.serial_steps)
+        assert any(s.runs_on == RunsOn.MASTER for s in sh.serial_steps)
+
+
+@pytest.mark.parametrize("system_name", sorted(ALL_SYSTEMS))
+def test_end_to_end_pipeline(benchmark, system_name):
+    """Wall-clock of one full (small) distributed join per system."""
+    pts = taxi_points(400, seed=7)
+    blocks = census_blocks(80, seed=8)
+
+    def run():
+        env = RunEnvironment.create(block_size=1 << 13)
+        return make_system(system_name).run(env, pts, blocks)
+
+    report = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert report.ok
+    assert len(report.pairs) == len(pts)  # tessellation: every point matches

@@ -1,0 +1,121 @@
+"""Micro-benchmarks of the substrate kernels.
+
+Not a paper table — these are the performance-critical building blocks
+every experiment rides on, tracked so regressions in the hot paths are
+visible: STR-tree build/query, dynamic R-tree inserts, grid assignment,
+Hilbert sorting, vectorized geometry kernels, RDD shuffles, and the
+MapReduce engine.
+"""
+
+import numpy as np
+
+from repro.geometry import MBR, MBRArray, Polygon
+from repro.geometry.vectorized import points_in_polygon, segments_intersect_matrix
+from repro.index import GridIndex, RTree, STRtree, hilbert_sort_order, sync_tree_join
+from repro.spark import SparkContext
+
+
+def random_boxes(n, seed=0, extent=100.0, size=1.0):
+    rng = np.random.default_rng(seed)
+    mins = rng.uniform(0, extent, size=(n, 2))
+    return MBRArray(np.hstack([mins, mins + rng.uniform(0, size, size=(n, 2))]))
+
+
+class TestIndexKernels:
+    def test_strtree_bulk_load_50k(self, benchmark):
+        boxes = random_boxes(50_000, seed=1)
+        tree = benchmark(STRtree, boxes)
+        assert len(tree) == 50_000
+
+    def test_strtree_query_throughput(self, benchmark):
+        boxes = random_boxes(50_000, seed=2)
+        tree = STRtree(boxes)
+        queries = [MBR(x, x, x + 5, x + 5) for x in np.linspace(0, 95, 200)]
+
+        def run():
+            return sum(tree.query(q).size for q in queries)
+
+        hits = benchmark(run)
+        assert hits > 0
+
+    def test_rtree_insert_5k(self, benchmark):
+        boxes = random_boxes(5_000, seed=3)
+
+        def run():
+            tree = RTree(max_entries=16)
+            tree.insert_many(boxes)
+            return tree
+
+        tree = benchmark.pedantic(run, rounds=3, iterations=1)
+        assert len(tree) == 5_000
+
+    def test_sync_join_20k(self, benchmark):
+        a, b = random_boxes(20_000, seed=4), random_boxes(20_000, seed=5)
+        ta, tb = STRtree(a), STRtree(b)
+        pairs = benchmark.pedantic(sync_tree_join, args=(ta, tb), rounds=3, iterations=1)
+        assert len(pairs) > 0
+
+    def test_grid_point_assignment_1m(self, benchmark):
+        rng = np.random.default_rng(6)
+        grid = GridIndex(MBR(0, 0, 100, 100), 32, 32)
+        xy = rng.uniform(0, 100, size=(1_000_000, 2))
+        cells = benchmark(grid.assign_points, xy)
+        assert cells.shape == (1_000_000,)
+
+    def test_hilbert_sort_500k(self, benchmark):
+        rng = np.random.default_rng(7)
+        pts = rng.uniform(0, 100, size=(500_000, 2))
+        order = benchmark(hilbert_sort_order, pts, MBR(0, 0, 100, 100))
+        assert order.shape == (500_000,)
+
+
+class TestGeometryKernels:
+    def test_pip_kernel_200k(self, benchmark):
+        rng = np.random.default_rng(8)
+        poly = Polygon([(0, 0), (10, 1), (9, 9), (2, 10), (-1, 5)])
+        xy = rng.uniform(-2, 12, size=(200_000, 2))
+        mask = benchmark(points_in_polygon, poly, xy)
+        assert 0 < mask.sum() < len(xy)
+
+    def test_segment_matrix_300x300(self, benchmark):
+        rng = np.random.default_rng(9)
+        a = rng.uniform(0, 10, size=(300, 4))
+        b = rng.uniform(0, 10, size=(300, 4))
+        mat = benchmark(
+            segments_intersect_matrix, a[:, :2], a[:, 2:], b[:, :2], b[:, 2:]
+        )
+        assert mat.shape == (300, 300)
+
+
+class TestRuntimeSubstrates:
+    def test_spark_groupbykey_100k(self, benchmark):
+        def run():
+            sc = SparkContext(default_parallelism=8)
+            rdd = sc.parallelize([(i % 1000, i) for i in range(100_000)], 8)
+            return rdd.groupByKey(16).count()
+
+        count = benchmark.pedantic(run, rounds=3, iterations=1)
+        assert count == 1000
+
+    def test_mapreduce_wordcount_50k_lines(self, benchmark):
+        from repro.cluster import SimClock
+        from repro.hdfs import SimulatedHDFS
+        from repro.mapreduce import MapReduceJob
+        from repro.metrics import Counters
+
+        def run():
+            counters = Counters()
+            hdfs = SimulatedHDFS(block_size=1 << 18, counters=counters)
+            hdfs.write_file("/in", [f"w{i % 97} w{i % 13}" for i in range(50_000)])
+            job = MapReduceJob(
+                "wc",
+                hdfs=hdfs, counters=counters, clock=SimClock(),
+                inputs=["/in"],
+                map_task=lambda d: ((w, 1) for l in d.records for w in l.split()),
+                reduce_task=lambda k, vs: [(k, len(vs))],
+                output_path="/out",
+            )
+            return job.run()
+
+        result = benchmark.pedantic(run, rounds=3, iterations=1)
+        assert result.output_records == 97  # w0..w96 (the mod-13 set overlaps)

@@ -1,0 +1,57 @@
+"""Table 1 — dataset record counts and sizes.
+
+Regenerates the catalog rows (exact paper values) and benchmarks the
+synthetic generators' throughput, verifying their per-record byte volumes
+match the paper's datasets.
+"""
+
+import pytest
+
+from repro.data import (
+    CATALOG,
+    census_blocks,
+    linear_water,
+    table1_rows,
+    taxi_points,
+    tiger_edges,
+)
+from repro.hdfs import estimate_size
+
+from conftest import emit, verify
+
+
+def test_table1_regeneration(benchmark):
+    def body():
+        return table1_rows()
+
+    rows = verify(benchmark, body)
+    lines = ["Table 1: Experiment Dataset Sizes and Volumes",
+             f"{'Dataset':<16}{'# of Records':>14}  {'Size':>8}"]
+    lines += [f"{n:<16}{r:>14,}  {s:>8}" for n, r, s in rows]
+    emit("\n".join(lines))
+    # Exact values from the paper.
+    assert rows[0] == ("taxi", 169_720_892, "6.9 GB")
+    assert rows[1] == ("nycb", 38_839, "19 MB")
+    assert rows[2] == ("linearwater", 5_857_442, "8.4 GB")
+    assert rows[3] == ("edges", 72_729_686, "23.8 GB")
+    assert rows[4] == ("linearwater0.1", 585_809, "852 MB")
+    assert rows[5] == ("edges0.1", 7_271_983, "2.3 GB")
+
+
+@pytest.mark.parametrize(
+    "name,generator,n",
+    [
+        ("taxi", taxi_points, 20_000),
+        ("nycb", census_blocks, 1_500),
+        ("edges", tiger_edges, 4_000),
+        ("linearwater", linear_water, 1_200),
+    ],
+)
+def test_generator_throughput(benchmark, name, generator, n):
+    geoms = benchmark(generator, n, 42)
+    assert len(geoms) == n
+    # Per-record bytes should track the paper's dataset (Table 1 ratio).
+    spec = CATALOG[name]
+    paper_bpr = spec.logical_bytes / spec.logical_records
+    ours_bpr = sum(estimate_size(g) for g in geoms) / n
+    assert 0.6 * paper_bpr <= ours_bpr <= 1.5 * paper_bpr

@@ -1,0 +1,47 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``bench_table*.py`` module regenerates one table/figure of the paper
+(printed to stdout with ``-s`` or captured in the pytest-benchmark run)
+and asserts the *shape* findings the paper reports; the ``bench_ablation_*``
+modules measure the design choices the paper discusses but does not
+isolate.  Wall-clock numbers from pytest-benchmark cover the real
+execution kernels; simulated (paper-scale) seconds come from the cost
+model and are printed, not timed.
+"""
+
+import sys
+
+import pytest
+
+
+def emit(text: str) -> None:
+    """Print a regenerated artifact so it lands in the bench output."""
+    print(f"\n{text}\n", file=sys.stderr)
+
+
+def verify(benchmark, fn):
+    """Run an assertion body once under the benchmark harness.
+
+    Shape checks and table regenerations must execute in
+    ``--benchmark-only`` runs too (they ARE the deliverable); wrapping
+    them as single-round benchmarks keeps them from being skipped.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+@pytest.fixture(scope="session")
+def table2_result():
+    from repro.experiments import table2
+
+    # Moderate execution scale keeps the whole bench suite fast while the
+    # polyline joins still see a stable candidate population.
+    return table2(exec_records={"taxi-nycb": 2000, "edges-linearwater": 6000}, seed=1)
+
+
+@pytest.fixture(scope="session")
+def table3_result():
+    from repro.experiments import table3
+
+    return table3(
+        exec_records={"taxi1m-nycb": 2000, "edges0.1-linearwater0.1": 6000}, seed=1
+    )

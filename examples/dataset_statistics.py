@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Workload characterization: what the synthetic datasets look like.
+
+Prints the statistics that drive the reproduction's extrapolation
+machinery — record sizes (matching Table 1's bytes/record), spatial skew
+(the taxi hotspots), a text density map, and the analytic join-candidate
+estimate next to the measured value.
+
+Run:  python examples/dataset_statistics.py
+"""
+
+import numpy as np
+
+from repro.data import (
+    census_blocks,
+    dataset,
+    describe,
+    density_grid,
+    estimate_join_candidates,
+    linear_water,
+    skew_ratio,
+    taxi_points,
+    tiger_edges,
+)
+from repro.geometry import MBRArray
+from repro.index import STRtree
+
+
+def text_heatmap(grid: np.ndarray) -> str:
+    """Render a density grid with block characters (top row = north)."""
+    shades = " .:-=+*#%@"
+    peak = grid.max() or 1
+    rows = []
+    for row in grid[::-1]:
+        rows.append("".join(shades[min(int(v / peak * 9.999), 9)] for v in row))
+    return "\n".join(rows)
+
+
+def main() -> None:
+    generators = {
+        "taxi": taxi_points(6000, seed=1),
+        "nycb": census_blocks(600, seed=2),
+        "edges": tiger_edges(4000, seed=3),
+        "linearwater": linear_water(1200, seed=4),
+    }
+    for name, geoms in generators.items():
+        spec = dataset(name)
+        paper_bpr = spec.logical_bytes / spec.logical_records
+        stats = describe(geoms)
+        print(f"=== {name} "
+              f"(paper: {spec.logical_records:,} records, "
+              f"{paper_bpr:.0f} B/record) ===")
+        print(stats.render())
+        print(f"skew:    max/mean cell density = {skew_ratio(geoms):.1f}\n")
+
+    print("taxi pickup density (NYC extent, darker = denser):")
+    print(text_heatmap(density_grid(generators["taxi"], 48, 16)))
+
+    # Join selectivity: analytic model vs measured candidates.
+    edges, water = generators["edges"], generators["linearwater"]
+    est = estimate_join_candidates(edges, water)
+    tree = STRtree(MBRArray.from_geometries(water))
+    measured = sum(tree.query(g.mbr).size for g in edges)
+    print(f"\nedges × linearwater MBR-join candidates: "
+          f"analytic estimate {est:,.0f} vs measured {measured:,} "
+          f"(clustering pushes the measured value above the uniform model)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+#!/usr/bin/env python
+"""Scalability study: every experiment × system × cluster configuration.
+
+Regenerates both paper tables in one sweep and prints the running-text
+speedup claims next to the reproduced values (the EXPERIMENTS.md data).
+Slower than the other examples (~2-4 minutes): it executes 40 distributed
+joins.
+
+Run:  python examples/scalability_study.py
+"""
+
+from repro.experiments import headline_comparisons, table1, table2, table3
+
+
+def main() -> None:
+    print(table1())
+
+    print("\nrunning Table 2 (24 cells)...")
+    t2 = table2(exec_records={"taxi-nycb": 2000, "edges-linearwater": 6000}, seed=1)
+    print()
+    print(t2.render())
+
+    print("\nrunning Table 3 (12 cells)...")
+    t3 = table3(
+        exec_records={"taxi1m-nycb": 2000, "edges0.1-linearwater0.1": 6000}, seed=1
+    )
+    print()
+    print(t3.render())
+
+    print("\nheadline claims (Section III running text):")
+    print(f"{'claim':<64}{'paper':>8}{'ours':>8}")
+    for label, paper, ours in headline_comparisons(t2, t3):
+        ours_text = f"{ours:.2f}x" if ours else "n/a"
+        print(f"{label:<64}{paper:>7.2f}x{ours_text:>8}")
+
+    print("\nfailure matrix (emergent, not hard-coded):")
+    for (exp, system, config), kind in sorted(t2.failure_matrix().items()):
+        if kind:
+            print(f"  {exp:<20} {system:<14} {config:<7} -> {kind}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Distance join: match taxi pickups to nearby road segments.
+
+The paper's introduction motivates exactly this workload — "matching taxi
+pickup/drop-off locations with road segments through point-to-nearest-
+polyline distance computation" — but its experiments only evaluate the
+intersects predicate.  The reproduction supports ε-distance joins through
+the same three systems; this example runs the workload and sweeps the
+matching radius.
+
+Run:  python examples/taxi_roads_distance_join.py
+"""
+
+from repro.core import within_distance
+from repro.data import taxi_points, tiger_edges
+from repro.geometry import MBR
+from repro.systems import ALL_SYSTEMS, RunEnvironment, make_system
+
+#: Manhattan-ish window, where the taxi hotspots live.
+MANHATTAN = MBR(-74.05, 40.66, -73.90, 40.83)
+
+
+def main() -> None:
+    pickups = taxi_points(2_000, seed=41)
+    roads = tiger_edges(1_500, seed=42, domain=MANHATTAN)
+    print(f"workload: {len(pickups):,} pickups × {len(roads):,} road segments "
+          "(synthetic NYC)\n")
+
+    # 1. All three systems answer the same ε-join identically.
+    radius = 0.002  # ≈ 200 m in degrees at NYC's latitude
+    results = {}
+    for name in sorted(ALL_SYSTEMS):
+        env = RunEnvironment.create(block_size=1 << 14)
+        report = make_system(name).run(env, pickups, roads, within_distance(radius))
+        report.costed()
+        results[name] = report
+        print(f"{name:<14} matches={len(report.pairs):>6,}  "
+              f"simulated={report.clock.total_seconds:8.1f}s  "
+              f"distance tests={report.counters['geom.dist_tests']:,.0f}")
+    assert len({r.pairs for r in results.values()}) == 1
+    print("\nall three systems agree.\n")
+
+    # 2. Radius sweep: how match counts and filter work grow with ε.
+    print(f"{'radius (deg)':>14}{'matched pairs':>15}{'candidates':>13}{'sim s':>8}")
+    for radius in (0.0005, 0.001, 0.002, 0.004, 0.008):
+        env = RunEnvironment.create(block_size=1 << 14)
+        report = make_system("SpatialSpark").run(
+            env, pickups, roads, within_distance(radius)
+        ).costed()
+        print(f"{radius:>14}{len(report.pairs):>15,}"
+              f"{report.counters['join.candidates']:>13,.0f}"
+              f"{report.clock.total_seconds:>8.1f}")
+
+    # 3. Nearest-road assignment: pick each pickup's closest matched road.
+    from collections import defaultdict
+
+    from repro.geometry import geometry_distance
+
+    pairs = results["SpatialSpark"].pairs
+    nearest = {}
+    by_point = defaultdict(list)
+    for i, j in pairs:
+        by_point[i].append(j)
+    for i, road_ids in by_point.items():
+        nearest[i] = min(
+            road_ids, key=lambda j: geometry_distance(pickups[i], roads[j])
+        )
+    coverage = len(nearest) / len(pickups)
+    print(f"\npickups with a road within {0.002} deg: {coverage:.1%}; "
+          f"example assignment: pickup 0 -> road {nearest.get(0, 'none')}")
+
+
+if __name__ == "__main__":
+    main()

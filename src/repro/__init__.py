@@ -1,0 +1,29 @@
+"""repro — reproduction of "Spatial Join Query Processing in Cloud:
+Analyzing Design Choices and Performance Comparisons" (You, Zhang,
+Gruenwald, ICPP 2015).
+
+Public API layers:
+
+* :mod:`repro.geometry` — geometry primitives, predicates, engines.
+* :mod:`repro.index` — spatial indexes (STR-tree, R-tree, grid, quadtree).
+* :mod:`repro.core` — the paper's framework: partitioners, global/local
+  joins, join predicates.
+* :mod:`repro.systems` — HadoopGIS, SpatialHadoop, SpatialSpark.
+* :mod:`repro.experiments` — the experiment harness and table regeneration.
+
+Most users start from::
+
+    from repro.experiments import run_experiment
+    report = run_experiment("taxi-nycb", "SpatialSpark", "EC2-10")
+
+or run joins directly::
+
+    from repro.systems import RunEnvironment, SpatialSpark
+    report = SpatialSpark().run(RunEnvironment.create(), left, right)
+
+A command-line interface is available via ``python -m repro --help``.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,210 @@
+"""Command-line interface: regenerate the paper's artifacts from a shell.
+
+::
+
+    python -m repro table1                  # dataset catalog
+    python -m repro fig1                    # framework stage traces
+    python -m repro table2 [--exec-records N] [--seed S]
+    python -m repro table3 [--exec-records N] [--seed S]
+    python -m repro headlines               # tables 2+3 + speedup claims
+    python -m repro run taxi-nycb SpatialSpark EC2-10
+    python -m repro report [--out FILE]     # paper-vs-ours markdown
+    python -m repro calibrate               # refit the cost constants
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse command tree."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Spatial Join Query Processing in Cloud' "
+            "(You, Zhang, Gruenwald, ICPP 2015)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", help="print Table 1 (dataset sizes)")
+    sub.add_parser("fig1", help="print the Fig.-1 framework stage traces")
+
+    for name, help_text in (
+        ("table2", "regenerate Table 2 (full datasets, 4 configs)"),
+        ("table3", "regenerate Table 3 (sample datasets, breakdowns)"),
+        ("headlines", "regenerate both tables plus the speedup claims"),
+    ):
+        p = sub.add_parser(name, help=help_text)
+        p.add_argument("--exec-records", type=int, default=None,
+                       help="execution-scale records per dataset")
+        p.add_argument("--seed", type=int, default=1)
+
+    run = sub.add_parser("run", help="run one experiment cell")
+    run.add_argument("experiment", help="e.g. taxi-nycb")
+    run.add_argument("system", help="HadoopGIS | SpatialHadoop | SpatialSpark")
+    run.add_argument("config", nargs="?", default="WS",
+                     help="WS | EC2-10 | EC2-8 | EC2-6 | EC2-<n>")
+    run.add_argument("--exec-records", type=int, default=2500)
+    run.add_argument("--seed", type=int, default=1)
+    run.add_argument("--explain", action="store_true",
+                     help="print the per-phase cost decomposition")
+
+    validate = sub.add_parser(
+        "validate", help="check all systems against brute-force joins"
+    )
+    validate.add_argument("--seed", type=int, default=0)
+    validate.add_argument("--size", type=int, default=400)
+
+    report = sub.add_parser(
+        "report", help="generate the paper-vs-ours markdown report"
+    )
+    report.add_argument("--out", default=None, help="write to a file")
+    report.add_argument("--exec-records", type=int, default=None)
+    report.add_argument("--seed", type=int, default=1)
+
+    sub.add_parser("calibrate", help="refit the cost-model constants "
+                                     "against the paper's timings")
+    return parser
+
+
+def _exec_override(args) -> Optional[dict]:
+    if args.exec_records is None:
+        return None
+    from .experiments.runner import EXPERIMENTS
+
+    return {exp: args.exec_records for exp in EXPERIMENTS}
+
+
+def _cmd_table1(_args) -> int:
+    from .experiments import table1
+
+    print(table1())
+    return 0
+
+
+def _cmd_fig1(_args) -> int:
+    from .experiments import fig1
+
+    print(fig1())
+    return 0
+
+
+def _cmd_table2(args) -> int:
+    from .experiments import table2
+
+    print(table2(exec_records=_exec_override(args), seed=args.seed).render())
+    return 0
+
+
+def _cmd_table3(args) -> int:
+    from .experiments import table3
+
+    print(table3(exec_records=_exec_override(args), seed=args.seed).render())
+    return 0
+
+
+def _cmd_headlines(args) -> int:
+    from .experiments import headline_comparisons, table2, table3
+
+    t2 = table2(exec_records=_exec_override(args), seed=args.seed)
+    print(t2.render())
+    print()
+    t3 = table3(exec_records=_exec_override(args), seed=args.seed)
+    print(t3.render())
+    print(f"\n{'claim':<64}{'paper':>8}{'ours':>8}")
+    for label, paper, ours in headline_comparisons(t2, t3):
+        ours_text = f"{ours:.2f}x" if ours else "n/a"
+        print(f"{label:<64}{paper:>7.2f}x{ours_text:>8}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    from .experiments import run_experiment
+
+    report = run_experiment(
+        args.experiment,
+        args.system,
+        args.config,
+        exec_records=args.exec_records,
+        seed=args.seed,
+    )
+    if not report.ok:
+        print(f"{args.experiment} × {args.system} × {args.config}: "
+              f"FAILED ({report.failure_kind})")
+        print(f"  {report.failure}")
+        return 1
+    b = report.breakdown_seconds()
+    print(f"{args.experiment} × {args.system} × {args.config}: ok")
+    print(f"  result pairs (executed scale): {len(report.pairs):,}")
+    print(f"  simulated seconds: IA={b['IA']:,.0f} IB={b['IB']:,.0f} "
+          f"DJ={b['DJ']:,.0f} TOT={b['TOT']:,.0f}")
+    if args.explain:
+        from .experiments import explain_report, render_explanation
+
+        print()
+        print(render_explanation(explain_report(report)))
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from .experiments import generate_report
+
+    text = generate_report(exec_records=_exec_override(args), seed=args.seed)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        print(f"wrote {args.out}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_validate(args) -> int:
+    from .experiments import run_validation
+
+    print(f"validating all systems against brute force "
+          f"(seed={args.seed}, size={args.size}):")
+    results = run_validation(seed=args.seed, size=args.size, verbose_print=print)
+    failed = [r for r in results if not r[2]]
+    print(f"\n{len(results) - len(failed)}/{len(results)} checks passed")
+    return 1 if failed else 0
+
+
+def _cmd_calibrate(_args) -> int:
+    from .experiments.calibration import main as calibrate_main
+
+    calibrate_main()
+    return 0
+
+
+_COMMANDS = {
+    "table1": _cmd_table1,
+    "fig1": _cmd_fig1,
+    "table2": _cmd_table2,
+    "table3": _cmd_table3,
+    "headlines": _cmd_headlines,
+    "run": _cmd_run,
+    "report": _cmd_report,
+    "validate": _cmd_validate,
+    "calibrate": _cmd_calibrate,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except (ValueError, KeyError) as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,37 @@
+"""Cluster model: hardware specs, simulated-time ledger, cost model.
+
+The four hardware configurations of the paper (WS, EC2-10/8/6) live in
+:mod:`repro.cluster.specs`; the counts→seconds conversion constants live
+in :mod:`repro.cluster.costmodel`.
+"""
+
+from .costmodel import DEFAULT_CPU_COSTS, CostModel, CostParams
+from .simclock import PhaseRecord, SimClock
+from .specs import (
+    EC2_G2_2XLARGE,
+    GB,
+    MB,
+    PAPER_CONFIGS,
+    WORKSTATION,
+    ClusterConfig,
+    MachineSpec,
+    ec2_config,
+    ws_config,
+)
+
+__all__ = [
+    "MachineSpec",
+    "ClusterConfig",
+    "WORKSTATION",
+    "EC2_G2_2XLARGE",
+    "ws_config",
+    "ec2_config",
+    "PAPER_CONFIGS",
+    "GB",
+    "MB",
+    "SimClock",
+    "PhaseRecord",
+    "CostModel",
+    "CostParams",
+    "DEFAULT_CPU_COSTS",
+]

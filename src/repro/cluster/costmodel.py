@@ -1,0 +1,229 @@
+"""The analytical cost model: resource counts → simulated seconds.
+
+Every substrate phase yields a :class:`~repro.cluster.simclock.PhaseRecord`
+holding *counts* (bytes moved, records parsed, geometry ops, tasks).  This
+module owns every constant that turns counts into seconds for a given
+:class:`~repro.cluster.specs.ClusterConfig`, so all calibration lives in
+one audited place.
+
+Counter taxonomy
+----------------
+
+CPU (µs per op unless noted):
+    ``geom.*``            geometry-engine ops, costed by the engine profile
+    ``index.*``           index build/traversal ops
+    ``parse.records/bytes``      text → object decoding (Streaming's tax)
+    ``serialize.records/bytes``  object → text encoding
+    ``sort.ops``          comparison ops charged as n·log2(n) by substrates
+    ``cpu.ops``           generic bookkeeping ops
+
+I/O (bytes):
+    ``hdfs.bytes_read / hdfs.bytes_written``   distributed FS traffic
+    ``localfs.bytes_read / localfs.bytes_written``  single-node local FS
+    ``shuffle.bytes_disk``   Hadoop-style shuffle (spill + transfer + read)
+    ``shuffle.bytes_mem``    Spark in-memory exchange
+    ``net.bytes_broadcast``  broadcast payload, replicated to every node
+
+Fixed overheads (counts):
+    ``mr.jobs``, ``mr.tasks``, ``spark.stages``, ``spark.tasks``,
+    ``streaming.processes``
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
+
+from ..metrics import Counters
+from .simclock import PhaseRecord, SimClock
+from .specs import MB, ClusterConfig
+
+__all__ = ["CostParams", "CostModel", "DEFAULT_CPU_COSTS"]
+
+#: Baseline per-op CPU costs in microseconds on a cpu_speed=1.0 core.
+#: ``geom.*`` entries here are fallbacks — engines supply their own profile.
+#:
+#: Values were fitted by bounded non-negative least squares against the
+#: 40 runtimes the paper reports (Tables 2-3 plus running-text figures);
+#: see :mod:`repro.experiments.calibration` for the audit trail.  Some
+#: constants fit to ~0 because a covariate absorbs their role (e.g. the
+#: per-byte parse cost subsumes the per-record one); ``index.*`` micro
+#: costs were held at small priors rather than fitted.
+DEFAULT_CPU_COSTS: dict[str, float] = {
+    "geom.pip_tests": 10.5,
+    "geom.seg_pair_tests": 0.0226,
+    "geom.dist_tests": 0.30,
+    "geom.vertex_ops": 1.0,
+    "geom.mbr_tests": 0.02,
+    "index.build_ops": 1.2,
+    "index.node_visits": 0.35,
+    "index.nodes_built": 2.0,
+    "index.splits": 6.0,
+    "index.leaf_pair_tests": 0.08,
+    "parse.records": 0.0,
+    "parse.bytes": 0.0,
+    "serialize.records": 0.0,
+    "serialize.bytes": 0.331,
+    "sort.ops": 0.0,
+    "cpu.ops": 2.0,
+    "deser.records": 7.44,
+    "join.sweep_ops": 0.126,
+    "pipe.records": 0.0,
+    "spark.shuffle_records": 126.6,
+    "streaming.refine_calls": 1368.4,
+}
+
+
+@dataclass(frozen=True)
+class CostParams:
+    """All tunable non-CPU constants of the model."""
+
+    #: Per-op CPU costs (µs); merged over DEFAULT_CPU_COSTS.
+    cpu_costs: Mapping[str, float] = field(default_factory=dict)
+    #: Fixed per-MapReduce-job overhead (JVM spin-up, scheduling, HDFS
+    #: session setup).  The fit pushed the explicit per-job constant near
+    #: zero because the per-task-wave term below absorbs Hadoop's floor.
+    mr_job_overhead_s: float = 0.1
+    #: Additional per-job overhead *per cluster node* (task-tracker
+    #: coordination, container launches across machines).  This is what
+    #: makes SpatialHadoop's small indexing jobs slower on EC2-10 than on
+    #: the workstation in Table 3.
+    mr_job_pernode_s: float = 0.1
+    #: Per-map/reduce-task launch overhead, paid in waves across slots.
+    mr_task_overhead_s: float = 9.27
+    #: Spark's DAG-scheduler per-stage overhead — far below Hadoop's.
+    spark_stage_overhead_s: float = 0.0
+    #: Per-Spark-task overhead (threads in a running executor, not JVMs).
+    spark_task_overhead_s: float = 1.82
+    #: Per-process spawn cost for Hadoop Streaming's external processes.
+    streaming_process_overhead_s: float = 0.0
+    #: Effective in-memory copy bandwidth per node (bytes/s).
+    memory_copy_bw: float = 4000 * MB
+    #: GC-pressure penalty shape for in-memory engines: CPU time is
+    #: multiplied by ``1 + gc_scale·max(0, p-gc_floor)/(gc_ceiling-p)``
+    #: where p = peak live memory / budget.  Spark runs that barely fit
+    #: (the paper's full-dataset workstation runs) thrash the collector.
+    gc_scale: float = 0.10
+    gc_floor: float = 0.75
+    gc_ceiling: float = 1.03
+
+    def cpu_cost(self, key: str) -> float:
+        """µs per op for *key* (overrides first, then the defaults)."""
+        if key in self.cpu_costs:
+            return self.cpu_costs[key]
+        return DEFAULT_CPU_COSTS.get(key, 0.0)
+
+
+class CostModel:
+    """Costs :class:`PhaseRecord` objects for one cluster configuration."""
+
+    def __init__(
+        self,
+        cluster: ClusterConfig,
+        *,
+        params: Optional[CostParams] = None,
+        engine_profile: Optional[Mapping[str, float]] = None,
+        memory_pressure: float = 0.0,
+    ):
+        self.cluster = cluster
+        self.params = params or CostParams()
+        #: Per-op µs for ``geom.*`` counters; overrides the defaults so the
+        #: GEOS-like engine's slowness flows into simulated time.
+        self.engine_profile = dict(engine_profile or {})
+        #: peak live memory / budget of the run being costed (0 = off).
+        self.memory_pressure = memory_pressure
+
+    def gc_penalty(self) -> float:
+        """CPU multiplier for garbage-collection thrash near capacity."""
+        p = min(self.memory_pressure, 1.0)
+        params = self.params
+        if p <= params.gc_floor:
+            return 1.0
+        return 1.0 + params.gc_scale * (p - params.gc_floor) / (params.gc_ceiling - p)
+
+    # ------------------------------------------------------------ components
+    def _cpu_seconds(self, counters: Counters, tasks: int) -> float:
+        micros = 0.0
+        for key, count in counters.items():
+            if key in self.engine_profile:
+                micros += count * self.engine_profile[key]
+            else:
+                micros += count * self.params.cpu_cost(key)
+        parallel = self.cluster.effective_parallelism(tasks)
+        return (
+            micros / 1e6 / (self.cluster.machine.cpu_speed * parallel)
+            * self.gc_penalty()
+        )
+
+    def _io_seconds(self, counters: Counters) -> float:
+        c = self.cluster
+        secs = 0.0
+        secs += counters["hdfs.bytes_read"] / c.aggregate_disk_read_bw
+        secs += (
+            counters["hdfs.bytes_written"]
+            * c.hdfs_replication
+            / c.aggregate_disk_write_bw
+        )
+        # Local-FS steps run on one machine by definition.
+        secs += counters["localfs.bytes_read"] / c.machine.disk_read_bw
+        secs += counters["localfs.bytes_written"] / c.machine.disk_write_bw
+        return secs
+
+    def _shuffle_seconds(self, counters: Counters) -> float:
+        c = self.cluster
+        secs = 0.0
+        disk_bytes = counters["shuffle.bytes_disk"]
+        if disk_bytes:
+            # Map-side spill + reduce-side read always hit disk in Hadoop.
+            secs += disk_bytes / c.aggregate_disk_write_bw
+            secs += disk_bytes / c.aggregate_disk_read_bw
+            if not c.is_single_node:
+                remote_fraction = (c.num_nodes - 1) / c.num_nodes
+                secs += disk_bytes * remote_fraction / c.aggregate_network_bw
+        mem_bytes = counters["shuffle.bytes_mem"]
+        if mem_bytes:
+            secs += mem_bytes / (self.params.memory_copy_bw * c.num_nodes)
+            if not c.is_single_node:
+                remote_fraction = (c.num_nodes - 1) / c.num_nodes
+                secs += mem_bytes * remote_fraction / c.aggregate_network_bw
+        bcast = counters["net.bytes_broadcast"]
+        if bcast:
+            if c.is_single_node:
+                secs += bcast / self.params.memory_copy_bw
+            else:
+                secs += bcast * (c.num_nodes - 1) / c.aggregate_network_bw
+        return secs
+
+    def _overhead_seconds(self, counters: Counters) -> float:
+        """Fixed framework overheads, paid in waves across task slots."""
+        p, c = self.params, self.cluster
+
+        def waves(n_tasks: float) -> float:
+            return math.ceil(n_tasks / c.total_cores) if n_tasks else 0.0
+
+        secs = 0.0
+        secs += counters["mr.jobs"] * (
+            p.mr_job_overhead_s + p.mr_job_pernode_s * c.num_nodes
+        )
+        secs += waves(counters["mr.tasks"]) * p.mr_task_overhead_s
+        secs += counters["spark.stages"] * p.spark_stage_overhead_s
+        secs += waves(counters["spark.tasks"]) * p.spark_task_overhead_s
+        secs += waves(counters["streaming.processes"]) * p.streaming_process_overhead_s
+        return secs
+
+    # ---------------------------------------------------------------- public
+    def phase_seconds(self, phase: PhaseRecord) -> float:
+        """Simulated seconds for one phase on this cluster."""
+        return (
+            self._cpu_seconds(phase.counters, phase.tasks)
+            + self._io_seconds(phase.counters)
+            + self._shuffle_seconds(phase.counters)
+            + self._overhead_seconds(phase.counters)
+        )
+
+    def cost_clock(self, clock: SimClock) -> SimClock:
+        """Fill in ``seconds`` for every phase of a clock, in place."""
+        for phase in clock.phases:
+            phase.seconds = self.phase_seconds(phase)
+        return clock

@@ -1,0 +1,71 @@
+"""The paper's core contribution: the generalized spatial-join framework.
+
+* :mod:`repro.core.framework` — the three-stage model of Fig. 1.
+* :mod:`repro.core.partitioning` — sampling-based partitioners.
+* :mod:`repro.core.globaljoin` — partition-pairing strategies.
+* :mod:`repro.core.localjoin` — per-partition join algorithms + refinement.
+"""
+
+from .framework import (
+    DataAccessModel,
+    RunsOn,
+    Stage,
+    StageStep,
+    StageTrace,
+    compare_traces,
+)
+from .globaljoin import (
+    pair_partitions,
+    pair_partitions_indexed,
+    pair_partitions_nested,
+    pair_partitions_sweep,
+)
+from .localjoin import (
+    LOCAL_JOIN_ALGORITHMS,
+    indexed_nested_loop_join,
+    local_join,
+    plane_sweep_join,
+    refine_candidates,
+    sync_rtree_join,
+)
+from .predicate import INTERSECTS, JoinPredicate, within_distance
+from .partitioning import (
+    BSPPartitioner,
+    GridPartitioner,
+    HilbertPartitioner,
+    Partitioner,
+    QuadTreePartitioner,
+    SpatialPartitioning,
+    STRPartitioner,
+    make_partitioner,
+)
+
+__all__ = [
+    "Stage",
+    "RunsOn",
+    "DataAccessModel",
+    "StageStep",
+    "StageTrace",
+    "compare_traces",
+    "SpatialPartitioning",
+    "Partitioner",
+    "GridPartitioner",
+    "BSPPartitioner",
+    "QuadTreePartitioner",
+    "STRPartitioner",
+    "HilbertPartitioner",
+    "make_partitioner",
+    "pair_partitions",
+    "pair_partitions_nested",
+    "pair_partitions_sweep",
+    "pair_partitions_indexed",
+    "local_join",
+    "LOCAL_JOIN_ALGORITHMS",
+    "indexed_nested_loop_join",
+    "plane_sweep_join",
+    "sync_rtree_join",
+    "refine_candidates",
+    "JoinPredicate",
+    "INTERSECTS",
+    "within_distance",
+]

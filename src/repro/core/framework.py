@@ -1,0 +1,132 @@
+"""The paper's generalized framework (Fig. 1) as a data model.
+
+The contribution of Section II is a *three-stage decomposition* —
+preprocessing, global join, local join — plus a mapping of each system's
+components onto the stages: where each step runs (mapper / reducer / job
+master / executor / serial local program) and which steps touch HDFS.
+This module encodes that mapping so the Fig.-1 reproduction is a checked
+artifact, not prose: each system implements ``stage_trace()`` returning a
+:class:`StageTrace`, and tests assert the properties the paper derives
+from the figure (e.g. SpatialSpark touches HDFS only when reading input).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterable
+
+__all__ = ["Stage", "RunsOn", "StageStep", "StageTrace", "DataAccessModel"]
+
+
+class Stage(Enum):
+    """The three stages of a distributed spatial join."""
+
+    PREPROCESSING = "preprocessing"
+    GLOBAL_JOIN = "global join"
+    LOCAL_JOIN = "local join"
+
+
+class RunsOn(Enum):
+    """Where a step executes."""
+
+    MAPPER = "mapper"
+    REDUCER = "reducer"
+    MASTER = "job master"
+    EXECUTOR = "executor"
+    LOCAL_PROGRAM = "serial local program"
+
+
+class DataAccessModel(Enum):
+    """The paper's three data access models (Section II)."""
+
+    STREAMING = "streaming"  # HadoopGIS: sequential, partition-blind
+    RANDOM = "random"  # SpatialHadoop: block-aware random access
+    FUNCTIONAL = "functional"  # SpatialSpark: data-parallel / RDD
+
+
+@dataclass(frozen=True)
+class StageStep:
+    """One component of a system's pipeline."""
+
+    name: str
+    stage: Stage
+    runs_on: RunsOn
+    reads_hdfs: bool = False
+    writes_hdfs: bool = False
+    description: str = ""
+
+
+@dataclass
+class StageTrace:
+    """A system's full pipeline in framework terms."""
+
+    system: str
+    access_model: DataAccessModel
+    geometry_library: str  # "jts" or "geos"
+    platform: str  # "hadoop" or "spark"
+    steps: list[StageStep] = field(default_factory=list)
+
+    def steps_in(self, stage: Stage) -> list[StageStep]:
+        """The steps belonging to one framework stage."""
+        return [s for s in self.steps if s.stage == stage]
+
+    @property
+    def hdfs_touch_points(self) -> int:
+        """Number of HDFS interactions (read + write counts separately)."""
+        return sum(int(s.reads_hdfs) + int(s.writes_hdfs) for s in self.steps)
+
+    @property
+    def serial_steps(self) -> list[StageStep]:
+        return [
+            s
+            for s in self.steps
+            if s.runs_on in (RunsOn.MASTER, RunsOn.LOCAL_PROGRAM)
+        ]
+
+    def render(self) -> str:
+        """Human-readable rendering (the Fig.-1 reproduction output)."""
+        lines = [
+            f"system: {self.system}",
+            f"  platform: {self.platform}   access model: {self.access_model.value}"
+            f"   geometry: {self.geometry_library}",
+        ]
+        for stage in Stage:
+            steps = self.steps_in(stage)
+            if not steps:
+                continue
+            lines.append(f"  [{stage.value}]")
+            for s in steps:
+                io = []
+                if s.reads_hdfs:
+                    io.append("reads HDFS")
+                if s.writes_hdfs:
+                    io.append("writes HDFS")
+                io_text = f"  ({', '.join(io)})" if io else ""
+                lines.append(f"    - {s.name} @ {s.runs_on.value}{io_text}")
+                if s.description:
+                    lines.append(f"        {s.description}")
+        lines.append(f"  HDFS touch points: {self.hdfs_touch_points}")
+        return "\n".join(lines)
+
+
+def compare_traces(traces: Iterable[StageTrace]) -> str:
+    """Side-by-side summary table of several systems' traces."""
+    rows = [
+        (
+            t.system,
+            t.platform,
+            t.access_model.value,
+            t.geometry_library,
+            str(len(t.steps)),
+            str(len(t.serial_steps)),
+            str(t.hdfs_touch_points),
+        )
+        for t in traces
+    ]
+    header = ("system", "platform", "access", "geometry", "steps", "serial", "hdfs_io")
+    widths = [max(len(header[i]), *(len(r[i]) for r in rows)) for i in range(len(header))]
+    fmt = "  ".join(f"{{:<{w}}}" for w in widths)
+    lines = [fmt.format(*header)]
+    lines += [fmt.format(*r) for r in rows]
+    return "\n".join(lines)

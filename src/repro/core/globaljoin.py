@@ -1,0 +1,128 @@
+"""Global join: pairing up partitions of the two input datasets.
+
+The global join is "a distributed extension to spatial filtering"
+(Section II.B): given the MBRs of dataset A's partitions and dataset B's
+partitions, find every pair that spatially intersects.  The partition
+lists are small, so each system runs this serially — SpatialHadoop on the
+job master inside ``getSplits``, HadoopGIS inside a local program — while
+SpatialSpark sidesteps it entirely by sharing one partitioning and
+hash-joining on partition ids.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..geometry.mbr import MBRArray
+from ..index.strtree import STRtree, sync_tree_join
+from ..metrics import Counters
+
+__all__ = [
+    "pair_partitions_nested",
+    "pair_partitions_sweep",
+    "pair_partitions_indexed",
+    "pair_partitions",
+]
+
+
+def _expand(a: MBRArray, margin: float) -> MBRArray:
+    if not margin:
+        return a
+    return MBRArray(a.data + np.array([-1.0, -1.0, 1.0, 1.0]) * margin)
+
+
+def pair_partitions_nested(
+    a: MBRArray, b: MBRArray, counters: Optional[Counters] = None,
+    *, margin: float = 0.0,
+) -> list[tuple[int, int]]:
+    """Brute-force all-pairs MBR test (fine for small partition counts).
+
+    *margin* expands the left boxes — distance joins must pair partitions
+    whose contents could be within the predicate's distance.
+    """
+    counters = counters if counters is not None else Counters()
+    if len(a) == 0 or len(b) == 0:
+        return []
+    a = _expand(a, margin)
+    counters.add("geom.mbr_tests", len(a) * len(b))
+    counters.add("cpu.ops", len(a) * len(b))
+    mat = a.cross_intersects(b)
+    ii, jj = np.nonzero(mat)
+    return sorted(zip(ii.tolist(), jj.tolist()))
+
+
+def pair_partitions_sweep(
+    a: MBRArray, b: MBRArray, counters: Optional[Counters] = None,
+    *, margin: float = 0.0,
+) -> list[tuple[int, int]]:
+    """Plane-sweep pairing — "any in-memory spatial join technique" works."""
+    counters = counters if counters is not None else Counters()
+    if len(a) == 0 or len(b) == 0:
+        return []
+    a = _expand(a, margin)
+    ao = np.argsort(a.xmin, kind="stable")
+    bo = np.argsort(b.xmin, kind="stable")
+    out: list[tuple[int, int]] = []
+    ai = bi = 0
+    active_a: list[int] = []
+    active_b: list[int] = []
+    while ai < len(ao) or bi < len(bo):
+        take_a = bi >= len(bo) or (ai < len(ao) and a.xmin[ao[ai]] <= b.xmin[bo[bi]])
+        if take_a:
+            i = int(ao[ai])
+            ai += 1
+            x = a.xmin[i]
+            active_b = [j for j in active_b if b.xmax[j] >= x]
+            counters.add("cpu.ops", len(active_b) + 1)
+            for j in active_b:
+                if a.ymin[i] <= b.ymax[j] and b.ymin[j] <= a.ymax[i]:
+                    out.append((i, j))
+            active_a.append(i)
+        else:
+            j = int(bo[bi])
+            bi += 1
+            x = b.xmin[j]
+            active_a = [i for i in active_a if a.xmax[i] >= x]
+            counters.add("cpu.ops", len(active_a) + 1)
+            for i in active_a:
+                if a.ymin[i] <= b.ymax[j] and b.ymin[j] <= a.ymax[i]:
+                    out.append((i, j))
+            active_b.append(j)
+    return sorted(out)
+
+
+def pair_partitions_indexed(
+    a: MBRArray, b: MBRArray, counters: Optional[Counters] = None,
+    *, margin: float = 0.0,
+) -> list[tuple[int, int]]:
+    """Synchronized STR-tree traversal pairing."""
+    counters = counters if counters is not None else Counters()
+    if len(a) == 0 or len(b) == 0:
+        return []
+    a = _expand(a, margin)
+    ta = STRtree(a, counters=counters)
+    tb = STRtree(b, counters=counters)
+    return sorted(sync_tree_join(ta, tb, counters))
+
+
+_STRATEGIES = {
+    "nested": pair_partitions_nested,
+    "sweep": pair_partitions_sweep,
+    "indexed": pair_partitions_indexed,
+}
+
+
+def pair_partitions(
+    strategy: str, a: MBRArray, b: MBRArray, counters: Optional[Counters] = None,
+    *, margin: float = 0.0,
+) -> list[tuple[int, int]]:
+    """Dispatch a pairing strategy by name."""
+    try:
+        fn = _STRATEGIES[strategy]
+    except KeyError:
+        raise ValueError(
+            f"unknown pairing strategy {strategy!r}; options: {sorted(_STRATEGIES)}"
+        ) from None
+    return fn(a, b, counters, margin=margin)

@@ -1,0 +1,216 @@
+"""Local (per-partition) spatial join algorithms.
+
+All three systems end with the same shape of work (Section II.C): inside a
+partition pair, MBR-filter item pairs with some algorithm, then refine
+with exact geometry.  The algorithm differs per system:
+
+* :func:`indexed_nested_loop_join` — build an index over one side, probe
+  with the other (SpatialSpark's natural choice, also HadoopGIS's).
+* :func:`plane_sweep_join` — sort both sides by xmin and sweep
+  (SpatialHadoop's default).
+* :func:`sync_rtree_join` — build R-trees on both sides and do a
+  synchronized traversal (SpatialHadoop's alternative).
+
+All return the identical refined pair set; they differ only in filter
+cost, which the counters capture.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..geometry.engine import GeometryEngine
+from ..geometry.mbr import MBRArray
+from ..geometry.primitives import Geometry, Point, Polygon, PolyLine
+from ..index.strtree import STRtree, sync_tree_join
+from ..metrics import Counters
+from .predicate import INTERSECTS, JoinPredicate
+
+__all__ = [
+    "refine_candidates",
+    "indexed_nested_loop_join",
+    "plane_sweep_join",
+    "sync_rtree_join",
+    "LOCAL_JOIN_ALGORITHMS",
+    "local_join",
+]
+
+
+def refine_candidates(
+    left: Sequence[Geometry],
+    right: Sequence[Geometry],
+    candidates: Sequence[tuple[int, int]],
+    engine: GeometryEngine,
+    predicate: JoinPredicate = INTERSECTS,
+) -> list[tuple[int, int]]:
+    """Exact-geometry refinement of MBR-filter candidates.
+
+    Point-vs-polygon intersect candidates and point-vs-polyline distance
+    candidates are grouped per right-side geometry and refined with one
+    batched kernel call (the vectorized fast path); all other kind pairs
+    refine pairwise.  Output is sorted for determinism.
+    """
+    if not candidates:
+        return []
+    survivors: list[tuple[int, int]] = []
+    batched: dict[int, list[int]] = {}
+    rest: list[tuple[int, int]] = []
+    batch_right = (
+        Polygon if predicate.kind == "intersects" else PolyLine
+    )
+    for i, j in candidates:
+        if isinstance(left[i], Point) and isinstance(right[j], batch_right):
+            batched.setdefault(j, []).append(i)
+        else:
+            rest.append((i, j))
+    for j, point_ids in batched.items():
+        xy = np.array([(left[i].x, left[i].y) for i in point_ids])
+        if predicate.kind == "intersects":
+            mask = engine.points_in_polygon(right[j], xy)
+        else:
+            mask = engine.points_within_distance(right[j], xy, predicate.distance)
+        survivors.extend((i, j) for i, keep in zip(point_ids, mask) if keep)
+    for i, j in rest:
+        if predicate.evaluate(engine, left[i], right[j]):
+            survivors.append((i, j))
+    survivors.sort()
+    return survivors
+
+
+def indexed_nested_loop_join(
+    left: Sequence[Geometry],
+    right: Sequence[Geometry],
+    engine: GeometryEngine,
+    *,
+    counters: Optional[Counters] = None,
+    leaf_capacity: int = 16,
+    predicate: JoinPredicate = INTERSECTS,
+) -> list[tuple[int, int]]:
+    """Index the right side with an STR tree, probe with every left MBR.
+
+    For distance predicates the probe boxes are expanded by the margin,
+    keeping the filter a superset of the exact matches.
+    """
+    counters = counters if counters is not None else Counters()
+    if not left or not right:
+        return []
+    tree = STRtree(MBRArray.from_geometries(right), counters=counters,
+                   leaf_capacity=leaf_capacity)
+    candidates: list[tuple[int, int]] = []
+    for i, geom in enumerate(left):
+        for j in tree.query(predicate.expand(geom.mbr)):
+            candidates.append((i, int(j)))
+    counters.add("join.candidates", len(candidates))
+    return refine_candidates(left, right, candidates, engine, predicate)
+
+
+def plane_sweep_join(
+    left: Sequence[Geometry],
+    right: Sequence[Geometry],
+    engine: GeometryEngine,
+    *,
+    counters: Optional[Counters] = None,
+    predicate: JoinPredicate = INTERSECTS,
+) -> list[tuple[int, int]]:
+    """Classic plane-sweep MBR join along the x axis.
+
+    Distance predicates sweep with the left boxes expanded by the margin.
+    """
+    counters = counters if counters is not None else Counters()
+    if not left or not right:
+        return []
+    lb = MBRArray.from_geometries(left).data
+    if predicate.filter_margin:
+        lb = lb + np.array([-1.0, -1.0, 1.0, 1.0]) * predicate.filter_margin
+    rb = MBRArray.from_geometries(right).data
+    lorder = np.argsort(lb[:, 0], kind="stable")
+    rorder = np.argsort(rb[:, 0], kind="stable")
+    n, m = len(lorder), len(rorder)
+    counters.add("sort.ops", n * max(np.log2(max(n, 2)), 1) + m * max(np.log2(max(m, 2)), 1))
+    candidates: list[tuple[int, int]] = []
+    li = ri = 0
+    active_left: list[int] = []  # indices into lb, still open
+    active_right: list[int] = []
+    while li < n or ri < m:
+        take_left = ri >= m or (li < n and lb[lorder[li], 0] <= rb[rorder[ri], 0])
+        if take_left:
+            i = int(lorder[li])
+            li += 1
+            x = lb[i, 0]
+            active_right = [j for j in active_right if rb[j, 2] >= x]
+            counters.add("join.sweep_ops", len(active_right) + 1)
+            for j in active_right:
+                if lb[i, 1] <= rb[j, 3] and rb[j, 1] <= lb[i, 3]:
+                    candidates.append((i, j))
+            active_left.append(i)
+        else:
+            j = int(rorder[ri])
+            ri += 1
+            x = rb[j, 0]
+            active_left = [i for i in active_left if lb[i, 2] >= x]
+            counters.add("join.sweep_ops", len(active_left) + 1)
+            for i in active_left:
+                if lb[i, 1] <= rb[j, 3] and rb[j, 1] <= lb[i, 3]:
+                    candidates.append((i, j))
+            active_right.append(j)
+    counters.add("join.candidates", len(candidates))
+    return refine_candidates(left, right, candidates, engine, predicate)
+
+
+def sync_rtree_join(
+    left: Sequence[Geometry],
+    right: Sequence[Geometry],
+    engine: GeometryEngine,
+    *,
+    counters: Optional[Counters] = None,
+    leaf_capacity: int = 16,
+    predicate: JoinPredicate = INTERSECTS,
+) -> list[tuple[int, int]]:
+    """Synchronized traversal of STR trees built over both sides.
+
+    Distance predicates build the left tree over margin-expanded boxes.
+    """
+    counters = counters if counters is not None else Counters()
+    if not left or not right:
+        return []
+    left_boxes = MBRArray.from_geometries(left)
+    if predicate.filter_margin:
+        left_boxes = MBRArray(
+            left_boxes.data
+            + np.array([-1.0, -1.0, 1.0, 1.0]) * predicate.filter_margin
+        )
+    ltree = STRtree(left_boxes, counters=counters, leaf_capacity=leaf_capacity)
+    rtree = STRtree(MBRArray.from_geometries(right), counters=counters,
+                    leaf_capacity=leaf_capacity)
+    candidates = sync_tree_join(ltree, rtree, counters)
+    counters.add("join.candidates", len(candidates))
+    return refine_candidates(left, right, candidates, engine, predicate)
+
+
+LOCAL_JOIN_ALGORITHMS = {
+    "indexed_nested_loop": indexed_nested_loop_join,
+    "plane_sweep": plane_sweep_join,
+    "sync_rtree": sync_rtree_join,
+}
+
+
+def local_join(
+    algorithm: str,
+    left: Sequence[Geometry],
+    right: Sequence[Geometry],
+    engine: GeometryEngine,
+    *,
+    counters: Optional[Counters] = None,
+    predicate: JoinPredicate = INTERSECTS,
+) -> list[tuple[int, int]]:
+    """Dispatch a local join by algorithm name."""
+    try:
+        fn = LOCAL_JOIN_ALGORITHMS[algorithm]
+    except KeyError:
+        raise ValueError(
+            f"unknown local join algorithm {algorithm!r}; "
+            f"options: {sorted(LOCAL_JOIN_ALGORITHMS)}"
+        ) from None
+    return fn(left, right, engine, counters=counters, predicate=predicate)

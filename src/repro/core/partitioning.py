@@ -1,0 +1,366 @@
+"""Sampling-based spatial partitioners (the SATO-style family).
+
+All three systems create partitions from a *sample* of the data
+(Section II.A).  A partitioner turns sampled MBRs into a set of partition
+boxes; data items are then assigned to partitions either by
+
+* **multi-assignment** — every partition the item's MBR intersects
+  (HadoopGIS and SpatialSpark share one partitioning across both join
+  sides; duplicate result pairs are removed later), or
+* **best-assignment** — the single partition with maximal overlap
+  (SpatialHadoop assigns once and *expands* partition MBRs to cover their
+  contents, pairing the expanded MBRs in its global join).
+
+Multi-assignment is only correct if the partition boxes tile the whole
+universe (no gaps where two items could meet unseen); tiling partitioners
+(grid, BSP) expand their boundary cells to the universe box.  Non-tiling
+partitioners (STR, Hilbert) are restricted to best-assignment use.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..geometry.mbr import MBR, MBRArray
+from ..index.hilbert import hilbert_sort_order
+from ..index.quadtree import QuadTree
+from ..index.strtree import STRtree, str_packing_order
+from ..metrics import Counters
+
+__all__ = [
+    "SpatialPartitioning",
+    "Partitioner",
+    "GridPartitioner",
+    "BSPPartitioner",
+    "QuadTreePartitioner",
+    "STRPartitioner",
+    "HilbertPartitioner",
+    "make_partitioner",
+]
+
+#: How far boundary tiles are stretched so the tiling covers any stray
+#: geometry outside the sampled extent.
+_UNIVERSE_MARGIN = 1e9
+
+
+@dataclass
+class SpatialPartitioning:
+    """A set of partition boxes plus assignment machinery."""
+
+    boxes: MBRArray
+    #: True when the boxes tile the plane without gaps (multi-assignment safe).
+    tiles: bool
+    counters: Counters = field(default_factory=Counters)
+    _index: Optional[STRtree] = field(default=None, repr=False)
+
+    def __len__(self) -> int:
+        return len(self.boxes)
+
+    @property
+    def index(self) -> STRtree:
+        """STR tree over the partition boxes (built on demand)."""
+        if self._index is None:
+            self._index = STRtree(self.boxes, counters=self.counters)
+        return self._index
+
+    # ------------------------------------------------------------ assignment
+    def assign_multi(self, box: MBR) -> np.ndarray:
+        """All partition ids whose boxes intersect *box* (multi-assignment)."""
+        if not self.tiles:
+            raise ValueError(
+                "multi-assignment requires a tiling partitioning (grid/BSP)"
+            )
+        hits = self.index.query(box)
+        if hits.size == 0:
+            raise ValueError(f"partitioning does not cover {box}")
+        return np.sort(hits)
+
+    def assign_best(self, box: MBR) -> int:
+        """The partition with maximal overlap area (ties → lowest id).
+
+        Falls back to the nearest box center for items outside every box —
+        safe here because best-assignment users re-expand partition MBRs
+        to cover their contents afterwards.
+        """
+        hits = self.index.query(box)
+        if hits.size == 0:
+            centers = self.boxes.centers
+            cx, cy = box.center
+            d2 = (centers[:, 0] - cx) ** 2 + (centers[:, 1] - cy) ** 2
+            return int(np.argmin(d2))
+        if hits.size == 1:
+            return int(hits[0])
+        best, best_overlap = int(hits[0]), -1.0
+        for pid in np.sort(hits):
+            overlap = self.boxes[int(pid)].intersection(box).area
+            if overlap > best_overlap:
+                best, best_overlap = int(pid), overlap
+        return best
+
+    def assign_points(self, xy: np.ndarray) -> np.ndarray:
+        """Vectorized single-assignment of points (a point meets one tile).
+
+        Points exactly on shared tile edges go to the lowest-id tile, which
+        both sides of a join apply consistently.
+        """
+        xy = np.asarray(xy, dtype=np.float64)
+        out = np.full(xy.shape[0], -1, dtype=np.int64)
+        # Few boxes (hundreds at most): loop boxes, vectorize over points.
+        data = self.boxes.data
+        for pid in range(len(self.boxes)):
+            need = out == -1
+            if not need.any():
+                break
+            b = data[pid]
+            inside = (
+                need
+                & (b[0] <= xy[:, 0])
+                & (xy[:, 0] <= b[2])
+                & (b[1] <= xy[:, 1])
+                & (xy[:, 1] <= b[3])
+            )
+            out[inside] = pid
+        if (out == -1).any():
+            if self.tiles:
+                raise ValueError("tiling does not cover all points")
+            centers = self.boxes.centers
+            for i in np.flatnonzero(out == -1):
+                d2 = (centers[:, 0] - xy[i, 0]) ** 2 + (centers[:, 1] - xy[i, 1]) ** 2
+                out[i] = int(np.argmin(d2))
+        return out
+
+    def expanded_to_contents(self, content_boxes: list[MBR]) -> "SpatialPartitioning":
+        """Partition MBRs recomputed as the union of assigned contents.
+
+        *content_boxes[pid]* is the union MBR of partition *pid*'s items
+        (empty MBR for empty partitions).  SpatialHadoop stores these in
+        its ``_master`` file and pairs them in the global join.
+        """
+        if len(content_boxes) != len(self.boxes):
+            raise ValueError("need one content MBR per partition")
+        rows = np.array(
+            [
+                (b.xmin, b.ymin, b.xmax, b.ymax)
+                for b in content_boxes
+            ],
+            dtype=np.float64,
+        ).reshape(len(content_boxes), 4)
+        return SpatialPartitioning(boxes=MBRArray(rows), tiles=False)
+
+
+class Partitioner(ABC):
+    """Builds a :class:`SpatialPartitioning` from sampled MBRs."""
+
+    name: str = "abstract"
+    produces_tiles: bool = False
+
+    @abstractmethod
+    def partition(
+        self, sample: MBRArray, n_partitions: int, universe: MBR
+    ) -> SpatialPartitioning:
+        """Create ≈ *n_partitions* partitions covering *universe*."""
+
+    @staticmethod
+    def _validate(sample: MBRArray, n_partitions: int, universe: MBR) -> None:
+        if n_partitions < 1:
+            raise ValueError("n_partitions must be >= 1")
+        if universe.is_empty:
+            raise ValueError("universe extent must be non-empty")
+
+
+def _stretch_boundary(tiles: np.ndarray, universe: MBR) -> np.ndarray:
+    """Expand tiles touching the universe border far outward (gap safety)."""
+    out = tiles.copy()
+    eps = 1e-9 * max(universe.width, universe.height, 1.0)
+    lo = universe.xmin + eps
+    out[out[:, 0] <= lo, 0] = universe.xmin - _UNIVERSE_MARGIN
+    out[out[:, 1] <= universe.ymin + eps, 1] = universe.ymin - _UNIVERSE_MARGIN
+    out[out[:, 2] >= universe.xmax - eps, 2] = universe.xmax + _UNIVERSE_MARGIN
+    out[out[:, 3] >= universe.ymax - eps, 3] = universe.ymax + _UNIVERSE_MARGIN
+    return out
+
+
+class GridPartitioner(Partitioner):
+    """Uniform grid over the universe (SpatialHadoop's default scheme)."""
+
+    name = "grid"
+    produces_tiles = True
+
+    def partition(
+        self, sample: MBRArray, n_partitions: int, universe: MBR
+    ) -> SpatialPartitioning:
+        """Uniform nx×ny tiles over the universe."""
+        self._validate(sample, n_partitions, universe)
+        nx = max(1, int(np.round(np.sqrt(n_partitions))))
+        ny = max(1, -(-n_partitions // nx))
+        xs = np.linspace(universe.xmin, universe.xmax, nx + 1)
+        ys = np.linspace(universe.ymin, universe.ymax, ny + 1)
+        rows = []
+        for j in range(ny):
+            for i in range(nx):
+                rows.append((xs[i], ys[j], xs[i + 1], ys[j + 1]))
+        tiles = _stretch_boundary(np.array(rows, dtype=np.float64), universe)
+        return SpatialPartitioning(boxes=MBRArray(tiles), tiles=True)
+
+
+class BSPPartitioner(Partitioner):
+    """Binary space partitioning by sample medians (balanced tiles).
+
+    Recursively splits the widest axis at the median of the sample centers
+    until the target leaf count is reached — the balance-oriented strategy
+    of the SATO framework.
+    """
+
+    name = "bsp"
+    produces_tiles = True
+
+    def partition(
+        self, sample: MBRArray, n_partitions: int, universe: MBR
+    ) -> SpatialPartitioning:
+        """Median-split tiles balancing the sample across leaves."""
+        self._validate(sample, n_partitions, universe)
+        centers = sample.centers if len(sample) else np.empty((0, 2))
+        rows: list[tuple[float, float, float, float]] = []
+
+        def split(box: tuple[float, float, float, float], pts: np.ndarray, want: int):
+            if want <= 1 or pts.shape[0] <= 1:
+                rows.append(box)
+                return
+            xmin, ymin, xmax, ymax = box
+            horizontal = (xmax - xmin) >= (ymax - ymin)
+            axis = 0 if horizontal else 1
+            cut = float(np.median(pts[:, axis])) if pts.size else (
+                (xmin + xmax) / 2 if horizontal else (ymin + ymax) / 2
+            )
+            lo_limit, hi_limit = (xmin, xmax) if horizontal else (ymin, ymax)
+            # Degenerate medians (all-equal coordinates) fall back to midpoint.
+            if not (lo_limit < cut < hi_limit):
+                cut = (lo_limit + hi_limit) / 2.0
+            left_want = want // 2
+            right_want = want - left_want
+            mask = pts[:, axis] <= cut
+            if horizontal:
+                split((xmin, ymin, cut, ymax), pts[mask], left_want)
+                split((cut, ymin, xmax, ymax), pts[~mask], right_want)
+            else:
+                split((xmin, ymin, xmax, cut), pts[mask], left_want)
+                split((xmin, cut, xmax, ymax), pts[~mask], right_want)
+
+        split(universe.as_tuple(), centers, n_partitions)
+        tiles = _stretch_boundary(np.array(rows, dtype=np.float64), universe)
+        return SpatialPartitioning(boxes=MBRArray(tiles), tiles=True)
+
+
+class QuadTreePartitioner(Partitioner):
+    """Quadtree partitions: adaptive tiles that split where samples are dense.
+
+    The SATO framework's density-adaptive tiling: leaves of a quadtree
+    built over the sample tile the universe exactly, so multi-assignment
+    is safe, and skewed regions get proportionally more (smaller) tiles.
+    """
+
+    name = "quadtree"
+    produces_tiles = True
+
+    def partition(
+        self, sample: MBRArray, n_partitions: int, universe: MBR
+    ) -> SpatialPartitioning:
+        """Quadtree-leaf tiles, denser where the sample is dense."""
+        self._validate(sample, n_partitions, universe)
+        # Leaf capacity sized so ~n_partitions leaves emerge; quadtrees
+        # split in fours, so the exact count varies with the skew.
+        capacity = max(1, len(sample) // max(n_partitions, 1))
+        qt = QuadTree(universe, node_capacity=capacity, max_depth=16)
+        qt.insert_many(list(sample))
+        rows = np.array([b.as_tuple() for b in qt.leaf_boxes()], dtype=np.float64)
+        tiles = _stretch_boundary(rows, universe)
+        return SpatialPartitioning(boxes=MBRArray(tiles), tiles=True)
+
+
+class STRPartitioner(Partitioner):
+    """Sort-tile-recursive partitions: leaf-run MBRs of the STR order.
+
+    Produces tight, possibly-overlapping, non-tiling boxes — SpatialHadoop's
+    R-tree-style partitioning; best-assignment only.
+    """
+
+    name = "str"
+    produces_tiles = False
+
+    def partition(
+        self, sample: MBRArray, n_partitions: int, universe: MBR
+    ) -> SpatialPartitioning:
+        """Tight leaf-run MBRs of the sample's STR packing order."""
+        self._validate(sample, n_partitions, universe)
+        if len(sample) == 0:
+            return SpatialPartitioning(
+                boxes=MBRArray(np.array([universe.as_tuple()])), tiles=False
+            )
+        capacity = max(1, -(-len(sample) // n_partitions))
+        order = str_packing_order(sample.data, capacity)
+        rows = []
+        for lo in range(0, len(sample), capacity):
+            chunk = sample.data[order[lo : lo + capacity]]
+            rows.append(
+                (
+                    chunk[:, 0].min(),
+                    chunk[:, 1].min(),
+                    chunk[:, 2].max(),
+                    chunk[:, 3].max(),
+                )
+            )
+        return SpatialPartitioning(boxes=MBRArray(np.array(rows)), tiles=False)
+
+
+class HilbertPartitioner(Partitioner):
+    """Hilbert-curve partitions: equal runs along the curve (non-tiling)."""
+
+    name = "hilbert"
+    produces_tiles = False
+
+    def partition(
+        self, sample: MBRArray, n_partitions: int, universe: MBR
+    ) -> SpatialPartitioning:
+        """MBRs of equal-length runs along the Hilbert curve."""
+        self._validate(sample, n_partitions, universe)
+        if len(sample) == 0:
+            return SpatialPartitioning(
+                boxes=MBRArray(np.array([universe.as_tuple()])), tiles=False
+            )
+        order = hilbert_sort_order(sample.centers, universe)
+        run = max(1, -(-len(sample) // n_partitions))
+        rows = []
+        for lo in range(0, len(sample), run):
+            chunk = sample.data[order[lo : lo + run]]
+            rows.append(
+                (
+                    chunk[:, 0].min(),
+                    chunk[:, 1].min(),
+                    chunk[:, 2].max(),
+                    chunk[:, 3].max(),
+                )
+            )
+        return SpatialPartitioning(boxes=MBRArray(np.array(rows)), tiles=False)
+
+
+_PARTITIONERS = {
+    "grid": GridPartitioner,
+    "bsp": BSPPartitioner,
+    "quadtree": QuadTreePartitioner,
+    "str": STRPartitioner,
+    "hilbert": HilbertPartitioner,
+}
+
+
+def make_partitioner(name: str) -> Partitioner:
+    """Instantiate a partitioner by name."""
+    try:
+        return _PARTITIONERS[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown partitioner {name!r}; options: {sorted(_PARTITIONERS)}"
+        ) from None

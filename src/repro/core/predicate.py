@@ -1,0 +1,64 @@
+"""Join predicates: intersects and ε-within-distance.
+
+The paper's experiments use the *intersects* predicate; its introduction
+motivates a *distance* join ("matching taxi pickup/drop-off locations
+with road segments through point-to-nearest-polyline distance
+computation").  A :class:`JoinPredicate` carries both cases through the
+whole stack: the MBR filter expands candidate boxes by the predicate's
+margin, and refinement evaluates the exact test via the geometry engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..geometry.engine import GeometryEngine
+from ..geometry.mbr import MBR
+from ..geometry.primitives import Geometry
+
+__all__ = ["JoinPredicate", "INTERSECTS", "within_distance"]
+
+
+@dataclass(frozen=True)
+class JoinPredicate:
+    """What "a matches b" means in a spatial join."""
+
+    kind: str  # "intersects" | "within_distance"
+    distance: float = 0.0
+
+    def __post_init__(self):
+        if self.kind not in ("intersects", "within_distance"):
+            raise ValueError(f"unknown predicate kind {self.kind!r}")
+        if self.distance < 0:
+            raise ValueError("distance must be >= 0")
+        if self.kind == "intersects" and self.distance:
+            raise ValueError("intersects takes no distance")
+
+    @property
+    def filter_margin(self) -> float:
+        """How far the MBR filter must expand candidate boxes."""
+        return self.distance
+
+    def expand(self, box: MBR) -> MBR:
+        """Grow *box* by the filter margin (identity for intersects)."""
+        return box.expanded(self.distance) if self.distance else box
+
+    def evaluate(self, engine: GeometryEngine, a: Geometry, b: Geometry) -> bool:
+        """Exact refinement test via the engine (counts ops there)."""
+        if self.kind == "intersects":
+            return engine.intersects(a, b)
+        return engine.within_distance(a, b, self.distance)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        if self.kind == "intersects":
+            return "intersects"
+        return f"within_distance({self.distance})"
+
+
+#: The default predicate of all the paper's experiments.
+INTERSECTS = JoinPredicate("intersects")
+
+
+def within_distance(distance: float) -> JoinPredicate:
+    """An ε-distance join predicate."""
+    return JoinPredicate("within_distance", float(distance))

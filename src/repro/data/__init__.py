@@ -1,0 +1,54 @@
+"""Synthetic datasets, the Table-1 catalog, and text codecs."""
+
+from .catalog import CATALOG, TABLE1_ORDER, DatasetSpec, GeneratedDataset, dataset, table1_rows
+from .loaders import (
+    SpatialRecord,
+    decode_lines,
+    encode_dataset,
+    from_tsv_line,
+    load_tsv,
+    save_tsv,
+    to_tsv_line,
+)
+from .stats import (
+    DatasetStats,
+    describe,
+    density_grid,
+    estimate_join_candidates,
+    skew_ratio,
+)
+from .synthetic import (
+    DOMAIN_NYC,
+    DOMAIN_US,
+    census_blocks,
+    linear_water,
+    taxi_points,
+    tiger_edges,
+)
+
+__all__ = [
+    "CATALOG",
+    "TABLE1_ORDER",
+    "DatasetSpec",
+    "GeneratedDataset",
+    "dataset",
+    "table1_rows",
+    "SpatialRecord",
+    "to_tsv_line",
+    "from_tsv_line",
+    "encode_dataset",
+    "decode_lines",
+    "save_tsv",
+    "load_tsv",
+    "DOMAIN_NYC",
+    "DOMAIN_US",
+    "taxi_points",
+    "census_blocks",
+    "tiger_edges",
+    "linear_water",
+    "DatasetStats",
+    "describe",
+    "density_grid",
+    "skew_ratio",
+    "estimate_join_candidates",
+]

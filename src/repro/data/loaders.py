@@ -1,0 +1,87 @@
+"""Text codecs for dataset records (TSV lines of ``id<TAB>WKT``).
+
+All three systems ingest text files; HadoopGIS additionally keeps records
+as text *throughout* (Hadoop Streaming).  These helpers are the shared
+read/write path, plus the record wrapper used inside the join pipelines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from ..geometry.primitives import Geometry
+from ..geometry.wkt import from_wkt, to_wkt
+
+__all__ = [
+    "SpatialRecord",
+    "to_tsv_line",
+    "from_tsv_line",
+    "encode_dataset",
+    "decode_lines",
+    "save_tsv",
+    "load_tsv",
+]
+
+
+@dataclass(frozen=True)
+class SpatialRecord:
+    """A dataset record: stable id plus geometry."""
+
+    rid: int
+    geometry: Geometry
+
+    def serialized_size(self) -> int:
+        """On-disk text size: id field, tab, geometry text."""
+        return 12 + self.geometry.serialized_size()
+
+
+def to_tsv_line(record: SpatialRecord) -> str:
+    """Serialize a record to its on-disk TSV form."""
+    return f"{record.rid}\t{to_wkt(record.geometry)}"
+
+
+def from_tsv_line(line: str) -> SpatialRecord:
+    """Parse an ``id<TAB>WKT`` line.
+
+    Raises ValueError (or WktError) on malformed lines — surfaced when a
+    corrupt record flows through a streaming pipeline.
+    """
+    rid_text, _, wkt = line.partition("\t")
+    if not wkt:
+        raise ValueError(f"malformed TSV record (no tab): {line[:60]!r}")
+    return SpatialRecord(rid=int(rid_text), geometry=from_wkt(wkt))
+
+
+def encode_dataset(geometries: Sequence[Geometry]) -> Iterator[str]:
+    """TSV lines for a whole dataset, ids assigned by position."""
+    for rid, geom in enumerate(geometries):
+        yield to_tsv_line(SpatialRecord(rid, geom))
+
+
+def decode_lines(lines: Iterable[str]) -> Iterator[SpatialRecord]:
+    """Parse many TSV lines."""
+    for line in lines:
+        yield from_tsv_line(line)
+
+
+def save_tsv(path, geometries: Sequence[Geometry]) -> int:
+    """Write a dataset to a real TSV file on disk; returns bytes written."""
+    total = 0
+    with open(path, "w", encoding="utf-8") as fh:
+        for line in encode_dataset(geometries):
+            fh.write(line)
+            fh.write("\n")
+            total += len(line) + 1
+    return total
+
+
+def load_tsv(path) -> list[SpatialRecord]:
+    """Read a TSV dataset from disk (skipping blank lines)."""
+    out = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.rstrip("\n")
+            if line:
+                out.append(from_tsv_line(line))
+    return out

@@ -1,0 +1,53 @@
+"""Experiment harness: runners, extrapolation, table regeneration."""
+
+from .extrapolate import ScaleInfo, classify_counter, extrapolate_clock, pair_factor
+from .runner import (
+    EXPERIMENTS,
+    ExperimentSpec,
+    full_scale_dims,
+    mean_mbr_dims,
+    resolve_cluster,
+    run_experiment,
+)
+from .explain import PhaseCost, explain_report, render_explanation
+from .report import generate_report
+from .sensitivity import SensitivityRow, render_sensitivity, speedup_sensitivity
+from .validate import run_validation, validation_cases
+from .tables import (
+    Table2Result,
+    Table3Result,
+    fig1,
+    headline_comparisons,
+    table1,
+    table2,
+    table3,
+)
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentSpec",
+    "run_experiment",
+    "ScaleInfo",
+    "classify_counter",
+    "extrapolate_clock",
+    "pair_factor",
+    "mean_mbr_dims",
+    "full_scale_dims",
+    "table1",
+    "table2",
+    "table3",
+    "fig1",
+    "Table2Result",
+    "Table3Result",
+    "headline_comparisons",
+    "generate_report",
+    "resolve_cluster",
+    "explain_report",
+    "render_explanation",
+    "PhaseCost",
+    "run_validation",
+    "validation_cases",
+    "speedup_sensitivity",
+    "render_sensitivity",
+    "SensitivityRow",
+]

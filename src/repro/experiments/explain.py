@@ -1,0 +1,103 @@
+"""Cost explanation: decompose a run's simulated seconds per phase.
+
+``explain_report`` answers "where did the time go?" — the question the
+paper's Section III keeps asking — by splitting every phase into the cost
+model's four components (CPU, disk I/O, shuffle/network, framework
+overheads) and listing the dominant counters behind the CPU term.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cluster.costmodel import CostModel
+from ..systems.base import RunReport
+from .runner import resolve_cluster
+
+__all__ = ["PhaseCost", "explain_report", "render_explanation"]
+
+
+@dataclass(frozen=True)
+class PhaseCost:
+    """One phase's cost decomposition (seconds)."""
+
+    name: str
+    group: str
+    tasks: int
+    cpu: float
+    io: float
+    shuffle: float
+    overhead: float
+    #: (counter, simulated CPU seconds) pairs, largest first.
+    top_cpu_counters: tuple[tuple[str, float], ...]
+
+    @property
+    def total(self) -> float:
+        return self.cpu + self.io + self.shuffle + self.overhead
+
+
+def explain_report(
+    report: RunReport, *, top: int = 3, min_seconds: float = 0.0
+) -> list[PhaseCost]:
+    """Decompose every phase of a (possibly failed) run report.
+
+    The report's cluster name selects the cost model; the phases carry
+    whatever counters were accumulated, so partial clocks of failed runs
+    explain the work done before the failure.
+    """
+    cluster = resolve_cluster(report.cluster)
+    model = CostModel(
+        cluster,
+        engine_profile=report.engine_profile,
+        memory_pressure=report.memory_pressure,
+    )
+    out = []
+    for phase in report.clock.phases:
+        cpu = model._cpu_seconds(phase.counters, phase.tasks)
+        io = model._io_seconds(phase.counters)
+        shuffle = model._shuffle_seconds(phase.counters)
+        overhead = model._overhead_seconds(phase.counters)
+        if cpu + io + shuffle + overhead < min_seconds:
+            continue
+        parallel = cluster.effective_parallelism(phase.tasks)
+        divisor = 1e6 * cluster.machine.cpu_speed * parallel / model.gc_penalty()
+        per_counter = []
+        for key, count in phase.counters.items():
+            unit = model.engine_profile.get(key, model.params.cpu_cost(key))
+            if unit:
+                per_counter.append((key, count * unit / divisor))
+        per_counter.sort(key=lambda kv: -kv[1])
+        out.append(
+            PhaseCost(
+                name=phase.name,
+                group=phase.group,
+                tasks=phase.tasks,
+                cpu=cpu,
+                io=io,
+                shuffle=shuffle,
+                overhead=overhead,
+                top_cpu_counters=tuple(per_counter[:top]),
+            )
+        )
+    return out
+
+
+def render_explanation(costs: list[PhaseCost], *, min_share: float = 0.01) -> str:
+    """Human-readable table of a cost decomposition."""
+    total = sum(c.total for c in costs) or 1.0
+    lines = [
+        f"{'phase':<42}{'group':<9}{'tasks':>6}{'cpu':>9}{'io':>8}"
+        f"{'shuffle':>9}{'ovh':>8}{'total':>9}",
+    ]
+    for c in costs:
+        if c.total / total < min_share:
+            continue
+        lines.append(
+            f"{c.name:<42}{c.group:<9}{c.tasks:>6}{c.cpu:>9,.1f}{c.io:>8,.1f}"
+            f"{c.shuffle:>9,.1f}{c.overhead:>8,.1f}{c.total:>9,.1f}"
+        )
+        for key, seconds in c.top_cpu_counters:
+            if seconds / total >= min_share:
+                lines.append(f"{'':<42}  · {key}: {seconds:,.1f}s")
+    lines.append(f"{'TOTAL':<42}{'':<9}{'':>6}{'':>9}{'':>8}{'':>9}{'':>8}{total:>9,.1f}")
+    return "\n".join(lines)

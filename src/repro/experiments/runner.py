@@ -1,0 +1,199 @@
+"""Experiment runner: system × experiment × cluster → costed run report.
+
+The runner reproduces the paper's methodology end to end:
+
+1. generate the two synthetic datasets at an execution scale,
+2. run the chosen system on the chosen (simulated) cluster — the join is
+   *really executed*; failures (broken pipes, OOM) emerge from the
+   substrates using the logical scale factors,
+3. extrapolate the measured per-phase resource counts to paper scale,
+4. convert counts to simulated seconds with the cluster cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..cluster.costmodel import CostModel, CostParams
+from ..cluster.specs import PAPER_CONFIGS, ClusterConfig, ec2_config
+from ..data.catalog import DatasetSpec, GeneratedDataset, dataset
+from ..data.loaders import encode_dataset
+from ..systems import make_system
+from ..systems.base import RunEnvironment, RunReport
+from .extrapolate import ScaleInfo, extrapolate_clock, pair_factor
+
+__all__ = [
+    "ExperimentSpec",
+    "EXPERIMENTS",
+    "run_experiment",
+    "mean_mbr_dims",
+    "full_scale_dims",
+]
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One of the paper's four experiments (left × right dataset pair)."""
+
+    exp_id: str
+    left: str
+    right: str
+    description: str = ""
+
+
+#: The experiments of Tables 2 and 3.
+EXPERIMENTS: dict[str, ExperimentSpec] = {
+    spec.exp_id: spec
+    for spec in [
+        ExperimentSpec(
+            "taxi-nycb", "taxi", "nycb",
+            "point-in-polygon join of taxi pickups with census blocks (Table 2)",
+        ),
+        ExperimentSpec(
+            "edges-linearwater", "edges", "linearwater",
+            "polyline intersection join of TIGER edges with linearwater (Table 2)",
+        ),
+        ExperimentSpec(
+            "taxi1m-nycb", "taxi1m", "nycb",
+            "one month of taxi data against census blocks (Table 3)",
+        ),
+        ExperimentSpec(
+            "edges0.1-linearwater0.1", "edges0.1", "linearwater0.1",
+            "10% samples of the TIGER datasets (Table 3)",
+        ),
+    ]
+}
+
+
+def mean_mbr_dims(geometries: Sequence) -> tuple[float, float]:
+    """Mean MBR width and height of a geometry batch."""
+    if not geometries:
+        return (0.0, 0.0)
+    widths = np.array([g.mbr.width for g in geometries])
+    heights = np.array([g.mbr.height for g in geometries])
+    return float(widths.mean()), float(heights.mean())
+
+
+def full_scale_dims(spec: DatasetSpec, generated: GeneratedDataset) -> tuple[float, float]:
+    """Mean object MBR dims at the paper's record count.
+
+    Tessellating polygon datasets shrink per-object extents as the record
+    count grows (same domain, more cells: linear dims ∝ 1/sqrt(n)); point
+    and polyline generators keep object sizes constant.
+    """
+    exec_dims = mean_mbr_dims(generated.geometries)
+    if spec.kind == "polygon":
+        shrink = np.sqrt(generated.actual_records / spec.logical_records)
+        return (exec_dims[0] * shrink, exec_dims[1] * shrink)
+    return exec_dims
+
+
+def _staged_bytes(geometries: Sequence) -> int:
+    return sum(len(line) + 1 for line in encode_dataset(geometries))
+
+
+def resolve_cluster(cluster: "str | ClusterConfig") -> ClusterConfig:
+    """Accept a paper config name, an ``EC2-<n>`` for any n, or a config."""
+    if isinstance(cluster, ClusterConfig):
+        return cluster
+    configs = PAPER_CONFIGS()
+    if cluster in configs:
+        return configs[cluster]
+    if cluster.startswith("EC2-"):
+        try:
+            return ec2_config(int(cluster.split("-", 1)[1]))
+        except ValueError:
+            pass
+    raise ValueError(
+        f"unknown cluster {cluster!r}; options: {sorted(configs)} or EC2-<n>"
+    )
+
+
+def run_experiment(
+    exp_id: str,
+    system_name: str,
+    cluster_name: "str | ClusterConfig" = "WS",
+    *,
+    exec_records: int = 2500,
+    seed: int = 0,
+    cost_params: Optional[CostParams] = None,
+    system_kwargs: Optional[dict] = None,
+) -> RunReport:
+    """Run one cell of Table 2/3 and return a costed, paper-scale report.
+
+    *exec_records* is the per-dataset execution-scale target; results
+    are extrapolated to the catalog's logical sizes before costing.
+    *cluster_name* accepts the paper's four names, ``EC2-<n>`` for any
+    node count (scalability sweeps), or a :class:`ClusterConfig`.
+    """
+    try:
+        spec = EXPERIMENTS[exp_id]
+    except KeyError:
+        raise ValueError(
+            f"unknown experiment {exp_id!r}; options: {sorted(EXPERIMENTS)}"
+        ) from None
+    cluster = resolve_cluster(cluster_name)
+
+    left_spec, right_spec = dataset(spec.left), dataset(spec.right)
+    left = left_spec.generate(
+        scale=min(1.0, exec_records / left_spec.logical_records), seed=seed
+    )
+    right = right_spec.generate(
+        scale=min(1.0, exec_records / right_spec.logical_records), seed=seed
+    )
+
+    staged_a = _staged_bytes(left.geometries)
+    staged_b = _staged_bytes(right.geometries)
+    scale_a = (left.record_scale, left_spec.logical_bytes / max(staged_a, 1))
+    scale_b = (right.record_scale, right_spec.logical_bytes / max(staged_b, 1))
+
+    # Block sizes: make each staged input's block count match its
+    # paper-scale structure (ceil(logical_bytes / 128 MB), capped for
+    # sanity) so task counts and block-pairing fan-out need no
+    # extrapolation at all.
+    def logical_blocks(nbytes: int) -> int:
+        return int(np.clip(-(-nbytes // (128 * 1024**2)), 1, 64))
+
+    bs_a = max(256, staged_a // logical_blocks(left_spec.logical_bytes))
+    bs_b = max(256, staged_b // logical_blocks(right_spec.logical_bytes))
+    env = RunEnvironment.create(
+        cluster,
+        block_size=max(bs_a, bs_b),
+        scale_a=scale_a,
+        scale_b=scale_b,
+        seed=seed,
+    )
+    env.input_block_sizes.update({"/input/a": bs_a, "/input/b": bs_b})
+    system = make_system(system_name, **(system_kwargs or {}))
+    report = system.run(env, left.geometries, right.geometries)
+
+    info = ScaleInfo(
+        record_ratio_a=scale_a[0],
+        record_ratio_b=scale_b[0],
+        byte_ratio_a=scale_a[1],
+        byte_ratio_b=scale_b[1],
+        pairs=pair_factor(
+            scale_a[0],
+            scale_b[0],
+            mean_mbr_dims(left.geometries),
+            mean_mbr_dims(right.geometries),
+            full_scale_dims(left_spec, left),
+            full_scale_dims(right_spec, right),
+        ),
+        exec_records=left.actual_records + right.actual_records,
+        exec_records_a=left.actual_records,
+        exec_records_b=right.actual_records,
+        staged_bytes_a=staged_a,
+        staged_bytes_b=staged_b,
+    )
+    report.clock = extrapolate_clock(report.clock, info)
+    CostModel(
+        cluster,
+        params=cost_params,
+        engine_profile=report.engine_profile,
+        memory_pressure=report.memory_pressure,
+    ).cost_clock(report.clock)
+    return report

@@ -1,0 +1,222 @@
+"""Regeneration of the paper's tables and figure.
+
+* :func:`table1` — dataset sizes (exact catalog values).
+* :func:`table2` — end-to-end runtimes of the full-dataset experiments
+  under all four configurations, failures rendered as "-".
+* :func:`table3` — IA / IB / DJ / TOT breakdowns of the sample-dataset
+  experiments under WS and EC2-10.
+* :func:`fig1` — the generalized-framework stage traces of the three
+  systems (the content of Fig. 1, as checked text rather than a drawing).
+* :func:`headline_comparisons` — the speedup claims from the running
+  text, paper vs. reproduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..core.framework import compare_traces
+from ..data.catalog import table1_rows
+from ..systems import ALL_SYSTEMS, RunReport
+from .runner import run_experiment
+
+__all__ = [
+    "table1",
+    "Table2Result",
+    "table2",
+    "Table3Result",
+    "table3",
+    "fig1",
+    "headline_comparisons",
+]
+
+SYSTEM_ORDER = ["HadoopGIS", "SpatialHadoop", "SpatialSpark"]
+TABLE2_CONFIGS = ["WS", "EC2-10", "EC2-8", "EC2-6"]
+TABLE3_CONFIGS = ["WS", "EC2-10"]
+TABLE2_EXPERIMENTS = ["taxi-nycb", "edges-linearwater"]
+TABLE3_EXPERIMENTS = ["taxi1m-nycb", "edges0.1-linearwater0.1"]
+
+#: Default execution scales (records per dataset); the polyline joins use
+#: more records so the candidate-pair statistics are stable.
+DEFAULT_EXEC_RECORDS = {
+    "taxi-nycb": 3000,
+    "taxi1m-nycb": 3000,
+    "edges-linearwater": 9000,
+    "edges0.1-linearwater0.1": 9000,
+}
+
+
+def table1() -> str:
+    """Render Table 1 (dataset record counts and sizes)."""
+    lines = [
+        "Table 1: Experiment Dataset Sizes and Volumes",
+        f"{'Dataset':<16}{'# of Records':>14}  {'Size':>8}",
+    ]
+    for name, records, size in table1_rows():
+        lines.append(f"{name:<16}{records:>14,}  {size:>8}")
+    return "\n".join(lines)
+
+
+@dataclass
+class Table2Result:
+    """All Table-2 cells: seconds for successes, None for failures."""
+
+    cells: dict[tuple[str, str, str], Optional[float]]
+    reports: dict[tuple[str, str, str], RunReport] = field(default_factory=dict)
+
+    def seconds(self, exp: str, system: str, config: str) -> Optional[float]:
+        """Simulated seconds of a cell, or None for a failed run."""
+        return self.cells[(exp, system, config)]
+
+    def render(self) -> str:
+        """Text rendering in the paper's Table-2 layout."""
+        lines = [
+            "Table 2: End-to-End Runtimes of Experiment Results of Full "
+            "Datasets (in seconds)",
+            f"{'experiment':<18}{'system':<15}" + "".join(f"{c:>9}" for c in TABLE2_CONFIGS),
+        ]
+        for exp in TABLE2_EXPERIMENTS:
+            for system in SYSTEM_ORDER:
+                row = [f"{exp:<18}{system:<15}"]
+                for config in TABLE2_CONFIGS:
+                    secs = self.cells[(exp, system, config)]
+                    row.append(f"{secs:>9,.0f}" if secs is not None else f"{'-':>9}")
+                lines.append("".join(row))
+        return "\n".join(lines)
+
+    def failure_matrix(self) -> dict[tuple[str, str, str], Optional[str]]:
+        """Cell → failure kind ('broken_pipe' / 'oom') or None."""
+        return {
+            key: (report.failure_kind if not report.ok else None)
+            for key, report in self.reports.items()
+        }
+
+
+def table2(
+    *, exec_records: Optional[dict] = None, seed: int = 1
+) -> Table2Result:
+    """Run every Table-2 cell and collect the results."""
+    exec_records = {**DEFAULT_EXEC_RECORDS, **(exec_records or {})}
+    cells, reports = {}, {}
+    for exp in TABLE2_EXPERIMENTS:
+        for system in SYSTEM_ORDER:
+            for config in TABLE2_CONFIGS:
+                report = run_experiment(
+                    exp, system, config, exec_records=exec_records[exp], seed=seed
+                )
+                key = (exp, system, config)
+                reports[key] = report
+                cells[key] = report.clock.total_seconds if report.ok else None
+    return Table2Result(cells=cells, reports=reports)
+
+
+@dataclass
+class Table3Result:
+    """All Table-3 cells: {(exp, system, config): breakdown dict or None}."""
+
+    cells: dict[tuple[str, str, str], Optional[dict]]
+    reports: dict[tuple[str, str, str], RunReport] = field(default_factory=dict)
+
+    def render(self) -> str:
+        """Text rendering in the paper's Table-3 layout."""
+        lines = [
+            "Table 3: Breakdown Runtimes of Experiment Results Using Sample "
+            "Datasets (in seconds)",
+            f"{'experiment':<26}{'system':<15}{'config':<8}"
+            + "".join(f"{m:>8}" for m in ("IA", "IB", "DJ", "TOT")),
+        ]
+        for exp in TABLE3_EXPERIMENTS:
+            for system in SYSTEM_ORDER:
+                for config in TABLE3_CONFIGS:
+                    b = self.cells[(exp, system, config)]
+                    row = [f"{exp:<26}{system:<15}{config:<8}"]
+                    if b is None:
+                        row += [f"{'-':>8}"] * 4
+                    elif system == "SpatialSpark":
+                        # The paper reports only end-to-end time for
+                        # SpatialSpark (async execution blurs the stages).
+                        row += [f"{'':>8}"] * 3 + [f"{b['TOT']:>8,.0f}"]
+                    else:
+                        row += [f"{b[m]:>8,.0f}" for m in ("IA", "IB", "DJ", "TOT")]
+                    lines.append("".join(row))
+        return "\n".join(lines)
+
+
+def table3(
+    *, exec_records: Optional[dict] = None, seed: int = 1
+) -> Table3Result:
+    """Run every Table-3 cell and collect IA/IB/DJ/TOT breakdowns."""
+    exec_records = {**DEFAULT_EXEC_RECORDS, **(exec_records or {})}
+    cells, reports = {}, {}
+    for exp in TABLE3_EXPERIMENTS:
+        for system in SYSTEM_ORDER:
+            for config in TABLE3_CONFIGS:
+                report = run_experiment(
+                    exp, system, config, exec_records=exec_records[exp], seed=seed
+                )
+                key = (exp, system, config)
+                reports[key] = report
+                cells[key] = report.breakdown_seconds() if report.ok else None
+    return Table3Result(cells=cells, reports=reports)
+
+
+def fig1() -> str:
+    """Render the Fig.-1 generalized framework: per-system stage traces."""
+    traces = [ALL_SYSTEMS[name]().stage_trace() for name in SYSTEM_ORDER]
+    parts = [
+        "Fig. 1: Generalized framework for analyzing design choices",
+        "",
+        compare_traces(traces),
+        "",
+    ]
+    parts += [t.render() + "\n" for t in traces]
+    return "\n".join(parts)
+
+
+#: The running-text claims of Section III, as (label, paper value) plus a
+#: function of (Table2Result, Table3Result) computing our value.
+def headline_comparisons(t2: Table2Result, t3: Table3Result) -> list[tuple[str, float, Optional[float]]]:
+    """(claim, paper ratio, our ratio) rows for EXPERIMENTS.md."""
+
+    def ratio2(exp, config):
+        sh = t2.seconds(exp, "SpatialHadoop", config)
+        ss = t2.seconds(exp, "SpatialSpark", config)
+        return sh / ss if sh and ss else None
+
+    def tot3(exp, system, config):
+        cell = t3.cells[(exp, system, config)]
+        return cell["TOT"] if cell else None
+
+    def ratio3(exp, config):
+        sh = tot3(exp, "SpatialHadoop", config)
+        ss = tot3(exp, "SpatialSpark", config)
+        return sh / ss if sh and ss else None
+
+    def dj_ratio3(exp, config, a, b):
+        ca = t3.cells[(exp, a, config)]
+        cb = t3.cells[(exp, b, config)]
+        return ca["DJ"] / cb["DJ"] if ca and cb else None
+
+    return [
+        ("SpatialSpark over SpatialHadoop, taxi-nycb, EC2-10 (full)", 2.9,
+         ratio2("taxi-nycb", "EC2-10")),
+        ("SpatialSpark over SpatialHadoop, edges-linearwater, EC2-10 (full)", 5.1,
+         ratio2("edges-linearwater", "EC2-10")),
+        ("SpatialSpark over SpatialHadoop, taxi-nycb, WS (full)", 1.07,
+         ratio2("taxi-nycb", "WS")),
+        ("SpatialSpark over SpatialHadoop, edges-linearwater, WS (full)", 3.2,
+         ratio2("edges-linearwater", "WS")),
+        ("SpatialHadoop over HadoopGIS DJ, taxi1m-nycb, WS", 14.0,
+         dj_ratio3("taxi1m-nycb", "WS", "HadoopGIS", "SpatialHadoop")),
+        ("SpatialHadoop over HadoopGIS DJ, edges0.1-linearwater0.1, WS", 5.7,
+         dj_ratio3("edges0.1-linearwater0.1", "WS", "HadoopGIS", "SpatialHadoop")),
+        ("SpatialSpark over SpatialHadoop, taxi1m-nycb, WS (TOT)", 2.2,
+         ratio3("taxi1m-nycb", "WS")),
+        ("SpatialSpark over SpatialHadoop, taxi1m-nycb, EC2-10 (TOT)", 15.0,
+         ratio3("taxi1m-nycb", "EC2-10")),
+        ("SpatialSpark over SpatialHadoop, edges0.1-lw0.1, WS (TOT)", 2.0,
+         ratio3("edges0.1-linearwater0.1", "WS")),
+        ("SpatialSpark over SpatialHadoop, edges0.1-lw0.1, EC2-10 (TOT)", 30.0,
+         ratio3("edges0.1-linearwater0.1", "EC2-10")),
+    ]

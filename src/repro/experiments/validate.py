@@ -1,0 +1,113 @@
+"""Self-validation: cross-system result parity on randomized workloads.
+
+``python -m repro validate`` runs the reproduction's core correctness
+premise — the three systems are different implementations of the same
+query — against freshly-randomized workloads of every kind pair the
+stack supports, comparing each system's output to a brute-force join.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.predicate import INTERSECTS, JoinPredicate, within_distance
+from ..data import census_blocks, linear_water, taxi_points, tiger_edges
+from ..data.synthetic import DOMAIN_NYC
+from ..geometry import geometries_intersect, geometry_distance
+from ..systems import ALL_SYSTEMS, RunEnvironment, make_system
+
+__all__ = ["ValidationCase", "validation_cases", "run_validation"]
+
+
+@dataclass(frozen=True)
+class ValidationCase:
+    """One randomized workload to validate."""
+
+    name: str
+    left_kind: str
+    right_kind: str
+    predicate: JoinPredicate
+    seed: int
+    size: int
+
+    def build(self):
+        """Generate the case's (left, right) geometry lists."""
+        makers = {
+            "points": lambda n, s: taxi_points(n, seed=s),
+            "polygons": lambda n, s: census_blocks(max(n // 6, 8), seed=s),
+            "edges": lambda n, s: tiger_edges(n, seed=s, domain=DOMAIN_NYC),
+            "water": lambda n, s: linear_water(max(n // 3, 8), seed=s,
+                                               domain=DOMAIN_NYC),
+        }
+        left = makers[self.left_kind](self.size, self.seed)
+        right = makers[self.right_kind](self.size, self.seed + 1000)
+        return left, right
+
+
+def validation_cases(seed: int = 0, size: int = 400) -> list[ValidationCase]:
+    """The default validation matrix: every kind pair × both predicates."""
+    cases = []
+    kind_pairs = [
+        ("points", "polygons"),
+        ("edges", "water"),
+        ("water", "polygons"),
+        ("points", "edges"),
+    ]
+    for i, (left, right) in enumerate(kind_pairs):
+        cases.append(
+            ValidationCase(
+                name=f"{left}-{right}/intersects",
+                left_kind=left, right_kind=right,
+                predicate=INTERSECTS, seed=seed + i, size=size,
+            )
+        )
+    cases.append(
+        ValidationCase(
+            name="points-edges/within_distance",
+            left_kind="points", right_kind="edges",
+            predicate=within_distance(0.003), seed=seed + 50, size=size,
+        )
+    )
+    return cases
+
+
+def _brute(left, right, predicate: JoinPredicate) -> frozenset:
+    if predicate.kind == "intersects":
+        return frozenset(
+            (i, j)
+            for i, a in enumerate(left)
+            for j, b in enumerate(right)
+            if a.mbr.intersects(b.mbr) and geometries_intersect(a, b)
+        )
+    return frozenset(
+        (i, j)
+        for i, a in enumerate(left)
+        for j, b in enumerate(right)
+        if geometry_distance(a, b) <= predicate.distance
+    )
+
+
+def run_validation(
+    seed: int = 0, size: int = 400, verbose_print=None
+) -> list[tuple[str, str, bool]]:
+    """(case, system, passed) for every case × system.
+
+    *verbose_print* receives progress lines (e.g. ``print``); results are
+    compared against an independent brute-force join.
+    """
+    results = []
+    for case in validation_cases(seed=seed, size=size):
+        left, right = case.build()
+        expected = _brute(left, right, case.predicate)
+        for name in sorted(ALL_SYSTEMS):
+            env = RunEnvironment.create(block_size=1 << 13)
+            report = make_system(name).run(env, left, right, case.predicate)
+            passed = report.ok and report.pairs == expected
+            results.append((case.name, name, passed))
+            if verbose_print:
+                outcome = "ok" if passed else "MISMATCH"
+                verbose_print(
+                    f"  {case.name:<36} {name:<15} "
+                    f"{len(report.pairs or ()):>6} pairs  {outcome}"
+                )
+    return results

@@ -1,0 +1,54 @@
+"""Geometry substrate: primitives, MBRs, WKT, exact predicates, engines.
+
+This package stands in for the JTS / GEOS geometry libraries the paper's
+systems link against.  See :mod:`repro.geometry.engine` for the two
+engine variants that reproduce the JTS-vs-GEOS design-choice effect.
+"""
+
+from .engine import (
+    GEOS_COST_PROFILE,
+    JTS_COST_PROFILE,
+    GeometryEngine,
+    GeosLikeEngine,
+    JtsLikeEngine,
+    make_engine,
+)
+from .mbr import EMPTY_MBR, MBR, MBRArray
+from .predicates import (
+    geometries_intersect,
+    geometry_distance,
+    point_in_polygon,
+    point_polyline_distance,
+    polyline_intersects_polyline,
+    segment_segment_distance,
+    segments_intersect,
+)
+from .primitives import Geometry, GeometryLike, Point, PolyLine, Polygon
+from .wkt import WktError, from_wkt, to_wkt
+
+__all__ = [
+    "MBR",
+    "MBRArray",
+    "EMPTY_MBR",
+    "Geometry",
+    "GeometryLike",
+    "Point",
+    "PolyLine",
+    "Polygon",
+    "from_wkt",
+    "to_wkt",
+    "WktError",
+    "GeometryEngine",
+    "JtsLikeEngine",
+    "GeosLikeEngine",
+    "make_engine",
+    "JTS_COST_PROFILE",
+    "GEOS_COST_PROFILE",
+    "geometries_intersect",
+    "geometry_distance",
+    "segment_segment_distance",
+    "point_in_polygon",
+    "point_polyline_distance",
+    "polyline_intersects_polyline",
+    "segments_intersect",
+]

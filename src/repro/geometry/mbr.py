@@ -1,0 +1,306 @@
+"""Minimum bounding rectangles (MBRs) — scalar and vectorized forms.
+
+MBRs drive the *spatial filtering* phase of every join in the paper: both
+the global join (pairing partitions whose MBRs intersect) and the local
+join (pairing data items whose MBRs intersect) operate purely on MBRs, with
+exact geometry reserved for the refinement step.
+
+Two representations are provided:
+
+* :class:`MBR` — an immutable scalar rectangle, convenient for single
+  geometries and index nodes.
+* :class:`MBRArray` — a struct-of-arrays batch of rectangles backed by one
+  C-contiguous ``(n, 4)`` float64 array, used by the vectorized kernels in
+  :mod:`repro.geometry.vectorized` and by the bulk index loaders.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+__all__ = ["MBR", "MBRArray", "EMPTY_MBR"]
+
+
+@dataclass(frozen=True, slots=True)
+class MBR:
+    """An immutable axis-aligned minimum bounding rectangle.
+
+    An MBR with ``xmin > xmax`` is *empty*; :data:`EMPTY_MBR` is the
+    canonical empty rectangle (the identity for :meth:`union`).
+    """
+
+    xmin: float
+    ymin: float
+    xmax: float
+    ymax: float
+
+    # ------------------------------------------------------------- queries
+    @property
+    def is_empty(self) -> bool:
+        return self.xmin > self.xmax or self.ymin > self.ymax
+
+    @property
+    def width(self) -> float:
+        return 0.0 if self.is_empty else self.xmax - self.xmin
+
+    @property
+    def height(self) -> float:
+        return 0.0 if self.is_empty else self.ymax - self.ymin
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    @property
+    def margin(self) -> float:
+        """Half-perimeter, the R*-tree split quality metric."""
+        return self.width + self.height
+
+    @property
+    def center(self) -> tuple[float, float]:
+        return ((self.xmin + self.xmax) / 2.0, (self.ymin + self.ymax) / 2.0)
+
+    def intersects(self, other: "MBR") -> bool:
+        """True if the two rectangles share at least a boundary point."""
+        if self.is_empty or other.is_empty:
+            return False
+        return (
+            self.xmin <= other.xmax
+            and other.xmin <= self.xmax
+            and self.ymin <= other.ymax
+            and other.ymin <= self.ymax
+        )
+
+    def contains(self, other: "MBR") -> bool:
+        """True if *other* lies entirely inside (or on the edge of) self."""
+        if other.is_empty:
+            return True
+        if self.is_empty:
+            return False
+        return (
+            self.xmin <= other.xmin
+            and self.ymin <= other.ymin
+            and other.xmax <= self.xmax
+            and other.ymax <= self.ymax
+        )
+
+    def contains_point(self, x: float, y: float) -> bool:
+        """Inclusive containment test for a point."""
+        return (not self.is_empty) and (
+            self.xmin <= x <= self.xmax and self.ymin <= y <= self.ymax
+        )
+
+    # ---------------------------------------------------------- combinators
+    def union(self, other: "MBR") -> "MBR":
+        """Smallest rectangle covering both operands."""
+        if self.is_empty:
+            return other
+        if other.is_empty:
+            return self
+        return MBR(
+            min(self.xmin, other.xmin),
+            min(self.ymin, other.ymin),
+            max(self.xmax, other.xmax),
+            max(self.ymax, other.ymax),
+        )
+
+    def intersection(self, other: "MBR") -> "MBR":
+        """Overlap rectangle (the empty MBR when disjoint)."""
+        if not self.intersects(other):
+            return EMPTY_MBR
+        return MBR(
+            max(self.xmin, other.xmin),
+            max(self.ymin, other.ymin),
+            min(self.xmax, other.xmax),
+            min(self.ymax, other.ymax),
+        )
+
+    def expanded(self, margin: float) -> "MBR":
+        """Return a copy grown by *margin* on every side."""
+        if self.is_empty:
+            return self
+        return MBR(
+            self.xmin - margin, self.ymin - margin, self.xmax + margin, self.ymax + margin
+        )
+
+    def enlargement(self, other: "MBR") -> float:
+        """Area increase needed to cover *other* (R-tree insertion metric)."""
+        return self.union(other).area - self.area
+
+    # ------------------------------------------------------------ utilities
+    def as_tuple(self) -> tuple[float, float, float, float]:
+        """(xmin, ymin, xmax, ymax) tuple form."""
+        return (self.xmin, self.ymin, self.xmax, self.ymax)
+
+    @staticmethod
+    def of_point(x: float, y: float) -> "MBR":
+        return MBR(x, y, x, y)
+
+    @staticmethod
+    def of_points(xs: Sequence[float], ys: Sequence[float]) -> "MBR":
+        if len(xs) == 0:
+            return EMPTY_MBR
+        return MBR(min(xs), min(ys), max(xs), max(ys))
+
+    @staticmethod
+    def union_all(mbrs: Iterable["MBR"]) -> "MBR":
+        out = EMPTY_MBR
+        for m in mbrs:
+            out = out.union(m)
+        return out
+
+
+EMPTY_MBR = MBR(np.inf, np.inf, -np.inf, -np.inf)
+
+
+class MBRArray:
+    """A batch of MBRs stored as one C-contiguous ``(n, 4)`` float64 array.
+
+    Columns are ``xmin, ymin, xmax, ymax``.  All pairwise operations are
+    vectorized; per the HPC guides, no per-rectangle Python loops are used
+    on this path.
+    """
+
+    __slots__ = ("data",)
+
+    def __init__(self, data: np.ndarray):
+        arr = np.ascontiguousarray(data, dtype=np.float64)
+        if arr.ndim != 2 or arr.shape[1] != 4:
+            raise ValueError(f"MBRArray requires an (n, 4) array, got {arr.shape}")
+        self.data = arr
+
+    # ---------------------------------------------------------- constructors
+    @staticmethod
+    def empty() -> "MBRArray":
+        return MBRArray(np.empty((0, 4), dtype=np.float64))
+
+    @staticmethod
+    def from_mbrs(mbrs: Sequence[MBR]) -> "MBRArray":
+        if not mbrs:
+            return MBRArray.empty()
+        return MBRArray(np.array([m.as_tuple() for m in mbrs], dtype=np.float64))
+
+    @staticmethod
+    def from_points(xy: np.ndarray) -> "MBRArray":
+        """Degenerate MBRs for an ``(n, 2)`` array of points."""
+        xy = np.asarray(xy, dtype=np.float64)
+        if xy.ndim != 2 or xy.shape[1] != 2:
+            raise ValueError(f"expected an (n, 2) point array, got {xy.shape}")
+        return MBRArray(np.hstack([xy, xy]))
+
+    @staticmethod
+    def from_geometries(geoms: Sequence) -> "MBRArray":
+        """MBRs of any sequence of objects exposing an ``mbr`` attribute."""
+        return MBRArray.from_mbrs([g.mbr for g in geoms])
+
+    # --------------------------------------------------------------- queries
+    def __len__(self) -> int:
+        return self.data.shape[0]
+
+    def __getitem__(self, i: int) -> MBR:
+        row = self.data[i]
+        return MBR(row[0], row[1], row[2], row[3])
+
+    def __iter__(self) -> Iterator[MBR]:
+        for i in range(len(self)):
+            yield self[i]
+
+    @property
+    def xmin(self) -> np.ndarray:
+        return self.data[:, 0]
+
+    @property
+    def ymin(self) -> np.ndarray:
+        return self.data[:, 1]
+
+    @property
+    def xmax(self) -> np.ndarray:
+        return self.data[:, 2]
+
+    @property
+    def ymax(self) -> np.ndarray:
+        return self.data[:, 3]
+
+    @property
+    def centers(self) -> np.ndarray:
+        """``(n, 2)`` array of rectangle centers."""
+        return (self.data[:, :2] + self.data[:, 2:]) / 2.0
+
+    def areas(self) -> np.ndarray:
+        """Vector of rectangle areas (0 for empty rows)."""
+        w = np.maximum(self.xmax - self.xmin, 0.0)
+        h = np.maximum(self.ymax - self.ymin, 0.0)
+        return w * h
+
+    def extent(self) -> MBR:
+        """The union of every rectangle in the batch."""
+        if len(self) == 0:
+            return EMPTY_MBR
+        return MBR(
+            float(self.xmin.min()),
+            float(self.ymin.min()),
+            float(self.xmax.max()),
+            float(self.ymax.max()),
+        )
+
+    # ------------------------------------------------------ vectorized tests
+    def intersects_one(self, box: MBR) -> np.ndarray:
+        """Boolean mask of rectangles intersecting a single query box."""
+        if box.is_empty or len(self) == 0:
+            return np.zeros(len(self), dtype=bool)
+        return (
+            (self.xmin <= box.xmax)
+            & (box.xmin <= self.xmax)
+            & (self.ymin <= box.ymax)
+            & (box.ymin <= self.ymax)
+        )
+
+    def contains_points(self, xy: np.ndarray) -> np.ndarray:
+        """``(n_boxes, n_points)`` boolean matrix of point containment."""
+        xy = np.asarray(xy, dtype=np.float64)
+        x = xy[:, 0][None, :]
+        y = xy[:, 1][None, :]
+        return (
+            (self.xmin[:, None] <= x)
+            & (x <= self.xmax[:, None])
+            & (self.ymin[:, None] <= y)
+            & (y <= self.ymax[:, None])
+        )
+
+    def pairwise_intersects(self, other: "MBRArray") -> np.ndarray:
+        """Row-aligned elementwise test: requires ``len(self) == len(other)``."""
+        if len(self) != len(other):
+            raise ValueError("pairwise_intersects requires equal-length batches")
+        a, b = self.data, other.data
+        return (
+            (a[:, 0] <= b[:, 2])
+            & (b[:, 0] <= a[:, 2])
+            & (a[:, 1] <= b[:, 3])
+            & (b[:, 1] <= a[:, 3])
+        )
+
+    def cross_intersects(self, other: "MBRArray") -> np.ndarray:
+        """``(len(self), len(other))`` boolean intersection matrix."""
+        a, b = self.data, other.data
+        return (
+            (a[:, 0][:, None] <= b[:, 2][None, :])
+            & (b[:, 0][None, :] <= a[:, 2][:, None])
+            & (a[:, 1][:, None] <= b[:, 3][None, :])
+            & (b[:, 1][None, :] <= a[:, 3][:, None])
+        )
+
+    def union_pairs(self, other: "MBRArray") -> "MBRArray":
+        """Row-aligned elementwise unions."""
+        if len(self) != len(other):
+            raise ValueError("union_pairs requires equal-length batches")
+        out = np.empty_like(self.data)
+        np.minimum(self.data[:, :2], other.data[:, :2], out=out[:, :2])
+        np.maximum(self.data[:, 2:], other.data[:, 2:], out=out[:, 2:])
+        return MBRArray(out)
+
+    def take(self, idx: np.ndarray) -> "MBRArray":
+        """Subset of rows selected by an index array."""
+        return MBRArray(self.data[np.asarray(idx)])

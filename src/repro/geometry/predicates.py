@@ -1,0 +1,381 @@
+"""Exact scalar geometry predicates.
+
+These are the reference implementations shared by both geometry engines:
+the GEOS-like engine calls them directly per pair (the slow scalar path);
+the JTS-like engine uses the batch kernels in
+:mod:`repro.geometry.vectorized`, which are tested against these scalars.
+
+All predicates treat boundaries as inclusive ("intersects" in the
+DE-9IM sense of sharing at least one point), matching what the paper's
+joins compute: point-in-polygon tests for taxi×census-blocks and
+polyline-with-polyline intersection for edges×linearwater.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .primitives import Point, PolyLine, Polygon
+
+__all__ = [
+    "orientation",
+    "on_segment",
+    "segments_intersect",
+    "point_in_ring",
+    "point_on_ring",
+    "point_in_polygon",
+    "point_segment_distance",
+    "point_polyline_distance",
+    "segment_segment_distance",
+    "polyline_polyline_distance",
+    "point_polygon_distance",
+    "polyline_polygon_distance",
+    "geometry_distance",
+    "polyline_intersects_polyline",
+    "polygon_contains_point",
+    "polyline_intersects_polygon",
+    "polygon_intersects_polygon",
+    "geometries_intersect",
+]
+
+
+def orientation(ax: float, ay: float, bx: float, by: float, cx: float, cy: float) -> int:
+    """Sign of the cross product (b-a) × (c-a): 1 ccw, -1 cw, 0 collinear."""
+    v = (bx - ax) * (cy - ay) - (by - ay) * (cx - ax)
+    if v > 0.0:
+        return 1
+    if v < 0.0:
+        return -1
+    return 0
+
+
+def on_segment(ax: float, ay: float, bx: float, by: float, px: float, py: float) -> bool:
+    """True if collinear point p lies within segment ab's bounding box."""
+    return (
+        min(ax, bx) <= px <= max(ax, bx) and min(ay, by) <= py <= max(ay, by)
+    )
+
+
+def segments_intersect(
+    ax: float, ay: float, bx: float, by: float,
+    cx: float, cy: float, dx: float, dy: float,
+) -> bool:
+    """True if closed segments ab and cd share at least one point.
+
+    A bounding-box disjointness guard runs first: besides being cheap, it
+    protects the orientation tests from false "collinear" verdicts when a
+    cross product underflows to zero for nearly-but-not-touching segments.
+    """
+    if (
+        max(cx, dx) < min(ax, bx)
+        or min(cx, dx) > max(ax, bx)
+        or max(cy, dy) < min(ay, by)
+        or min(cy, dy) > max(ay, by)
+    ):
+        return False
+    d1 = orientation(cx, cy, dx, dy, ax, ay)
+    d2 = orientation(cx, cy, dx, dy, bx, by)
+    d3 = orientation(ax, ay, bx, by, cx, cy)
+    d4 = orientation(ax, ay, bx, by, dx, dy)
+    if d1 != d2 and d3 != d4:
+        return True
+    if d1 == 0 and on_segment(cx, cy, dx, dy, ax, ay):
+        return True
+    if d2 == 0 and on_segment(cx, cy, dx, dy, bx, by):
+        return True
+    if d3 == 0 and on_segment(ax, ay, bx, by, cx, cy):
+        return True
+    if d4 == 0 and on_segment(ax, ay, bx, by, dx, dy):
+        return True
+    return False
+
+
+def point_on_ring(ring: np.ndarray, x: float, y: float) -> bool:
+    """True if (x, y) lies on the boundary of a closed ring."""
+    for i in range(ring.shape[0] - 1):
+        ax, ay = ring[i, 0], ring[i, 1]
+        bx, by = ring[i + 1, 0], ring[i + 1, 1]
+        if orientation(ax, ay, bx, by, x, y) == 0 and on_segment(ax, ay, bx, by, x, y):
+            return True
+    return False
+
+
+def point_in_ring(ring: np.ndarray, x: float, y: float, *, boundary: bool = True) -> bool:
+    """Crossing-number point-in-ring test on a closed ring.
+
+    *boundary* controls whether points exactly on the ring count as inside
+    (the joins in the paper use inclusive semantics).
+    """
+    if point_on_ring(ring, x, y):
+        return boundary
+    inside = False
+    n = ring.shape[0] - 1
+    for i in range(n):
+        ax, ay = ring[i, 0], ring[i, 1]
+        bx, by = ring[i + 1, 0], ring[i + 1, 1]
+        # Half-open rule on y avoids double-counting vertex crossings.
+        if (ay > y) != (by > y):
+            x_cross = ax + (y - ay) * (bx - ax) / (by - ay)
+            if x < x_cross:
+                inside = not inside
+    return inside
+
+
+def point_in_polygon(poly: Polygon, x: float, y: float) -> bool:
+    """Inclusive point-in-polygon test honouring holes.
+
+    A point on a hole boundary is still in the polygon; a point strictly
+    inside a hole is not.
+    """
+    if not poly.mbr.contains_point(x, y):
+        return False
+    if not point_in_ring(poly.exterior, x, y, boundary=True):
+        return False
+    for hole in poly.holes:
+        if point_on_ring(hole, x, y):
+            return True
+        if point_in_ring(hole, x, y, boundary=False):
+            return False
+    return True
+
+
+def polygon_contains_point(poly: Polygon, pt: Point) -> bool:
+    """Alias of :func:`point_in_polygon` taking a :class:`Point`."""
+    return point_in_polygon(poly, pt.x, pt.y)
+
+
+def point_segment_distance(
+    px: float, py: float, ax: float, ay: float, bx: float, by: float
+) -> float:
+    """Euclidean distance from point p to closed segment ab."""
+    dx, dy = bx - ax, by - ay
+    seg_len2 = dx * dx + dy * dy
+    if seg_len2 == 0.0:
+        return math.hypot(px - ax, py - ay)
+    t = ((px - ax) * dx + (py - ay) * dy) / seg_len2
+    t = 0.0 if t < 0.0 else (1.0 if t > 1.0 else t)
+    return math.hypot(px - (ax + t * dx), py - (ay + t * dy))
+
+
+def point_polyline_distance(pt: Point, line: PolyLine) -> float:
+    """Minimum distance from a point to any segment of a polyline."""
+    best = math.inf
+    c = line.coords
+    for i in range(c.shape[0] - 1):
+        d = point_segment_distance(pt.x, pt.y, c[i, 0], c[i, 1], c[i + 1, 0], c[i + 1, 1])
+        if d < best:
+            best = d
+            if best == 0.0:
+                break
+    return best
+
+
+def segment_segment_distance(
+    ax: float, ay: float, bx: float, by: float,
+    cx: float, cy: float, dx: float, dy: float,
+) -> float:
+    """Euclidean distance between closed segments ab and cd (0 if crossing)."""
+    if segments_intersect(ax, ay, bx, by, cx, cy, dx, dy):
+        return 0.0
+    return min(
+        point_segment_distance(ax, ay, cx, cy, dx, dy),
+        point_segment_distance(bx, by, cx, cy, dx, dy),
+        point_segment_distance(cx, cy, ax, ay, bx, by),
+        point_segment_distance(dx, dy, ax, ay, bx, by),
+    )
+
+
+def polyline_polyline_distance(a: PolyLine, b: PolyLine) -> float:
+    """Minimum distance between two polylines (0 if they intersect)."""
+    ca, cb = a.coords, b.coords
+    best = math.inf
+    for i in range(ca.shape[0] - 1):
+        for j in range(cb.shape[0] - 1):
+            d = segment_segment_distance(
+                ca[i, 0], ca[i, 1], ca[i + 1, 0], ca[i + 1, 1],
+                cb[j, 0], cb[j, 1], cb[j + 1, 0], cb[j + 1, 1],
+            )
+            if d < best:
+                best = d
+                if best == 0.0:
+                    return 0.0
+    return best
+
+
+def point_polygon_distance(pt: Point, poly: Polygon) -> float:
+    """Distance from a point to a polygon (0 when inside or on boundary)."""
+    if point_in_polygon(poly, pt.x, pt.y):
+        return 0.0
+    best = math.inf
+    for ring in (poly.exterior, *poly.holes):
+        for i in range(ring.shape[0] - 1):
+            d = point_segment_distance(
+                pt.x, pt.y, ring[i, 0], ring[i, 1], ring[i + 1, 0], ring[i + 1, 1]
+            )
+            if d < best:
+                best = d
+    return best
+
+
+def polyline_polygon_distance(line: PolyLine, poly: Polygon) -> float:
+    """Distance from a polyline to a polygon (0 when they intersect)."""
+    if polyline_intersects_polygon(line, poly):
+        return 0.0
+    c = line.coords
+    best = math.inf
+    for ring in (poly.exterior, *poly.holes):
+        for i in range(c.shape[0] - 1):
+            for j in range(ring.shape[0] - 1):
+                d = segment_segment_distance(
+                    c[i, 0], c[i, 1], c[i + 1, 0], c[i + 1, 1],
+                    ring[j, 0], ring[j, 1], ring[j + 1, 0], ring[j + 1, 1],
+                )
+                if d < best:
+                    best = d
+    return best
+
+
+def _polygon_polygon_distance(a: Polygon, b: Polygon) -> float:
+    if polygon_intersects_polygon(a, b):
+        return 0.0
+    best = math.inf
+    for ra in (a.exterior, *a.holes):
+        for rb in (b.exterior, *b.holes):
+            for i in range(ra.shape[0] - 1):
+                for j in range(rb.shape[0] - 1):
+                    d = segment_segment_distance(
+                        ra[i, 0], ra[i, 1], ra[i + 1, 0], ra[i + 1, 1],
+                        rb[j, 0], rb[j, 1], rb[j + 1, 0], rb[j + 1, 1],
+                    )
+                    if d < best:
+                        best = d
+    return best
+
+
+def geometry_distance(a, b) -> float:
+    """Minimum Euclidean distance between two geometries (0 on contact).
+
+    The refinement predicate of the paper's motivating distance join
+    ("matching taxi pickup locations with road segments through
+    point-to-nearest-polyline distance computation").
+    """
+    if isinstance(a, Point) and isinstance(b, Point):
+        return math.hypot(a.x - b.x, a.y - b.y)
+    if isinstance(a, Point) and isinstance(b, PolyLine):
+        return point_polyline_distance(a, b)
+    if isinstance(a, PolyLine) and isinstance(b, Point):
+        return point_polyline_distance(b, a)
+    if isinstance(a, Point) and isinstance(b, Polygon):
+        return point_polygon_distance(a, b)
+    if isinstance(a, Polygon) and isinstance(b, Point):
+        return point_polygon_distance(b, a)
+    if isinstance(a, PolyLine) and isinstance(b, PolyLine):
+        return polyline_polyline_distance(a, b)
+    if isinstance(a, PolyLine) and isinstance(b, Polygon):
+        return polyline_polygon_distance(a, b)
+    if isinstance(a, Polygon) and isinstance(b, PolyLine):
+        return polyline_polygon_distance(b, a)
+    if isinstance(a, Polygon) and isinstance(b, Polygon):
+        return _polygon_polygon_distance(a, b)
+    raise TypeError(f"unsupported geometry pair: {type(a).__name__}, {type(b).__name__}")
+
+
+def polyline_intersects_polyline(a: PolyLine, b: PolyLine) -> bool:
+    """True if any segment of *a* intersects any segment of *b*.
+
+    Quadratic in segment counts; callers are expected to MBR-filter first
+    (exactly the refinement role this predicate plays in the local join).
+    """
+    if not a.mbr.intersects(b.mbr):
+        return False
+    ca, cb = a.coords, b.coords
+    for i in range(ca.shape[0] - 1):
+        sx0, sy0, sx1, sy1 = ca[i, 0], ca[i, 1], ca[i + 1, 0], ca[i + 1, 1]
+        seg_xmin, seg_xmax = min(sx0, sx1), max(sx0, sx1)
+        seg_ymin, seg_ymax = min(sy0, sy1), max(sy0, sy1)
+        for j in range(cb.shape[0] - 1):
+            tx0, ty0, tx1, ty1 = cb[j, 0], cb[j, 1], cb[j + 1, 0], cb[j + 1, 1]
+            # Cheap per-segment MBR rejection before the orientation tests.
+            if (
+                max(tx0, tx1) < seg_xmin
+                or min(tx0, tx1) > seg_xmax
+                or max(ty0, ty1) < seg_ymin
+                or min(ty0, ty1) > seg_ymax
+            ):
+                continue
+            if segments_intersect(sx0, sy0, sx1, sy1, tx0, ty0, tx1, ty1):
+                return True
+    return False
+
+
+def polyline_intersects_polygon(line: PolyLine, poly: Polygon) -> bool:
+    """True if the polyline touches the polygon's interior or boundary."""
+    if not line.mbr.intersects(poly.mbr):
+        return False
+    # Any vertex inside the polygon suffices.
+    for i in range(line.coords.shape[0]):
+        if point_in_polygon(poly, line.coords[i, 0], line.coords[i, 1]):
+            return True
+    # Otherwise an edge must cross the exterior or a hole boundary.
+    rings = (poly.exterior, *poly.holes)
+    c = line.coords
+    for i in range(c.shape[0] - 1):
+        for ring in rings:
+            for j in range(ring.shape[0] - 1):
+                if segments_intersect(
+                    c[i, 0], c[i, 1], c[i + 1, 0], c[i + 1, 1],
+                    ring[j, 0], ring[j, 1], ring[j + 1, 0], ring[j + 1, 1],
+                ):
+                    return True
+    return False
+
+
+def polygon_intersects_polygon(a: Polygon, b: Polygon) -> bool:
+    """True if two polygons share at least one point."""
+    if not a.mbr.intersects(b.mbr):
+        return False
+    # Vertex containment either way.
+    for i in range(a.exterior.shape[0]):
+        if point_in_polygon(b, a.exterior[i, 0], a.exterior[i, 1]):
+            return True
+    for i in range(b.exterior.shape[0]):
+        if point_in_polygon(a, b.exterior[i, 0], b.exterior[i, 1]):
+            return True
+    # Boundary crossings (covers the overlapping-but-no-contained-vertex case).
+    rings_a = (a.exterior, *a.holes)
+    rings_b = (b.exterior, *b.holes)
+    for ra in rings_a:
+        for i in range(ra.shape[0] - 1):
+            for rb in rings_b:
+                for j in range(rb.shape[0] - 1):
+                    if segments_intersect(
+                        ra[i, 0], ra[i, 1], ra[i + 1, 0], ra[i + 1, 1],
+                        rb[j, 0], rb[j, 1], rb[j + 1, 0], rb[j + 1, 1],
+                    ):
+                        return True
+    return False
+
+
+def geometries_intersect(a, b) -> bool:
+    """Generic inclusive intersection dispatch across all geometry kinds."""
+    if isinstance(a, Point) and isinstance(b, Point):
+        return a.x == b.x and a.y == b.y
+    if isinstance(a, Point) and isinstance(b, Polygon):
+        return point_in_polygon(b, a.x, a.y)
+    if isinstance(a, Polygon) and isinstance(b, Point):
+        return point_in_polygon(a, b.x, b.y)
+    if isinstance(a, Point) and isinstance(b, PolyLine):
+        return point_polyline_distance(a, b) == 0.0
+    if isinstance(a, PolyLine) and isinstance(b, Point):
+        return point_polyline_distance(b, a) == 0.0
+    if isinstance(a, PolyLine) and isinstance(b, PolyLine):
+        return polyline_intersects_polyline(a, b)
+    if isinstance(a, PolyLine) and isinstance(b, Polygon):
+        return polyline_intersects_polygon(a, b)
+    if isinstance(a, Polygon) and isinstance(b, PolyLine):
+        return polyline_intersects_polygon(b, a)
+    if isinstance(a, Polygon) and isinstance(b, Polygon):
+        return polygon_intersects_polygon(a, b)
+    raise TypeError(f"unsupported geometry pair: {type(a).__name__}, {type(b).__name__}")

@@ -1,0 +1,101 @@
+"""WKT (Well-Known Text) codec for the supported geometry types.
+
+All three systems in the paper exchange geometries as text — HadoopGIS is
+*forced* to (Hadoop Streaming pipes strings), and the TIGER/taxi inputs are
+WKT/CSV files.  This codec provides the parse/serialize path whose per-record
+cost the paper identifies as a major HadoopGIS overhead; the substrates
+charge a parse cost every time a record crosses a text boundary.
+
+Supported: POINT, LINESTRING, POLYGON (with holes), and the matching
+MULTI* forms are intentionally out of scope (the paper's workloads do not
+use them).
+"""
+
+from __future__ import annotations
+
+import re
+
+import numpy as np
+
+from .primitives import Geometry, Point, PolyLine, Polygon
+
+__all__ = ["to_wkt", "from_wkt", "WktError"]
+
+
+class WktError(ValueError):
+    """Raised for malformed WKT input."""
+
+
+def _fmt(value: float) -> str:
+    """Format a coordinate compactly (no trailing zeros, no sci-notation surprises)."""
+    return repr(float(value))
+
+
+def _coords_text(coords: np.ndarray) -> str:
+    return ", ".join(f"{_fmt(x)} {_fmt(y)}" for x, y in coords)
+
+
+def to_wkt(geom: Geometry) -> str:
+    """Serialize a geometry to WKT."""
+    if isinstance(geom, Point):
+        return f"POINT ({_fmt(geom.x)} {_fmt(geom.y)})"
+    if isinstance(geom, PolyLine):
+        return f"LINESTRING ({_coords_text(geom.coords)})"
+    if isinstance(geom, Polygon):
+        rings = [f"({_coords_text(geom.exterior)})"]
+        rings += [f"({_coords_text(h)})" for h in geom.holes]
+        return f"POLYGON ({', '.join(rings)})"
+    raise TypeError(f"cannot serialize {type(geom).__name__} to WKT")
+
+
+_POINT_RE = re.compile(r"^\s*POINT\s*\(\s*(\S+)\s+(\S+)\s*\)\s*$", re.IGNORECASE)
+_LINESTRING_RE = re.compile(r"^\s*LINESTRING\s*\((.*)\)\s*$", re.IGNORECASE | re.DOTALL)
+_POLYGON_RE = re.compile(r"^\s*POLYGON\s*\((.*)\)\s*$", re.IGNORECASE | re.DOTALL)
+_RING_RE = re.compile(r"\(([^()]*)\)")
+
+
+def _parse_coord_list(text: str, what: str) -> np.ndarray:
+    pts = []
+    for pair in text.split(","):
+        parts = pair.split()
+        if len(parts) != 2:
+            raise WktError(f"malformed coordinate {pair!r} in {what}")
+        try:
+            pts.append((float(parts[0]), float(parts[1])))
+        except ValueError as exc:
+            raise WktError(f"non-numeric coordinate {pair!r} in {what}") from exc
+    if not pts:
+        raise WktError(f"empty coordinate list in {what}")
+    return np.array(pts, dtype=np.float64)
+
+
+def from_wkt(text: str) -> Geometry:
+    """Parse WKT into a geometry object.
+
+    Raises :class:`WktError` on malformed input — the error the substrates
+    surface when a corrupted record flows through a streaming pipe.
+    """
+    if not isinstance(text, str):
+        raise WktError(f"WKT must be a string, got {type(text).__name__}")
+    m = _POINT_RE.match(text)
+    if m:
+        try:
+            return Point(float(m.group(1)), float(m.group(2)))
+        except ValueError as exc:
+            raise WktError(f"malformed POINT: {text!r}") from exc
+    m = _LINESTRING_RE.match(text)
+    if m:
+        coords = _parse_coord_list(m.group(1), "LINESTRING")
+        if coords.shape[0] < 2:
+            raise WktError("LINESTRING requires at least 2 points")
+        return PolyLine(coords)
+    m = _POLYGON_RE.match(text)
+    if m:
+        rings = [_parse_coord_list(r.group(1), "POLYGON ring") for r in _RING_RE.finditer(m.group(1))]
+        if not rings:
+            raise WktError(f"POLYGON with no rings: {text!r}")
+        try:
+            return Polygon(rings[0], rings[1:])
+        except ValueError as exc:
+            raise WktError(str(exc)) from exc
+    raise WktError(f"unrecognized WKT: {text[:80]!r}")

@@ -1,0 +1,19 @@
+"""Simulated HDFS substrate with byte-level I/O accounting."""
+
+from .filesystem import (
+    DEFAULT_BLOCK_SIZE,
+    Block,
+    HdfsError,
+    HdfsFile,
+    SimulatedHDFS,
+)
+from .sizeof import estimate_size
+
+__all__ = [
+    "SimulatedHDFS",
+    "HdfsFile",
+    "Block",
+    "HdfsError",
+    "DEFAULT_BLOCK_SIZE",
+    "estimate_size",
+]

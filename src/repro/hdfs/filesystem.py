@@ -1,0 +1,235 @@
+"""In-process simulated HDFS with byte-level accounting.
+
+The paper's central performance argument is about *how many times bytes
+cross HDFS*: HadoopGIS re-reads and re-writes whole datasets across six
+preprocessing steps; SpatialHadoop shuffles re-partitioned data through
+HDFS block files; SpatialSpark touches HDFS only to load inputs.  This
+module provides the file/block structure those behaviours run against and
+charges every byte to a shared :class:`~repro.metrics.Counters`.
+
+Files are sequences of records grouped into fixed-size blocks, mirroring
+HDFS block files.  A block can carry an *aux* payload — SpatialHadoop
+writes each block's local spatial index "to the beginning of the HDFS
+block file", and its ``_master`` files store partition MBRs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Iterator, Optional, Sequence
+
+from ..metrics import Counters
+from .sizeof import estimate_size
+
+__all__ = ["Block", "HdfsFile", "SimulatedHDFS", "HdfsError", "DEFAULT_BLOCK_SIZE"]
+
+DEFAULT_BLOCK_SIZE = 128 * 1024 * 1024  # the classic 128 MB HDFS block
+
+
+class HdfsError(IOError):
+    """Raised for missing paths, overwrites and other FS misuse."""
+
+
+@dataclass
+class Block:
+    """One HDFS block: records plus an optional aux payload (e.g. an index)."""
+
+    records: list
+    nbytes: int
+    aux: Any = None
+    aux_nbytes: int = 0
+
+    @property
+    def total_bytes(self) -> int:
+        return self.nbytes + self.aux_nbytes
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+@dataclass
+class HdfsFile:
+    """A named file: an ordered list of blocks."""
+
+    path: str
+    blocks: list[Block] = field(default_factory=list)
+
+    @property
+    def nbytes(self) -> int:
+        return sum(b.total_bytes for b in self.blocks)
+
+    @property
+    def num_records(self) -> int:
+        return sum(len(b) for b in self.blocks)
+
+
+class SimulatedHDFS:
+    """A single-namenode simulated HDFS shared by all substrates of a run.
+
+    Parameters
+    ----------
+    block_size:
+        Split threshold in (estimated) bytes.  Experiments use a scaled
+        block size so scaled datasets still split into multiple blocks.
+    counters:
+        Shared counters receiving ``hdfs.*`` and ``localfs.*`` charges.
+    """
+
+    def __init__(
+        self,
+        *,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+        counters: Optional[Counters] = None,
+    ):
+        if block_size < 1:
+            raise ValueError("block_size must be positive")
+        self.block_size = block_size
+        self.counters = counters if counters is not None else Counters()
+        self._files: dict[str, HdfsFile] = {}
+
+    # ------------------------------------------------------------ namenode
+    def exists(self, path: str) -> bool:
+        """True if *path* exists."""
+        return path in self._files
+
+    def list_files(self, prefix: str = "") -> list[str]:
+        """Sorted paths under *prefix*."""
+        return sorted(p for p in self._files if p.startswith(prefix))
+
+    def delete(self, path: str) -> None:
+        """Remove a file (raises for missing paths)."""
+        if path not in self._files:
+            raise HdfsError(f"cannot delete missing path {path!r}")
+        del self._files[path]
+
+    def file_size(self, path: str) -> int:
+        """Total bytes of a file (data + aux payloads)."""
+        return self._file(path).nbytes
+
+    def num_records(self, path: str) -> int:
+        """Total record count of a file."""
+        return self._file(path).num_records
+
+    def num_blocks(self, path: str) -> int:
+        """Number of blocks in a file."""
+        return len(self._file(path).blocks)
+
+    def _file(self, path: str) -> HdfsFile:
+        try:
+            return self._files[path]
+        except KeyError:
+            raise HdfsError(f"no such HDFS path: {path!r}") from None
+
+    # -------------------------------------------------------------- writes
+    def write_file(
+        self,
+        path: str,
+        records: Iterable,
+        *,
+        sizer: Callable[[Any], int] = estimate_size,
+        overwrite: bool = False,
+        block_size: Optional[int] = None,
+    ) -> HdfsFile:
+        """Write records, splitting into blocks; charges ``hdfs.bytes_written``.
+
+        *block_size* overrides the filesystem default for this file —
+        experiments size each staged input so its block count matches the
+        paper-scale file's (bytes / 128 MB).
+        """
+        if path in self._files and not overwrite:
+            raise HdfsError(f"path already exists: {path!r}")
+        limit = block_size if block_size is not None else self.block_size
+        f = HdfsFile(path)
+        cur: list = []
+        cur_bytes = 0
+        total = 0
+        for rec in records:
+            size = sizer(rec)
+            if cur and cur_bytes + size > limit:
+                f.blocks.append(Block(cur, cur_bytes))
+                cur, cur_bytes = [], 0
+            cur.append(rec)
+            cur_bytes += size
+            total += size
+        if cur or not f.blocks:
+            f.blocks.append(Block(cur, cur_bytes))
+        self._files[path] = f
+        self.counters.add("hdfs.bytes_written", total)
+        self.counters.add("hdfs.records_written", f.num_records)
+        return f
+
+    def write_blocks(
+        self, path: str, blocks: Sequence[Block], *, overwrite: bool = False
+    ) -> HdfsFile:
+        """Write pre-formed blocks (used by block-aware writers)."""
+        if path in self._files and not overwrite:
+            raise HdfsError(f"path already exists: {path!r}")
+        f = HdfsFile(path, list(blocks))
+        self._files[path] = f
+        self.counters.add("hdfs.bytes_written", f.nbytes)
+        self.counters.add("hdfs.records_written", f.num_records)
+        return f
+
+    def attach_block_aux(self, path: str, block_idx: int, aux: Any, nbytes: int) -> None:
+        """Attach an aux payload (e.g. a block-local index) to a block.
+
+        Charged as an additional write of *nbytes* — "the intra-partition
+        indexes are built virtually for free" compared to data I/O, and the
+        accounting shows exactly how small this is.
+        """
+        block = self._file(path).blocks[block_idx]
+        block.aux = aux
+        block.aux_nbytes = nbytes
+        self.counters.add("hdfs.bytes_written", nbytes)
+
+    # --------------------------------------------------------------- reads
+    def read_file(self, path: str) -> Iterator:
+        """Iterate all records of a file; charges ``hdfs.bytes_read``."""
+        f = self._file(path)
+        self.counters.add("hdfs.bytes_read", f.nbytes)
+        self.counters.add("hdfs.records_read", f.num_records)
+        for block in f.blocks:
+            yield from block.records
+
+    def read_all(self, path: str) -> list:
+        """All records of a file as a list (charges the read)."""
+        return list(self.read_file(path))
+
+    def read_block(self, path: str, block_idx: int) -> Block:
+        """Random-access one block (SpatialHadoop's data access model)."""
+        f = self._file(path)
+        try:
+            block = f.blocks[block_idx]
+        except IndexError:
+            raise HdfsError(f"{path!r} has no block {block_idx}") from None
+        self.counters.add("hdfs.bytes_read", block.total_bytes)
+        self.counters.add("hdfs.records_read", len(block))
+        return block
+
+    def blocks_meta(self, path: str) -> list[tuple[int, int, int]]:
+        """(block_idx, num_records, nbytes) without charging data reads."""
+        f = self._file(path)
+        return [(i, len(b), b.total_bytes) for i, b in enumerate(f.blocks)]
+
+    # ----------------------------------------------- local filesystem hops
+    def copy_to_local(self, path: str) -> list:
+        """HDFS → local FS copy (HadoopGIS's serial local steps).
+
+        Charged as an HDFS read plus a local write — the round trip the
+        paper flags as "expensive as well" in HadoopGIS preprocessing.
+        """
+        f = self._file(path)
+        self.counters.add("hdfs.bytes_read", f.nbytes)
+        self.counters.add("localfs.bytes_written", f.nbytes)
+        out: list = []
+        for block in f.blocks:
+            out.extend(block.records)
+        return out
+
+    def copy_from_local(
+        self, path: str, records: Sequence, *, sizer: Callable[[Any], int] = estimate_size,
+        overwrite: bool = False,
+    ) -> HdfsFile:
+        """Local FS → HDFS copy: a local read plus an HDFS write."""
+        self.counters.add("localfs.bytes_read", sum(sizer(r) for r in records))
+        return self.write_file(path, records, sizer=sizer, overwrite=overwrite)

@@ -1,0 +1,31 @@
+"""Spatial index substrate.
+
+Provides the index structures the three systems rely on:
+
+* :class:`STRtree` — bulk-loaded packed R-tree (JTS STRtree analogue,
+  used by SpatialHadoop block indexes and SpatialSpark broadcast/local
+  indexes), plus :func:`sync_tree_join` for synchronized-traversal joins.
+* :class:`RTree` — dynamic Guttman R-tree (libspatialindex analogue used
+  by HadoopGIS map tasks).
+* :class:`GridIndex` — uniform grid (SpatialHadoop's grid partitioning).
+* :class:`QuadTree` — region quadtree (SATO-style partitioner substrate).
+* Hilbert curve helpers for space-filling-curve packing and partitioning.
+"""
+
+from .grid import GridIndex
+from .hilbert import DEFAULT_ORDER, hilbert_distance, hilbert_sort_order
+from .quadtree import QuadTree
+from .rtree import RTree
+from .strtree import STRtree, str_packing_order, sync_tree_join
+
+__all__ = [
+    "STRtree",
+    "RTree",
+    "GridIndex",
+    "QuadTree",
+    "str_packing_order",
+    "sync_tree_join",
+    "hilbert_distance",
+    "hilbert_sort_order",
+    "DEFAULT_ORDER",
+]

@@ -1,0 +1,130 @@
+"""Uniform grid index.
+
+SpatialHadoop's original partitioner places sampled items into uniform
+grid cells; the same structure doubles as a cheap secondary spatial index
+(objects are registered in every cell their MBR overlaps, and queries
+deduplicate).  Cell assignment is fully vectorized.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..geometry.mbr import MBR, MBRArray
+from ..metrics import Counters
+
+__all__ = ["GridIndex"]
+
+
+class GridIndex:
+    """A ``nx × ny`` uniform grid over an extent, indexing MBRs."""
+
+    def __init__(
+        self,
+        extent: MBR,
+        nx: int,
+        ny: int,
+        *,
+        counters: Optional[Counters] = None,
+    ):
+        if extent.is_empty:
+            raise ValueError("GridIndex requires a non-empty extent")
+        if nx < 1 or ny < 1:
+            raise ValueError("grid dimensions must be >= 1")
+        self.extent = extent
+        self.nx = nx
+        self.ny = ny
+        self._cell_w = (extent.width or 1.0) / nx
+        self._cell_h = (extent.height or 1.0) / ny
+        self.counters = counters if counters is not None else Counters()
+        self._cells: dict[int, list[int]] = {}
+        self._n_items = 0
+
+    # ------------------------------------------------------------- helpers
+    def _col_range(self, xmin: float, xmax: float) -> tuple[int, int]:
+        lo = int(np.floor((xmin - self.extent.xmin) / self._cell_w))
+        hi = int(np.floor((xmax - self.extent.xmin) / self._cell_w))
+        return max(lo, 0), min(hi, self.nx - 1)
+
+    def _row_range(self, ymin: float, ymax: float) -> tuple[int, int]:
+        lo = int(np.floor((ymin - self.extent.ymin) / self._cell_h))
+        hi = int(np.floor((ymax - self.extent.ymin) / self._cell_h))
+        return max(lo, 0), min(hi, self.ny - 1)
+
+    def cell_id(self, col: int, row: int) -> int:
+        """Row-major id of grid cell (col, row)."""
+        return row * self.nx + col
+
+    def cell_mbr(self, cell: int) -> MBR:
+        """The rectangle covered by a cell id."""
+        row, col = divmod(cell, self.nx)
+        return MBR(
+            self.extent.xmin + col * self._cell_w,
+            self.extent.ymin + row * self._cell_h,
+            self.extent.xmin + (col + 1) * self._cell_w,
+            self.extent.ymin + (row + 1) * self._cell_h,
+        )
+
+    # -------------------------------------------------------------- loading
+    def insert(self, box: MBR, item_id: int) -> None:
+        """Register *item_id* in every cell its MBR overlaps."""
+        if box.is_empty:
+            return
+        c0, c1 = self._col_range(box.xmin, box.xmax)
+        r0, r1 = self._row_range(box.ymin, box.ymax)
+        self.counters.add("index.build_ops")
+        for row in range(r0, r1 + 1):
+            for col in range(c0, c1 + 1):
+                self._cells.setdefault(self.cell_id(col, row), []).append(int(item_id))
+        self._n_items += 1
+
+    def insert_many(self, mbrs: MBRArray, ids=None) -> None:
+        """Insert a batch of rectangles (ids default to positions)."""
+        ids = range(len(mbrs)) if ids is None else ids
+        for box, item_id in zip(mbrs, ids):
+            self.insert(box, item_id)
+
+    def __len__(self) -> int:
+        return self._n_items
+
+    @property
+    def occupied_cells(self) -> int:
+        return len(self._cells)
+
+    # --------------------------------------------------------------- query
+    def query(self, box: MBR) -> np.ndarray:
+        """Sorted unique item ids registered in cells overlapping *box*.
+
+        Grid candidates are a superset of true MBR hits (cell granularity);
+        callers MBR-filter afterwards, as with any filter-phase index.
+        """
+        if box.is_empty or not self._cells:
+            return np.empty(0, dtype=np.int64)
+        inter = box.intersection(self.extent)
+        if inter.is_empty:
+            return np.empty(0, dtype=np.int64)
+        c0, c1 = self._col_range(inter.xmin, inter.xmax)
+        r0, r1 = self._row_range(inter.ymin, inter.ymax)
+        found: set[int] = set()
+        for row in range(r0, r1 + 1):
+            for col in range(c0, c1 + 1):
+                self.counters.add("index.node_visits")
+                found.update(self._cells.get(self.cell_id(col, row), ()))
+        return np.array(sorted(found), dtype=np.int64)
+
+    def count_query(self, box: MBR) -> int:
+        """Number of candidate items for *box* (grid superset)."""
+        return int(self.query(box).size)
+
+    def assign_points(self, xy: np.ndarray) -> np.ndarray:
+        """Vectorized cell id for each point (clamped into the grid)."""
+        xy = np.asarray(xy, dtype=np.float64)
+        cols = np.clip(
+            ((xy[:, 0] - self.extent.xmin) / self._cell_w).astype(np.int64), 0, self.nx - 1
+        )
+        rows = np.clip(
+            ((xy[:, 1] - self.extent.ymin) / self._cell_h).astype(np.int64), 0, self.ny - 1
+        )
+        return rows * self.nx + cols

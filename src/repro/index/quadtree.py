@@ -1,0 +1,158 @@
+"""Region quadtree index.
+
+One of the partitioning-oriented index structures discussed in the SATO
+partitioning framework the paper cites for HadoopGIS; also useful as an
+alternative local index in ablations.  Items are stored in leaves they
+overlap (an item spanning a split line is registered in several leaves,
+and queries deduplicate).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..geometry.mbr import MBR
+from ..metrics import Counters
+
+__all__ = ["QuadTree"]
+
+DEFAULT_NODE_CAPACITY = 16
+DEFAULT_MAX_DEPTH = 12
+
+
+class _QNode:
+    __slots__ = ("box", "depth", "items", "children")
+
+    def __init__(self, box: MBR, depth: int):
+        self.box = box
+        self.depth = depth
+        self.items: list[tuple[MBR, int]] = []
+        self.children: list["_QNode"] | None = None
+
+    def quadrants(self) -> list[MBR]:
+        cx, cy = self.box.center
+        b = self.box
+        return [
+            MBR(b.xmin, b.ymin, cx, cy),
+            MBR(cx, b.ymin, b.xmax, cy),
+            MBR(b.xmin, cy, cx, b.ymax),
+            MBR(cx, cy, b.xmax, b.ymax),
+        ]
+
+
+class QuadTree:
+    """A region quadtree over a fixed extent."""
+
+    def __init__(
+        self,
+        extent: MBR,
+        *,
+        node_capacity: int = DEFAULT_NODE_CAPACITY,
+        max_depth: int = DEFAULT_MAX_DEPTH,
+        counters: Optional[Counters] = None,
+    ):
+        if extent.is_empty:
+            raise ValueError("QuadTree requires a non-empty extent")
+        if node_capacity < 1:
+            raise ValueError("node_capacity must be >= 1")
+        self.extent = extent
+        self.node_capacity = node_capacity
+        self.max_depth = max_depth
+        self.counters = counters if counters is not None else Counters()
+        self._root = _QNode(extent, 0)
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    # -------------------------------------------------------------- loading
+    def insert(self, box: MBR, item_id: int) -> None:
+        """Insert a rectangle into every leaf it overlaps."""
+        if box.is_empty:
+            return
+        clipped = box.intersection(self.extent)
+        if clipped.is_empty:
+            # Outside the indexed region: keep at the root so it is still
+            # findable (mirrors how block-partitioned systems keep strays).
+            self._root.items.append((box, int(item_id)))
+            self._size += 1
+            return
+        self.counters.add("index.build_ops")
+        self._insert(self._root, box, int(item_id))
+        self._size += 1
+
+    def _insert(self, node: _QNode, box: MBR, item_id: int) -> None:
+        if node.children is not None:
+            for child in node.children:
+                if child.box.intersects(box):
+                    self._insert(child, box, item_id)
+            return
+        node.items.append((box, item_id))
+        if len(node.items) > self.node_capacity and node.depth < self.max_depth:
+            self._split(node)
+
+    def _split(self, node: _QNode) -> None:
+        self.counters.add("index.splits")
+        node.children = [_QNode(q, node.depth + 1) for q in node.quadrants()]
+        items, node.items = node.items, []
+        for box, item_id in items:
+            for child in node.children:
+                if child.box.intersects(box):
+                    child.items.append((box, item_id))
+
+    def insert_many(self, mbrs, ids=None) -> None:
+        """Insert a batch of rectangles (ids default to positions)."""
+        seq = list(mbrs)
+        ids = range(len(seq)) if ids is None else ids
+        for box, item_id in zip(seq, ids):
+            self.insert(box, item_id)
+
+    # --------------------------------------------------------------- query
+    def query(self, box: MBR) -> np.ndarray:
+        """Sorted unique item ids whose MBRs intersect *box*."""
+        if box.is_empty or self._size == 0:
+            return np.empty(0, dtype=np.int64)
+        found: set[int] = set()
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            self.counters.add("index.node_visits")
+            if not node.box.intersects(box) and node is not self._root:
+                continue
+            for item_mbr, item_id in node.items:
+                if item_mbr.intersects(box):
+                    found.add(item_id)
+            if node.children is not None:
+                for child in node.children:
+                    if child.box.intersects(box):
+                        stack.append(child)
+        return np.array(sorted(found), dtype=np.int64)
+
+    def count_query(self, box: MBR) -> int:
+        """Number of items whose MBR intersects *box*."""
+        return int(self.query(box).size)
+
+    @property
+    def depth(self) -> int:
+        best = 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            best = max(best, node.depth)
+            if node.children is not None:
+                stack.extend(node.children)
+        return best
+
+    def leaf_boxes(self) -> list[MBR]:
+        """Bounding boxes of all leaves (used by quadtree partitioners)."""
+        out = []
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.children is None:
+                out.append(node.box)
+            else:
+                stack.extend(node.children)
+        return out

@@ -1,0 +1,248 @@
+"""Dynamic R-tree with Guttman quadratic split.
+
+Stands in for libspatialindex, which HadoopGIS's mappers rebuild from the
+sampled partition MBRs on every task (a design cost the paper calls out).
+Unlike :class:`~repro.index.strtree.STRtree` this index supports
+incremental insertion, which is how those mappers populate it.
+
+Structure: leaf nodes hold ``(MBR, item_id)`` pairs; internal nodes hold
+child nodes directly, and a child's authoritative MBR lives on the child
+(``child.mbr``) so there is no duplicated bound to go stale.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from ..geometry.mbr import EMPTY_MBR, MBR
+from ..metrics import Counters
+
+__all__ = ["RTree"]
+
+DEFAULT_MAX_ENTRIES = 16
+
+
+class _Leaf:
+    __slots__ = ("items", "mbr")
+
+    leaf = True
+
+    def __init__(self):
+        self.items: list[tuple[MBR, int]] = []
+        self.mbr: MBR = EMPTY_MBR
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def recompute_mbr(self) -> None:
+        self.mbr = MBR.union_all(m for m, _ in self.items)
+
+
+class _Inner:
+    __slots__ = ("children", "mbr")
+
+    leaf = False
+
+    def __init__(self):
+        self.children: list[Union["_Inner", _Leaf]] = []
+        self.mbr: MBR = EMPTY_MBR
+
+    def __len__(self) -> int:
+        return len(self.children)
+
+    def recompute_mbr(self) -> None:
+        self.mbr = MBR.union_all(c.mbr for c in self.children)
+
+
+_Node = Union[_Leaf, _Inner]
+
+
+class RTree:
+    """Guttman R-tree (quadratic split) supporting insert and query."""
+
+    def __init__(
+        self,
+        *,
+        max_entries: int = DEFAULT_MAX_ENTRIES,
+        counters: Optional[Counters] = None,
+    ):
+        if max_entries < 4:
+            raise ValueError("max_entries must be >= 4")
+        self.max_entries = max_entries
+        self.min_entries = max(2, max_entries // 2)
+        self.counters = counters if counters is not None else Counters()
+        self._root: _Node = _Leaf()
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def extent(self) -> MBR:
+        return self._root.mbr
+
+    @property
+    def height(self) -> int:
+        h, node = 1, self._root
+        while not node.leaf:
+            node = node.children[0]  # type: ignore[union-attr]
+            h += 1
+        return h
+
+    # -------------------------------------------------------------- insert
+    def insert(self, box: MBR, item_id: int) -> None:
+        """Insert one rectangle with its payload id."""
+        self.counters.add("index.build_ops")
+        path = self._choose_path(box)
+        leaf = path[-1]
+        assert isinstance(leaf, _Leaf)
+        leaf.items.append((box, int(item_id)))
+        for node in path:
+            node.mbr = node.mbr.union(box)
+        self._split_upward(path)
+        self._size += 1
+
+    def insert_many(self, boxes, ids=None) -> None:
+        """Insert a batch (MBRArray, (n, 4) array, or MBR sequence)."""
+        seq = list(boxes)
+        ids = range(len(seq)) if ids is None else ids
+        for box, item_id in zip(seq, ids):
+            if not isinstance(box, MBR):
+                box = MBR(float(box[0]), float(box[1]), float(box[2]), float(box[3]))
+            self.insert(box, int(item_id))
+
+    def _choose_path(self, box: MBR) -> list[_Node]:
+        node: _Node = self._root
+        path = [node]
+        while not node.leaf:
+            self.counters.add("index.node_visits")
+            best, best_enl, best_area = None, np.inf, np.inf
+            for child in node.children:  # type: ignore[union-attr]
+                enl = child.mbr.enlargement(box)
+                area = child.mbr.area
+                if enl < best_enl or (enl == best_enl and area < best_area):
+                    best, best_enl, best_area = child, enl, area
+            node = best  # type: ignore[assignment]
+            path.append(node)
+        return path
+
+    def _split_upward(self, path: list[_Node]) -> None:
+        """Split overflowing nodes from the leaf up, growing the root if needed."""
+        for depth in range(len(path) - 1, -1, -1):
+            node = path[depth]
+            if len(node) <= self.max_entries:
+                break
+            sibling = self._quadratic_split(node)
+            if depth == 0:
+                new_root = _Inner()
+                new_root.children = [node, sibling]
+                new_root.recompute_mbr()
+                self._root = new_root
+            else:
+                parent = path[depth - 1]
+                assert isinstance(parent, _Inner)
+                parent.children.append(sibling)
+                parent.recompute_mbr()
+
+    def _quadratic_split(self, node: _Node) -> _Node:
+        """Split *node* in place; returns the new sibling."""
+        self.counters.add("index.splits")
+        if node.leaf:
+            entries = node.items  # type: ignore[union-attr]
+            boxes = [m for m, _ in entries]
+        else:
+            entries = node.children  # type: ignore[union-attr]
+            boxes = [c.mbr for c in entries]
+
+        # Seeds: the pair wasting the most area when grouped together.
+        worst, s1, s2 = -np.inf, 0, 1
+        for i in range(len(boxes)):
+            for j in range(i + 1, len(boxes)):
+                waste = boxes[i].union(boxes[j]).area - boxes[i].area - boxes[j].area
+                if waste > worst:
+                    worst, s1, s2 = waste, i, j
+
+        group1, group2 = [entries[s1]], [entries[s2]]
+        mbr1, mbr2 = boxes[s1], boxes[s2]
+        rest = [(boxes[k], entries[k]) for k in range(len(entries)) if k not in (s1, s2)]
+        for k, (box, entry) in enumerate(rest):
+            remaining = len(rest) - k - 1
+            if len(group1) + remaining + 1 == self.min_entries:
+                group1.append(entry)
+                mbr1 = mbr1.union(box)
+                continue
+            if len(group2) + remaining + 1 == self.min_entries:
+                group2.append(entry)
+                mbr2 = mbr2.union(box)
+                continue
+            d1, d2 = mbr1.enlargement(box), mbr2.enlargement(box)
+            if d1 < d2 or (d1 == d2 and mbr1.area <= mbr2.area):
+                group1.append(entry)
+                mbr1 = mbr1.union(box)
+            else:
+                group2.append(entry)
+                mbr2 = mbr2.union(box)
+
+        sibling: _Node = _Leaf() if node.leaf else _Inner()
+        if node.leaf:
+            node.items = group1  # type: ignore[union-attr]
+            sibling.items = group2  # type: ignore[union-attr]
+        else:
+            node.children = group1  # type: ignore[union-attr]
+            sibling.children = group2  # type: ignore[union-attr]
+        node.mbr = mbr1
+        sibling.mbr = mbr2
+        return sibling
+
+    # --------------------------------------------------------------- query
+    def query(self, box: MBR) -> np.ndarray:
+        """Sorted item ids of all rectangles intersecting *box*."""
+        if box.is_empty or self._size == 0:
+            return np.empty(0, dtype=np.int64)
+        out: list[int] = []
+        stack: list[_Node] = [self._root]
+        while stack:
+            node = stack.pop()
+            self.counters.add("index.node_visits")
+            if node.leaf:
+                for item_mbr, item_id in node.items:  # type: ignore[union-attr]
+                    if item_mbr.intersects(box):
+                        out.append(item_id)
+            else:
+                for child in node.children:  # type: ignore[union-attr]
+                    if child.mbr.intersects(box):
+                        stack.append(child)
+        return np.array(sorted(out), dtype=np.int64)
+
+    def count_query(self, box: MBR) -> int:
+        """Number of items whose MBR intersects *box*."""
+        return int(self.query(box).size)
+
+    # ---------------------------------------------------------- invariants
+    def check_invariants(self) -> None:
+        """Raise AssertionError if structural invariants are violated."""
+
+        def walk(node: _Node, is_root: bool) -> tuple[int, int]:
+            assert len(node) <= self.max_entries, "node overflow"
+            if not is_root:
+                assert len(node) >= self.min_entries, "node underflow"
+            if node.leaf:
+                expected = MBR.union_all(m for m, _ in node.items)  # type: ignore[union-attr]
+                assert node.mbr == expected, "stale leaf MBR"
+                return 1, len(node)
+            expected = MBR.union_all(c.mbr for c in node.children)  # type: ignore[union-attr]
+            assert node.mbr == expected, "stale inner MBR"
+            depths, count = set(), 0
+            for child in node.children:  # type: ignore[union-attr]
+                assert node.mbr.contains(child.mbr), "child escapes parent"
+                d, c = walk(child, False)
+                depths.add(d)
+                count += c
+            assert len(depths) == 1, "unbalanced tree"
+            return depths.pop() + 1, count
+
+        if self._size:
+            _, count = walk(self._root, True)
+            assert count == self._size, "size mismatch"

@@ -1,0 +1,274 @@
+"""Sort-Tile-Recursive (STR) bulk-loaded R-tree.
+
+This is the workhorse index of the reproduction: SpatialHadoop packs one
+per HDFS block in its preprocessing stage, SpatialSpark builds one over
+partition MBRs for the broadcast global join and one per partition for the
+local indexed nested-loop join.
+
+The tree is stored level-by-level in flat NumPy arrays (struct-of-arrays,
+per the HPC guides): each level keeps an ``(m, 4)`` bounds array plus
+contiguous child ranges into the level below, so a query touches only
+vectorized slice operations — no per-node Python objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..geometry.mbr import MBR, MBRArray
+from ..metrics import Counters
+
+__all__ = ["STRtree", "str_packing_order", "sync_tree_join"]
+
+DEFAULT_LEAF_CAPACITY = 16
+DEFAULT_FANOUT = 16
+
+
+def str_packing_order(bounds: np.ndarray, capacity: int) -> np.ndarray:
+    """Return the STR tiling order for an ``(n, 4)`` bounds array.
+
+    Sort-Tile-Recursive: sort by center-x, cut into ``S = ceil(sqrt(n/c))``
+    vertical slabs of ``S*c`` entries, sort each slab by center-y.  The
+    returned permutation groups spatially-close rectangles into runs of
+    *capacity*.
+    """
+    n = bounds.shape[0]
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+    centers_x = (bounds[:, 0] + bounds[:, 2]) / 2.0
+    centers_y = (bounds[:, 1] + bounds[:, 3]) / 2.0
+    n_groups = -(-n // capacity)
+    n_slabs = int(np.ceil(np.sqrt(n_groups)))
+    slab_size = -(-n // n_slabs)
+    by_x = np.argsort(centers_x, kind="stable")
+    order = np.empty(n, dtype=np.int64)
+    for s in range(n_slabs):
+        slab = by_x[s * slab_size : (s + 1) * slab_size]
+        order[s * slab_size : s * slab_size + slab.size] = slab[
+            np.argsort(centers_y[slab], kind="stable")
+        ]
+    return order
+
+
+@dataclass
+class _Level:
+    """One tree level: node bounds plus contiguous child ranges below."""
+
+    bounds: np.ndarray  # (m, 4)
+    starts: np.ndarray  # (m,) start index into the level below (or items)
+    ends: np.ndarray  # (m,) end index (exclusive)
+
+
+def _pack_level(bounds: np.ndarray, fanout: int) -> _Level:
+    """Group consecutive runs of *fanout* nodes into parents."""
+    m = bounds.shape[0]
+    n_parents = -(-m // fanout)
+    starts = np.arange(n_parents, dtype=np.int64) * fanout
+    ends = np.minimum(starts + fanout, m)
+    parent_bounds = np.empty((n_parents, 4), dtype=np.float64)
+    for i in range(n_parents):
+        chunk = bounds[starts[i] : ends[i]]
+        parent_bounds[i, 0] = chunk[:, 0].min()
+        parent_bounds[i, 1] = chunk[:, 1].min()
+        parent_bounds[i, 2] = chunk[:, 2].max()
+        parent_bounds[i, 3] = chunk[:, 3].max()
+    return _Level(parent_bounds, starts, ends)
+
+
+class STRtree:
+    """Immutable, bulk-loaded STR-packed R-tree over a batch of MBRs.
+
+    Parameters
+    ----------
+    mbrs:
+        The rectangles to index (``MBRArray`` or ``(n, 4)`` array).
+    leaf_capacity, fanout:
+        Packing widths for leaves and internal nodes.
+    counters:
+        Optional shared :class:`~repro.metrics.Counters`; when present,
+        every build and query charges ``index.*`` counters used by the
+        simulated-time cost model.
+    """
+
+    def __init__(
+        self,
+        mbrs: MBRArray | np.ndarray,
+        *,
+        leaf_capacity: int = DEFAULT_LEAF_CAPACITY,
+        fanout: int = DEFAULT_FANOUT,
+        counters: Optional[Counters] = None,
+    ):
+        if isinstance(mbrs, MBRArray):
+            bounds = mbrs.data
+        else:
+            bounds = np.ascontiguousarray(mbrs, dtype=np.float64)
+        if leaf_capacity < 2 or fanout < 2:
+            raise ValueError("leaf_capacity and fanout must be >= 2")
+        self.counters = counters if counters is not None else Counters()
+        self._n_items = bounds.shape[0]
+        self.leaf_capacity = leaf_capacity
+        self.fanout = fanout
+
+        # Leaf level: STR-permute items, then group runs of leaf_capacity.
+        order = str_packing_order(bounds, leaf_capacity)
+        self.item_ids = order  # position -> original item id
+        item_bounds = bounds[order] if order.size else bounds.reshape(0, 4)
+        self._item_bounds = np.ascontiguousarray(item_bounds)
+
+        self._levels: list[_Level] = []
+        if self._n_items:
+            level = _pack_level(self._item_bounds, leaf_capacity)
+            self._levels.append(level)
+            while level.bounds.shape[0] > 1:
+                level = _pack_level(level.bounds, fanout)
+                self._levels.append(level)
+        # Accounting: every item placement plus every node creation.
+        self.counters.add("index.build_ops", self._n_items)
+        self.counters.add("index.nodes_built", sum(l.bounds.shape[0] for l in self._levels))
+
+    # ------------------------------------------------------------ metadata
+    def __len__(self) -> int:
+        return self._n_items
+
+    @property
+    def height(self) -> int:
+        """Number of levels above the items (0 for an empty tree)."""
+        return len(self._levels)
+
+    @property
+    def extent(self) -> MBR:
+        if not self._levels:
+            return MBRArray(self._item_bounds).extent()
+        root = self._levels[-1].bounds[0]
+        return MBR(root[0], root[1], root[2], root[3])
+
+    # --------------------------------------------------------------- query
+    def query(self, box: MBR) -> np.ndarray:
+        """Original ids of all items whose MBR intersects *box*."""
+        if self._n_items == 0 or box.is_empty:
+            return np.empty(0, dtype=np.int64)
+        frontier = np.array([0], dtype=np.int64)  # root node index
+        qxmin, qymin, qxmax, qymax = box.xmin, box.ymin, box.xmax, box.ymax
+        visits = 0
+        # Walk top level -> leaf level, keeping node positions whose bounds hit.
+        for level in reversed(self._levels):
+            if level is not self._levels[-1]:
+                b = level.bounds[frontier]
+                visits += frontier.size
+                hit = (
+                    (b[:, 0] <= qxmax)
+                    & (qxmin <= b[:, 2])
+                    & (b[:, 1] <= qymax)
+                    & (qymin <= b[:, 3])
+                )
+                frontier = frontier[hit]
+                if frontier.size == 0:
+                    self.counters.add("index.node_visits", visits)
+                    return np.empty(0, dtype=np.int64)
+            # Expand to children ranges (positions in the level below).
+            spans = [
+                np.arange(level.starts[i], level.ends[i]) for i in frontier
+            ]
+            frontier = np.concatenate(spans) if spans else np.empty(0, dtype=np.int64)
+        # frontier now holds item positions; test item bounds.
+        visits += frontier.size
+        self.counters.add("index.node_visits", visits)
+        b = self._item_bounds[frontier]
+        hit = (
+            (b[:, 0] <= qxmax)
+            & (qxmin <= b[:, 2])
+            & (b[:, 1] <= qymax)
+            & (qymin <= b[:, 3])
+        )
+        return self.item_ids[frontier[hit]]
+
+    def query_many(self, boxes: MBRArray) -> list[np.ndarray]:
+        """Query each box in a batch; returns one id array per box."""
+        return [self.query(boxes[i]) for i in range(len(boxes))]
+
+    def count_query(self, box: MBR) -> int:
+        """Number of items whose MBR intersects *box*."""
+        return int(self.query(box).size)
+
+
+def sync_tree_join(
+    a: STRtree, b: STRtree, counters: Optional[Counters] = None
+) -> list[tuple[int, int]]:
+    """Synchronized traversal join of two STR trees.
+
+    Descends both trees simultaneously, pruning subtree pairs whose bounds
+    are disjoint — the classic R-tree spatial-join of Brinkhoff et al. that
+    SpatialHadoop offers as a local-join algorithm.  Returns (a_id, b_id)
+    pairs whose item MBRs intersect.
+    """
+    out: list[tuple[int, int]] = []
+    if len(a) == 0 or len(b) == 0:
+        return out
+    counters = counters if counters is not None else Counters()
+
+    def item_span(tree: STRtree, level_idx: int, node: int) -> np.ndarray:
+        level = tree._levels[level_idx]
+        return np.arange(level.starts[node], level.ends[node])
+
+    def recurse(level_a: int, node_a: int, level_b: int, node_b: int) -> None:
+        counters.add("index.node_visits")
+        # Descend the deeper side (levels are counted from the leaves).
+        if level_a < 0 and level_b < 0:
+            # node_a / node_b are item positions.
+            ba = a._item_bounds[node_a]
+            bb = b._item_bounds[node_b]
+            counters.add("index.leaf_pair_tests")
+            if (
+                ba[0] <= bb[2]
+                and bb[0] <= ba[2]
+                and ba[1] <= bb[3]
+                and bb[1] <= ba[3]
+            ):
+                out.append((int(a.item_ids[node_a]), int(b.item_ids[node_b])))
+            return
+        if level_a >= 0 and (level_b < 0 or level_a >= level_b):
+            bounds_b = (
+                b._item_bounds[node_b] if level_b < 0 else b._levels[level_b].bounds[node_b]
+            )
+            box_b = MBR(bounds_b[0], bounds_b[1], bounds_b[2], bounds_b[3])
+            level = a._levels[level_a]
+            children = np.arange(level.starts[node_a], level.ends[node_a])
+            child_bounds = (
+                a._item_bounds[children] if level_a == 0 else a._levels[level_a - 1].bounds[children]
+            )
+            hit = (
+                (child_bounds[:, 0] <= box_b.xmax)
+                & (box_b.xmin <= child_bounds[:, 2])
+                & (child_bounds[:, 1] <= box_b.ymax)
+                & (box_b.ymin <= child_bounds[:, 3])
+            )
+            for child in children[hit]:
+                recurse(level_a - 1, int(child), level_b, node_b)
+        else:
+            bounds_a = (
+                a._item_bounds[node_a] if level_a < 0 else a._levels[level_a].bounds[node_a]
+            )
+            box_a = MBR(bounds_a[0], bounds_a[1], bounds_a[2], bounds_a[3])
+            level = b._levels[level_b]
+            children = np.arange(level.starts[node_b], level.ends[node_b])
+            child_bounds = (
+                b._item_bounds[children] if level_b == 0 else b._levels[level_b - 1].bounds[children]
+            )
+            hit = (
+                (child_bounds[:, 0] <= box_a.xmax)
+                & (box_a.xmin <= child_bounds[:, 2])
+                & (child_bounds[:, 1] <= box_a.ymax)
+                & (box_a.ymin <= child_bounds[:, 3])
+            )
+            for child in children[hit]:
+                recurse(level_a, node_a, level_b - 1, int(child))
+
+    root_a_level = len(a._levels) - 1
+    root_b_level = len(b._levels) - 1
+    if not a.extent.intersects(b.extent):
+        return out
+    recurse(root_a_level, 0, root_b_level, 0)
+    return out

@@ -1,0 +1,39 @@
+"""Simulated Hadoop MapReduce substrate (jobs, input formats, streaming)."""
+
+from .job import (
+    MAX_TASK_ATTEMPTS,
+    BlockInputFormat,
+    InputFormat,
+    JobResult,
+    MapReduceJob,
+    Split,
+    SplitData,
+    TaskAttemptError,
+)
+from .streaming import (
+    DEFAULT_PIPE_FRACTION,
+    PipePolicy,
+    StreamingPipeError,
+    make_streaming_hook,
+    parse_charge,
+    pipe_capacity_for,
+    serialize_charge,
+)
+
+__all__ = [
+    "MapReduceJob",
+    "JobResult",
+    "TaskAttemptError",
+    "MAX_TASK_ATTEMPTS",
+    "Split",
+    "SplitData",
+    "InputFormat",
+    "BlockInputFormat",
+    "StreamingPipeError",
+    "PipePolicy",
+    "make_streaming_hook",
+    "pipe_capacity_for",
+    "parse_charge",
+    "serialize_charge",
+    "DEFAULT_PIPE_FRACTION",
+]

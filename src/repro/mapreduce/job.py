@@ -1,0 +1,329 @@
+"""Simulated Hadoop MapReduce engine.
+
+Executes user map/reduce functions for real over the simulated HDFS while
+charging every byte and framework overhead to the shared counters, and
+recording per-phase :class:`~repro.cluster.simclock.PhaseRecord` entries
+(map / shuffle / reduce) on the run's :class:`SimClock`.
+
+Fidelity points that matter to the paper:
+
+* **Splits** come from an input-format hook.  The default produces one
+  split per HDFS block; SpatialHadoop overrides ``get_splits`` with its
+  ``BinarySpatialInputFormat`` to emit *paired-block* splits — that is
+  exactly where its global join happens (on the job master, serially).
+* **Map tasks** receive whole splits (not single records) so systems can
+  model per-task setup work such as HadoopGIS rebuilding its sample R-tree
+  in every mapper.
+* **Shuffle** charges ``shuffle.bytes_disk`` (Hadoop always spills) plus
+  an ``n·log n`` sort charge, and groups map output by key.
+* **Map-only jobs** (SpatialHadoop's distributed join) skip the shuffle
+  entirely — a major design advantage the paper highlights.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Optional, Sequence
+
+import numpy as np
+
+from ..cluster.simclock import PhaseRecord, SimClock
+from ..hdfs.filesystem import SimulatedHDFS
+from ..hdfs.sizeof import estimate_size
+from ..metrics import Counters
+
+__all__ = [
+    "Split",
+    "SplitData",
+    "InputFormat",
+    "BlockInputFormat",
+    "MapReduceJob",
+    "JobResult",
+    "TaskAttemptError",
+    "MAX_TASK_ATTEMPTS",
+]
+
+#: Hadoop's default mapreduce.map/reduce.maxattempts.
+MAX_TASK_ATTEMPTS = 4
+
+
+class TaskAttemptError(RuntimeError):
+    """A task failed more times than Hadoop's attempt limit allows."""
+
+    def __init__(self, job: str, kind: str, index: int, attempts: int):
+        self.job = job
+        self.kind = kind
+        self.index = index
+        self.attempts = attempts
+        super().__init__(
+            f"{kind} task {index} of job {job!r} failed {attempts} attempts"
+        )
+
+
+@dataclass
+class Split:
+    """A unit of map-task input: one or more (path, block_idx) parts."""
+
+    parts: list[tuple[str, int]]
+    info: dict = field(default_factory=dict)
+
+
+@dataclass
+class SplitData:
+    """Materialized split content handed to a map task."""
+
+    split: Split
+    records: list  # concatenation of all parts' records
+    part_records: list[list]  # records per part
+    part_aux: list[Any]  # aux payload per part (block index etc.)
+
+
+class InputFormat:
+    """Produces the splits of a job.  Subclass to customize (getSplits)."""
+
+    def get_splits(self, hdfs: SimulatedHDFS, inputs: Sequence[str]) -> list[Split]:
+        """Return the splits for a job over *inputs*."""
+        raise NotImplementedError
+    """Return the splits for a job over *inputs*."""
+
+
+class BlockInputFormat(InputFormat):
+    """Default FileInputFormat: one split per HDFS block of each input."""
+
+    def get_splits(self, hdfs: SimulatedHDFS, inputs: Sequence[str]) -> list[Split]:
+        """One split per HDFS block of every input path."""
+        splits = []
+        for path in inputs:
+            for block_idx, _, _ in hdfs.blocks_meta(path):
+                splits.append(Split(parts=[(path, block_idx)]))
+        return splits
+
+
+@dataclass
+class JobResult:
+    """Outcome of a completed job."""
+
+    output_path: Optional[str]
+    output_records: int
+    map_output_records: int
+    splits: int
+    reducers: int
+
+
+class MapReduceJob:
+    """One MapReduce job.
+
+    Parameters
+    ----------
+    name:
+        Job label; phase records are named ``<name>.map`` etc.
+    hdfs, counters, clock:
+        The run's shared substrates.
+    inputs:
+        HDFS paths (interpretation is up to the input format).
+    map_task:
+        ``fn(SplitData) -> Iterable[(key, value)]`` for jobs with a reduce
+        phase, or ``fn(SplitData) -> Iterable[record]`` for map-only jobs.
+    reduce_task:
+        ``fn(key, values: list) -> Iterable[record]`` or None (map-only).
+    combiner:
+        Optional ``fn(key, values: list) -> Iterable[(key, value)]`` run on
+        each map task's output before the shuffle — Hadoop's classic
+        map-side aggregation, directly visible as reduced shuffle bytes.
+    output_path:
+        Where reduce (or map-only) output is written; None discards output
+        (some HadoopGIS intermediate steps feed local programs instead).
+    num_reducers:
+        Reduce-task count; defaults to the number of splits.
+    group:
+        Reporting group for the Table 3 breakdown.
+    streaming_hook:
+        Optional callable invoked per task with (task_kind, bytes_in,
+        bytes_out) — the Hadoop Streaming layer uses it to charge pipe
+        traffic and enforce pipe capacity.
+    fault_injector:
+        Optional ``fn(kind, task_index, attempt) -> bool`` returning True
+        to kill that attempt.  Hadoop's fault tolerance re-runs the task
+        (charging the duplicated work) up to ``MAX_TASK_ATTEMPTS`` times —
+        the "mature platform" robustness the paper credits SpatialHadoop
+        with.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        hdfs: SimulatedHDFS,
+        counters: Counters,
+        clock: SimClock,
+        inputs: Sequence[str],
+        map_task: Callable[[SplitData], Iterable],
+        reduce_task: Optional[Callable[[Any, list], Iterable]] = None,
+        combiner: Optional[Callable[[Any, list], Iterable]] = None,
+        output_path: Optional[str] = None,
+        input_format: Optional[InputFormat] = None,
+        num_reducers: Optional[int] = None,
+        group: str = "join",
+        streaming_hook: Optional[Callable[[str, int, int], None]] = None,
+        fault_injector: Optional[Callable[[str, int, int], bool]] = None,
+    ):
+        self.name = name
+        self.hdfs = hdfs
+        self.counters = counters
+        self.clock = clock
+        self.inputs = list(inputs)
+        self.map_task = map_task
+        self.reduce_task = reduce_task
+        self.combiner = combiner
+        self.output_path = output_path
+        self.input_format = input_format or BlockInputFormat()
+        self.num_reducers = num_reducers
+        self.group = group
+        self.streaming_hook = streaming_hook
+        self.fault_injector = fault_injector
+
+    def _attempts(self, kind: str, index: int, body: Callable[[], list]) -> list:
+        """Run a task body with Hadoop-style retries under fault injection."""
+        for attempt in range(MAX_TASK_ATTEMPTS):
+            result = body()
+            if self.fault_injector is None or not self.fault_injector(
+                kind, index, attempt
+            ):
+                return result
+            # The attempt's work is lost; the scheduler reruns the task.
+            self.counters.add("mr.task_retries")
+            self.counters.add("mr.tasks")
+        raise TaskAttemptError(self.name, kind, index, MAX_TASK_ATTEMPTS)
+
+    # ------------------------------------------------------------------ run
+    def run(self) -> JobResult:
+        """Execute map → shuffle → reduce and write the output."""
+        self.counters.add("mr.jobs")
+        splits = self.input_format.get_splits(self.hdfs, self.inputs)
+
+        # ----------------------------------------------------------- map
+        before = self.counters.snapshot()
+        self.counters.add("mr.tasks", len(splits))
+        map_out: list = []
+        for index, split in enumerate(splits):
+
+            def attempt(split=split):
+                data = self._materialize(split)
+                bytes_in = sum(estimate_size(r) for r in data.records)
+                task_out = list(self.map_task(data))
+                if self.combiner is not None and self.reduce_task is not None:
+                    groups: dict = {}
+                    for k, v in task_out:
+                        groups.setdefault(k, []).append(v)
+                    self.counters.add("mr.combine_in", len(task_out))
+                    task_out = [
+                        kv
+                        for key in groups
+                        for kv in self.combiner(key, groups[key])
+                    ]
+                    self.counters.add("mr.combine_out", len(task_out))
+                bytes_out = sum(estimate_size(r) for r in task_out)
+                if self.streaming_hook is not None:
+                    self.streaming_hook(
+                        "map", bytes_in, bytes_out, len(data.records), len(task_out)
+                    )
+                return task_out
+
+            map_out.extend(self._attempts("map", index, attempt))
+        self.clock.record(
+            PhaseRecord(
+                name=f"{self.name}.map",
+                counters=self.counters.diff(before),
+                tasks=max(len(splits), 1),
+                group=self.group,
+            )
+        )
+
+        if self.reduce_task is None:
+            out_records = self._write_output(map_out, tasks=max(len(splits), 1))
+            return JobResult(
+                output_path=self.output_path,
+                output_records=out_records,
+                map_output_records=len(map_out),
+                splits=len(splits),
+                reducers=0,
+            )
+
+        # -------------------------------------------------------- shuffle
+        before = self.counters.snapshot()
+        n_reducers = self.num_reducers or max(len(splits), 1)
+        self.counters.add("mr.tasks", n_reducers)
+        shuffle_bytes = sum(estimate_size(kv) for kv in map_out)
+        self.counters.add("shuffle.bytes_disk", shuffle_bytes)
+        if map_out:
+            self.counters.add("sort.ops", len(map_out) * max(np.log2(len(map_out)), 1.0))
+        grouped: list[dict] = [dict() for _ in range(n_reducers)]
+        for key, value in map_out:
+            bucket = grouped[hash(key) % n_reducers]
+            bucket.setdefault(key, []).append(value)
+        self.clock.record(
+            PhaseRecord(
+                name=f"{self.name}.shuffle",
+                counters=self.counters.diff(before),
+                tasks=n_reducers,
+                group=self.group,
+            )
+        )
+
+        # --------------------------------------------------------- reduce
+        before = self.counters.snapshot()
+        reduce_out: list = []
+        for index, bucket in enumerate(grouped):
+
+            def attempt(bucket=bucket):
+                bytes_in = 0
+                records_in = 0
+                task_out: list = []
+                for key in sorted(bucket, key=repr):
+                    values = bucket[key]
+                    bytes_in += sum(estimate_size(v) for v in values)
+                    records_in += len(values)
+                    task_out.extend(self.reduce_task(key, values))
+                bytes_out = sum(estimate_size(r) for r in task_out)
+                if self.streaming_hook is not None:
+                    self.streaming_hook(
+                        "reduce", bytes_in, bytes_out, records_in, len(task_out)
+                    )
+                return task_out
+
+            reduce_out.extend(self._attempts("reduce", index, attempt))
+        out_records = self._write_output(reduce_out, tasks=n_reducers, before=before)
+        return JobResult(
+            output_path=self.output_path,
+            output_records=out_records,
+            map_output_records=len(map_out),
+            splits=len(splits),
+            reducers=n_reducers,
+        )
+
+    # -------------------------------------------------------------- helpers
+    def _materialize(self, split: Split) -> SplitData:
+        part_records, part_aux = [], []
+        for path, block_idx in split.parts:
+            block = self.hdfs.read_block(path, block_idx)
+            part_records.append(block.records)
+            part_aux.append(block.aux)
+        records = [r for part in part_records for r in part]
+        return SplitData(
+            split=split, records=records, part_records=part_records, part_aux=part_aux
+        )
+
+    def _write_output(self, records: list, *, tasks: int, before=None) -> int:
+        before = self.counters.snapshot() if before is None else before
+        if self.output_path is not None:
+            self.hdfs.write_file(self.output_path, records, overwrite=True)
+        phase_name = f"{self.name}.reduce" if self.reduce_task else f"{self.name}.map_write"
+        self.clock.record(
+            PhaseRecord(
+                name=phase_name,
+                counters=self.counters.diff(before),
+                tasks=tasks,
+                group=self.group,
+            )
+        )
+        return len(records)

@@ -1,0 +1,130 @@
+"""Hadoop Streaming layer.
+
+HadoopGIS plugs python/C++ modules into Hadoop via Hadoop Streaming: every
+record crosses OS pipes as a line of text, which (a) forces text
+(de)serialization at every hop and (b) breaks — the paper's words: "the
+top reason for HadoopGIS to fail is broken pipeline, which is typical in
+Hadoop Streaming when the data that pipes through multiple processors is
+too big".
+
+This module reproduces both effects:
+
+* :func:`parse_charge` / :func:`serialize_charge` — the per-record text
+  tax, charged by streaming map/reduce wrappers on every pipe crossing.
+* :class:`PipePolicy` + :func:`make_streaming_hook` — per-process pipe
+  accounting and the capacity rule.  A streaming process whose cumulative
+  piped volume (in *logical*, paper-scale bytes) exceeds the capacity
+  raises :class:`StreamingPipeError`, which surfaces as the "-" cells of
+  Tables 2–3.
+
+Calibration: capacity is ``pipe_fraction × node memory``.  With the
+default fraction (0.075) the emergent pass/fail matrix matches the paper:
+all full-dataset HadoopGIS runs fail (even on the 128 GB workstation);
+sample-dataset runs pass on the workstation but fail on the 15 GB-node
+EC2 clusters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..cluster.specs import ClusterConfig
+from ..metrics import Counters
+
+__all__ = [
+    "StreamingPipeError",
+    "PipePolicy",
+    "make_streaming_hook",
+    "pipe_capacity_for",
+    "parse_charge",
+    "serialize_charge",
+    "DEFAULT_PIPE_FRACTION",
+]
+
+DEFAULT_PIPE_FRACTION = 0.075
+
+
+class StreamingPipeError(RuntimeError):
+    """A streaming process's pipe volume exceeded capacity (broken pipe)."""
+
+    def __init__(self, job: str, kind: str, logical_bytes: float, capacity: float):
+        self.job = job
+        self.kind = kind
+        self.logical_bytes = logical_bytes
+        self.capacity = capacity
+        super().__init__(
+            f"broken pipe in streaming {kind} task of job {job!r}: "
+            f"{logical_bytes / 2**30:.2f} GiB piped > "
+            f"{capacity / 2**30:.2f} GiB capacity"
+        )
+
+
+def pipe_capacity_for(
+    cluster: ClusterConfig, fraction: float = DEFAULT_PIPE_FRACTION
+) -> float:
+    """Pipe capacity in bytes for one streaming process on this cluster.
+
+    Tied to per-node memory: the sort/dedup stages of a streaming pipeline
+    buffer their input on one node, so the node's memory bounds how much a
+    single process can pipe before the pipeline stalls and breaks.
+    """
+    return cluster.machine.memory_bytes * fraction
+
+
+@dataclass
+class PipePolicy:
+    """Failure policy threaded into streaming jobs.
+
+    ``byte_scale`` converts executed (scaled-down) byte counts into the
+    logical paper-scale volumes that decide failure, so running a 1/1000
+    scale model still fails exactly where the full-size system would.
+    """
+
+    capacity_bytes: float = float("inf")
+    byte_scale: float = 1.0
+
+    def check(self, job: str, kind: str, actual_bytes: float) -> None:
+        """Raise :class:`StreamingPipeError` if the logical volume exceeds capacity."""
+        logical = actual_bytes * self.byte_scale
+        if logical > self.capacity_bytes:
+            raise StreamingPipeError(job, kind, logical, self.capacity_bytes)
+
+
+def make_streaming_hook(
+    counters: Counters, policy: PipePolicy, job_name: str
+) -> Callable[[str, int, int], None]:
+    """Build the per-task hook a :class:`MapReduceJob` calls after each task.
+
+    Charges one external process spawn and the task's full pipe volume,
+    then applies the capacity rule.
+    """
+
+    def hook(
+        kind: str,
+        bytes_in: int,
+        bytes_out: int,
+        records_in: int = 0,
+        records_out: int = 0,
+    ) -> None:
+        counters.add("streaming.processes")
+        volume = bytes_in + bytes_out
+        counters.add("pipe.bytes", volume)
+        # Every record crossing a pipe pays the external-process tax
+        # (line read, split, Python-object churn) on both sides.
+        counters.add("pipe.records", records_in + records_out)
+        policy.check(job_name, kind, volume)
+
+    return hook
+
+
+def parse_charge(counters: Counters, n_records: int, n_bytes: int) -> None:
+    """Charge text→object decoding for records read off a pipe."""
+    counters.add("parse.records", n_records)
+    counters.add("parse.bytes", n_bytes)
+
+
+def serialize_charge(counters: Counters, n_records: int, n_bytes: int) -> None:
+    """Charge object→text encoding for records written to a pipe."""
+    counters.add("serialize.records", n_records)
+    counters.add("serialize.bytes", n_bytes)

@@ -1,0 +1,57 @@
+"""A tiny shared counters type used by every substrate.
+
+Substrates (geometry engines, the DFS, MapReduce, Spark) *count resources*
+— bytes, records, geometry operations — and only the cluster cost model
+converts counts into simulated seconds.  Keeping one counters type across
+all of them makes per-phase accounting uniform and mergeable.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+__all__ = ["Counters"]
+
+
+class Counters(dict):
+    """A ``dict[str, float]`` with merge/scale helpers; missing keys are 0."""
+
+    def __missing__(self, key: str) -> float:
+        return 0.0
+
+    def add(self, key: str, amount: float = 1.0) -> None:
+        """Increment *key* by *amount* (default 1)."""
+        self[key] = self.get(key, 0.0) + amount
+
+    def merge(self, other: Mapping[str, float]) -> "Counters":
+        """Add every counter of *other* into self; returns self."""
+        for key, value in other.items():
+            self[key] = self.get(key, 0.0) + value
+        return self
+
+    def scaled(self, factors: Mapping[str, float], default: float = 1.0) -> "Counters":
+        """Return a copy with each counter multiplied by its factor."""
+        out = Counters()
+        for key, value in self.items():
+            out[key] = value * factors.get(key, default)
+        return out
+
+    def snapshot(self) -> "Counters":
+        """An independent copy (pair with :meth:`diff` for phase deltas)."""
+        return Counters(self)
+
+    def diff(self, earlier: Mapping[str, float]) -> "Counters":
+        """Counters accumulated since an earlier snapshot."""
+        out = Counters()
+        for key in set(self) | set(earlier):
+            delta = self.get(key, 0.0) - earlier.get(key, 0.0)
+            if delta:
+                out[key] = delta
+        return out
+
+    @staticmethod
+    def total(parts: Iterable[Mapping[str, float]]) -> "Counters":
+        out = Counters()
+        for part in parts:
+            out.merge(part)
+        return out

@@ -1,0 +1,14 @@
+"""Simulated Spark substrate: lazy RDDs, broadcast, executor memory."""
+
+from .context import Broadcast, SparkContext
+from .memory import MemoryLedger, MemoryModel, SparkOutOfMemoryError
+from .rdd import RDD
+
+__all__ = [
+    "SparkContext",
+    "Broadcast",
+    "RDD",
+    "MemoryLedger",
+    "MemoryModel",
+    "SparkOutOfMemoryError",
+]

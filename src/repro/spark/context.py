@@ -1,0 +1,130 @@
+"""SparkContext analogue: sources, broadcast variables, phase recording.
+
+One context = one Spark application (SpatialSpark runs one query per
+application).  It wires the RDD machinery to the run's shared counters,
+clock, HDFS and memory ledger, and exposes the little that SpatialSpark
+needs: ``parallelize``, ``from_hdfs``, ``broadcast`` and a phase-recording
+context manager for Table 3 breakdowns.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Callable, Optional
+
+from ..cluster.simclock import PhaseRecord, SimClock
+from ..hdfs.filesystem import SimulatedHDFS
+from ..hdfs.sizeof import estimate_size
+from ..metrics import Counters
+from .memory import MemoryLedger
+from .rdd import RDD
+
+__all__ = ["SparkContext", "Broadcast"]
+
+
+class Broadcast:
+    """A broadcast variable: read-only value shipped to every executor."""
+
+    def __init__(self, value: Any, nbytes: int):
+        self.value = value
+        self.nbytes = nbytes
+
+
+class SparkContext:
+    """Entry point of the simulated Spark runtime."""
+
+    def __init__(
+        self,
+        *,
+        counters: Optional[Counters] = None,
+        clock: Optional[SimClock] = None,
+        hdfs: Optional[SimulatedHDFS] = None,
+        ledger: Optional[MemoryLedger] = None,
+        default_parallelism: int = 8,
+        num_nodes: int = 1,
+        scale_resolver: Optional[Callable[[str], tuple[float, float]]] = None,
+    ):
+        self.counters = counters if counters is not None else Counters()
+        self.clock = clock if clock is not None else SimClock()
+        self.hdfs = hdfs
+        self.ledger = ledger if ledger is not None else MemoryLedger()
+        self.default_parallelism = max(1, default_parallelism)
+        self.num_nodes = max(1, num_nodes)
+        #: Optional fn(label) -> (record_scale, byte_scale): maps an RDD
+        #: back to its source dataset so per-dataset scale factors apply
+        #: (labels compose, so a lineage keeps its source path in the label).
+        self.scale_resolver = scale_resolver
+        #: Optional fn(rdd_label) -> bool: True simulates losing the RDD's
+        #: freshly-computed partitions (executor failure); the runtime
+        #: recomputes them from lineage, re-charging the work.
+        self.fault_injector = None
+
+    # --------------------------------------------------------------- sources
+    def parallelize(self, data, n_partitions: Optional[int] = None) -> RDD:
+        """Create an RDD from a local collection (charges a load footprint)."""
+        items = list(data)
+        n = max(1, n_partitions or self.default_parallelism)
+        n = min(n, max(len(items), 1))
+
+        def compute():
+            if not items:
+                return [[]]
+            size = -(-len(items) // n)
+            return [items[i : i + size] for i in range(0, len(items), size)]
+
+        return RDD(
+            self, compute=compute, n_partitions=n, charges_memory="load",
+            label="parallelize",
+        )
+
+    def from_hdfs(self, path: str, n_partitions: Optional[int] = None) -> RDD:
+        """Load an HDFS file: one partition per block (charges HDFS read).
+
+        This is SpatialSpark's *only* HDFS interaction — everything after
+        runs in executor memory.
+        """
+        if self.hdfs is None:
+            raise RuntimeError("SparkContext was created without an HDFS")
+        hdfs = self.hdfs
+        ctx = self
+
+        def compute():
+            meta = hdfs.blocks_meta(path)
+            parts = []
+            for block_idx, _, _ in meta:
+                parts.append(list(hdfs.read_block(path, block_idx).records))
+            ctx.counters.add("spark.tasks", max(len(parts), 1))
+            return parts or [[]]
+
+        n = n_partitions or max(
+            len(self.hdfs.blocks_meta(path)) if self.hdfs.exists(path) else 1, 1
+        )
+        return RDD(
+            self, compute=compute, n_partitions=n, charges_memory="load",
+            label=f"hdfs:{path}",
+        )
+
+    # ------------------------------------------------------------- broadcast
+    def broadcast(self, value: Any, nbytes: Optional[int] = None) -> Broadcast:
+        """Ship *value* to all executors (charges network + memory).
+
+        SpatialSpark broadcasts the STR tree over the sampled partition
+        MBRs here, without touching HDFS — the design the paper contrasts
+        with HadoopGIS's per-mapper index rebuild from an HDFS file.
+        """
+        size = nbytes if nbytes is not None else estimate_size(value)
+        self.counters.add("net.bytes_broadcast", size)
+        self.ledger.charge_broadcast(size, replicas=self.num_nodes, what="broadcast")
+        return Broadcast(value, size)
+
+    # ------------------------------------------------------- phase recording
+    @contextmanager
+    def record_phase(self, name: str, *, group: str = "join", tasks: int = 1):
+        """Record all counters accumulated in the block as one PhaseRecord."""
+        before = self.counters.snapshot()
+        yield
+        self.clock.record(
+            PhaseRecord(
+                name=name, counters=self.counters.diff(before), tasks=tasks, group=group
+            )
+        )

@@ -1,0 +1,136 @@
+"""Spark executor memory model.
+
+The paper: "The top reason for SpatialSpark to fail is out of memory and
+Spark is not able to spill data to external storage ... the workstation
+has 128 GB memory and the aggregated memory capacity of the EC2-10
+cluster is 150 GB, which were sufficient" (while EC2-8's 120 GB and
+EC2-6's 90 GB were not).
+
+We reproduce that as an executor-memory ledger.  Every *materialized*
+dataset (input load or shuffle output) charges a JVM footprint
+
+    footprint = records × record_overhead + data_bytes × byte_expansion
+
+converted to paper scale via ``record_scale`` / ``byte_scale``.  Narrow
+(pipelined) transformations charge nothing, matching Spark's execution
+model.  When the live footprint exceeds the cluster's usable memory the
+ledger raises :class:`SparkOutOfMemoryError` — the "-" cells of Table 2.
+
+Calibration of the constants (documented in EXPERIMENTS.md): a record
+that is loaded once and shuffled once costs ``300 + 189 = 489`` bytes of
+JVM overhead plus ``1.0×`` its load bytes and ``0.72×`` its shuffle-tuple
+bytes.  With the paper's record counts and the shuffle-tuple inflation
+the executed pipelines exhibit, both full joins land at ≈92-94 GiB —
+inside WS's 96 GiB and EC2-10's 112.5 GiB usable memory, outside EC2-8's
+90 GiB and EC2-6's 67.5 GiB: exactly the paper's failure matrix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["SparkOutOfMemoryError", "MemoryModel", "MemoryLedger"]
+
+
+class SparkOutOfMemoryError(MemoryError):
+    """Aggregate executor memory exhausted (no spill path for this workload)."""
+
+    def __init__(self, needed: float, budget: float, what: str):
+        self.needed = needed
+        self.budget = budget
+        self.what = what
+        super().__init__(
+            f"Spark out of memory while materializing {what}: needs "
+            f"{needed / 2**30:.1f} GiB live, budget {budget / 2**30:.1f} GiB"
+        )
+
+
+@dataclass(frozen=True)
+class MemoryModel:
+    """Per-record / per-byte JVM footprint constants (bytes)."""
+
+    record_overhead_load: float = 300.0
+    record_overhead_shuffle: float = 189.0
+    byte_expansion_load: float = 1.0
+    byte_expansion_shuffle: float = 0.72
+
+    def load_footprint(self, records: float, nbytes: float) -> float:
+        """JVM bytes held by a materialized input of this size."""
+        return records * self.record_overhead_load + nbytes * self.byte_expansion_load
+
+    def shuffle_footprint(self, records: float, nbytes: float) -> float:
+        """JVM bytes held by a shuffle output of this size."""
+        return (
+            records * self.record_overhead_shuffle
+            + nbytes * self.byte_expansion_shuffle
+        )
+
+
+class MemoryLedger:
+    """Tracks live and peak simulated executor memory for one Spark app.
+
+    ``record_scale`` / ``byte_scale`` convert executed (scaled-down)
+    counts into logical paper-scale volumes, so a 1/1000-scale run OOMs
+    exactly where the full-scale system would.
+    """
+
+    def __init__(
+        self,
+        budget_bytes: float = float("inf"),
+        *,
+        record_scale: float = 1.0,
+        byte_scale: float = 1.0,
+        model: MemoryModel | None = None,
+    ):
+        self.budget_bytes = budget_bytes
+        self.record_scale = record_scale
+        self.byte_scale = byte_scale
+        self.model = model or MemoryModel()
+        self.live_bytes = 0.0
+        self.peak_bytes = 0.0
+
+    # ------------------------------------------------------------- charging
+    def _charge(self, footprint: float, what: str) -> float:
+        self.live_bytes += footprint
+        self.peak_bytes = max(self.peak_bytes, self.live_bytes)
+        if self.live_bytes > self.budget_bytes:
+            needed = self.live_bytes
+            # The failed allocation is rolled back: the task dies but its
+            # memory returns to the executor pool.
+            self.live_bytes -= footprint
+            raise SparkOutOfMemoryError(needed, self.budget_bytes, what)
+        return footprint
+
+    def charge_load(
+        self,
+        records: int,
+        nbytes: int,
+        what: str = "input RDD",
+        scale: "tuple[float, float] | None" = None,
+    ) -> float:
+        """Charge a materialized input; returns the footprint taken."""
+        rs, bs = scale if scale is not None else (self.record_scale, self.byte_scale)
+        return self._charge(
+            self.model.load_footprint(records * rs, nbytes * bs), what
+        )
+
+    def charge_shuffle(
+        self,
+        records: int,
+        nbytes: int,
+        what: str = "shuffle",
+        scale: "tuple[float, float] | None" = None,
+    ) -> float:
+        """Charge a materialized shuffle output; returns the footprint."""
+        rs, bs = scale if scale is not None else (self.record_scale, self.byte_scale)
+        return self._charge(
+            self.model.shuffle_footprint(records * rs, nbytes * bs), what
+        )
+
+    def charge_broadcast(self, nbytes: int, replicas: int, what: str = "broadcast") -> float:
+        """Charge a broadcast variable replicated onto every node."""
+        return self._charge(nbytes * self.byte_scale * replicas, what)
+
+    def release(self, footprint: float) -> None:
+        """Return memory (e.g. an RDD unpersisted between queries)."""
+        self.live_bytes = max(0.0, self.live_bytes - footprint)

@@ -1,0 +1,456 @@
+"""Lazy RDDs with lineage, narrow/wide dependencies and shuffle accounting.
+
+The subset of the Spark API that SpatialSpark uses — ``map``, ``flatMap``,
+``filter``, ``mapPartitions``, ``mapValues``, ``sample``, ``groupByKey``,
+``reduceByKey``, ``join``, ``cogroup``, ``distinct``, ``sortBy``,
+``union`` — plus the actions ``collect``, ``count``, ``take``,
+``countByKey`` and ``reduce``.  Transformations build a lineage DAG;
+actions trigger evaluation.
+
+Execution fidelity that matters here:
+
+* **Narrow transformations are pipelined** — they materialize nothing and
+  charge no executor memory, like Spark's iterator chaining.
+* **Wide transformations (groupByKey / join / partitionBy) are stage
+  boundaries** — they charge ``spark.stages``, per-partition
+  ``spark.tasks``, in-memory ``shuffle.bytes_mem``, and a shuffle
+  footprint on the memory ledger (which is what ultimately OOMs).
+* **Sources** (``parallelize`` / HDFS loads) charge a load footprint.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Optional
+
+import numpy as np
+
+from ..hdfs.sizeof import estimate_size
+
+__all__ = ["RDD"]
+
+
+def _default_partitioner(key: Any, n: int) -> int:
+    return hash(key) % n
+
+
+class RDD:
+    """One node of the lineage DAG.
+
+    Not constructed directly — use :class:`~repro.spark.context.SparkContext`
+    factories (``parallelize``, ``from_hdfs``) and transformations.
+    """
+
+    def __init__(
+        self,
+        ctx,
+        *,
+        parents: tuple["RDD", ...] = (),
+        compute: Optional[Callable[[], list[list]]] = None,
+        n_partitions: Optional[int] = None,
+        charges_memory: str = "none",  # "load" | "shuffle" | "none"
+        label: str = "rdd",
+    ):
+        self.ctx = ctx
+        self.parents = parents
+        self._compute = compute
+        self._n_partitions = n_partitions
+        self._charges_memory = charges_memory
+        self.label = label
+        #: (n_partitions, partition_fn) once hash-partitioned; lets join()
+        #: skip the re-shuffle of co-partitioned inputs, as Spark does.
+        self.partitioner: Optional[tuple[int, Callable]] = None
+        self._materialized: Optional[list[list]] = None
+        self._footprint: float = 0.0  # ledger bytes held while materialized
+
+    # ----------------------------------------------------------- evaluation
+    def _partitions(self) -> list[list]:
+        """Materialize (with memoization) this RDD's partitions.
+
+        When the context carries a fault injector and it reports an
+        executor loss for this RDD, the partitions are *recomputed from
+        lineage* — the user functions re-run, so every op they charge is
+        charged again, which is exactly the recomputation cost Spark pays.
+        """
+        if self._materialized is None:
+            parts = self._compute()
+            injector = getattr(self.ctx, "fault_injector", None)
+            if injector is not None and injector(self.label):
+                self.ctx.counters.add("spark.recomputes")
+                parts = self._compute()
+            if self._charges_memory != "none":
+                records = sum(len(p) for p in parts)
+                nbytes = sum(estimate_size(r) for p in parts for r in p)
+                scale = (
+                    self.ctx.scale_resolver(self.label)
+                    if self.ctx.scale_resolver is not None
+                    else None
+                )
+                if self._charges_memory == "load":
+                    self._footprint = self.ctx.ledger.charge_load(
+                        records, nbytes, what=self.label, scale=scale
+                    )
+                else:
+                    self._footprint = self.ctx.ledger.charge_shuffle(
+                        records, nbytes, what=self.label, scale=scale
+                    )
+            self._materialized = parts
+        return self._materialized
+
+    def toDebugString(self) -> str:
+        """Indented lineage description, Spark-style; shuffle boundaries
+        are marked with '+-' like Spark's stage breaks."""
+        lines: list[str] = []
+
+        def walk(rdd: "RDD", depth: int) -> None:
+            marker = "+-" if rdd._charges_memory == "shuffle" else "| "
+            lines.append(f"{'  ' * depth}{marker} {rdd.label} "
+                         f"[{rdd.num_partitions} partitions]")
+            for parent in rdd.parents:
+                walk(parent, depth + 1)
+
+        walk(self, 0)
+        return "\n".join(lines)
+
+    def cache(self) -> "RDD":
+        """Mark persistent.  Materializations are already memoized, so this
+        is Spark-API compatibility; pair with :meth:`unpersist` to release
+        executor memory between queries."""
+        return self
+
+    def unpersist(self) -> "RDD":
+        """Drop materialized partitions and return their executor memory."""
+        if self._materialized is not None:
+            self._materialized = None
+            if self._footprint:
+                self.ctx.ledger.release(self._footprint)
+                self._footprint = 0.0
+        return self
+
+    @property
+    def num_partitions(self) -> int:
+        if self._n_partitions is not None:
+            return self._n_partitions
+        return self.parents[0].num_partitions if self.parents else 1
+
+    # --------------------------------------------- narrow transformations
+    def _narrow(self, fn: Callable[[list], list], label: str) -> "RDD":
+        parent = self
+
+        def compute():
+            return [fn(part) for part in parent._partitions()]
+
+        return RDD(self.ctx, parents=(parent,), compute=compute, label=label)
+
+    def map(self, f: Callable) -> "RDD":
+        """Apply *f* to every element (narrow)."""
+        return self._narrow(lambda part: [f(x) for x in part], f"map({self.label})")
+
+    def flatMap(self, f: Callable) -> "RDD":
+        """Apply *f* and flatten the resulting iterables (narrow)."""
+        return self._narrow(
+            lambda part: [y for x in part for y in f(x)], f"flatMap({self.label})"
+        )
+
+    def filter(self, f: Callable) -> "RDD":
+        """Keep elements where *f* is true (narrow)."""
+        return self._narrow(lambda part: [x for x in part if f(x)], f"filter({self.label})")
+
+    def mapPartitions(self, f: Callable[[list], Iterable]) -> "RDD":
+        """Apply *f* to each whole partition (narrow)."""
+        return self._narrow(lambda part: list(f(part)), f"mapPartitions({self.label})")
+
+    def mapValues(self, f: Callable) -> "RDD":
+        """Apply *f* to the values of a pair RDD (narrow)."""
+        return self._narrow(
+            lambda part: [(k, f(v)) for k, v in part], f"mapValues({self.label})"
+        )
+
+    def keyBy(self, f: Callable) -> "RDD":
+        """Pair every element with ``f(element)`` as its key (narrow)."""
+        return self._narrow(lambda part: [(f(x), x) for x in part], f"keyBy({self.label})")
+
+    def keys(self) -> "RDD":
+        """Keys of a pair RDD (narrow)."""
+        return self._narrow(lambda part: [k for k, _ in part], f"keys({self.label})")
+
+    def values(self) -> "RDD":
+        """Values of a pair RDD (narrow)."""
+        return self._narrow(lambda part: [v for _, v in part], f"values({self.label})")
+
+    def sample(self, fraction: float, seed: int = 0) -> "RDD":
+        """Bernoulli sampling without replacement (Spark's built-in)."""
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("sample fraction must be in [0, 1]")
+        parent = self
+
+        def compute():
+            out = []
+            for i, part in enumerate(parent._partitions()):
+                rng = np.random.default_rng((seed, i))
+                if part:
+                    mask = rng.random(len(part)) < fraction
+                    out.append([x for x, keep in zip(part, mask) if keep])
+                else:
+                    out.append([])
+            return out
+
+        return RDD(self.ctx, parents=(parent,), compute=compute, label=f"sample({self.label})")
+
+    def union(self, other: "RDD") -> "RDD":
+        """Concatenate two RDDs' partitions (narrow)."""
+        a, b = self, other
+
+        def compute():
+            return a._partitions() + b._partitions()
+
+        return RDD(
+            self.ctx,
+            parents=(a, b),
+            compute=compute,
+            n_partitions=a.num_partitions + b.num_partitions,
+            label=f"union({a.label},{b.label})",
+        )
+
+    def distinct(self, n_out: Optional[int] = None) -> "RDD":
+        """Unique elements (a shuffle: equal elements must co-locate)."""
+        n = n_out or self.num_partitions
+
+        def bucket(part, buckets):
+            for x in part:
+                buckets[hash(x) % n].append(x)
+
+        shuffled = self._shuffled(n, bucket, f"distinct({self.label})")
+
+        def compute():
+            out = []
+            for part in shuffled._partitions():
+                seen = set()
+                uniq = []
+                for x in part:
+                    if x not in seen:
+                        seen.add(x)
+                        uniq.append(x)
+                out.append(uniq)
+            return out
+
+        return RDD(self.ctx, parents=(shuffled,), compute=compute,
+                   n_partitions=n, label=f"distinct({self.label})")
+
+    def sortBy(self, key_fn: Callable, n_out: Optional[int] = None) -> "RDD":
+        """Globally sort by a key (range-partition shuffle + local sorts).
+
+        Range boundaries come from the materialized data (a real Spark
+        sortBy samples first; our partitions are already in memory).
+        """
+        n = n_out or self.num_partitions
+        parent = self
+
+        def compute():
+            parts = parent._partitions()
+            self.ctx.counters.add("spark.stages")
+            self.ctx.counters.add("spark.tasks", max(len(parts), 1))
+            items = [x for p in parts for x in p]
+            nbytes = sum(estimate_size(x) for x in items)
+            self.ctx.counters.add("shuffle.bytes_mem", nbytes)
+            if items:
+                self.ctx.counters.add(
+                    "sort.ops", len(items) * max(np.log2(len(items)), 1.0)
+                )
+            items.sort(key=key_fn)
+            size = max(1, -(-len(items) // n))
+            return [items[i : i + size] for i in range(0, len(items), size)] or [[]]
+
+        return RDD(self.ctx, parents=(parent,), compute=compute,
+                   n_partitions=n, charges_memory="shuffle",
+                   label=f"sortBy({self.label})")
+
+    def cogroup(self, other: "RDD", n_out: Optional[int] = None) -> "RDD":
+        """Group two pair RDDs by key → (key, ([left values], [right values]))."""
+        n = n_out or max(self.num_partitions, other.num_partitions)
+        left = self.groupByKey(n)
+        right = other.groupByKey(n)
+
+        def compute():
+            out = []
+            for lpart, rpart in zip(left._partitions(), right._partitions()):
+                lmap = dict(lpart)
+                rmap = dict(rpart)
+                out.append(
+                    [
+                        (k, (lmap.get(k, []), rmap.get(k, [])))
+                        for k in sorted(set(lmap) | set(rmap), key=repr)
+                    ]
+                )
+            return out
+
+        out = RDD(self.ctx, parents=(left, right), compute=compute,
+                  n_partitions=n, label=f"cogroup({self.label},{other.label})")
+        out.partitioner = left.partitioner
+        return out
+
+    # ----------------------------------------------- wide transformations
+    def _shuffled(
+        self, n_out: int, bucket_fn: Callable[[list, list[list]], None], label: str
+    ) -> "RDD":
+        """Common shuffle machinery: redistribute records into n_out buckets."""
+        parent = self
+
+        def compute():
+            parts = parent._partitions()
+            self.ctx.counters.add("spark.stages")
+            self.ctx.counters.add("spark.tasks", max(len(parts), 1))
+            nbytes = sum(estimate_size(r) for p in parts for r in p)
+            self.ctx.counters.add("shuffle.bytes_mem", nbytes)
+            n_records = sum(len(p) for p in parts)
+            # Per-record serde + hashing + grouping churn of an in-memory
+            # exchange — Spark's dominant per-record cost on tiny records.
+            self.ctx.counters.add("spark.shuffle_records", n_records)
+            if n_records:
+                self.ctx.counters.add(
+                    "sort.ops", n_records * max(np.log2(n_records), 1.0)
+                )
+            buckets: list[list] = [[] for _ in range(n_out)]
+            for part in parts:
+                bucket_fn(part, buckets)
+            return buckets
+
+        return RDD(
+            self.ctx,
+            parents=(parent,),
+            compute=compute,
+            n_partitions=n_out,
+            charges_memory="shuffle",
+            label=label,
+        )
+
+    def partitionBy(self, n_out: Optional[int] = None, partitioner=None) -> "RDD":
+        """Hash-partition a pair RDD by key."""
+        n = n_out or self.ctx.default_parallelism
+        pf = partitioner or _default_partitioner
+
+        def bucket(part, buckets):
+            for k, v in part:
+                buckets[pf(k, n)].append((k, v))
+
+        out = self._shuffled(n, bucket, f"partitionBy({self.label})")
+        out.partitioner = (n, pf)
+        return out
+
+    def groupByKey(self, n_out: Optional[int] = None) -> "RDD":
+        """Group a pair RDD into (key, [values]) — SpatialSpark's core step."""
+        n = n_out or self.ctx.default_parallelism
+        parent = self
+        shuffled = parent.partitionBy(n)
+
+        def compute():
+            out = []
+            for part in shuffled._partitions():
+                groups: dict = {}
+                for k, v in part:
+                    groups.setdefault(k, []).append(v)
+                out.append(list(groups.items()))
+            return out
+
+        out = RDD(
+            self.ctx,
+            parents=(shuffled,),
+            compute=compute,
+            n_partitions=n,
+            label=f"groupByKey({parent.label})",
+        )
+        out.partitioner = shuffled.partitioner
+        return out
+
+    def reduceByKey(self, f: Callable, n_out: Optional[int] = None) -> "RDD":
+        """Group by key and fold each group with *f* (a shuffle)."""
+        return self.groupByKey(n_out).mapValues(
+            lambda vs: _reduce_list(f, vs)
+        )
+
+    def join(self, other: "RDD", n_out: Optional[int] = None) -> "RDD":
+        """Inner join of two pair RDDs on key → (key, (left, right)).
+
+        Co-partitioned inputs (same partition count and function) are
+        joined with a narrow zip — no extra shuffle — matching Spark's
+        behaviour when both sides share a partitioner.
+        """
+        n = n_out or max(self.num_partitions, other.num_partitions)
+
+        def aligned(rdd: "RDD") -> "RDD":
+            if rdd.partitioner is not None and rdd.partitioner[0] == n:
+                return rdd
+            return rdd.partitionBy(n)
+
+        left = aligned(self)
+        right = aligned(other)
+
+        def compute():
+            out = []
+            for lpart, rpart in zip(left._partitions(), right._partitions()):
+                lmap: dict = {}
+                for k, v in lpart:
+                    lmap.setdefault(k, []).append(v)
+                joined = []
+                for k, w in rpart:
+                    for v in lmap.get(k, ()):
+                        joined.append((k, (v, w)))
+                out.append(joined)
+            return out
+
+        out = RDD(
+            self.ctx,
+            parents=(left, right),
+            compute=compute,
+            n_partitions=n,
+            label=f"join({self.label},{other.label})",
+        )
+        out.partitioner = left.partitioner
+        return out
+
+    # ---------------------------------------------------------------- actions
+    def collect(self) -> list:
+        """Materialize and return every element (an action)."""
+        parts = self._partitions()
+        self.ctx.counters.add("spark.stages")
+        self.ctx.counters.add("spark.tasks", max(len(parts), 1))
+        return [x for part in parts for x in part]
+
+    def count(self) -> int:
+        """Number of elements (an action)."""
+        parts = self._partitions()
+        self.ctx.counters.add("spark.stages")
+        self.ctx.counters.add("spark.tasks", max(len(parts), 1))
+        return sum(len(p) for p in parts)
+
+    def reduce(self, f: Callable):
+        """Fold all elements with *f* (raises on an empty RDD, like Spark)."""
+        items = self.collect()
+        if not items:
+            raise ValueError("reduce() of empty RDD")
+        return _reduce_list(f, items)
+
+    def countByKey(self) -> dict:
+        """Counts per key of a pair RDD."""
+        out: dict = {}
+        for k, _v in self.collect():
+            out[k] = out.get(k, 0) + 1
+        return out
+
+    def take(self, n: int) -> list:
+        """The first *n* elements in partition order (an action)."""
+        out: list = []
+        for part in self._partitions():
+            for x in part:
+                if len(out) == n:
+                    return out
+                out.append(x)
+        self.ctx.counters.add("spark.stages")
+        return out
+
+
+def _reduce_list(f: Callable, values: list):
+    it = iter(values)
+    acc = next(it)
+    for v in it:
+        acc = f(acc, v)
+    return acc

@@ -1,0 +1,35 @@
+"""The three Cloud spatial-join systems the paper compares."""
+
+from .base import GROUPS, RunEnvironment, RunReport, SpatialJoinSystem
+from .hadoopgis import HadoopGIS
+from .spatialhadoop import SpatialHadoop
+from .spatialspark import SpatialSpark
+
+ALL_SYSTEMS = {
+    "HadoopGIS": HadoopGIS,
+    "SpatialHadoop": SpatialHadoop,
+    "SpatialSpark": SpatialSpark,
+}
+
+
+def make_system(name: str, **kwargs) -> SpatialJoinSystem:
+    """Instantiate a system by its paper name."""
+    try:
+        return ALL_SYSTEMS[name](**kwargs)
+    except KeyError:
+        raise ValueError(
+            f"unknown system {name!r}; options: {sorted(ALL_SYSTEMS)}"
+        ) from None
+
+
+__all__ = [
+    "SpatialJoinSystem",
+    "RunEnvironment",
+    "RunReport",
+    "GROUPS",
+    "HadoopGIS",
+    "SpatialHadoop",
+    "SpatialSpark",
+    "ALL_SYSTEMS",
+    "make_system",
+]

@@ -1,0 +1,214 @@
+"""Common machinery of the three spatial-join systems.
+
+Defines the run environment (shared substrates wired together), the
+system interface, and the run report consumed by the experiment harness:
+per-group simulated seconds (Table 3's IA / IB / DJ / TOT breakdown),
+result pairs (verified identical across systems), and failure outcomes
+(Table 2's "-" cells).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..cluster.costmodel import CostModel, CostParams
+from ..cluster.simclock import SimClock
+from ..cluster.specs import ClusterConfig, ws_config
+from ..core.framework import StageTrace
+from ..core.predicate import INTERSECTS, JoinPredicate
+from ..data.loaders import SpatialRecord, encode_dataset
+from ..geometry.primitives import Geometry
+from ..hdfs.filesystem import SimulatedHDFS
+from ..mapreduce.streaming import StreamingPipeError, pipe_capacity_for
+from ..metrics import Counters
+from ..spark.memory import SparkOutOfMemoryError
+
+__all__ = ["RunEnvironment", "RunReport", "SpatialJoinSystem", "GROUPS"]
+
+#: Reporting groups matching Table 3's columns.
+GROUPS = ("index_a", "index_b", "join")
+
+
+@dataclass
+class RunEnvironment:
+    """Everything a system run needs, sharing one counters instance.
+
+    ``record_scale`` / ``byte_scale`` translate executed volumes into
+    logical (paper-scale) volumes for the *failure models only* — pipe
+    capacities and Spark memory.  Cost extrapolation happens later, in
+    the experiment runner, from the measured counters.
+    """
+
+    cluster: ClusterConfig
+    counters: Counters
+    hdfs: SimulatedHDFS
+    clock: SimClock
+    #: (record_scale, byte_scale) of the left / right dataset: logical
+    #: (paper-scale) units per executed unit.
+    scale_a: tuple[float, float] = (1.0, 1.0)
+    scale_b: tuple[float, float] = (1.0, 1.0)
+    seed: int = 0
+    block_size: int = field(default=0)  # informational; hdfs owns the real one
+    #: optional per-input block sizes (path -> bytes) used when staging,
+    #: so each dataset's block count matches its paper-scale structure.
+    input_block_sizes: dict = field(default_factory=dict)
+
+    @classmethod
+    def create(
+        cls,
+        cluster: Optional[ClusterConfig] = None,
+        *,
+        block_size: int = 1 << 16,
+        scale_a: tuple[float, float] = (1.0, 1.0),
+        scale_b: tuple[float, float] = (1.0, 1.0),
+        seed: int = 0,
+    ) -> "RunEnvironment":
+        cluster = cluster or ws_config()
+        counters = Counters()
+        hdfs = SimulatedHDFS(block_size=block_size, counters=counters)
+        return cls(
+            cluster=cluster,
+            counters=counters,
+            hdfs=hdfs,
+            clock=SimClock(),
+            scale_a=scale_a,
+            scale_b=scale_b,
+            seed=seed,
+            block_size=block_size,
+        )
+
+    def load_input(self, path: str, geometries: Sequence[Geometry]) -> None:
+        """Stage a dataset in HDFS as TSV text, outside the timed run.
+
+        The paper's end-to-end times start from data already resident in
+        HDFS, so the initial upload is not charged to any phase.
+        """
+        before = self.counters.snapshot()
+        self.hdfs.write_file(
+            path,
+            list(encode_dataset(geometries)),
+            block_size=self.input_block_sizes.get(path),
+        )
+        # Roll back the upload charges: staging is not part of the run.
+        for key, value in self.counters.diff(before).items():
+            self.counters[key] -= value
+
+    @property
+    def pipe_capacity(self) -> float:
+        return pipe_capacity_for(self.cluster)
+
+
+@dataclass
+class RunReport:
+    """Outcome of one system × experiment × cluster run."""
+
+    system: str
+    cluster: str
+    status: str  # "ok" | "failed"
+    clock: SimClock
+    counters: Counters
+    failure: Optional[str] = None
+    failure_kind: Optional[str] = None  # "broken_pipe" | "oom" | None
+    pairs: Optional[frozenset] = None  # {(left_rid, right_rid)}
+    engine_profile: dict = field(default_factory=dict)
+    #: peak live executor memory / budget (Spark systems only; drives the
+    #: GC-pressure penalty in the cost model).
+    memory_pressure: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def costed(
+        self, cost_params: Optional[CostParams] = None
+    ) -> "RunReport":
+        """Fill simulated seconds into the clock for this run's cluster."""
+        from ..cluster.specs import PAPER_CONFIGS
+
+        cluster = PAPER_CONFIGS().get(self.cluster)
+        if cluster is None:
+            raise ValueError(f"unknown cluster {self.cluster!r} for costing")
+        CostModel(
+            cluster,
+            params=cost_params,
+            engine_profile=self.engine_profile,
+            memory_pressure=self.memory_pressure,
+        ).cost_clock(self.clock)
+        return self
+
+    def breakdown_seconds(self) -> dict[str, float]:
+        """IA / IB / DJ / TOT seconds (requires a costed clock)."""
+        out = {
+            "IA": self.clock.group_seconds("index_a"),
+            "IB": self.clock.group_seconds("index_b"),
+            "DJ": self.clock.group_seconds("join"),
+        }
+        out["TOT"] = self.clock.total_seconds
+        return out
+
+
+class SpatialJoinSystem(ABC):
+    """Interface shared by HadoopGIS, SpatialHadoop and SpatialSpark."""
+
+    #: the paper's system name
+    name: str = "abstract"
+    #: geometry library analogue this system links against
+    engine_name: str = "jts"
+
+    @abstractmethod
+    def run(
+        self,
+        env: RunEnvironment,
+        left: Sequence[SpatialRecord] | Sequence[Geometry],
+        right: Sequence[SpatialRecord] | Sequence[Geometry],
+        predicate: JoinPredicate = INTERSECTS,
+    ) -> RunReport:
+        """Execute the full distributed join; never raises for modelled
+        failures — they come back as a failed :class:`RunReport`.
+
+        *predicate* selects the join semantics: the paper's *intersects*
+        (default) or an ε-distance join (``core.within_distance``)."""
+
+    @abstractmethod
+    def stage_trace(self) -> StageTrace:
+        """The system's pipeline in the Fig.-1 framework terms."""
+
+    # ------------------------------------------------------------- helpers
+    @staticmethod
+    def _as_records(items: Sequence) -> list[SpatialRecord]:
+        out = []
+        for i, item in enumerate(items):
+            if isinstance(item, SpatialRecord):
+                out.append(item)
+            else:
+                out.append(SpatialRecord(i, item))
+        return out
+
+    def _report(
+        self,
+        env: RunEnvironment,
+        *,
+        pairs: Optional[set] = None,
+        error: Optional[Exception] = None,
+        engine_profile: Optional[dict] = None,
+        memory_pressure: float = 0.0,
+    ) -> RunReport:
+        failure_kind = None
+        if isinstance(error, StreamingPipeError):
+            failure_kind = "broken_pipe"
+        elif isinstance(error, SparkOutOfMemoryError):
+            failure_kind = "oom"
+        return RunReport(
+            system=self.name,
+            cluster=env.cluster.name,
+            status="ok" if error is None else "failed",
+            clock=env.clock,
+            counters=env.counters,
+            failure=str(error) if error else None,
+            failure_kind=failure_kind,
+            pairs=frozenset(pairs) if pairs is not None else None,
+            engine_profile=dict(engine_profile or {}),
+            memory_pressure=memory_pressure,
+        )

@@ -1,0 +1,454 @@
+"""HadoopGIS: Hadoop-Streaming-based spatial join (Aji et al., VLDB 2013).
+
+Reproduces the design the paper analyzes (Section II, Fig. 1a):
+
+* **Streaming data access** — every record crosses mapper/reducer
+  boundaries as a line of text and is re-parsed at each hop.
+* **Six-step preprocessing per dataset** — format conversion, sampling,
+  extent computation, sample normalization, a *serial local program*
+  generating partitions (with HDFS↔local copies), and a final MR job
+  assigning partition ids, whose output is deduplicated by a pipelined
+  ``cat | sort | uniq`` over the whole partitioned file.
+* **Global join that cannot reuse preprocessing partitions** — samples of
+  both datasets are concatenated by another serial local program into a
+  *new* partitioning; every map task of the join job re-reads the
+  partition file from HDFS and rebuilds a dynamic R-tree
+  (libspatialindex analogue) before assigning partition ids again.
+* **Local join in reducers** — indexed nested loop with GEOS-like
+  (slow, scalar) refinement; duplicate result pairs from multi-assignment
+  are removed at the end.
+* **Failure mode** — any streaming process whose logical pipe volume
+  exceeds capacity raises the broken-pipe error; with full datasets this
+  happens even on the 128 GB workstation, exactly as in Table 2.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..cluster.simclock import PhaseRecord
+from ..core.framework import (
+    DataAccessModel,
+    RunsOn,
+    Stage,
+    StageStep,
+    StageTrace,
+)
+from ..core.localjoin import refine_candidates
+from ..core.partitioning import GridPartitioner, SpatialPartitioning
+from ..core.predicate import INTERSECTS, JoinPredicate
+from ..data.loaders import from_tsv_line, to_tsv_line
+from ..geometry.engine import GEOS_COST_PROFILE, make_engine
+from ..geometry.mbr import MBR, MBRArray
+from ..index.rtree import RTree
+from ..mapreduce.job import MapReduceJob
+from ..mapreduce.streaming import (
+    PipePolicy,
+    StreamingPipeError,
+    make_streaming_hook,
+    parse_charge,
+    serialize_charge,
+)
+from .base import RunEnvironment, RunReport, SpatialJoinSystem
+
+__all__ = ["HadoopGIS"]
+
+
+class HadoopGIS(SpatialJoinSystem):
+    """The HadoopGIS pipeline on the simulated substrates."""
+
+    name = "HadoopGIS"
+    engine_name = "geos"
+
+    def __init__(
+        self,
+        *,
+        n_partitions: Optional[int] = None,
+        sample_fraction: float = 0.05,
+    ):
+        self.n_partitions = n_partitions
+        self.sample_fraction = sample_fraction
+
+    # ------------------------------------------------------------------ run
+    def run(
+        self, env: RunEnvironment, left, right, predicate: JoinPredicate = INTERSECTS
+    ) -> RunReport:
+        """Execute the full HadoopGIS pipeline (see the module docstring)."""
+        left = self._as_records(left)
+        right = self._as_records(right)
+        engine = make_engine("geos", env.counters)
+        # Pipe volumes are converted to paper scale with the byte scale of
+        # the dataset flowing through the pipe; the join job mixes both
+        # sides, so it uses the larger (conservative) factor.
+        policy_a = PipePolicy(capacity_bytes=env.pipe_capacity, byte_scale=env.scale_a[1])
+        policy_b = PipePolicy(capacity_bytes=env.pipe_capacity, byte_scale=env.scale_b[1])
+        # The join job mixes records of both datasets in one task; its
+        # tasks track their own logical volumes per side (byte_scale=1).
+        policy_join = PipePolicy(capacity_bytes=env.pipe_capacity, byte_scale=1.0)
+        env.load_input("/input/a", [r.geometry for r in left])
+        env.load_input("/input/b", [r.geometry for r in right])
+        universe = MBRArray.from_geometries(
+            [r.geometry for r in left] + [r.geometry for r in right]
+        ).extent()
+        n_parts = self.n_partitions or max(
+            4, env.hdfs.num_blocks("/input/a") + env.hdfs.num_blocks("/input/b")
+        )
+        try:
+            self._preprocess(env, policy_a, "a", group="index_a")
+            self._preprocess(env, policy_b, "b", group="index_b")
+            partitioning = self._combine_samples(env, universe, n_parts)
+            pairs = self._distributed_join(
+                env, policy_join, engine, partitioning, predicate
+            )
+        except StreamingPipeError as err:
+            return self._report(env, error=err, engine_profile=GEOS_COST_PROFILE)
+        return self._report(env, pairs=pairs, engine_profile=GEOS_COST_PROFILE)
+
+    # -------------------------------------------------------- preprocessing
+    def _preprocess(
+        self, env: RunEnvironment, policy: PipePolicy, d: str, *, group: str
+    ) -> None:
+        """Steps 1-6 of HadoopGIS preprocessing for one dataset."""
+        counters, hdfs = env.counters, env.hdfs
+        hook = lambda job: make_streaming_hook(counters, policy, job)  # noqa: E731
+
+        # Step 1: map-only conversion to the internal TSV format.
+        def convert_map(data):
+            for line in data.records:
+                rec = from_tsv_line(line)
+                parse_charge(counters, 1, len(line))
+                out = to_tsv_line(rec)
+                serialize_charge(counters, 1, len(out))
+                yield out
+
+        MapReduceJob(
+            f"hgis.{d}.convert",
+            hdfs=hdfs, counters=counters, clock=env.clock,
+            inputs=[f"/input/{d}"], map_task=convert_map,
+            output_path=f"/hgis/{d}/tsv", group=group,
+            streaming_hook=hook(f"hgis.{d}.convert"),
+        ).run()
+
+        # Step 2: map-only sampling of MBRs.
+        seed = (env.seed, hash(d) & 0xFFFF)
+
+        def sample_map(data):
+            # Sample raw lines first; only sampled records are parsed.
+            rng = np.random.default_rng((seed, data.split.parts[0][1]))
+            keep = rng.random(len(data.records)) < self.sample_fraction
+            for line, k in zip(data.records, keep):
+                if k:
+                    parse_charge(counters, 1, len(line))
+                    m = from_tsv_line(line).geometry.mbr
+                    yield f"{m.xmin},{m.ymin},{m.xmax},{m.ymax}"
+
+        MapReduceJob(
+            f"hgis.{d}.sample",
+            hdfs=hdfs, counters=counters, clock=env.clock,
+            inputs=[f"/hgis/{d}/tsv"], map_task=sample_map,
+            output_path=f"/hgis/{d}/samples", group=group,
+            streaming_hook=hook(f"hgis.{d}.sample"),
+        ).run()
+
+        # Step 3: MR job computing the extent from samples (single reducer).
+        def extent_map(data):
+            for line in data.records:
+                parse_charge(counters, 1, len(line))
+                yield ("extent", line)
+
+        def extent_reduce(_key, values):
+            boxes = np.array([[float(v) for v in s.split(",")] for s in values])
+            counters.add("cpu.ops", len(values))
+            if len(boxes):
+                yield f"{boxes[:,0].min()},{boxes[:,1].min()},{boxes[:,2].max()},{boxes[:,3].max()}"
+
+        MapReduceJob(
+            f"hgis.{d}.extent",
+            hdfs=hdfs, counters=counters, clock=env.clock,
+            inputs=[f"/hgis/{d}/samples"], map_task=extent_map,
+            reduce_task=extent_reduce, output_path=f"/hgis/{d}/extent",
+            num_reducers=1, group=group, streaming_hook=hook(f"hgis.{d}.extent"),
+        ).run()
+
+        # Step 4: map-only normalization of sample MBRs against the extent.
+        extent_line = (hdfs.read_all(f"/hgis/{d}/extent") or ["0,0,1,1"])[0]
+        ex = [float(v) for v in extent_line.split(",")]
+        w = (ex[2] - ex[0]) or 1.0
+        h = (ex[3] - ex[1]) or 1.0
+
+        def normalize_map(data):
+            for line in data.records:
+                parse_charge(counters, 1, len(line))
+                m = [float(v) for v in line.split(",")]
+                out = (
+                    f"{(m[0]-ex[0])/w},{(m[1]-ex[1])/h},"
+                    f"{(m[2]-ex[0])/w},{(m[3]-ex[1])/h}"
+                )
+                serialize_charge(counters, 1, len(out))
+                yield out
+
+        MapReduceJob(
+            f"hgis.{d}.normalize",
+            hdfs=hdfs, counters=counters, clock=env.clock,
+            inputs=[f"/hgis/{d}/samples"], map_task=normalize_map,
+            output_path=f"/hgis/{d}/samples_norm", group=group,
+            streaming_hook=hook(f"hgis.{d}.normalize"),
+        ).run()
+
+        # Step 5: serial local program generating partitions (HDFS↔local copies).
+        before = counters.snapshot()
+        sample_lines = hdfs.copy_to_local(f"/hgis/{d}/samples")
+        boxes = _parse_mbr_lines(sample_lines)
+        counters.add("cpu.ops", max(len(boxes), 1))
+        part = GridPartitioner().partition(
+            boxes, max(4, hdfs.num_blocks(f"/hgis/{d}/tsv")), _extent_mbr(ex)
+        )
+        part_lines = [
+            f"{b.xmin},{b.ymin},{b.xmax},{b.ymax}" for b in part.boxes
+        ]
+        hdfs.copy_from_local(f"/hgis/{d}/partitions", part_lines, overwrite=True)
+        env.clock.record(
+            PhaseRecord(
+                name=f"hgis.{d}.gen_partitions",
+                counters=counters.diff(before),
+                tasks=1,  # serial local program
+                group=group,
+            )
+        )
+
+        # Step 6: MR job assigning partition ids (most expensive step).
+        def assign_map(data):
+            # Every map task re-reads the partition file and rebuilds an
+            # R-tree from it (the paper's criticized per-task rebuild).
+            part_lines_local = hdfs.read_all(f"/hgis/{d}/partitions")
+            tree = RTree(counters=counters)
+            for pid, line in enumerate(part_lines_local):
+                vals = [float(v) for v in line.split(",")]
+                tree.insert(MBR(*vals), pid)
+            for line in data.records:
+                parse_charge(counters, 1, len(line))
+                rec = from_tsv_line(line)
+                hits = tree.query(rec.geometry.mbr)
+                if hits.size == 0:
+                    hits = [0]
+                for pid in hits:
+                    out = f"{int(pid)}\t{line}"
+                    serialize_charge(counters, 1, len(out))
+                    yield (int(pid), line)
+
+        def assign_reduce(pid, lines):
+            for line in lines:
+                yield f"{pid}\t{line}"
+
+        MapReduceJob(
+            f"hgis.{d}.assign",
+            hdfs=hdfs, counters=counters, clock=env.clock,
+            inputs=[f"/hgis/{d}/tsv"], map_task=assign_map,
+            reduce_task=assign_reduce, output_path=f"/hgis/{d}/partitioned",
+            group=group, streaming_hook=hook(f"hgis.{d}.assign"),
+        ).run()
+
+        # Step 6b: pipelined cat|sort|uniq dedup over the whole partitioned
+        # file — one serial streaming process; the paper's broken-pipe site.
+        before = counters.snapshot()
+        lines = hdfs.read_all(f"/hgis/{d}/partitioned")
+        volume_in = sum(len(l) + 1 for l in lines)
+        counters.add("sort.ops", len(lines) * max(np.log2(max(len(lines), 2)), 1.0))
+        deduped = sorted(set(lines))
+        volume_out = sum(len(l) + 1 for l in deduped)
+        counters.add("streaming.processes")
+        counters.add("pipe.bytes", volume_in + volume_out)
+        hdfs.write_file(f"/hgis/{d}/partitioned_dedup", deduped, overwrite=True)
+        env.clock.record(
+            PhaseRecord(
+                name=f"hgis.{d}.dedup",
+                counters=counters.diff(before),
+                tasks=1,
+                group=group,
+            )
+        )
+        policy.check(f"hgis.{d}.dedup", "reduce", volume_in + volume_out)
+
+    # ---------------------------------------------------------- global join
+    def _combine_samples(
+        self, env: RunEnvironment, universe: MBR, n_parts: int
+    ) -> SpatialPartitioning:
+        """Serial local step: concatenate both samples, build new partitions.
+
+        The preprocessing partition ids cannot be reused (the two datasets
+        were partitioned independently), so HadoopGIS pays this extra
+        serial round trip — a design cost the paper highlights.
+        """
+        counters, hdfs = env.counters, env.hdfs
+        before = counters.snapshot()
+        lines = hdfs.copy_to_local("/hgis/a/samples") + hdfs.copy_to_local(
+            "/hgis/b/samples"
+        )
+        boxes = _parse_mbr_lines(lines)
+        counters.add("cpu.ops", max(len(boxes), 1))
+        part = GridPartitioner().partition(boxes, n_parts, universe)
+        part_lines = [f"{b.xmin},{b.ymin},{b.xmax},{b.ymax}" for b in part.boxes]
+        hdfs.copy_from_local("/hgis/join/partitions", part_lines, overwrite=True)
+        env.clock.record(
+            PhaseRecord(
+                name="hgis.join.combine_samples",
+                counters=counters.diff(before),
+                tasks=1,
+                group="join",
+            )
+        )
+        return part
+
+    def _distributed_join(
+        self,
+        env: RunEnvironment,
+        policy: PipePolicy,
+        engine,
+        partitioning: SpatialPartitioning,
+        predicate: JoinPredicate = INTERSECTS,
+    ) -> set[tuple[int, int]]:
+        """The final MR job: map assigns new partition ids to *both*
+        datasets, reducers perform the local join per partition.
+
+        Pipe-capacity checks happen inside the tasks, which know which
+        dataset each record belongs to and convert volumes to paper scale
+        per side (*policy* carries byte_scale=1).
+        """
+        counters, hdfs = env.counters, env.hdfs
+        results: set[tuple[int, int]] = set()
+
+        scale_of = {"A": env.scale_a[1], "B": env.scale_b[1]}
+
+        def join_map(data):
+            part_lines = hdfs.read_all("/hgis/join/partitions")
+            tree = RTree(counters=counters)
+            for pid, line in enumerate(part_lines):
+                vals = [float(v) for v in line.split(",")]
+                tree.insert(MBR(*vals), pid)
+            path = data.split.parts[0][0]
+            side = "A" if path == "/hgis/a/tsv" else "B"
+            logical_volume = 0.0
+            for line in data.records:
+                parse_charge(counters, 1, len(line))
+                logical_volume += (len(line) + 1) * scale_of[side]
+                rec = from_tsv_line(line)
+                probe = (
+                    predicate.expand(rec.geometry.mbr) if side == "A" else rec.geometry.mbr
+                )
+                hits = tree.query(probe)
+                if hits.size == 0:
+                    hits = [0]
+                for pid in hits:
+                    out = f"{int(pid)}\t{side}\t{line}"
+                    serialize_charge(counters, 1, len(out))
+                    logical_volume += (len(out) + 1) * scale_of[side]
+                    yield (int(pid), f"{side}\t{line}")
+            policy.check("hgis.join", "map", logical_volume)
+
+        def join_reduce(_pid, values):
+            a_recs, b_recs = [], []
+            logical_volume = 0.0
+            for value in values:
+                side, _, line = value.partition("\t")
+                parse_charge(counters, 1, len(value))
+                logical_volume += (len(value) + 1) * scale_of[side]
+                rec = from_tsv_line(line)
+                (a_recs if side == "A" else b_recs).append(rec)
+            policy.check("hgis.join", "reduce", logical_volume)
+            if not a_recs or not b_recs:
+                return
+            # Local join: dynamic R-tree over the B side, probe with A.
+            tree = RTree(counters=counters)
+            for j, rec in enumerate(b_recs):
+                tree.insert(rec.geometry.mbr, j)
+            candidates = []
+            for i, rec in enumerate(a_recs):
+                for j in tree.query(predicate.expand(rec.geometry.mbr)):
+                    candidates.append((i, int(j)))
+            counters.add("join.candidates", len(candidates))
+            # Each candidate refinement is a separate call from the Python
+            # streaming layer into the C++ GEOS library — the per-call
+            # overhead, not the geometry math, dominates HadoopGIS's DJ.
+            counters.add("streaming.refine_calls", len(candidates))
+            refined = refine_candidates(
+                [r.geometry for r in a_recs],
+                [r.geometry for r in b_recs],
+                candidates,
+                engine,
+                predicate,
+            )
+            for i, j in refined:
+                yield (a_recs[i].rid, b_recs[j].rid)
+
+        job = MapReduceJob(
+            "hgis.join",
+            hdfs=hdfs, counters=counters, clock=env.clock,
+            inputs=["/hgis/a/tsv", "/hgis/b/tsv"],
+            map_task=join_map, reduce_task=join_reduce,
+            output_path="/hgis/join/results",
+            num_reducers=max(len(partitioning), 1),
+            group="join",
+            # Accounting-only hook: failure checks run inside the tasks
+            # with per-side logical volumes.
+            streaming_hook=make_streaming_hook(counters, PipePolicy(), "hgis.join"),
+        )
+        job.run()
+        # Multi-assignment can emit the same result pair from two partitions;
+        # a final dedup pass (sort-unique again) removes them.
+        before = counters.snapshot()
+        out_pairs = hdfs.read_all("/hgis/join/results")
+        counters.add(
+            "sort.ops", len(out_pairs) * max(np.log2(max(len(out_pairs), 2)), 1.0)
+        )
+        results = set(out_pairs)
+        env.clock.record(
+            PhaseRecord(
+                name="hgis.join.dedup_results",
+                counters=counters.diff(before),
+                tasks=1,
+                group="join",
+            )
+        )
+        return results
+
+    # ------------------------------------------------------------ stage map
+    def stage_trace(self) -> StageTrace:
+        """HadoopGIS's pipeline in Fig.-1 framework terms."""
+        P, G, L = Stage.PREPROCESSING, Stage.GLOBAL_JOIN, Stage.LOCAL_JOIN
+        return StageTrace(
+            system=self.name,
+            access_model=DataAccessModel.STREAMING,
+            geometry_library="geos",
+            platform="hadoop",
+            steps=[
+                StageStep("convert to TSV (map-only MR ×2 datasets)", P, RunsOn.MAPPER, True, True),
+                StageStep("sample MBRs (map-only MR)", P, RunsOn.MAPPER, True, True),
+                StageStep("compute extent (MR, single reducer)", P, RunsOn.REDUCER, True, True),
+                StageStep("normalize samples (map-only MR)", P, RunsOn.MAPPER, True, True),
+                StageStep("generate partitions (serial, HDFS↔local copies)", P, RunsOn.LOCAL_PROGRAM, True, True),
+                StageStep("assign partition ids (MR)", P, RunsOn.MAPPER, True, True),
+                StageStep("dedup partitioned data (cat|sort|uniq)", P, RunsOn.LOCAL_PROGRAM, True, True),
+                StageStep("combine samples, new partitions (serial)", G, RunsOn.LOCAL_PROGRAM, True, True),
+                StageStep("rebuild R-tree per map task; re-assign both datasets", G, RunsOn.MAPPER, True, False,
+                          "partition ids from preprocessing cannot be reused"),
+                StageStep("shuffle (partition id as key)", G, RunsOn.REDUCER, False, False),
+                StageStep("indexed nested loop + GEOS refinement", L, RunsOn.REDUCER, False, True),
+            ],
+        )
+
+
+def _default_partitions(n_records: int) -> int:
+    return int(np.clip(n_records // 400, 4, 256))
+
+
+def _parse_mbr_lines(lines: Sequence[str]) -> MBRArray:
+    if not lines:
+        return MBRArray.empty()
+    rows = np.array([[float(v) for v in line.split(",")] for line in lines])
+    return MBRArray(rows)
+
+
+def _extent_mbr(ex: Sequence[float]) -> MBR:
+    return MBR(ex[0], ex[1], ex[2], ex[3])

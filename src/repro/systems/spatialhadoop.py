@@ -1,0 +1,318 @@
+"""SpatialHadoop: spatial joins tightly integrated into Hadoop (Eldawy &
+Mokbel, ICDE 2015).
+
+Reproduces the design the paper analyzes (Section II, Fig. 1b):
+
+* **Random data access** — records live in typed HDFS block files the
+  system can address block-by-block; text is parsed exactly once.
+* **Two-MR-job indexing per dataset** — job 1 samples and builds the
+  partitioning (partition MBRs stored in a ``_master`` file); job 2
+  assigns each record to its best partition, shuffles on partition id so
+  co-partitioned records land in the same block file, writes a per-block
+  STR-tree index at the head of each block ("virtually for free"), and
+  expands partition MBRs to their contents.
+* **Global join inside getSplits** — the job master reads both
+  ``_master`` files and runs a *serial* in-memory spatial join (plane
+  sweep) over partition MBRs to emit paired-block splits.
+* **Map-only local join** — each map task reads its two blocks and runs
+  a plane-sweep (or synchronized R-tree) join with JTS-like refinement.
+  No shuffle, no reducers — the design advantage the paper highlights.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..core.framework import (
+    DataAccessModel,
+    RunsOn,
+    Stage,
+    StageStep,
+    StageTrace,
+)
+from ..core.globaljoin import pair_partitions_sweep
+from ..core.localjoin import local_join
+from ..core.partitioning import STRPartitioner, SpatialPartitioning
+from ..core.predicate import INTERSECTS, JoinPredicate
+from ..data.loaders import SpatialRecord, from_tsv_line
+from ..geometry.engine import JTS_COST_PROFILE, make_engine
+from ..geometry.mbr import EMPTY_MBR, MBRArray
+from ..hdfs.filesystem import Block
+from ..index.strtree import STRtree
+from ..mapreduce.job import InputFormat, MapReduceJob, Split
+from ..mapreduce.streaming import parse_charge, serialize_charge
+from .base import RunEnvironment, RunReport, SpatialJoinSystem
+
+__all__ = ["SpatialHadoop"]
+
+
+class _BinarySpatialInputFormat(InputFormat):
+    """Pairs blocks of the two indexed files by partition-MBR intersection.
+
+    This is the ``getSplits`` overload of SpatialHadoop's
+    ``BinarySpatialInputFormat``: the master reads both ``_master`` files
+    (partition MBRs) and runs a serial spatial join to emit one split per
+    intersecting block pair.
+    """
+
+    def __init__(self, counters, clock, margin: float = 0.0):
+        self.counters = counters
+        self.clock = clock
+        self.margin = margin  # distance-join predicate margin
+
+    def get_splits(self, hdfs, inputs):
+        from ..cluster.simclock import PhaseRecord
+
+        left_data, right_data = inputs
+        before = self.counters.snapshot()
+        left_mbrs = _read_master(hdfs, left_data + "_master")
+        right_mbrs = _read_master(hdfs, right_data + "_master")
+        pairs = pair_partitions_sweep(
+            left_mbrs, right_mbrs, self.counters, margin=self.margin
+        )
+        self.clock.record(
+            PhaseRecord(
+                name="shadoop.getSplits(global join)",
+                counters=self.counters.diff(before),
+                tasks=1,  # serial, on the job master
+                group="join",
+            )
+        )
+        return [
+            Split(parts=[(left_data, i), (right_data, j)], info={"pair": (i, j)})
+            for i, j in pairs
+        ]
+
+
+class SpatialHadoop(SpatialJoinSystem):
+    """The SpatialHadoop pipeline on the simulated substrates."""
+
+    name = "SpatialHadoop"
+    engine_name = "jts"
+
+    def __init__(
+        self,
+        *,
+        n_partitions: Optional[int] = None,
+        sample_fraction: float = 0.05,
+        local_algorithm: str = "plane_sweep",
+        partitioner=None,
+    ):
+        if local_algorithm not in ("plane_sweep", "sync_rtree"):
+            raise ValueError(
+                "SpatialHadoop offers plane_sweep or sync_rtree local joins"
+            )
+        self.n_partitions = n_partitions
+        self.sample_fraction = sample_fraction
+        self.local_algorithm = local_algorithm
+        self.partitioner = partitioner or STRPartitioner()
+
+    # ------------------------------------------------------------------ run
+    def run(
+        self, env: RunEnvironment, left, right, predicate: JoinPredicate = INTERSECTS
+    ) -> RunReport:
+        """Execute the full SpatialHadoop pipeline (see the module docstring)."""
+        left = self._as_records(left)
+        right = self._as_records(right)
+        engine = make_engine("jts", env.counters)
+        env.load_input("/input/a", [r.geometry for r in left])
+        env.load_input("/input/b", [r.geometry for r in right])
+        # SpatialHadoop sizes partitions to HDFS blocks: one partition per
+        # block of the dataset being indexed (scale-stable by design).
+        n_parts_a = self.n_partitions or max(2, env.hdfs.num_blocks("/input/a"))
+        n_parts_b = self.n_partitions or max(2, env.hdfs.num_blocks("/input/b"))
+        self._index_dataset(env, "a", left, n_parts_a, group="index_a")
+        self._index_dataset(env, "b", right, n_parts_b, group="index_b")
+        pairs = self._distributed_join(env, engine, predicate)
+        return self._report(env, pairs=pairs, engine_profile=JTS_COST_PROFILE)
+
+    # --------------------------------------------------------------- indexing
+    def _index_dataset(
+        self,
+        env: RunEnvironment,
+        d: str,
+        records: Sequence[SpatialRecord],
+        n_parts: int,
+        *,
+        group: str,
+    ) -> None:
+        counters, hdfs = env.counters, env.hdfs
+        universe = MBRArray.from_geometries([r.geometry for r in records]).extent()
+        seed = (env.seed, hash(d) & 0xFFFF)
+
+        # ---- MR job 1: sample and build the partitioning. -----------------
+        partitioning_holder: dict[str, SpatialPartitioning] = {}
+
+        def sample_map(data):
+            # Lines are sampled *before* parsing: unsampled records flow
+            # through untouched (SpatialHadoop samples raw text lines).
+            rng = np.random.default_rng((seed, data.split.parts[0][1]))
+            keep = rng.random(len(data.records)) < self.sample_fraction
+            for line, k in zip(data.records, keep):
+                if k:
+                    parse_charge(counters, 1, len(line))
+                    m = from_tsv_line(line).geometry.mbr
+                    yield ("sample", (m.xmin, m.ymin, m.xmax, m.ymax))
+
+        def sample_reduce(_key, values):
+            counters.add("cpu.ops", len(values))
+            boxes = MBRArray(np.array(values).reshape(len(values), 4))
+            part = self.partitioner.partition(boxes, n_parts, universe)
+            partitioning_holder["part"] = part
+            for b in part.boxes:
+                yield (b.xmin, b.ymin, b.xmax, b.ymax)
+
+        MapReduceJob(
+            f"shadoop.{d}.sample+partition",
+            hdfs=hdfs, counters=counters, clock=env.clock,
+            inputs=[f"/input/{d}"], map_task=sample_map,
+            reduce_task=sample_reduce, output_path=f"/shadoop/{d}/seed_master",
+            num_reducers=1, group=group,
+        ).run()
+        part = partitioning_holder.get("part")
+        if part is None:  # degenerate: empty sample — one universe partition
+            part = SpatialPartitioning(
+                boxes=MBRArray(np.array([universe.as_tuple()])), tiles=False
+            )
+
+        # ---- MR job 2: assign, shuffle on partition id, write indexed file.
+        def assign_map(data):
+            # The seed_master file is broadcast via HDFS runtime: each map
+            # task reads the small partition list once.
+            hdfs.read_all(f"/shadoop/{d}/seed_master")
+            for line in data.records:
+                parse_charge(counters, 1, len(line))
+                rec = from_tsv_line(line)
+                pid = part.assign_best(rec.geometry.mbr)
+                yield (pid, rec)
+
+        collected: dict[int, list[SpatialRecord]] = {}
+
+        def assign_reduce(pid, recs):
+            collected[pid] = list(recs)
+            return ()
+
+        MapReduceJob(
+            f"shadoop.{d}.partition",
+            hdfs=hdfs, counters=counters, clock=env.clock,
+            inputs=[f"/input/{d}"], map_task=assign_map,
+            reduce_task=assign_reduce, output_path=None,
+            num_reducers=max(min(len(part), 32), 1), group=group,
+        ).run()
+
+        # Write one HDFS block per partition, each headed by its own
+        # STR-tree index, and the _master file of expanded partition MBRs.
+        from ..cluster.simclock import PhaseRecord
+
+        before = counters.snapshot()
+        blocks, master_rows = [], []
+        for pid in range(len(part)):
+            recs = collected.get(pid, [])
+            nbytes = sum(r.serialized_size() for r in recs)
+            # Serializing typed records into the block file costs CPU
+            # proportional to their size (vertex encoding).
+            serialize_charge(counters, len(recs), nbytes)
+            blocks.append(Block(records=recs, nbytes=nbytes))
+            content = MBRArray.from_geometries([r.geometry for r in recs]).extent() \
+                if recs else EMPTY_MBR
+            master_rows.append(content.as_tuple())
+        hdfs.write_blocks(f"/shadoop/{d}/data", blocks, overwrite=True)
+        for pid, block in enumerate(blocks):
+            if block.records:
+                tree = STRtree(
+                    MBRArray.from_geometries([r.geometry for r in block.records]),
+                    counters=counters,
+                )
+                # The block-local index costs ~36 bytes per tree node on
+                # disk — tiny next to the block data, as the paper notes.
+                n_nodes = -(-len(block.records) // tree.leaf_capacity) + 1
+                hdfs.attach_block_aux(
+                    f"/shadoop/{d}/data", pid, tree, nbytes=36 * n_nodes
+                )
+        hdfs.write_file(
+            f"/shadoop/{d}/data_master",
+            [",".join(str(v) for v in row) for row in master_rows],
+            overwrite=True,
+        )
+        env.clock.record(
+            PhaseRecord(
+                name=f"shadoop.{d}.write_indexed_blocks",
+                counters=counters.diff(before),
+                tasks=max(min(len(part), 32), 1),
+                group=group,
+            )
+        )
+
+    # ------------------------------------------------------------- join
+    def _distributed_join(
+        self, env: RunEnvironment, engine, predicate: JoinPredicate = INTERSECTS
+    ) -> set:
+        counters, hdfs = env.counters, env.hdfs
+        results: set[tuple[int, int]] = set()
+
+        def join_map(data):
+            a_recs, b_recs = data.part_records
+            if not a_recs or not b_recs:
+                return
+            # Binary block deserialization: every record materialized from
+            # a block file pays a per-record Writable-decoding cost.
+            counters.add("deser.records", len(a_recs) + len(b_recs))
+            refined = local_join(
+                self.local_algorithm,
+                [r.geometry for r in a_recs],
+                [r.geometry for r in b_recs],
+                engine,
+                counters=counters,
+                predicate=predicate,
+            )
+            for i, j in refined:
+                yield (a_recs[i].rid, b_recs[j].rid)
+
+        job = MapReduceJob(
+            "shadoop.join",
+            hdfs=hdfs, counters=counters, clock=env.clock,
+            inputs=["/shadoop/a/data", "/shadoop/b/data"],
+            map_task=join_map,
+            input_format=_BinarySpatialInputFormat(
+                counters, env.clock, margin=predicate.filter_margin
+            ),
+            output_path="/shadoop/join/results",
+            group="join",
+        )
+        job.run()
+        results = set(hdfs.read_all("/shadoop/join/results"))
+        return results
+
+    # ------------------------------------------------------------ stage map
+    def stage_trace(self) -> StageTrace:
+        """SpatialHadoop's pipeline in Fig.-1 framework terms."""
+        P, G, L = Stage.PREPROCESSING, Stage.GLOBAL_JOIN, Stage.LOCAL_JOIN
+        return StageTrace(
+            system=self.name,
+            access_model=DataAccessModel.RANDOM,
+            geometry_library="jts",
+            platform="hadoop",
+            steps=[
+                StageStep("sample + build partitioning (MR job 1)", P, RunsOn.REDUCER, True, True),
+                StageStep("assign partition ids, shuffle on pid (MR job 2)", P, RunsOn.MAPPER, True, False),
+                StageStep("write indexed block files + _master (MR job 2)", P, RunsOn.REDUCER, False, True,
+                          "block-local STR index written at block head, virtually for free"),
+                StageStep("pair partition MBRs in getSplits (serial spatial join)", G, RunsOn.MASTER, True, False),
+                StageStep("map-only join over paired blocks", L, RunsOn.MAPPER, True, True,
+                          "plane-sweep / sync R-tree + JTS refinement; no shuffle"),
+            ],
+        )
+
+
+def _default_partitions(n_records: int) -> int:
+    return int(np.clip(n_records // 400, 4, 256))
+
+
+def _read_master(hdfs, path: str) -> MBRArray:
+    lines = hdfs.read_all(path)
+    if not lines:
+        return MBRArray.empty()
+    rows = np.array([[float(v) for v in line.split(",")] for line in lines])
+    return MBRArray(rows)

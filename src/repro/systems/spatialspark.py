@@ -1,0 +1,310 @@
+"""SpatialSpark: lightweight spatial join on Spark (You et al., CloudDM 2015).
+
+Reproduces the partition-based spatial join the paper evaluates
+(Section II, Fig. 1c):
+
+* **Functional data access** — both datasets are parsed once into RDDs;
+  HDFS is touched only to read the inputs.  Everything else happens in
+  executor memory.
+* **In-memory preprocessing** — only *one* side (the right) is sampled,
+  with Spark's built-in ``sample``; the partitioning is built from the
+  sample without writing anything to HDFS.
+* **Broadcast global join** — an STR tree over the partition MBRs is
+  broadcast to all executors; both sides flatMap against it to obtain
+  partition ids (multi-assignment over tiling partitions), are grouped
+  with ``groupByKey``, and the per-partition item lists are matched with
+  the RDD ``join`` on partition id (a hash join on integers; the grouped
+  RDDs are co-partitioned so the join itself is narrow).
+* **Local join** — indexed nested loop with JTS-like refinement inside a
+  ``flatMap``; duplicate pairs from multi-assignment are removed at the
+  end.
+* **Failure mode** — every materialized RDD and shuffle charges the
+  executor-memory ledger; exceeding the cluster's usable memory raises
+  the out-of-memory error Table 2 reports for EC2-8/EC2-6.
+
+The earlier *broadcast-based* join of [6] (broadcast the full index of
+the right side, no partitioning) is also provided for the ablation the
+paper defers to future work (``broadcast_join=True``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..core.framework import (
+    DataAccessModel,
+    RunsOn,
+    Stage,
+    StageStep,
+    StageTrace,
+)
+from ..core.localjoin import refine_candidates
+from ..core.partitioning import BSPPartitioner
+from ..core.predicate import INTERSECTS, JoinPredicate
+from ..data.loaders import SpatialRecord, from_tsv_line
+from ..geometry.engine import JTS_COST_PROFILE, make_engine
+from ..geometry.mbr import MBRArray
+from ..hdfs.sizeof import estimate_size
+from ..index.strtree import STRtree
+from ..mapreduce.streaming import parse_charge
+from ..spark.context import SparkContext
+from ..spark.memory import MemoryLedger, SparkOutOfMemoryError
+from .base import RunEnvironment, RunReport, SpatialJoinSystem
+
+__all__ = ["SpatialSpark"]
+
+
+class SpatialSpark(SpatialJoinSystem):
+    """The SpatialSpark pipeline on the simulated substrates."""
+
+    name = "SpatialSpark"
+    engine_name = "jts"
+
+    def __init__(
+        self,
+        *,
+        n_partitions: Optional[int] = None,
+        sample_fraction: float = 0.05,
+        partitioner=None,
+        broadcast_join: bool = False,
+    ):
+        self.n_partitions = n_partitions
+        self.sample_fraction = sample_fraction
+        self.partitioner = partitioner or BSPPartitioner()
+        if not self.partitioner.produces_tiles:
+            raise ValueError(
+                "SpatialSpark multi-assigns both sides, which requires a "
+                "tiling partitioner (grid or bsp)"
+            )
+        self.broadcast_join = broadcast_join
+
+    # ------------------------------------------------------------------ run
+    def run(
+        self, env: RunEnvironment, left, right, predicate: JoinPredicate = INTERSECTS
+    ) -> RunReport:
+        """Execute the full SpatialSpark pipeline (see the module docstring)."""
+        left = self._as_records(left)
+        right = self._as_records(right)
+        engine = make_engine("jts", env.counters)
+        env.load_input("/input/a", [r.geometry for r in left])
+        env.load_input("/input/b", [r.geometry for r in right])
+        ledger = MemoryLedger(budget_bytes=env.cluster.usable_memory_bytes)
+
+        def scale_for(label: str) -> tuple[float, float]:
+            # RDD labels compose, so a lineage keeps its source path; the
+            # two sides never mix before the (narrow) final join.
+            return env.scale_a if "/input/a" in label else env.scale_b
+
+        sc = SparkContext(
+            counters=env.counters,
+            clock=env.clock,
+            hdfs=env.hdfs,
+            ledger=ledger,
+            default_parallelism=env.cluster.total_cores,
+            num_nodes=env.cluster.num_nodes,
+            scale_resolver=scale_for,
+        )
+        universe = MBRArray.from_geometries(
+            [r.geometry for r in left] + [r.geometry for r in right]
+        ).extent()
+        n_parts = self.n_partitions or max(
+            4, env.hdfs.num_blocks("/input/a") + env.hdfs.num_blocks("/input/b")
+        )
+        try:
+            if self.broadcast_join:
+                pairs = self._run_broadcast(
+                    sc, env, engine, predicate, right_records=right, left_records=left
+                )
+            else:
+                pairs = self._run_partition_based(
+                    sc, env, engine, left, right, universe, n_parts, predicate
+                )
+        except SparkOutOfMemoryError as err:
+            return self._report(
+                env, error=err, engine_profile=JTS_COST_PROFILE, memory_pressure=1.0
+            )
+        pressure = (
+            ledger.peak_bytes / ledger.budget_bytes
+            if ledger.budget_bytes not in (0, float("inf"))
+            else 0.0
+        )
+        return self._report(
+            env,
+            pairs=pairs,
+            engine_profile=JTS_COST_PROFILE,
+            memory_pressure=pressure,
+        )
+
+    # ------------------------------------------------- partition-based join
+    def _run_partition_based(
+        self,
+        sc: SparkContext,
+        env: RunEnvironment,
+        engine,
+        left: list[SpatialRecord],
+        right: list[SpatialRecord],
+        universe,
+        n_parts: int,
+        predicate: JoinPredicate = INTERSECTS,
+    ) -> set:
+        counters = env.counters
+
+        def parse(line: str) -> SpatialRecord:
+            parse_charge(counters, 1, len(line))
+            return from_tsv_line(line)
+
+        # End-to-end: SpatialSpark reports a single runtime (Table 3 shows
+        # only TOT), but we still group phases for inspection.
+        with sc.record_phase(
+            "sspark.load", group="join", tasks=sc.default_parallelism
+        ):
+            left_rdd = sc.from_hdfs("/input/a").map(parse)
+            right_rdd = sc.from_hdfs("/input/b").map(parse)
+            right_rdd._partitions()  # force the one-and-only HDFS read
+            left_rdd._partitions()
+
+        with sc.record_phase("sspark.partition", group="join", tasks=1):
+            # Sample only the right side, in memory, and build partitions.
+            sample = right_rdd.sample(self.sample_fraction, seed=env.seed).collect()
+            sample_boxes = MBRArray.from_geometries([r.geometry for r in sample])
+            counters.add("cpu.ops", max(len(sample), 1))
+            partitioning = self.partitioner.partition(sample_boxes, n_parts, universe)
+            tree = STRtree(partitioning.boxes, counters=counters)
+            index_bytes = 40 * len(partitioning.boxes) + 64
+            bcast = sc.broadcast(tree, nbytes=index_bytes)
+
+        with sc.record_phase(
+            "sspark.global_join", group="join", tasks=sc.default_parallelism
+        ):
+            def assign_left(rec: SpatialRecord):
+                # Distance joins expand the left probe boxes so pairs
+                # within the margin are co-partitioned.
+                for pid in bcast.value.query(predicate.expand(rec.geometry.mbr)):
+                    yield (int(pid), rec)
+
+            def assign_right(rec: SpatialRecord):
+                for pid in bcast.value.query(rec.geometry.mbr):
+                    yield (int(pid), rec)
+
+            n_buckets = max(len(partitioning), 1)
+            left_grouped = left_rdd.flatMap(assign_left).groupByKey(n_buckets)
+            right_grouped = right_rdd.flatMap(assign_right).groupByKey(n_buckets)
+            joined = left_grouped.join(right_grouped, n_buckets)
+
+            def match(kv):
+                _pid, (a_recs, b_recs) = kv
+                if not a_recs or not b_recs:
+                    return
+                tree = STRtree(
+                    MBRArray.from_geometries([r.geometry for r in b_recs]),
+                    counters=counters,
+                )
+                candidates = []
+                for i, rec in enumerate(a_recs):
+                    for j in tree.query(predicate.expand(rec.geometry.mbr)):
+                        candidates.append((i, int(j)))
+                counters.add("join.candidates", len(candidates))
+                refined = refine_candidates(
+                    [r.geometry for r in a_recs],
+                    [r.geometry for r in b_recs],
+                    candidates,
+                    engine,
+                    predicate,
+                )
+                for i, j in refined:
+                    yield (a_recs[i].rid, b_recs[j].rid)
+
+            result = joined.flatMap(match).collect()
+            # Multi-assignment duplicates are removed in memory.
+            counters.add(
+                "sort.ops", len(result) * max(np.log2(max(len(result), 2)), 1.0)
+            )
+            pairs = set(result)
+        return pairs
+
+    # ------------------------------------------------- broadcast-based join
+    def _run_broadcast(
+        self,
+        sc: SparkContext,
+        env: RunEnvironment,
+        engine,
+        predicate: JoinPredicate = INTERSECTS,
+        *,
+        left_records,
+        right_records,
+    ) -> set:
+        """The early SpatialSpark design of [6]: broadcast the full right
+        side (data + index) and join each left item directly against it.
+
+        Scales only while the right side fits in every executor — the
+        trade-off the paper defers to future work and our ablation bench
+        measures.
+        """
+        counters = env.counters
+
+        def parse(line: str) -> SpatialRecord:
+            parse_charge(counters, 1, len(line))
+            return from_tsv_line(line)
+
+        with sc.record_phase("sspark.bcast_join", group="join",
+                             tasks=sc.default_parallelism):
+            left_rdd = sc.from_hdfs("/input/a").map(parse)
+            right = sc.from_hdfs("/input/b").map(parse).collect()
+            right_bytes = sum(estimate_size(r) for r in right)
+            tree = STRtree(
+                MBRArray.from_geometries([r.geometry for r in right]),
+                counters=counters,
+            )
+            # The broadcast payload is the whole right side; its *logical*
+            # volume (paper scale) is what lands on every executor, which
+            # is exactly this design's memory wall.
+            rb, bb = env.scale_b
+            logical_payload = int(right_bytes * bb + 40 * len(right) * rb)
+            bcast = sc.broadcast((tree, right), nbytes=logical_payload)
+
+            def probe(rec: SpatialRecord):
+                btree, brecs = bcast.value
+                candidates = [
+                    (0, int(j))
+                    for j in btree.query(predicate.expand(rec.geometry.mbr))
+                ]
+                refined = refine_candidates(
+                    [rec.geometry],
+                    [r.geometry for r in brecs],
+                    candidates,
+                    engine,
+                    predicate,
+                )
+                for _i, j in refined:
+                    yield (rec.rid, brecs[j].rid)
+
+            pairs = set(left_rdd.flatMap(probe).collect())
+        return pairs
+
+    # ------------------------------------------------------------ stage map
+    def stage_trace(self) -> StageTrace:
+        """SpatialSpark's pipeline in Fig.-1 framework terms."""
+        P, G, L = Stage.PREPROCESSING, Stage.GLOBAL_JOIN, Stage.LOCAL_JOIN
+        return StageTrace(
+            system=self.name,
+            access_model=DataAccessModel.FUNCTIONAL,
+            geometry_library="jts",
+            platform="spark",
+            steps=[
+                StageStep("load both datasets into RDDs (parse once)", P, RunsOn.EXECUTOR, True, False,
+                          "the only HDFS interaction in the whole pipeline"),
+                StageStep("sample right side in memory (built-in sample)", P, RunsOn.EXECUTOR, False, False),
+                StageStep("build partitions + STR tree over partition MBRs", P, RunsOn.MASTER, False, False),
+                StageStep("broadcast partition index (no HDFS)", G, RunsOn.MASTER, False, False),
+                StageStep("flatMap both sides to partition ids", G, RunsOn.EXECUTOR, False, False),
+                StageStep("groupByKey both sides + hash join on partition id", G, RunsOn.EXECUTOR, False, False,
+                          "in-memory shuffle; grouped RDDs are co-partitioned"),
+                StageStep("indexed nested loop + JTS refinement (flatMap)", L, RunsOn.EXECUTOR, False, False),
+            ],
+        )
+
+
+def _default_partitions(n_records: int) -> int:
+    return int(np.clip(n_records // 400, 4, 256))

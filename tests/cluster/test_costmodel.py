@@ -1,0 +1,147 @@
+"""Cost model tests: each cost component behaves as designed."""
+
+import pytest
+
+from repro.cluster import (
+    CostModel,
+    CostParams,
+    MB,
+    PhaseRecord,
+    SimClock,
+    ec2_config,
+    ws_config,
+)
+from repro.geometry import GEOS_COST_PROFILE, JTS_COST_PROFILE
+from repro.metrics import Counters
+
+
+def phase(counters: dict, tasks: int = 1, group: str = "join") -> PhaseRecord:
+    return PhaseRecord(name="t", counters=Counters(counters), tasks=tasks, group=group)
+
+
+class TestCpuComponent:
+    def test_parallelism_divides_cpu_time(self):
+        model = CostModel(ws_config())
+        serial = model.phase_seconds(phase({"deser.records": 16_000_000}, tasks=1))
+        parallel = model.phase_seconds(phase({"deser.records": 16_000_000}, tasks=16))
+        assert serial == pytest.approx(16 * parallel)
+
+    def test_parallelism_capped_by_cores(self):
+        model = CostModel(ws_config())
+        at_cap = model.phase_seconds(phase({"deser.records": 1_000_000}, tasks=16))
+        beyond = model.phase_seconds(phase({"deser.records": 1_000_000}, tasks=1000))
+        assert at_cap == pytest.approx(beyond)
+
+    def test_engine_profile_overrides_defaults(self):
+        jts = CostModel(ws_config(), engine_profile=JTS_COST_PROFILE)
+        geos = CostModel(ws_config(), engine_profile=GEOS_COST_PROFILE)
+        p = {"geom.pip_tests": 1_000_000}
+        assert geos.phase_seconds(phase(p)) == pytest.approx(
+            4 * jts.phase_seconds(phase(p))
+        )
+
+    def test_slower_cpu_costs_more(self):
+        p = {"deser.records": 1_000_000}
+        ws = CostModel(ws_config()).phase_seconds(phase(p, tasks=1))
+        ec2 = CostModel(ec2_config(10)).phase_seconds(phase(p, tasks=1))
+        assert ec2 > ws  # cpu_speed 0.85 < 1.0
+
+    def test_unknown_counter_is_free(self):
+        model = CostModel(ws_config())
+        assert model.phase_seconds(phase({"mystery.ops": 1e9})) == 0.0
+
+
+class TestIoComponent:
+    def test_hdfs_read_uses_aggregate_bandwidth(self):
+        p = {"hdfs.bytes_read": 1100 * MB * 10}
+        ec10 = CostModel(ec2_config(10)).phase_seconds(phase(p))
+        ec6 = CostModel(ec2_config(6)).phase_seconds(phase(p))
+        assert ec10 < ec6  # more nodes, more aggregate disk bandwidth
+
+    def test_hdfs_write_charges_replication(self):
+        c = ec2_config(10)
+        model = CostModel(c)
+        write = model.phase_seconds(phase({"hdfs.bytes_written": 900 * MB}))
+        read = model.phase_seconds(phase({"hdfs.bytes_read": 1100 * MB}))
+        # 900MB written ×3 replicas at 90MB/s/node vs 1100MB read at 110MB/s/node.
+        assert write == pytest.approx(3 * read)
+
+    def test_ws_replication_is_one(self):
+        model = CostModel(ws_config())
+        secs = model.phase_seconds(phase({"hdfs.bytes_written": 220 * MB}))
+        assert secs == pytest.approx(1.0)
+
+    def test_localfs_is_single_node_bound(self):
+        p = {"localfs.bytes_read": 1100 * MB}
+        ec10 = CostModel(ec2_config(10)).phase_seconds(phase(p))
+        ec6 = CostModel(ec2_config(6)).phase_seconds(phase(p))
+        assert ec10 == pytest.approx(ec6)  # local steps do not scale
+
+
+class TestShuffleComponent:
+    def test_disk_shuffle_more_expensive_than_memory(self):
+        model = CostModel(ec2_config(10))
+        disk = model.phase_seconds(phase({"shuffle.bytes_disk": 1000 * MB}))
+        mem = model.phase_seconds(phase({"shuffle.bytes_mem": 1000 * MB}))
+        assert disk > 2 * mem
+
+    def test_single_node_shuffle_has_no_network_term(self):
+        ws = CostModel(ws_config())
+        mem_only = ws.phase_seconds(phase({"shuffle.bytes_mem": 4000 * MB}))
+        assert mem_only == pytest.approx(1.0)  # memory_copy_bw = 4000 MB/s
+
+    def test_broadcast_scales_with_cluster(self):
+        p = {"net.bytes_broadcast": 100 * MB}
+        ws = CostModel(ws_config()).phase_seconds(phase(p))
+        ec10 = CostModel(ec2_config(10)).phase_seconds(phase(p))
+        assert ec10 > ws
+
+
+class TestOverheads:
+    def test_mr_job_overhead(self):
+        params = CostParams(mr_job_overhead_s=18.0, mr_job_pernode_s=0.0)
+        model = CostModel(ws_config(), params=params)
+        assert model.phase_seconds(phase({"mr.jobs": 3})) == pytest.approx(54.0)
+
+    def test_mr_job_pernode_overhead(self):
+        params = CostParams(mr_job_overhead_s=10.0, mr_job_pernode_s=2.0)
+        ws = CostModel(ws_config(), params=params)
+        ec10 = CostModel(ec2_config(10), params=params)
+        assert ws.phase_seconds(phase({"mr.jobs": 1})) == pytest.approx(12.0)
+        assert ec10.phase_seconds(phase({"mr.jobs": 1})) == pytest.approx(30.0)
+
+    def test_task_waves(self):
+        model = CostModel(ws_config(), params=CostParams(mr_task_overhead_s=1.0))
+        one_wave = model.phase_seconds(phase({"mr.tasks": 16}))
+        two_waves = model.phase_seconds(phase({"mr.tasks": 17}))
+        assert one_wave == pytest.approx(1.0)
+        assert two_waves == pytest.approx(2.0)
+
+    def test_spark_stage_cheaper_than_mr_job(self):
+        params = CostParams()
+        model = CostModel(ws_config(), params=params)
+        stage = model.phase_seconds(phase({"spark.stages": 1}))
+        job = model.phase_seconds(phase({"mr.jobs": 1}))
+        assert stage < job / 10
+
+
+class TestClockIntegration:
+    def test_cost_clock_fills_all_phases(self):
+        clock = SimClock()
+        clock.record(phase({"deser.records": 1_000_000}, group="index_a"))
+        clock.record(phase({"hdfs.bytes_read": 280 * MB}, group="join"))
+        model = CostModel(ws_config())
+        model.cost_clock(clock)
+        assert all(p.seconds > 0 for p in clock.phases)
+        assert clock.total_seconds == pytest.approx(
+            clock.group_seconds("index_a") + clock.group_seconds("join")
+        )
+        assert set(clock.breakdown()) == {"index_a", "join"}
+
+    def test_merged_counters(self):
+        clock = SimClock()
+        clock.record(phase({"deser.records": 5}))
+        clock.record(phase({"deser.records": 7, "hdfs.bytes_read": 3}))
+        merged = clock.merged_counters()
+        assert merged["deser.records"] == 12
+        assert merged["hdfs.bytes_read"] == 3

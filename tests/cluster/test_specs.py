@@ -1,0 +1,69 @@
+"""Cluster specification tests."""
+
+import pytest
+
+from repro.cluster import (
+    GB,
+    PAPER_CONFIGS,
+    ClusterConfig,
+    EC2_G2_2XLARGE,
+    WORKSTATION,
+    ec2_config,
+    ws_config,
+)
+
+
+class TestMachineSpecs:
+    def test_workstation_matches_paper(self):
+        # Dual 8-core CPUs, 128 GB (Section III.A).
+        assert WORKSTATION.cores == 16
+        assert WORKSTATION.memory_bytes == 128 * GB
+
+    def test_ec2_matches_paper(self):
+        # g2.2xlarge: 8 vCPUs, 15 GB.
+        assert EC2_G2_2XLARGE.cores == 8
+        assert EC2_G2_2XLARGE.memory_bytes == 15 * GB
+
+
+class TestClusterConfig:
+    def test_ws_is_single_node(self):
+        ws = ws_config()
+        assert ws.is_single_node
+        assert ws.total_cores == 16
+        assert ws.hdfs_replication == 1  # capped at node count
+
+    def test_ec2_10_aggregates(self):
+        c = ec2_config(10)
+        assert c.num_nodes == 10
+        assert c.total_cores == 80
+        assert c.total_memory_bytes == 150 * GB  # the paper's 150 GB figure
+        assert c.hdfs_replication == 3
+
+    def test_memory_ordering_matches_paper(self):
+        # Paper: WS (128 GB) and EC2-10 (150 GB) were sufficient for
+        # SpatialSpark's full-dataset joins; EC2-8 (120 GB) and EC2-6 were not.
+        configs = PAPER_CONFIGS()
+        assert configs["EC2-10"].total_memory_bytes > configs["WS"].total_memory_bytes
+        assert configs["WS"].total_memory_bytes > configs["EC2-8"].total_memory_bytes
+        assert configs["EC2-8"].total_memory_bytes > configs["EC2-6"].total_memory_bytes
+
+    def test_effective_parallelism(self):
+        c = ec2_config(10)
+        assert c.effective_parallelism(0) == 1
+        assert c.effective_parallelism(5) == 5
+        assert c.effective_parallelism(10_000) == 80
+
+    def test_invalid_nodes(self):
+        with pytest.raises(ValueError):
+            ClusterConfig(name="bad", machine=WORKSTATION, num_nodes=0)
+
+    def test_aggregate_bandwidths_scale_with_nodes(self):
+        assert ec2_config(10).aggregate_disk_read_bw == pytest.approx(
+            10 * EC2_G2_2XLARGE.disk_read_bw
+        )
+        assert (
+            ec2_config(10).aggregate_network_bw > ec2_config(6).aggregate_network_bw
+        )
+
+    def test_paper_configs_keys(self):
+        assert set(PAPER_CONFIGS()) == {"WS", "EC2-10", "EC2-8", "EC2-6"}

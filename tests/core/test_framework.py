@@ -1,0 +1,66 @@
+"""Framework data-model tests (Stage/StageStep/StageTrace rendering)."""
+
+from repro.core import DataAccessModel, RunsOn, Stage, StageStep, StageTrace
+from repro.core.framework import compare_traces
+
+
+def demo_trace():
+    return StageTrace(
+        system="DemoSys",
+        access_model=DataAccessModel.RANDOM,
+        geometry_library="jts",
+        platform="hadoop",
+        steps=[
+            StageStep("sample", Stage.PREPROCESSING, RunsOn.MAPPER, True, True),
+            StageStep("pair", Stage.GLOBAL_JOIN, RunsOn.MASTER, True, False,
+                      description="serial on the master"),
+            StageStep("join", Stage.LOCAL_JOIN, RunsOn.MAPPER, True, True),
+        ],
+    )
+
+
+class TestStageTrace:
+    def test_steps_in(self):
+        trace = demo_trace()
+        assert [s.name for s in trace.steps_in(Stage.PREPROCESSING)] == ["sample"]
+        assert [s.name for s in trace.steps_in(Stage.GLOBAL_JOIN)] == ["pair"]
+
+    def test_hdfs_touch_points_counts_reads_and_writes(self):
+        # sample: 2, pair: 1, join: 2 -> 5
+        assert demo_trace().hdfs_touch_points == 5
+
+    def test_serial_steps(self):
+        serial = demo_trace().serial_steps
+        assert [s.name for s in serial] == ["pair"]
+
+    def test_render(self):
+        text = demo_trace().render()
+        assert "DemoSys" in text
+        assert "[preprocessing]" in text
+        assert "reads HDFS, writes HDFS" in text
+        assert "serial on the master" in text
+        assert "HDFS touch points: 5" in text
+
+    def test_render_skips_empty_stages(self):
+        trace = StageTrace(
+            system="X", access_model=DataAccessModel.FUNCTIONAL,
+            geometry_library="jts", platform="spark",
+            steps=[StageStep("only", Stage.LOCAL_JOIN, RunsOn.EXECUTOR)],
+        )
+        text = trace.render()
+        assert "[local join]" in text
+        assert "[preprocessing]" not in text
+
+
+class TestCompareTraces:
+    def test_table_layout(self):
+        text = compare_traces([demo_trace(), demo_trace()])
+        lines = text.splitlines()
+        assert lines[0].startswith("system")
+        assert len(lines) == 3
+        assert "DemoSys" in lines[1]
+
+    def test_columns(self):
+        header = compare_traces([demo_trace()]).splitlines()[0]
+        for col in ("platform", "access", "geometry", "steps", "serial", "hdfs_io"):
+            assert col in header

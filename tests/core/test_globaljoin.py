@@ -1,0 +1,74 @@
+"""Global-join pairing strategy tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    pair_partitions,
+    pair_partitions_indexed,
+    pair_partitions_nested,
+    pair_partitions_sweep,
+)
+from repro.geometry import MBRArray
+from repro.metrics import Counters
+
+
+def boxes(n, seed, extent=100.0):
+    rng = np.random.default_rng(seed)
+    mins = rng.uniform(0, extent, size=(n, 2))
+    sizes = rng.uniform(1, 10, size=(n, 2))
+    return MBRArray(np.hstack([mins, mins + sizes]))
+
+
+def brute(a, b):
+    return sorted(
+        (i, j)
+        for i in range(len(a))
+        for j in range(len(b))
+        if a[i].intersects(b[j])
+    )
+
+
+STRATEGIES = ["nested", "sweep", "indexed"]
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    @pytest.mark.parametrize("na,nb", [(1, 1), (10, 15), (60, 40)])
+    def test_matches_brute_force(self, strategy, na, nb):
+        a, b = boxes(na, na), boxes(nb, nb + 100)
+        assert pair_partitions(strategy, a, b) == brute(a, b)
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_empty_sides(self, strategy):
+        a = boxes(5, 1)
+        assert pair_partitions(strategy, a, MBRArray.empty()) == []
+        assert pair_partitions(strategy, MBRArray.empty(), a) == []
+
+    def test_all_strategies_identical(self):
+        a, b = boxes(30, 2), boxes(35, 3)
+        results = {s: tuple(pair_partitions(s, a, b)) for s in STRATEGIES}
+        assert len(set(results.values())) == 1
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ValueError):
+            pair_partitions("magic", boxes(2, 4), boxes(2, 5))
+
+
+class TestAccounting:
+    def test_nested_counts_all_pairs(self):
+        counters = Counters()
+        pair_partitions_nested(boxes(10, 6), boxes(20, 7), counters)
+        assert counters["geom.mbr_tests"] == 200
+
+    def test_sweep_cheaper_than_nested_on_sparse_data(self):
+        a, b = boxes(100, 8, extent=10_000), boxes(100, 9, extent=10_000)
+        nested_c, sweep_c = Counters(), Counters()
+        pair_partitions_nested(a, b, nested_c)
+        pair_partitions_sweep(a, b, sweep_c)
+        assert sweep_c["cpu.ops"] < nested_c["cpu.ops"]
+
+    def test_indexed_builds_trees(self):
+        counters = Counters()
+        pair_partitions_indexed(boxes(20, 10), boxes(20, 11), counters)
+        assert counters["index.build_ops"] == 40

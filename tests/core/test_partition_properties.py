@@ -1,0 +1,80 @@
+"""Property-based tests of the partitioning correctness lemma.
+
+The whole partition-based join rests on: *any two geometries whose
+(margin-expanded) MBRs intersect must share at least one partition* under
+multi-assignment on a tiling partitioning, and their partitions must be
+paired under best-assignment with content-expanded MBRs.  Hypothesis
+hammers both lemmas.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    BSPPartitioner,
+    GridPartitioner,
+    QuadTreePartitioner,
+    STRPartitioner,
+    pair_partitions_nested,
+)
+from repro.geometry import EMPTY_MBR, MBR, MBRArray
+
+coord = st.floats(min_value=0, max_value=100, allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def boxes(draw):
+    x1, x2 = sorted((draw(coord), draw(coord)))
+    y1, y2 = sorted((draw(coord), draw(coord)))
+    return MBR(x1, y1, x2, y2)
+
+
+@st.composite
+def box_lists(draw, min_size=1, max_size=12):
+    return [draw(boxes()) for _ in range(draw(st.integers(min_size, max_size)))]
+
+
+UNIVERSE = MBR(0, 0, 100, 100)
+TILING = [GridPartitioner, BSPPartitioner, QuadTreePartitioner]
+
+
+class TestMultiAssignmentLemma:
+    @pytest.mark.parametrize("cls", TILING)
+    @given(sample=box_lists(), a=boxes(), b=boxes())
+    @settings(max_examples=15, deadline=None)
+    def test_intersecting_boxes_share_a_partition(self, cls, sample, a, b):
+        part = cls().partition(MBRArray.from_mbrs(sample), 4, UNIVERSE)
+        if a.intersects(b):
+            pa = set(part.assign_multi(a).tolist())
+            pb = set(part.assign_multi(b).tolist())
+            assert pa & pb, (a, b)
+
+    @pytest.mark.parametrize("cls", TILING)
+    @given(sample=box_lists(), a=boxes())
+    @settings(max_examples=10, deadline=None)
+    def test_every_box_is_assigned(self, cls, sample, a):
+        part = cls().partition(MBRArray.from_mbrs(sample), 4, UNIVERSE)
+        assert part.assign_multi(a).size >= 1
+
+
+class TestBestAssignmentLemma:
+    @given(items=box_lists(min_size=2, max_size=12))
+    @settings(max_examples=20, deadline=None)
+    def test_content_expanded_pairing_covers_all_intersections(self, items):
+        """SpatialHadoop's scheme: single-assign each item, expand partition
+        MBRs to their contents, pair expanded MBRs — every intersecting
+        item pair must land in a paired partition pair."""
+        part = STRPartitioner().partition(MBRArray.from_mbrs(items), 4, UNIVERSE)
+        assignment = [part.assign_best(box) for box in items]
+        contents: list[MBR] = [EMPTY_MBR] * len(part)
+        for box, pid in zip(items, assignment):
+            contents[pid] = contents[pid].union(box)
+        expanded = part.expanded_to_contents(contents)
+        # Treat the items as two sides of a self-join.
+        pairs = set(pair_partitions_nested(expanded.boxes, expanded.boxes))
+        for i, a in enumerate(items):
+            for j, b in enumerate(items):
+                if a.intersects(b):
+                    assert (assignment[i], assignment[j]) in pairs

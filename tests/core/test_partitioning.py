@@ -1,0 +1,146 @@
+"""Partitioner tests: tiling coverage, assignment correctness, balance."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BSPPartitioner,
+    GridPartitioner,
+    HilbertPartitioner,
+    QuadTreePartitioner,
+    STRPartitioner,
+    make_partitioner,
+)
+from repro.geometry import MBR, MBRArray
+
+UNIVERSE = MBR(0, 0, 100, 100)
+
+
+def sample_boxes(n=300, seed=0, clustered=False):
+    rng = np.random.default_rng(seed)
+    if clustered:
+        centers = rng.choice([10, 30, 80], size=(n, 2)) + rng.normal(0, 3, size=(n, 2))
+        mins = np.clip(centers, 0, 98)
+    else:
+        mins = rng.uniform(0, 98, size=(n, 2))
+    sizes = rng.uniform(0, 2, size=(n, 2))
+    return MBRArray(np.hstack([mins, np.minimum(mins + sizes, 100)]))
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name", ["grid", "bsp", "quadtree", "str", "hilbert"])
+    def test_make(self, name):
+        assert make_partitioner(name).name == name
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            make_partitioner("kd")
+
+
+class TestValidation:
+    def test_bad_n_partitions(self):
+        with pytest.raises(ValueError):
+            GridPartitioner().partition(sample_boxes(), 0, UNIVERSE)
+
+    def test_empty_universe(self):
+        from repro.geometry import EMPTY_MBR
+
+        with pytest.raises(ValueError):
+            BSPPartitioner().partition(sample_boxes(), 4, EMPTY_MBR)
+
+
+class TestTilingPartitioners:
+    @pytest.mark.parametrize("cls", [GridPartitioner, BSPPartitioner, QuadTreePartitioner])
+    def test_produces_tiles(self, cls):
+        part = cls().partition(sample_boxes(), 16, UNIVERSE)
+        assert part.tiles
+        assert len(part) >= 16 * 0.5  # about the requested count
+
+    @pytest.mark.parametrize("cls", [GridPartitioner, BSPPartitioner, QuadTreePartitioner])
+    def test_tiles_cover_universe_interior(self, cls):
+        part = cls().partition(sample_boxes(), 9, UNIVERSE)
+        rng = np.random.default_rng(1)
+        pts = rng.uniform(0, 100, size=(500, 2))
+        assigned = part.assign_points(pts)
+        assert (assigned >= 0).all()
+
+    @pytest.mark.parametrize("cls", [GridPartitioner, BSPPartitioner, QuadTreePartitioner])
+    def test_boundary_stretch_covers_strays(self, cls):
+        part = cls().partition(sample_boxes(), 8, UNIVERSE)
+        # A geometry far outside the sampled extent must still land somewhere.
+        ids = part.assign_multi(MBR(150, 150, 151, 151))
+        assert ids.size >= 1
+
+    def test_multi_assignment_spanning_box(self):
+        part = GridPartitioner().partition(sample_boxes(), 16, UNIVERSE)
+        ids = part.assign_multi(MBR(10, 10, 90, 90))
+        assert ids.size > 1
+        assert sorted(set(ids.tolist())) == sorted(ids.tolist())  # no duplicates
+
+    def test_adaptive_partitioners_balance_clustered_data(self):
+        sample = sample_boxes(600, seed=3, clustered=True)
+        centers = sample.centers
+
+        def max_load(part):
+            counts = np.bincount(part.assign_points(centers), minlength=len(part))
+            return counts.max()
+
+        grid_load = max_load(GridPartitioner().partition(sample, 16, UNIVERSE))
+        # Density-adaptive splits must spread a skewed sample better than
+        # a uniform grid.
+        assert max_load(BSPPartitioner().partition(sample, 16, UNIVERSE)) < grid_load
+        assert max_load(QuadTreePartitioner().partition(sample, 16, UNIVERSE)) < grid_load
+
+    def test_grid_dimensions(self):
+        part = GridPartitioner().partition(sample_boxes(), 12, UNIVERSE)
+        assert len(part) in (12, 16)  # nx*ny rounding
+
+
+class TestNonTilingPartitioners:
+    @pytest.mark.parametrize("cls", [STRPartitioner, HilbertPartitioner])
+    def test_not_tiles(self, cls):
+        part = cls().partition(sample_boxes(), 10, UNIVERSE)
+        assert not part.tiles
+        with pytest.raises(ValueError, match="multi-assignment"):
+            part.assign_multi(MBR(1, 1, 2, 2))
+
+    @pytest.mark.parametrize("cls", [STRPartitioner, HilbertPartitioner])
+    def test_best_assignment_always_resolves(self, cls):
+        part = cls().partition(sample_boxes(), 10, UNIVERSE)
+        assert 0 <= part.assign_best(MBR(50, 50, 51, 51)) < len(part)
+        # Even a far-away box resolves (nearest-center fallback).
+        assert 0 <= part.assign_best(MBR(900, 900, 901, 901)) < len(part)
+
+    @pytest.mark.parametrize("cls", [STRPartitioner, HilbertPartitioner])
+    def test_boxes_cover_sample(self, cls):
+        sample = sample_boxes(200, seed=5)
+        part = cls().partition(sample, 8, UNIVERSE)
+        tree_extent = part.boxes.extent()
+        assert tree_extent.contains(sample.extent())
+
+    @pytest.mark.parametrize("cls", [STRPartitioner, HilbertPartitioner])
+    def test_empty_sample_single_partition(self, cls):
+        part = cls().partition(MBRArray.empty(), 8, UNIVERSE)
+        assert len(part) == 1
+
+
+class TestExpandedToContents:
+    def test_expansion(self):
+        part = STRPartitioner().partition(sample_boxes(50), 4, UNIVERSE)
+        contents = [MBR(0, 0, 10, 10) for _ in range(len(part))]
+        expanded = part.expanded_to_contents(contents)
+        assert len(expanded) == len(part)
+        assert expanded.boxes[0] == MBR(0, 0, 10, 10)
+
+    def test_length_mismatch(self):
+        part = GridPartitioner().partition(sample_boxes(50), 4, UNIVERSE)
+        with pytest.raises(ValueError):
+            part.expanded_to_contents([MBR(0, 0, 1, 1)])
+
+
+class TestAssignPointsDeterminism:
+    def test_edge_points_assigned_consistently(self):
+        part = GridPartitioner().partition(sample_boxes(), 4, UNIVERSE)
+        pts = np.array([[50.0, 50.0]] * 3)  # exactly on shared tile corner
+        got = part.assign_points(pts)
+        assert len(set(got.tolist())) == 1

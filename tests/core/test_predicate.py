@@ -1,0 +1,111 @@
+"""Join-predicate tests: validation, filter expansion, refinement parity."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    INTERSECTS,
+    JoinPredicate,
+    LOCAL_JOIN_ALGORITHMS,
+    local_join,
+    within_distance,
+)
+from repro.geometry import (
+    MBR,
+    GeosLikeEngine,
+    JtsLikeEngine,
+    Point,
+    PolyLine,
+    geometry_distance,
+)
+
+
+def points(n, seed):
+    rng = np.random.default_rng(seed)
+    return [Point(x, y) for x, y in rng.uniform(0, 20, size=(n, 2))]
+
+
+def lines(n, seed):
+    rng = np.random.default_rng(seed)
+    return [PolyLine(rng.uniform(0, 20, size=(rng.integers(2, 5), 2))) for _ in range(n)]
+
+
+class TestPredicateType:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            JoinPredicate("touches")
+        with pytest.raises(ValueError):
+            JoinPredicate("within_distance", -1.0)
+        with pytest.raises(ValueError):
+            JoinPredicate("intersects", 2.0)
+
+    def test_filter_margin(self):
+        assert INTERSECTS.filter_margin == 0.0
+        assert within_distance(2.5).filter_margin == 2.5
+
+    def test_expand(self):
+        box = MBR(0, 0, 1, 1)
+        assert INTERSECTS.expand(box) == box
+        assert within_distance(1.0).expand(box) == MBR(-1, -1, 2, 2)
+
+    def test_evaluate(self):
+        engine = JtsLikeEngine()
+        a, b = Point(0, 0), Point(0, 3)
+        assert not INTERSECTS.evaluate(engine, a, b)
+        assert within_distance(3.0).evaluate(engine, a, b)
+        assert not within_distance(2.9).evaluate(engine, a, b)
+
+
+class TestDistanceJoinCorrectness:
+    @pytest.mark.parametrize("algo", sorted(LOCAL_JOIN_ALGORITHMS))
+    @pytest.mark.parametrize("d", [0.0, 0.5, 2.0])
+    def test_matches_brute_force_points_lines(self, algo, d):
+        left, right = points(150, 1), lines(40, 2)
+        pred = within_distance(d)
+        got = local_join(algo, left, right, JtsLikeEngine(), predicate=pred)
+        want = sorted(
+            (i, j)
+            for i in range(len(left))
+            for j in range(len(right))
+            if geometry_distance(left[i], right[j]) <= d
+        )
+        assert got == want
+
+    @pytest.mark.parametrize("algo", sorted(LOCAL_JOIN_ALGORITHMS))
+    def test_line_line_distance_join(self, algo):
+        left, right = lines(30, 3), lines(30, 4)
+        pred = within_distance(1.0)
+        got = local_join(algo, left, right, JtsLikeEngine(), predicate=pred)
+        want = sorted(
+            (i, j)
+            for i in range(len(left))
+            for j in range(len(right))
+            if geometry_distance(left[i], right[j]) <= 1.0
+        )
+        assert got == want
+
+    def test_engines_agree_on_distance_join(self):
+        left, right = points(100, 5), lines(25, 6)
+        pred = within_distance(1.5)
+        a = local_join("indexed_nested_loop", left, right, JtsLikeEngine(), predicate=pred)
+        b = local_join("indexed_nested_loop", left, right, GeosLikeEngine(), predicate=pred)
+        assert a == b
+
+    def test_zero_distance_equals_intersects_for_touching(self):
+        # within_distance(0) is exactly "touching or crossing".
+        a = [PolyLine([(0, 0), (2, 2)])]
+        b = [PolyLine([(0, 2), (2, 0)]), PolyLine([(5, 5), (6, 6)])]
+        pred = within_distance(0.0)
+        got = local_join("plane_sweep", a, b, JtsLikeEngine(), predicate=pred)
+        want = local_join("plane_sweep", a, b, JtsLikeEngine(), predicate=INTERSECTS)
+        assert got == want == [(0, 0)]
+
+    def test_growing_distance_grows_result(self):
+        left, right = points(120, 7), lines(30, 8)
+        sizes = [
+            len(local_join("indexed_nested_loop", left, right, JtsLikeEngine(),
+                           predicate=within_distance(d)))
+            for d in (0.1, 1.0, 5.0)
+        ]
+        assert sizes[0] <= sizes[1] <= sizes[2]
+        assert sizes[2] > sizes[0]

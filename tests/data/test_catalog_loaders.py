@@ -1,0 +1,90 @@
+"""Catalog (Table 1) and TSV codec tests."""
+
+import pytest
+
+from repro.data import (
+    CATALOG,
+    TABLE1_ORDER,
+    SpatialRecord,
+    dataset,
+    decode_lines,
+    encode_dataset,
+    from_tsv_line,
+    table1_rows,
+    taxi_points,
+    to_tsv_line,
+)
+from repro.geometry import Point, PolyLine
+
+
+class TestCatalog:
+    def test_table1_record_counts_exact(self):
+        # The exact numbers from Table 1.
+        assert dataset("taxi").logical_records == 169_720_892
+        assert dataset("nycb").logical_records == 38_839
+        assert dataset("linearwater").logical_records == 5_857_442
+        assert dataset("edges").logical_records == 72_729_686
+        assert dataset("linearwater0.1").logical_records == 585_809
+        assert dataset("edges0.1").logical_records == 7_271_983
+
+    def test_table1_rows_render(self):
+        rows = table1_rows()
+        assert [r[0] for r in rows] == TABLE1_ORDER
+        lookup = {name: (recs, size) for name, recs, size in rows}
+        assert lookup["taxi"] == (169_720_892, "6.9 GB")
+        assert lookup["nycb"][1] == "19 MB"
+        assert lookup["edges"][1] == "23.8 GB"
+        assert lookup["linearwater0.1"][1] == "852 MB"
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError):
+            dataset("osm")
+
+    def test_generate_scales_records(self):
+        ds = dataset("nycb").generate(scale=0.01, seed=1)
+        assert ds.actual_records == round(38_839 * 0.01)
+        assert ds.record_scale == pytest.approx(100, rel=0.02)
+
+    def test_generate_minimum_floor(self):
+        ds = dataset("nycb").generate(scale=1e-6, seed=1)
+        assert ds.actual_records >= 8
+
+    def test_generate_rejects_bad_scale(self):
+        with pytest.raises(ValueError):
+            dataset("taxi").generate(scale=0.0)
+        with pytest.raises(ValueError):
+            dataset("taxi").generate(scale=1.5)
+
+    def test_byte_scale_consistent(self):
+        ds = dataset("taxi").generate(scale=1e-5, seed=2)
+        assert ds.byte_scale == pytest.approx(
+            ds.spec.logical_bytes / ds.actual_bytes
+        )
+
+    def test_joined_datasets_use_different_seeds(self):
+        a = dataset("edges").generate(scale=1e-6, seed=7)
+        b = dataset("linearwater").generate(scale=1e-6, seed=7)
+        assert a.geometries[0].coords.tobytes() != b.geometries[0].coords.tobytes()
+
+
+class TestTsvCodec:
+    def test_roundtrip_point(self):
+        rec = SpatialRecord(42, Point(1.5, -2.25))
+        assert from_tsv_line(to_tsv_line(rec)) == rec
+
+    def test_roundtrip_dataset(self):
+        pts = taxi_points(20, seed=1)
+        lines = list(encode_dataset(pts))
+        back = list(decode_lines(lines))
+        assert [r.rid for r in back] == list(range(20))
+        assert all(r.geometry == p for r, p in zip(back, pts))
+
+    def test_malformed_line(self):
+        with pytest.raises(ValueError):
+            from_tsv_line("no-tab-here")
+        with pytest.raises(ValueError):
+            from_tsv_line("abc\tPOINT (1 2)")  # non-integer id
+
+    def test_serialized_size_includes_id(self):
+        rec = SpatialRecord(1, Point(0, 0))
+        assert rec.serialized_size() == 12 + rec.geometry.serialized_size()

@@ -1,0 +1,45 @@
+"""File persistence tests (save_tsv / load_tsv on a real filesystem)."""
+
+import pytest
+
+from repro.data import (
+    census_blocks,
+    linear_water,
+    load_tsv,
+    save_tsv,
+    taxi_points,
+    tiger_edges,
+)
+
+
+class TestTsvFiles:
+    @pytest.mark.parametrize(
+        "generator,n",
+        [(taxi_points, 50), (census_blocks, 20), (tiger_edges, 30), (linear_water, 10)],
+    )
+    def test_roundtrip_every_kind(self, tmp_path, generator, n):
+        geoms = generator(n, seed=3)
+        path = tmp_path / "data.tsv"
+        nbytes = save_tsv(path, geoms)
+        assert path.stat().st_size == nbytes
+        back = load_tsv(path)
+        assert [r.rid for r in back] == list(range(n))
+        assert [r.geometry for r in back] == list(geoms)
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "data.tsv"
+        save_tsv(path, taxi_points(3, seed=1))
+        with open(path, "a") as fh:
+            fh.write("\n\n")
+        assert len(load_tsv(path)) == 3
+
+    def test_malformed_line_raises(self, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text("0\tPOINT (1 2)\nnot-a-record\n")
+        with pytest.raises(ValueError):
+            load_tsv(path)
+
+    def test_empty_dataset(self, tmp_path):
+        path = tmp_path / "empty.tsv"
+        assert save_tsv(path, []) == 0
+        assert load_tsv(path) == []

@@ -1,0 +1,110 @@
+"""Dataset-statistics and selectivity-estimator tests."""
+
+import numpy as np
+import pytest
+
+from repro.data import census_blocks, taxi_points, tiger_edges
+from repro.data.stats import (
+    describe,
+    density_grid,
+    estimate_join_candidates,
+    skew_ratio,
+)
+from repro.geometry import MBR, Point, PolyLine
+from repro.index import STRtree
+from repro.geometry import MBRArray
+
+
+class TestDescribe:
+    def test_point_dataset(self):
+        pts = taxi_points(300, seed=1)
+        stats = describe(pts)
+        assert stats.count == 300
+        assert stats.kinds == (("point", 300),)
+        assert stats.mean_points == 1.0
+        assert stats.mean_width == 0.0
+        assert 30 <= stats.mean_bytes <= 55
+
+    def test_mixed_kinds(self):
+        geoms = taxi_points(10, seed=2) + list(tiger_edges(5, seed=3))
+        stats = describe(geoms)
+        assert dict(stats.kinds) == {"point": 10, "polyline": 5}
+        assert stats.kinds[0][0] == "point"  # most common first
+
+    def test_extent_covers_everything(self):
+        geoms = census_blocks(40, seed=4)
+        stats = describe(geoms)
+        for g in geoms:
+            assert stats.extent.contains(g.mbr)
+
+    def test_empty(self):
+        stats = describe([])
+        assert stats.count == 0
+        assert stats.extent.is_empty
+
+    def test_render(self):
+        text = describe(taxi_points(20, seed=5)).render()
+        assert "records: 20" in text
+        assert "vertices/record" in text
+
+
+class TestDensity:
+    def test_grid_sums_to_count(self):
+        pts = taxi_points(500, seed=6)
+        grid = density_grid(pts, 8, 8)
+        assert grid.sum() == 500
+        assert grid.shape == (8, 8)
+
+    def test_uniform_data_low_skew(self):
+        rng = np.random.default_rng(7)
+        pts = [Point(x, y) for x, y in rng.uniform(0, 100, size=(4000, 2))]
+        assert skew_ratio(pts) < 3.0
+
+    def test_taxi_is_heavily_skewed(self):
+        # Manhattan hotspots: far from uniform.
+        assert skew_ratio(taxi_points(4000, seed=8)) > 10.0
+
+    def test_empty(self):
+        assert skew_ratio([]) == 0.0
+        assert density_grid([], 4, 4).sum() == 0
+
+
+class TestCandidateEstimator:
+    def brute_candidates(self, left, right, margin=0.0):
+        tree = STRtree(MBRArray.from_geometries(right))
+        return sum(
+            tree.query(g.mbr.expanded(margin)).size for g in left
+        )
+
+    def test_uniform_workload_within_2x(self):
+        rng = np.random.default_rng(9)
+        left = [
+            PolyLine(rng.uniform(0, 100, 2) + rng.uniform(0, 3, size=(3, 2)))
+            for _ in range(400)
+        ]
+        right = [
+            PolyLine(rng.uniform(0, 100, 2) + rng.uniform(0, 3, size=(3, 2)))
+            for _ in range(400)
+        ]
+        est = estimate_join_candidates(left, right)
+        got = self.brute_candidates(left, right)
+        assert got / 2.5 <= est <= got * 2.5
+
+    def test_margin_grows_estimate(self):
+        rng = np.random.default_rng(10)
+        left = [Point(x, y) for x, y in rng.uniform(0, 50, size=(100, 2))]
+        right = [
+            PolyLine(rng.uniform(0, 50, 2) + rng.uniform(0, 1, size=(2, 2)))
+            for _ in range(100)
+        ]
+        assert estimate_join_candidates(left, right, margin=2.0) > (
+            estimate_join_candidates(left, right, margin=0.0)
+        )
+
+    def test_empty_side(self):
+        assert estimate_join_candidates([], taxi_points(5, seed=1)) == 0.0
+
+    def test_probability_capped(self):
+        # Objects bigger than the universe: p capped at 1 → n*m.
+        big = [PolyLine([(0, 0), (100, 100)])] * 5
+        assert estimate_join_candidates(big, big) == 25.0

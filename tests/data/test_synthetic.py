@@ -1,0 +1,130 @@
+"""Synthetic generator tests: determinism, domains, spatial character."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    DOMAIN_NYC,
+    DOMAIN_US,
+    census_blocks,
+    linear_water,
+    taxi_points,
+    tiger_edges,
+)
+from repro.geometry import MBR, point_in_polygon
+from repro.hdfs import estimate_size
+
+
+class TestTaxiPoints:
+    def test_count_and_determinism(self):
+        a = taxi_points(500, seed=1)
+        b = taxi_points(500, seed=1)
+        assert len(a) == 500
+        assert all(p == q for p, q in zip(a, b))
+        c = taxi_points(500, seed=2)
+        assert any(p != q for p, q in zip(a, c))
+
+    def test_within_domain(self):
+        for p in taxi_points(1000, seed=3):
+            assert DOMAIN_NYC.contains_point(p.x, p.y)
+
+    def test_hotspot_clustering(self):
+        # The Midtown hotspot must be much denser than the domain average.
+        pts = np.array([p.xy for p in taxi_points(5000, seed=4)])
+        midtown = MBR(-74.02, 40.73, -73.95, 40.78)
+        frac_in = np.mean(
+            (pts[:, 0] >= midtown.xmin)
+            & (pts[:, 0] <= midtown.xmax)
+            & (pts[:, 1] >= midtown.ymin)
+            & (pts[:, 1] <= midtown.ymax)
+        )
+        area_frac = midtown.area / DOMAIN_NYC.area
+        assert frac_in > 10 * area_frac
+
+    def test_zero_points(self):
+        assert taxi_points(0) == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            taxi_points(-1)
+
+    def test_bytes_per_record_matches_table1(self):
+        pts = taxi_points(200, seed=5)
+        avg = sum(estimate_size(p) for p in pts) / len(pts)
+        assert 30 <= avg <= 55  # paper: 6.9 GB / 169.7M ≈ 41 B
+
+
+class TestCensusBlocks:
+    def test_count(self):
+        assert len(census_blocks(100, seed=1)) == 100
+
+    def test_tessellation_covers_points_exactly_once(self):
+        blocks = census_blocks(150, seed=2)
+        pts = taxi_points(60, seed=3)
+        for p in pts:
+            hits = sum(point_in_polygon(b, p.x, p.y) for b in blocks)
+            assert hits >= 1  # covered
+            # Interior points (off shared edges) are covered exactly once.
+            assert hits <= 2
+
+    def test_vertex_density_matches_table1(self):
+        blocks = census_blocks(100, seed=4)
+        avg = sum(estimate_size(b) for b in blocks) / len(blocks)
+        assert 350 <= avg <= 650  # paper: 19 MB / 38,839 ≈ 490 B
+
+    def test_blocks_within_domain(self):
+        for b in census_blocks(50, seed=5):
+            assert DOMAIN_NYC.expanded(0.2).contains(b.mbr)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            census_blocks(0)
+
+
+class TestTigerEdges:
+    def test_count_and_determinism(self):
+        a = tiger_edges(300, seed=1)
+        assert len(a) == 300
+        b = tiger_edges(300, seed=1)
+        assert all(np.array_equal(x.coords, y.coords) for x, y in zip(a, b))
+
+    def test_mostly_short_polylines(self):
+        lines = tiger_edges(500, seed=2)
+        short = sum(1 for l in lines if l.num_points <= 5)
+        assert short > 0.5 * len(lines)
+
+    def test_bytes_per_record_matches_table1(self):
+        lines = tiger_edges(1500, seed=3)
+        avg = sum(estimate_size(l) for l in lines) / len(lines)
+        assert 240 <= avg <= 420  # paper: 23.8 GB / 72.7M ≈ 327 B
+
+    def test_urban_clustering(self):
+        # Most edges should concentrate near a few metros: the median
+        # nearest-neighbour start distance is far below uniform expectation.
+        lines = tiger_edges(800, seed=4)
+        starts = np.array([l.coords[0] for l in lines])
+        sample = starts[:200]
+        d = np.sqrt(((sample[:, None, :] - starts[None, :, :]) ** 2).sum(-1))
+        np.fill_diagonal(d[:, :200], np.inf)
+        nn = d.min(axis=1)
+        assert np.median(nn) < 0.35  # degrees; uniform would be ~0.7
+
+
+class TestLinearWater:
+    def test_long_meandering_lines(self):
+        lines = linear_water(100, seed=1)
+        avg_pts = np.mean([l.num_points for l in lines])
+        assert 50 <= avg_pts <= 90  # ~70 vertices like the paper's 1.4 KB records
+
+    def test_bytes_per_record_matches_table1(self):
+        lines = linear_water(300, seed=2)
+        avg = sum(estimate_size(l) for l in lines) / len(lines)
+        assert 1100 <= avg <= 1800  # paper: 8.4 GB / 5.86M ≈ 1434 B
+
+    def test_rivers_flow_forward(self):
+        # Meanders should not be pure Brownian noise: end-to-end distance
+        # should be a large fraction of a straight line of the same steps.
+        lines = linear_water(50, seed=3)
+        for l in lines:
+            end_to_end = np.linalg.norm(l.coords[-1] - l.coords[0])
+            assert end_to_end > 0.05 * l.length

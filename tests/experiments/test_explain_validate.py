@@ -1,0 +1,83 @@
+"""Tests for the cost explainer and the self-validation harness."""
+
+import pytest
+
+from repro.experiments import (
+    explain_report,
+    render_explanation,
+    run_experiment,
+    run_validation,
+    validation_cases,
+)
+
+
+@pytest.fixture(scope="module")
+def sh_report():
+    return run_experiment("taxi1m-nycb", "SpatialHadoop", "WS",
+                          exec_records=800, seed=3)
+
+
+class TestExplain:
+    def test_components_sum_to_clock(self, sh_report):
+        costs = explain_report(sh_report)
+        assert sum(c.total for c in costs) == pytest.approx(
+            sh_report.clock.total_seconds, rel=1e-9
+        )
+
+    def test_phase_alignment(self, sh_report):
+        costs = explain_report(sh_report)
+        assert [c.name for c in costs] == [p.name for p in sh_report.clock.phases]
+        assert {c.group for c in costs} == {"index_a", "index_b", "join"}
+
+    def test_top_counters_ordered(self, sh_report):
+        for cost in explain_report(sh_report, top=5):
+            seconds = [s for _k, s in cost.top_cpu_counters]
+            assert seconds == sorted(seconds, reverse=True)
+
+    def test_min_seconds_filter(self, sh_report):
+        all_costs = explain_report(sh_report)
+        big_costs = explain_report(sh_report, min_seconds=1.0)
+        assert len(big_costs) <= len(all_costs)
+        assert all(c.total >= 1.0 for c in big_costs)
+
+    def test_render(self, sh_report):
+        text = render_explanation(explain_report(sh_report))
+        assert "TOTAL" in text
+        assert "shadoop.join.map" in text
+        assert "cpu" in text.splitlines()[0]
+
+    def test_failed_run_explains_partial_work(self):
+        report = run_experiment("taxi-nycb", "HadoopGIS", "WS",
+                                exec_records=800, seed=3)
+        assert not report.ok
+        costs = explain_report(report)
+        assert costs  # the preprocessing before the broken pipe is visible
+        assert any("hgis" in c.name for c in costs)
+
+    def test_geos_profile_applied(self):
+        report = run_experiment("taxi1m-nycb", "HadoopGIS", "WS",
+                                exec_records=800, seed=3)
+        costs = {c.name: c for c in explain_report(report, top=10)}
+        join_reduce = costs.get("hgis.join.reduce")
+        assert join_reduce is not None
+        keys = [k for k, _s in join_reduce.top_cpu_counters]
+        assert "streaming.refine_calls" in keys
+
+
+class TestValidation:
+    def test_case_matrix(self):
+        cases = validation_cases(seed=1, size=100)
+        names = [c.name for c in cases]
+        assert "points-polygons/intersects" in names
+        assert "points-edges/within_distance" in names
+        assert len(cases) == 5
+
+    def test_all_pass(self):
+        results = run_validation(seed=3, size=120)
+        assert len(results) == 5 * 3
+        assert all(passed for _c, _s, passed in results)
+
+    def test_verbose_print(self, capsys):
+        run_validation(seed=4, size=60, verbose_print=print)
+        out = capsys.readouterr().out
+        assert "pairs" in out and "ok" in out

@@ -1,0 +1,136 @@
+"""Extrapolation tests: counter classes, pair factor, two-scale validity."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import PhaseRecord, SimClock
+from repro.experiments import ScaleInfo, classify_counter, extrapolate_clock, pair_factor
+from repro.metrics import Counters
+
+
+class TestClassification:
+    @pytest.mark.parametrize(
+        "key,cls",
+        [
+            ("parse.records", "records"),
+            ("parse.bytes", "bytes"),
+            ("hdfs.bytes_read", "bytes"),
+            ("hdfs.records_read", "records"),
+            ("shuffle.bytes_mem", "bytes"),
+            ("pipe.bytes", "bytes"),
+            ("pipe.records", "records"),
+            ("sort.ops", "nlogn"),
+            ("index.node_visits", "nlogn"),
+            ("index.build_ops", "records"),
+            ("geom.pip_tests", "pairs"),
+            ("geom.seg_pair_tests", "pairs"),
+            ("join.candidates", "pairs"),
+            ("streaming.refine_calls", "pairs"),
+            ("spark.shuffle_records", "records"),
+            ("deser.records", "records"),
+            ("mr.jobs", "fixed"),
+            ("spark.stages", "fixed"),
+            ("mr.tasks", "tasks"),
+            ("unknown.counter", "records"),
+        ],
+    )
+    def test_classes(self, key, cls):
+        assert classify_counter(key) == cls
+
+
+class TestPairFactor:
+    def test_fixed_size_objects_scale_quadratically(self):
+        # Polyline-vs-polyline: object dims identical at both scales.
+        dims = (0.01, 0.01)
+        assert pair_factor(100, 50, dims, dims, dims, dims) == pytest.approx(5000)
+
+    def test_tessellation_collapses_to_linear(self):
+        # Points (zero dims) against polygons that shrink 1/sqrt(R_b):
+        # factor must collapse to R_a.
+        ra, rb = 1000.0, 100.0
+        poly_exec = (0.1, 0.1)
+        poly_full = (0.1 / np.sqrt(rb), 0.1 / np.sqrt(rb))
+        factor = pair_factor(ra, rb, (0, 0), poly_exec, (0, 0), poly_full)
+        assert factor == pytest.approx(ra)
+
+    def test_degenerate_points_only(self):
+        assert pair_factor(100, 10, (0, 0), (0, 0), (0, 0), (0, 0)) == 10
+
+
+class TestScaleInfo:
+    def make(self):
+        return ScaleInfo(
+            record_ratio_a=1000.0,
+            record_ratio_b=10.0,
+            byte_ratio_a=500.0,
+            byte_ratio_b=20.0,
+            pairs=4000.0,
+            exec_records=2000,
+            exec_records_a=1000,
+            exec_records_b=1000,
+            staged_bytes_a=40_000,
+            staged_bytes_b=400_000,
+        )
+
+    def test_group_ratios(self):
+        info = self.make()
+        assert info.ratios_for_group("index_a") == (1000.0, 500.0)
+        assert info.ratios_for_group("index_b") == (10.0, 20.0)
+
+    def test_join_record_ratio_is_count_weighted(self):
+        info = self.make()
+        # (1000*1000 + 10*1000) / 2000 = 505
+        assert info.record_ratio_join == pytest.approx(505.0)
+
+    def test_join_byte_ratio_is_volume_weighted(self):
+        info = self.make()
+        # (500*40k + 20*400k) / 440k ≈ 63.6
+        assert info.byte_ratio_join == pytest.approx((500 * 40e3 + 20 * 400e3) / 440e3)
+
+    def test_log_correction_above_one(self):
+        info = self.make()
+        assert info.log_correction(1000.0) > 1.0
+        assert info.log_correction(1.0) == pytest.approx(1.0)
+
+
+class TestClockExtrapolation:
+    def test_classes_applied(self):
+        info = TestScaleInfo().make()
+        clock = SimClock()
+        clock.record(
+            PhaseRecord(
+                name="p",
+                counters=Counters(
+                    {
+                        "parse.records": 10.0,
+                        "hdfs.bytes_read": 100.0,
+                        "geom.pip_tests": 3.0,
+                        "mr.jobs": 2.0,
+                        "sort.ops": 7.0,
+                    }
+                ),
+                tasks=4,
+                group="index_a",
+            )
+        )
+        out = extrapolate_clock(clock, info)
+        c = out.phases[0].counters
+        assert c["parse.records"] == pytest.approx(10 * 1000)
+        assert c["hdfs.bytes_read"] == pytest.approx(100 * 500)
+        assert c["geom.pip_tests"] == pytest.approx(3 * 4000)
+        assert c["mr.jobs"] == 2.0  # fixed
+        assert c["sort.ops"] == pytest.approx(7 * 1000 * info.log_correction(1000))
+        assert out.phases[0].tasks == 4  # structure preserved
+
+    def test_groups_use_their_own_ratios(self):
+        info = TestScaleInfo().make()
+        clock = SimClock()
+        for group in ("index_a", "index_b", "join"):
+            clock.record(
+                PhaseRecord(
+                    name=group, counters=Counters({"parse.records": 1.0}), group=group
+                )
+            )
+        out = extrapolate_clock(clock, info)
+        values = [p.counters["parse.records"] for p in out.phases]
+        assert values == [1000.0, 10.0, pytest.approx(505.0)]

@@ -1,0 +1,156 @@
+"""Experiment runner tests: cell outcomes, scale-invariance, shapes.
+
+These are the repository's "does the reproduction hold" tests: the
+Table-2 failure matrix, the qualitative performance ordering, and the
+two-scale consistency of the extrapolation machinery.
+"""
+
+import math
+
+import pytest
+
+from repro.experiments import EXPERIMENTS, run_experiment
+
+
+class TestRunnerBasics:
+    def test_unknown_experiment(self):
+        with pytest.raises(ValueError, match="unknown experiment"):
+            run_experiment("osm-osm", "SpatialHadoop")
+
+    def test_unknown_cluster(self):
+        with pytest.raises(ValueError, match="unknown cluster"):
+            run_experiment("taxi-nycb", "SpatialHadoop", "AzureD4")
+
+    def test_arbitrary_ec2_sizes_accepted(self):
+        from repro.experiments import resolve_cluster
+
+        assert resolve_cluster("EC2-14").num_nodes == 14
+        assert resolve_cluster("WS").is_single_node
+        with pytest.raises(ValueError):
+            resolve_cluster("EC2-x")
+
+    def test_experiment_catalog(self):
+        assert set(EXPERIMENTS) == {
+            "taxi-nycb",
+            "edges-linearwater",
+            "taxi1m-nycb",
+            "edges0.1-linearwater0.1",
+        }
+
+    def test_report_is_costed(self):
+        report = run_experiment(
+            "taxi1m-nycb", "SpatialHadoop", "WS", exec_records=800, seed=2
+        )
+        assert report.ok
+        assert report.clock.total_seconds > 0
+        b = report.breakdown_seconds()
+        assert b["TOT"] == pytest.approx(b["IA"] + b["IB"] + b["DJ"])
+
+    def test_deterministic_given_seed(self):
+        a = run_experiment("taxi1m-nycb", "SpatialSpark", "WS", exec_records=800, seed=5)
+        b = run_experiment("taxi1m-nycb", "SpatialSpark", "WS", exec_records=800, seed=5)
+        assert a.clock.total_seconds == pytest.approx(b.clock.total_seconds)
+        assert a.pairs == b.pairs
+
+
+class TestTable2FailureMatrix:
+    """The '-' cells of Table 2, emergent from the substrates."""
+
+    @pytest.mark.parametrize("exp", ["taxi-nycb", "edges-linearwater"])
+    def test_hadoopgis_fails_all_full_runs(self, exp):
+        for config in ("WS", "EC2-10"):
+            report = run_experiment(exp, "HadoopGIS", config, exec_records=800, seed=2)
+            assert not report.ok
+            assert report.failure_kind == "broken_pipe"
+
+    @pytest.mark.parametrize(
+        "config,ok", [("WS", True), ("EC2-10", True), ("EC2-8", False), ("EC2-6", False)]
+    )
+    def test_spatialspark_oom_matrix(self, config, ok):
+        report = run_experiment(
+            "taxi-nycb", "SpatialSpark", config, exec_records=800, seed=2
+        )
+        assert report.ok == ok
+        if not ok:
+            assert report.failure_kind == "oom"
+
+    @pytest.mark.parametrize("config", ["WS", "EC2-10", "EC2-8", "EC2-6"])
+    def test_spatialhadoop_always_succeeds(self, config):
+        report = run_experiment(
+            "taxi-nycb", "SpatialHadoop", config, exec_records=800, seed=2
+        )
+        assert report.ok
+
+    def test_hadoopgis_succeeds_on_ws_samples_only(self):
+        ws = run_experiment("taxi1m-nycb", "HadoopGIS", "WS", exec_records=800, seed=2)
+        assert ws.ok
+        ec2 = run_experiment("taxi1m-nycb", "HadoopGIS", "EC2-10", exec_records=800, seed=2)
+        assert not ec2.ok
+
+
+class TestPerformanceShape:
+    """Qualitative orderings the paper reports (robust to calibration)."""
+
+    def test_spatialspark_beats_spatialhadoop_on_ec2(self):
+        for exp, exec_records in [("taxi-nycb", 2000), ("edges-linearwater", 5000)]:
+            sh = run_experiment(exp, "SpatialHadoop", "EC2-10",
+                                exec_records=exec_records, seed=1)
+            ss = run_experiment(exp, "SpatialSpark", "EC2-10",
+                                exec_records=exec_records, seed=1)
+            assert ss.clock.total_seconds < sh.clock.total_seconds
+
+    def test_ec2_10_beats_ec2_6_for_spatialhadoop_full(self):
+        t10 = run_experiment("edges-linearwater", "SpatialHadoop", "EC2-10",
+                             exec_records=5000, seed=1)
+        t6 = run_experiment("edges-linearwater", "SpatialHadoop", "EC2-6",
+                            exec_records=5000, seed=1)
+        assert t10.clock.total_seconds < t6.clock.total_seconds
+
+    def test_hadoopgis_dj_dominates_its_runtime(self):
+        # Table 3: HadoopGIS DJ (3273s) >> its indexing (206+54).
+        report = run_experiment("taxi1m-nycb", "HadoopGIS", "WS",
+                                exec_records=2000, seed=1)
+        b = report.breakdown_seconds()
+        assert b["DJ"] > 3 * (b["IA"] + b["IB"])
+
+    def test_spatialhadoop_indexing_major_share_on_samples(self):
+        # Table 3 finding: "indexing runtimes are several times larger than
+        # the distributed join runtimes for SpatialHadoop".  Our fitted
+        # EC2 job overhead runs low (EXPERIMENTS.md gap 1), so assert the
+        # weaker comparable-share form, stable across execution scales.
+        report = run_experiment("edges0.1-linearwater0.1", "SpatialHadoop", "EC2-10",
+                                exec_records=5000, seed=1)
+        b = report.breakdown_seconds()
+        assert b["IA"] + b["IB"] > 0.5 * b["DJ"]
+
+    def test_results_identical_across_systems(self):
+        pairs = set()
+        for system in ("SpatialHadoop", "SpatialSpark"):
+            report = run_experiment("edges0.1-linearwater0.1", system, "WS",
+                                    exec_records=2000, seed=1)
+            pairs.add(report.pairs)
+        assert len(pairs) == 1
+
+
+class TestTwoScaleConsistency:
+    """Extrapolated paper-scale totals must agree when the same experiment
+    executes at two different scales — the validity check of the whole
+    count-extrapolation methodology."""
+
+    @pytest.mark.parametrize("system", ["SpatialHadoop", "SpatialSpark"])
+    def test_taxi1m_totals_stable(self, system):
+        small = run_experiment("taxi1m-nycb", system, "WS", exec_records=1200, seed=4)
+        large = run_experiment("taxi1m-nycb", system, "WS", exec_records=3000, seed=4)
+        ratio = small.clock.total_seconds / large.clock.total_seconds
+        assert 0.6 < ratio < 1.7, (small.clock.total_seconds, large.clock.total_seconds)
+
+    def test_counter_extrapolation_stable(self):
+        small = run_experiment("taxi1m-nycb", "SpatialHadoop", "WS",
+                               exec_records=1200, seed=4)
+        large = run_experiment("taxi1m-nycb", "SpatialHadoop", "WS",
+                               exec_records=3000, seed=4)
+        for key in ("parse.records", "hdfs.bytes_read", "deser.records"):
+            a = small.clock.merged_counters()[key]
+            b = large.clock.merged_counters()[key]
+            assert a > 0 and b > 0
+            assert 0.5 < a / b < 2.0, (key, a, b)

@@ -1,0 +1,137 @@
+"""Geometry distance function tests (the ε-distance join substrate)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Point, PolyLine, Polygon, geometry_distance
+from repro.geometry.predicates import (
+    point_polygon_distance,
+    polyline_polygon_distance,
+    polyline_polyline_distance,
+    segment_segment_distance,
+)
+
+SQUARE = Polygon([(0, 0), (4, 0), (4, 4), (0, 4)])
+
+
+class TestSegmentSegment:
+    def test_parallel(self):
+        assert segment_segment_distance(0, 0, 1, 0, 0, 1, 1, 1) == pytest.approx(1.0)
+
+    def test_crossing_is_zero(self):
+        assert segment_segment_distance(0, 0, 2, 2, 0, 2, 2, 0) == 0.0
+
+    def test_endpoint_to_interior(self):
+        assert segment_segment_distance(0, 0, 1, 0, 2, -1, 2, 1) == pytest.approx(1.0)
+
+    def test_collinear_gap(self):
+        assert segment_segment_distance(0, 0, 1, 0, 3, 0, 4, 0) == pytest.approx(2.0)
+
+    def test_degenerate_segments(self):
+        # Two points as zero-length segments.
+        assert segment_segment_distance(0, 0, 0, 0, 3, 4, 3, 4) == pytest.approx(5.0)
+
+
+class TestPolylineDistances:
+    def test_disjoint_polylines(self):
+        a = PolyLine([(0, 0), (2, 0)])
+        b = PolyLine([(0, 3), (2, 3)])
+        assert polyline_polyline_distance(a, b) == pytest.approx(3.0)
+
+    def test_touching_is_zero(self):
+        a = PolyLine([(0, 0), (2, 2)])
+        b = PolyLine([(2, 2), (4, 0)])
+        assert polyline_polyline_distance(a, b) == 0.0
+
+    def test_multi_segment_closest_pair(self):
+        a = PolyLine([(0, 0), (5, 0), (5, 5)])
+        b = PolyLine([(7, 5), (9, 5)])
+        assert polyline_polyline_distance(a, b) == pytest.approx(2.0)
+
+
+class TestPolygonDistances:
+    def test_point_inside_is_zero(self):
+        assert point_polygon_distance(Point(2, 2), SQUARE) == 0.0
+
+    def test_point_outside(self):
+        assert point_polygon_distance(Point(7, 2), SQUARE) == pytest.approx(3.0)
+        assert point_polygon_distance(Point(7, 8), SQUARE) == pytest.approx(5.0)
+
+    def test_point_in_hole(self):
+        donut = Polygon(
+            [(0, 0), (10, 0), (10, 10), (0, 10)],
+            holes=[[(3, 3), (7, 3), (7, 7), (3, 7)]],
+        )
+        assert point_polygon_distance(Point(5, 5), donut) == pytest.approx(2.0)
+
+    def test_polyline_to_polygon(self):
+        line = PolyLine([(6, 0), (6, 4)])
+        assert polyline_polygon_distance(line, SQUARE) == pytest.approx(2.0)
+
+    def test_intersecting_polyline_is_zero(self):
+        line = PolyLine([(-1, 2), (5, 2)])
+        assert polyline_polygon_distance(line, SQUARE) == 0.0
+
+
+class TestGenericDistance:
+    def test_point_point(self):
+        assert geometry_distance(Point(0, 0), Point(3, 4)) == pytest.approx(5.0)
+
+    def test_symmetric_dispatch(self):
+        line = PolyLine([(10, 0), (10, 10)])
+        assert geometry_distance(Point(7, 5), line) == geometry_distance(line, Point(7, 5))
+        assert geometry_distance(line, SQUARE) == geometry_distance(SQUARE, line)
+
+    def test_polygon_polygon(self):
+        other = Polygon([(7, 0), (9, 0), (9, 4), (7, 4)])
+        assert geometry_distance(SQUARE, other) == pytest.approx(3.0)
+        overlapping = Polygon([(2, 2), (6, 2), (6, 6), (2, 6)])
+        assert geometry_distance(SQUARE, overlapping) == 0.0
+
+    def test_unsupported(self):
+        with pytest.raises(TypeError):
+            geometry_distance(Point(0, 0), object())
+
+
+coord = st.floats(min_value=-100, max_value=100, allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def polylines(draw, max_points=5):
+    n = draw(st.integers(2, max_points))
+    return PolyLine([(draw(coord), draw(coord)) for _ in range(n)])
+
+
+class TestDistanceProperties:
+    @given(polylines(), polylines())
+    @settings(max_examples=50)
+    def test_symmetry(self, a, b):
+        assert polyline_polyline_distance(a, b) == pytest.approx(
+            polyline_polyline_distance(b, a), rel=1e-12, abs=1e-12
+        )
+
+    @given(polylines(), polylines())
+    @settings(max_examples=50)
+    def test_zero_iff_intersecting(self, a, b):
+        from repro.geometry import polyline_intersects_polyline
+
+        d = polyline_polyline_distance(a, b)
+        if polyline_intersects_polyline(a, b):
+            assert d == 0.0
+        else:
+            assert d > 0.0
+
+    @given(polylines(), st.tuples(coord, coord))
+    @settings(max_examples=50)
+    def test_triangle_style_bound(self, line, pt):
+        # Distance to a polyline is never more than to any of its vertices.
+        p = Point(*pt)
+        d = geometry_distance(p, line)
+        vertex_dists = [
+            math.hypot(p.x - x, p.y - y) for x, y in line.coords
+        ]
+        assert d <= min(vertex_dists) + 1e-9

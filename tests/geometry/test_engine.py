@@ -1,0 +1,134 @@
+"""Engine parity, operation accounting and cost-profile tests."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import (
+    GEOS_COST_PROFILE,
+    JTS_COST_PROFILE,
+    GeosLikeEngine,
+    JtsLikeEngine,
+    Point,
+    PolyLine,
+    Polygon,
+    make_engine,
+)
+
+
+SQUARE = Polygon([(0, 0), (4, 0), (4, 4), (0, 4)])
+
+
+def random_scene(seed=0, n_pts=200, n_lines=40):
+    rng = np.random.default_rng(seed)
+    pts = [Point(x, y) for x, y in rng.uniform(0, 10, size=(n_pts, 2))]
+    lines = [
+        PolyLine(rng.uniform(0, 10, size=(rng.integers(2, 6), 2)))
+        for _ in range(n_lines)
+    ]
+    polys = [
+        Polygon(np.array([(0, 0), (3, 0.5), (4, 3), (1.5, 4)]) + rng.uniform(0, 7, 2))
+        for _ in range(10)
+    ]
+    return pts, lines, polys
+
+
+class TestFactory:
+    def test_make_engine(self):
+        assert isinstance(make_engine("jts"), JtsLikeEngine)
+        assert isinstance(make_engine("geos"), GeosLikeEngine)
+
+    def test_unknown_engine(self):
+        with pytest.raises(ValueError, match="unknown geometry engine"):
+            make_engine("sedona")
+
+
+class TestEngineParity:
+    """The two engines must return byte-identical answers."""
+
+    def test_points_in_polygon_parity(self):
+        pts, _, polys = random_scene(1)
+        xy = np.array([p.xy for p in pts])
+        jts, geos = JtsLikeEngine(), GeosLikeEngine()
+        for poly in polys:
+            np.testing.assert_array_equal(
+                jts.points_in_polygon(poly, xy), geos.points_in_polygon(poly, xy)
+            )
+
+    def test_intersects_parity_all_kind_pairs(self):
+        pts, lines, polys = random_scene(2, n_pts=30, n_lines=15)
+        jts, geos = JtsLikeEngine(), GeosLikeEngine()
+        geoms = pts[:8] + lines[:8] + polys[:4]
+        for a in geoms:
+            for b in geoms:
+                assert jts.intersects(a, b) == geos.intersects(a, b), (a, b)
+
+    def test_distance_parity(self):
+        pts, lines, _ = random_scene(3, n_pts=25, n_lines=10)
+        jts, geos = JtsLikeEngine(), GeosLikeEngine()
+        for p in pts[:10]:
+            for line in lines:
+                assert jts.point_polyline_distance(p, line) == pytest.approx(
+                    geos.point_polyline_distance(p, line), rel=1e-12, abs=1e-12
+                )
+
+    def test_refine_pairs_parity(self):
+        _, lines, _ = random_scene(4, n_lines=30)
+        left, right = lines[:15], lines[15:]
+        candidates = [
+            (i, j)
+            for i in range(len(left))
+            for j in range(len(right))
+            if left[i].mbr.intersects(right[j].mbr)
+        ]
+        jts, geos = JtsLikeEngine(), GeosLikeEngine()
+        assert jts.refine_pairs(left, right, candidates) == geos.refine_pairs(
+            left, right, candidates
+        )
+
+
+class TestAccounting:
+    def test_pip_counters(self):
+        eng = JtsLikeEngine()
+        xy = np.zeros((100, 2))
+        eng.points_in_polygon(SQUARE, xy)
+        assert eng.counters["geom.pip_tests"] == 100
+        assert eng.counters["geom.vertex_ops"] == 100 * SQUARE.num_points
+
+    def test_polyline_pair_counters(self):
+        eng = GeosLikeEngine()
+        a = PolyLine([(0, 0), (1, 1), (2, 0)])  # 2 segments
+        b = PolyLine([(0, 1), (2, 1)])  # 1 segment
+        eng.intersects(a, b)
+        assert eng.counters["geom.seg_pair_tests"] == 2
+        assert eng.counters["geom.mbr_tests"] == 1
+
+    def test_reset_counters(self):
+        eng = JtsLikeEngine()
+        eng.intersects(Point(1, 1), SQUARE)
+        assert eng.counters
+        eng.reset_counters()
+        assert not eng.counters
+
+    def test_refine_counts_accumulate(self):
+        eng = JtsLikeEngine()
+        lines = [PolyLine([(i, 0), (i + 1, 1)]) for i in range(4)]
+        eng.refine_pairs(lines, lines, [(0, 0), (1, 2), (3, 3)])
+        assert eng.counters["geom.mbr_tests"] == 3
+
+
+class TestCostProfiles:
+    def test_geos_uniformly_slower(self):
+        for key, jts_cost in JTS_COST_PROFILE.items():
+            assert GEOS_COST_PROFILE[key] == pytest.approx(4.0 * jts_cost)
+
+    def test_profiles_cover_all_counted_ops(self):
+        eng = GeosLikeEngine()
+        pts, lines, polys = random_scene(5, n_pts=10, n_lines=5)
+        for g in pts[:3] + lines[:3] + polys[:2]:
+            eng.intersects(g, polys[0])
+        eng.point_polyline_distance(pts[0], lines[0])
+        assert set(eng.counters) <= set(GEOS_COST_PROFILE)
+
+    def test_engine_exposes_own_profile(self):
+        assert JtsLikeEngine().cost_profile is JTS_COST_PROFILE
+        assert GeosLikeEngine().cost_profile is GEOS_COST_PROFILE

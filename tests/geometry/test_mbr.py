@@ -1,0 +1,173 @@
+"""Unit tests for scalar MBR and vectorized MBRArray operations."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import EMPTY_MBR, MBR, MBRArray
+
+
+class TestMBRBasics:
+    def test_width_height_area(self):
+        m = MBR(0, 1, 4, 4)
+        assert m.width == 4
+        assert m.height == 3
+        assert m.area == 12
+        assert m.margin == 7
+
+    def test_center(self):
+        assert MBR(0, 0, 4, 2).center == (2.0, 1.0)
+
+    def test_empty_detection(self):
+        assert EMPTY_MBR.is_empty
+        assert MBR(1, 0, 0, 1).is_empty
+        assert not MBR(0, 0, 0, 0).is_empty  # degenerate point box is valid
+
+    def test_empty_has_zero_extent(self):
+        assert EMPTY_MBR.area == 0.0
+        assert EMPTY_MBR.width == 0.0
+
+    def test_of_point_and_points(self):
+        assert MBR.of_point(3, 4) == MBR(3, 4, 3, 4)
+        assert MBR.of_points([1, 5, 3], [2, 0, 9]) == MBR(1, 0, 5, 9)
+        assert MBR.of_points([], []).is_empty
+
+
+class TestMBRPredicates:
+    def test_intersects_overlap(self):
+        assert MBR(0, 0, 2, 2).intersects(MBR(1, 1, 3, 3))
+
+    def test_intersects_touching_edge_counts(self):
+        assert MBR(0, 0, 1, 1).intersects(MBR(1, 0, 2, 1))
+        assert MBR(0, 0, 1, 1).intersects(MBR(1, 1, 2, 2))  # corner touch
+
+    def test_disjoint(self):
+        assert not MBR(0, 0, 1, 1).intersects(MBR(2, 2, 3, 3))
+        assert not MBR(0, 0, 1, 1).intersects(MBR(0, 2, 1, 3))
+
+    def test_empty_never_intersects(self):
+        assert not EMPTY_MBR.intersects(MBR(0, 0, 1, 1))
+        assert not MBR(0, 0, 1, 1).intersects(EMPTY_MBR)
+
+    def test_contains(self):
+        outer, inner = MBR(0, 0, 10, 10), MBR(2, 2, 5, 5)
+        assert outer.contains(inner)
+        assert not inner.contains(outer)
+        assert outer.contains(outer)
+
+    def test_contains_empty_vacuous(self):
+        assert MBR(0, 0, 1, 1).contains(EMPTY_MBR)
+        assert not EMPTY_MBR.contains(MBR(0, 0, 1, 1))
+
+    def test_contains_point_boundary_inclusive(self):
+        m = MBR(0, 0, 2, 2)
+        assert m.contains_point(0, 0)
+        assert m.contains_point(2, 2)
+        assert m.contains_point(1, 1)
+        assert not m.contains_point(2.0001, 1)
+
+
+class TestMBRCombinators:
+    def test_union(self):
+        assert MBR(0, 0, 1, 1).union(MBR(2, 2, 3, 3)) == MBR(0, 0, 3, 3)
+
+    def test_union_with_empty_is_identity(self):
+        m = MBR(0, 0, 1, 1)
+        assert m.union(EMPTY_MBR) == m
+        assert EMPTY_MBR.union(m) == m
+
+    def test_union_all(self):
+        boxes = [MBR(0, 0, 1, 1), MBR(5, -1, 6, 0), MBR(2, 3, 3, 4)]
+        assert MBR.union_all(boxes) == MBR(0, -1, 6, 4)
+        assert MBR.union_all([]).is_empty
+
+    def test_intersection(self):
+        assert MBR(0, 0, 4, 4).intersection(MBR(2, 2, 6, 6)) == MBR(2, 2, 4, 4)
+        assert MBR(0, 0, 1, 1).intersection(MBR(5, 5, 6, 6)).is_empty
+
+    def test_expanded(self):
+        assert MBR(0, 0, 1, 1).expanded(0.5) == MBR(-0.5, -0.5, 1.5, 1.5)
+
+    def test_enlargement(self):
+        m = MBR(0, 0, 2, 2)
+        assert m.enlargement(MBR(0, 0, 1, 1)) == 0.0
+        assert m.enlargement(MBR(0, 0, 4, 2)) == pytest.approx(4.0)
+
+
+class TestMBRArray:
+    def _boxes(self):
+        return MBRArray.from_mbrs(
+            [MBR(0, 0, 2, 2), MBR(1, 1, 3, 3), MBR(5, 5, 6, 6), MBR(2, 0, 4, 1)]
+        )
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            MBRArray(np.zeros((3, 3)))
+
+    def test_len_getitem_iter(self):
+        arr = self._boxes()
+        assert len(arr) == 4
+        assert arr[0] == MBR(0, 0, 2, 2)
+        assert [m for m in arr][2] == MBR(5, 5, 6, 6)
+
+    def test_from_points_degenerate(self):
+        arr = MBRArray.from_points(np.array([[1.0, 2.0], [3.0, 4.0]]))
+        assert arr[0] == MBR(1, 2, 1, 2)
+        assert arr[1] == MBR(3, 4, 3, 4)
+
+    def test_from_points_validates_shape(self):
+        with pytest.raises(ValueError):
+            MBRArray.from_points(np.zeros((4, 3)))
+
+    def test_extent(self):
+        assert self._boxes().extent() == MBR(0, 0, 6, 6)
+        assert MBRArray.empty().extent().is_empty
+
+    def test_areas(self):
+        np.testing.assert_allclose(self._boxes().areas(), [4.0, 4.0, 1.0, 2.0])
+
+    def test_centers(self):
+        np.testing.assert_allclose(
+            self._boxes().centers, [[1, 1], [2, 2], [5.5, 5.5], [3, 0.5]]
+        )
+
+    def test_intersects_one_matches_scalar(self):
+        arr = self._boxes()
+        q = MBR(1.5, 0.5, 2.5, 2.5)
+        expected = [arr[i].intersects(q) for i in range(len(arr))]
+        np.testing.assert_array_equal(arr.intersects_one(q), expected)
+
+    def test_intersects_one_empty_query(self):
+        assert not self._boxes().intersects_one(EMPTY_MBR).any()
+
+    def test_cross_intersects_matches_scalar(self):
+        a = self._boxes()
+        b = MBRArray.from_mbrs([MBR(0, 0, 1, 1), MBR(10, 10, 11, 11)])
+        mat = a.cross_intersects(b)
+        for i in range(len(a)):
+            for j in range(len(b)):
+                assert mat[i, j] == a[i].intersects(b[j])
+
+    def test_pairwise_intersects(self):
+        a = MBRArray.from_mbrs([MBR(0, 0, 1, 1), MBR(0, 0, 1, 1)])
+        b = MBRArray.from_mbrs([MBR(0.5, 0.5, 2, 2), MBR(3, 3, 4, 4)])
+        np.testing.assert_array_equal(a.pairwise_intersects(b), [True, False])
+        with pytest.raises(ValueError):
+            a.pairwise_intersects(self._boxes())
+
+    def test_union_pairs(self):
+        a = MBRArray.from_mbrs([MBR(0, 0, 1, 1)])
+        b = MBRArray.from_mbrs([MBR(2, -1, 3, 0.5)])
+        assert a.union_pairs(b)[0] == MBR(0, -1, 3, 1)
+
+    def test_contains_points(self):
+        arr = self._boxes()
+        pts = np.array([[1.0, 1.0], [5.5, 5.5]])
+        mat = arr.contains_points(pts)
+        assert mat.shape == (4, 2)
+        assert mat[0, 0] and mat[1, 0] and not mat[2, 0]
+        assert mat[2, 1] and not mat[0, 1]
+
+    def test_take(self):
+        arr = self._boxes().take(np.array([2, 0]))
+        assert arr[0] == MBR(5, 5, 6, 6)
+        assert arr[1] == MBR(0, 0, 2, 2)

@@ -1,0 +1,224 @@
+"""Unit tests for exact scalar predicates."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Point, PolyLine, Polygon
+from repro.geometry.predicates import (
+    geometries_intersect,
+    on_segment,
+    orientation,
+    point_in_polygon,
+    point_in_ring,
+    point_on_ring,
+    point_polyline_distance,
+    point_segment_distance,
+    polygon_intersects_polygon,
+    polyline_intersects_polygon,
+    polyline_intersects_polyline,
+    segments_intersect,
+)
+
+
+class TestOrientation:
+    def test_ccw_cw_collinear(self):
+        assert orientation(0, 0, 1, 0, 1, 1) == 1
+        assert orientation(0, 0, 1, 0, 1, -1) == -1
+        assert orientation(0, 0, 1, 0, 2, 0) == 0
+
+    def test_on_segment(self):
+        assert on_segment(0, 0, 2, 2, 1, 1)
+        assert not on_segment(0, 0, 2, 2, 3, 3)
+
+
+class TestSegmentsIntersect:
+    def test_proper_crossing(self):
+        assert segments_intersect(0, 0, 2, 2, 0, 2, 2, 0)
+
+    def test_disjoint(self):
+        assert not segments_intersect(0, 0, 1, 1, 2, 2, 3, 3)
+
+    def test_shared_endpoint(self):
+        assert segments_intersect(0, 0, 1, 1, 1, 1, 2, 0)
+
+    def test_t_junction(self):
+        assert segments_intersect(0, 0, 2, 0, 1, 0, 1, 5)
+
+    def test_collinear_overlap(self):
+        assert segments_intersect(0, 0, 2, 0, 1, 0, 3, 0)
+
+    def test_collinear_disjoint(self):
+        assert not segments_intersect(0, 0, 1, 0, 2, 0, 3, 0)
+
+    def test_parallel_non_collinear(self):
+        assert not segments_intersect(0, 0, 1, 0, 0, 1, 1, 1)
+
+
+SQUARE = Polygon([(0, 0), (4, 0), (4, 4), (0, 4)])
+DONUT = Polygon(
+    [(0, 0), (10, 0), (10, 10), (0, 10)],
+    holes=[[(3, 3), (7, 3), (7, 7), (3, 7)]],
+)
+# Concave "C" shape.
+CSHAPE = Polygon([(0, 0), (6, 0), (6, 2), (2, 2), (2, 4), (6, 4), (6, 6), (0, 6)])
+
+
+class TestPointInRing:
+    def test_inside_outside(self):
+        assert point_in_ring(SQUARE.exterior, 2, 2)
+        assert not point_in_ring(SQUARE.exterior, 5, 2)
+
+    def test_boundary_inclusive_and_exclusive(self):
+        assert point_in_ring(SQUARE.exterior, 0, 2, boundary=True)
+        assert not point_in_ring(SQUARE.exterior, 0, 2, boundary=False)
+        assert point_in_ring(SQUARE.exterior, 0, 0, boundary=True)
+
+    def test_point_on_ring(self):
+        assert point_on_ring(SQUARE.exterior, 4, 2)
+        assert point_on_ring(SQUARE.exterior, 4, 4)
+        assert not point_on_ring(SQUARE.exterior, 2, 2)
+
+    def test_vertex_ray_no_double_count(self):
+        # A point whose scanline passes exactly through a vertex.
+        tri = Polygon([(0, 0), (4, 2), (0, 4)])
+        assert point_in_ring(tri.exterior, 1, 2)
+        assert not point_in_ring(tri.exterior, 5, 2)
+        assert not point_in_ring(tri.exterior, -1, 2)
+
+
+class TestPointInPolygon:
+    def test_simple(self):
+        assert point_in_polygon(SQUARE, 1, 1)
+        assert not point_in_polygon(SQUARE, -1, 1)
+
+    def test_mbr_shortcut_consistency(self):
+        assert not point_in_polygon(SQUARE, 100, 100)
+
+    def test_hole_excluded(self):
+        assert point_in_polygon(DONUT, 1, 1)
+        assert not point_in_polygon(DONUT, 5, 5)
+
+    def test_hole_boundary_still_inside(self):
+        assert point_in_polygon(DONUT, 3, 5)
+
+    def test_concave_notch(self):
+        assert point_in_polygon(CSHAPE, 1, 3)   # in the spine
+        assert not point_in_polygon(CSHAPE, 4, 3)  # in the notch
+        assert point_in_polygon(CSHAPE, 4, 1)   # lower arm
+
+    def test_exterior_boundary_inclusive(self):
+        assert point_in_polygon(SQUARE, 4, 2)
+        assert point_in_polygon(SQUARE, 0, 0)
+
+
+class TestDistances:
+    def test_point_segment_projection_inside(self):
+        assert point_segment_distance(1, 1, 0, 0, 2, 0) == pytest.approx(1.0)
+
+    def test_point_segment_clamped_to_endpoint(self):
+        assert point_segment_distance(-3, 4, 0, 0, 2, 0) == pytest.approx(5.0)
+
+    def test_degenerate_segment(self):
+        assert point_segment_distance(3, 4, 0, 0, 0, 0) == pytest.approx(5.0)
+
+    def test_point_polyline(self):
+        line = PolyLine([(0, 0), (10, 0), (10, 10)])
+        assert point_polyline_distance(Point(5, 3), line) == pytest.approx(3.0)
+        assert point_polyline_distance(Point(12, 5), line) == pytest.approx(2.0)
+        assert point_polyline_distance(Point(10, 5), line) == 0.0
+
+
+class TestPolylinePolyline:
+    def test_crossing(self):
+        a = PolyLine([(0, 0), (5, 5)])
+        b = PolyLine([(0, 5), (5, 0)])
+        assert polyline_intersects_polyline(a, b)
+
+    def test_mbr_disjoint_fast_path(self):
+        a = PolyLine([(0, 0), (1, 1)])
+        b = PolyLine([(10, 10), (11, 11)])
+        assert not polyline_intersects_polyline(a, b)
+
+    def test_mbrs_overlap_but_geometries_do_not(self):
+        a = PolyLine([(0, 0), (4, 4)])
+        b = PolyLine([(3, 0), (4, 0.5)])
+        assert a.mbr.intersects(b.mbr)
+        assert not polyline_intersects_polyline(a, b)
+
+    def test_touching_endpoint(self):
+        a = PolyLine([(0, 0), (2, 2)])
+        b = PolyLine([(2, 2), (4, 0)])
+        assert polyline_intersects_polyline(a, b)
+
+    def test_multi_segment(self):
+        a = PolyLine([(0, 0), (1, 3), (2, 0), (3, 3)])
+        b = PolyLine([(0, 1.5), (3, 1.5)])
+        assert polyline_intersects_polyline(a, b)
+
+
+class TestPolylinePolygon:
+    def test_line_through_polygon(self):
+        line = PolyLine([(-1, 2), (5, 2)])
+        assert polyline_intersects_polygon(line, SQUARE)
+
+    def test_line_fully_inside(self):
+        line = PolyLine([(1, 1), (2, 2)])
+        assert polyline_intersects_polygon(line, SQUARE)
+
+    def test_line_outside(self):
+        line = PolyLine([(5, 5), (6, 6)])
+        assert not polyline_intersects_polygon(line, SQUARE)
+
+    def test_line_inside_hole_does_not_intersect(self):
+        line = PolyLine([(4, 4), (6, 6)])
+        assert not polyline_intersects_polygon(line, DONUT)
+
+    def test_line_crossing_hole_boundary(self):
+        line = PolyLine([(4, 4), (8, 8)])
+        assert polyline_intersects_polygon(line, DONUT)
+
+
+class TestPolygonPolygon:
+    def test_overlapping(self):
+        other = Polygon([(2, 2), (6, 2), (6, 6), (2, 6)])
+        assert polygon_intersects_polygon(SQUARE, other)
+
+    def test_containment(self):
+        inner = Polygon([(1, 1), (2, 1), (2, 2), (1, 2)])
+        assert polygon_intersects_polygon(SQUARE, inner)
+        assert polygon_intersects_polygon(inner, SQUARE)
+
+    def test_disjoint(self):
+        other = Polygon([(10, 10), (12, 10), (12, 12), (10, 12)])
+        assert not polygon_intersects_polygon(SQUARE, other)
+
+    def test_cross_shape_no_contained_vertices(self):
+        # Two long thin rectangles crossing like a plus sign: no vertex of
+        # either lies in the other, only edges cross.
+        horiz = Polygon([(-5, 1.8), (5, 1.8), (5, 2.2), (-5, 2.2)])
+        vert = Polygon([(1.8, -5), (2.2, -5), (2.2, 5), (1.8, 5)])
+        assert polygon_intersects_polygon(horiz, vert)
+
+
+class TestGenericDispatch:
+    def test_point_point(self):
+        assert geometries_intersect(Point(1, 1), Point(1, 1))
+        assert not geometries_intersect(Point(1, 1), Point(1, 2))
+
+    def test_point_polygon_both_orders(self):
+        assert geometries_intersect(Point(1, 1), SQUARE)
+        assert geometries_intersect(SQUARE, Point(1, 1))
+
+    def test_point_polyline(self):
+        line = PolyLine([(0, 0), (4, 0)])
+        assert geometries_intersect(Point(2, 0), line)
+        assert not geometries_intersect(Point(2, 1), line)
+
+    def test_polyline_polygon_both_orders(self):
+        line = PolyLine([(-1, 2), (5, 2)])
+        assert geometries_intersect(line, SQUARE)
+        assert geometries_intersect(SQUARE, line)
+
+    def test_unsupported_type(self):
+        with pytest.raises(TypeError):
+            geometries_intersect(Point(0, 0), object())

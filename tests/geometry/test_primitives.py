@@ -1,0 +1,110 @@
+"""Unit tests for geometry primitives."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import MBR, Point, PolyLine, Polygon
+
+
+class TestPoint:
+    def test_basic(self):
+        p = Point(1.5, -2.0)
+        assert p.xy == (1.5, -2.0)
+        assert p.mbr == MBR(1.5, -2.0, 1.5, -2.0)
+        assert p.num_points == 1
+
+    def test_rejects_nonfinite(self):
+        with pytest.raises(ValueError):
+            Point(float("nan"), 0)
+        with pytest.raises(ValueError):
+            Point(0, float("inf"))
+
+    def test_equality_and_hash(self):
+        assert Point(1, 2) == Point(1, 2)
+        assert Point(1, 2) != Point(2, 1)
+        assert len({Point(1, 2), Point(1, 2), Point(3, 4)}) == 2
+
+
+class TestPolyLine:
+    def test_basic(self):
+        line = PolyLine([(0, 0), (3, 4), (3, 8)])
+        assert line.num_points == 3
+        assert line.num_segments == 2
+        assert line.length == pytest.approx(9.0)
+        assert line.mbr == MBR(0, 0, 3, 8)
+
+    def test_requires_two_points(self):
+        with pytest.raises(ValueError):
+            PolyLine([(0, 0)])
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            PolyLine(np.zeros((3, 3)))
+
+    def test_rejects_nonfinite(self):
+        with pytest.raises(ValueError):
+            PolyLine([(0, 0), (np.nan, 1)])
+
+    def test_coords_are_contiguous_float64(self):
+        line = PolyLine([(0, 0), (1, 1)])
+        assert line.coords.flags["C_CONTIGUOUS"]
+        assert line.coords.dtype == np.float64
+
+    def test_equality_and_hash(self):
+        a = PolyLine([(0, 0), (1, 1)])
+        b = PolyLine([(0, 0), (1, 1)])
+        assert a == b and hash(a) == hash(b)
+
+
+class TestPolygon:
+    def test_ring_closed_automatically(self):
+        poly = Polygon([(0, 0), (4, 0), (4, 4), (0, 4)])
+        assert np.array_equal(poly.exterior[0], poly.exterior[-1])
+        assert poly.exterior.shape[0] == 5
+
+    def test_already_closed_ring_not_double_closed(self):
+        poly = Polygon([(0, 0), (4, 0), (4, 4), (0, 4), (0, 0)])
+        assert poly.exterior.shape[0] == 5
+
+    def test_exterior_normalized_ccw(self):
+        cw = Polygon([(0, 0), (0, 4), (4, 4), (4, 0)])  # clockwise input
+        assert Polygon._signed_area(cw.exterior) > 0
+
+    def test_holes_normalized_cw(self):
+        poly = Polygon(
+            [(0, 0), (10, 0), (10, 10), (0, 10)],
+            holes=[[(2, 2), (4, 2), (4, 4), (2, 4)]],  # ccw input
+        )
+        assert Polygon._signed_area(poly.holes[0]) < 0
+
+    def test_area_subtracts_holes(self):
+        poly = Polygon(
+            [(0, 0), (10, 0), (10, 10), (0, 10)],
+            holes=[[(2, 2), (4, 2), (4, 4), (2, 4)]],
+        )
+        assert poly.area == pytest.approx(100 - 4)
+
+    def test_num_points_includes_holes(self):
+        poly = Polygon(
+            [(0, 0), (10, 0), (10, 10), (0, 10)],
+            holes=[[(2, 2), (4, 2), (4, 4), (2, 4)]],
+        )
+        assert poly.num_points == 5 + 5
+
+    def test_mbr(self):
+        poly = Polygon([(1, 2), (5, 2), (5, 7), (1, 7)])
+        assert poly.mbr == MBR(1, 2, 5, 7)
+
+    def test_requires_three_points(self):
+        with pytest.raises(ValueError):
+            Polygon([(0, 0), (1, 1)])
+
+    def test_serialized_size_scales_with_points(self):
+        small = Polygon([(0, 0), (1, 0), (1, 1)])
+        big = Polygon([(i, i * i % 7) for i in range(50)])
+        assert big.serialized_size() > small.serialized_size()
+
+    def test_equality(self):
+        a = Polygon([(0, 0), (4, 0), (4, 4)])
+        b = Polygon([(0, 0), (4, 0), (4, 4)])
+        assert a == b and hash(a) == hash(b)

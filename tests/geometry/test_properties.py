@@ -1,0 +1,155 @@
+"""Property-based tests (hypothesis) for geometry invariants.
+
+These exercise the invariants the whole join stack relies on:
+symmetry of intersection, MBR containment of geometries, scalar/vector
+kernel agreement, and WKT round-tripping.
+"""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import MBR, Point, PolyLine, Polygon, from_wkt, to_wkt
+from repro.geometry import predicates as sp
+from repro.geometry import vectorized as vp
+
+coord = st.floats(
+    min_value=-1e3, max_value=1e3, allow_nan=False, allow_infinity=False, width=64
+)
+
+
+@st.composite
+def mbrs(draw):
+    x1, x2 = sorted((draw(coord), draw(coord)))
+    y1, y2 = sorted((draw(coord), draw(coord)))
+    return MBR(x1, y1, x2, y2)
+
+
+@st.composite
+def polylines(draw, max_points=8):
+    n = draw(st.integers(2, max_points))
+    pts = [(draw(coord), draw(coord)) for _ in range(n)]
+    return PolyLine(pts)
+
+
+@st.composite
+def convex_polygons(draw, max_points=10):
+    """Random convex polygon: points on a circle with jittered radii/angles."""
+    n = draw(st.integers(3, max_points))
+    cx, cy = draw(coord), draw(coord)
+    radius = draw(st.floats(0.1, 50.0))
+    angles = sorted(
+        draw(
+            st.lists(
+                st.floats(0, 2 * math.pi - 1e-6), min_size=n, max_size=n, unique=True
+            )
+        )
+    )
+    pts = [(cx + radius * math.cos(a), cy + radius * math.sin(a)) for a in angles]
+    # Nearly-equal angles can collapse points after rounding; discard
+    # degenerate rings rather than constrain the strategy.
+    from hypothesis import assume
+
+    assume(len({(round(x, 12), round(y, 12)) for x, y in pts}) >= 3)
+    try:
+        return Polygon(pts)
+    except ValueError:
+        assume(False)
+
+
+class TestMBRProperties:
+    @given(mbrs(), mbrs())
+    def test_intersects_symmetric(self, a, b):
+        assert a.intersects(b) == b.intersects(a)
+
+    @given(mbrs(), mbrs())
+    def test_union_contains_both(self, a, b):
+        u = a.union(b)
+        assert u.contains(a) and u.contains(b)
+
+    @given(mbrs(), mbrs())
+    def test_intersection_contained_in_both(self, a, b):
+        inter = a.intersection(b)
+        if not inter.is_empty:
+            assert a.contains(inter) and b.contains(inter)
+
+    @given(mbrs(), mbrs())
+    def test_containment_implies_intersection(self, a, b):
+        if a.contains(b) and not b.is_empty:
+            assert a.intersects(b)
+
+    @given(mbrs())
+    def test_self_union_idempotent(self, a):
+        assert a.union(a) == a
+
+    @given(mbrs(), mbrs(), mbrs())
+    def test_union_associative(self, a, b, c):
+        lhs = a.union(b).union(c)
+        rhs = a.union(b.union(c))
+        assert lhs == rhs
+
+
+class TestPredicateProperties:
+    @given(polylines(), polylines())
+    @settings(max_examples=60)
+    def test_polyline_intersection_symmetric(self, a, b):
+        assert sp.polyline_intersects_polyline(a, b) == sp.polyline_intersects_polyline(b, a)
+
+    @given(polylines(), polylines())
+    @settings(max_examples=60)
+    def test_vectorized_matches_scalar(self, a, b):
+        assert vp.polylines_intersect(a, b) == sp.polyline_intersects_polyline(a, b)
+
+    @given(polylines())
+    def test_polyline_self_intersects(self, a):
+        assert sp.polyline_intersects_polyline(a, a)
+
+    @given(st.lists(st.tuples(coord, coord), min_size=1, max_size=64), polylines())
+    @settings(max_examples=40)
+    def test_distance_kernel_matches_scalar(self, pts, line):
+        xy = np.array(pts, dtype=np.float64)
+        got = vp.points_segments_min_distance(xy, line)
+        want = [sp.point_polyline_distance(Point(x, y), line) for x, y in pts]
+        np.testing.assert_allclose(got, want, rtol=1e-9, atol=1e-9)
+
+    @given(st.lists(st.tuples(coord, coord), min_size=1, max_size=64), convex_polygons())
+    @settings(max_examples=40)
+    def test_pip_kernel_matches_scalar(self, pts, poly):
+        xy = np.array(pts, dtype=np.float64)
+        got = vp.points_in_polygon(poly, xy)
+        want = [sp.point_in_polygon(poly, x, y) for x, y in pts]
+        np.testing.assert_array_equal(got, want)
+
+    @given(convex_polygons())
+    @settings(max_examples=40)
+    def test_polygon_vertices_inside_own_polygon(self, poly):
+        for x, y in poly.exterior[:-1]:
+            assert sp.point_in_polygon(poly, x, y)
+
+    @given(convex_polygons())
+    @settings(max_examples=40)
+    def test_mbr_contains_polygon_centroid_hits(self, poly):
+        # Any point inside the polygon must be inside its MBR.
+        cx = poly.exterior[:-1, 0].mean()
+        cy = poly.exterior[:-1, 1].mean()
+        if sp.point_in_polygon(poly, cx, cy):
+            assert poly.mbr.contains_point(cx, cy)
+
+
+class TestWktProperties:
+    @given(coord, coord)
+    def test_point_roundtrip(self, x, y):
+        p = Point(x, y)
+        assert from_wkt(to_wkt(p)) == p
+
+    @given(polylines())
+    @settings(max_examples=60)
+    def test_polyline_roundtrip(self, line):
+        assert from_wkt(to_wkt(line)) == line
+
+    @given(convex_polygons())
+    @settings(max_examples=60)
+    def test_polygon_roundtrip(self, poly):
+        assert from_wkt(to_wkt(poly)) == poly

@@ -1,0 +1,123 @@
+"""Vectorized kernels must agree exactly with the scalar predicates."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Point, PolyLine, Polygon
+from repro.geometry import predicates as sp
+from repro.geometry import vectorized as vp
+
+
+SQUARE = Polygon([(0, 0), (4, 0), (4, 4), (0, 4)])
+DONUT = Polygon(
+    [(0, 0), (10, 0), (10, 10), (0, 10)],
+    holes=[[(3, 3), (7, 3), (7, 7), (3, 7)]],
+)
+
+
+def grid_points(box, n=23):
+    xs = np.linspace(box.xmin - 1, box.xmax + 1, n)
+    ys = np.linspace(box.ymin - 1, box.ymax + 1, n)
+    gx, gy = np.meshgrid(xs, ys)
+    return np.column_stack([gx.ravel(), gy.ravel()])
+
+
+class TestPointsInRing:
+    @pytest.mark.parametrize("boundary", [True, False])
+    def test_matches_scalar_on_grid(self, boundary):
+        pts = grid_points(SQUARE.mbr)
+        got = vp.points_in_ring(SQUARE.exterior, pts, boundary=boundary)
+        want = np.array(
+            [sp.point_in_ring(SQUARE.exterior, x, y, boundary=boundary) for x, y in pts]
+        )
+        np.testing.assert_array_equal(got, want)
+
+    def test_boundary_points(self):
+        pts = np.array([[0.0, 2.0], [4.0, 4.0], [2.0, 0.0], [2.0, 2.0], [9.0, 9.0]])
+        incl = vp.points_in_ring(SQUARE.exterior, pts, boundary=True)
+        excl = vp.points_in_ring(SQUARE.exterior, pts, boundary=False)
+        np.testing.assert_array_equal(incl, [True, True, True, True, False])
+        np.testing.assert_array_equal(excl, [False, False, False, True, False])
+
+    def test_points_on_ring(self):
+        pts = np.array([[0.0, 2.0], [2.0, 2.0], [4.0, 0.0]])
+        np.testing.assert_array_equal(
+            vp.points_on_ring(SQUARE.exterior, pts), [True, False, True]
+        )
+
+
+class TestPointsInPolygon:
+    def test_matches_scalar_with_holes(self):
+        pts = grid_points(DONUT.mbr, n=31)
+        got = vp.points_in_polygon(DONUT, pts)
+        want = np.array([sp.point_in_polygon(DONUT, x, y) for x, y in pts])
+        np.testing.assert_array_equal(got, want)
+
+    def test_empty_batch(self):
+        assert vp.points_in_polygon(SQUARE, np.empty((0, 2))).shape == (0,)
+
+    def test_hole_boundary_inclusive(self):
+        pts = np.array([[3.0, 5.0], [5.0, 5.0]])
+        np.testing.assert_array_equal(vp.points_in_polygon(DONUT, pts), [True, False])
+
+    def test_random_points_match_scalar(self):
+        rng = np.random.default_rng(7)
+        poly = Polygon(
+            [(0, 0), (8, 1), (9, 5), (5, 9), (1, 7)],
+            holes=[[(3, 3), (5, 3), (5, 5), (3, 5)]],
+        )
+        pts = rng.uniform(-1, 10, size=(500, 2))
+        got = vp.points_in_polygon(poly, pts)
+        want = np.array([sp.point_in_polygon(poly, x, y) for x, y in pts])
+        np.testing.assert_array_equal(got, want)
+
+
+class TestSegmentMatrix:
+    def test_matches_scalar_random(self):
+        rng = np.random.default_rng(11)
+        a = rng.uniform(0, 10, size=(20, 4))
+        b = rng.uniform(0, 10, size=(25, 4))
+        mat = vp.segments_intersect_matrix(a[:, :2], a[:, 2:], b[:, :2], b[:, 2:])
+        for i in range(a.shape[0]):
+            for j in range(b.shape[0]):
+                want = sp.segments_intersect(*a[i], *b[j])
+                assert mat[i, j] == want, (i, j)
+
+    def test_touch_cases(self):
+        a0 = np.array([[0.0, 0.0]])
+        a1 = np.array([[2.0, 0.0]])
+        b0 = np.array([[2.0, 0.0], [1.0, 0.0], [0.0, 1.0]])
+        b1 = np.array([[3.0, 1.0], [1.0, 5.0], [1.0, 1.0]])
+        mat = vp.segments_intersect_matrix(a0, a1, b0, b1)
+        np.testing.assert_array_equal(mat[0], [True, True, False])
+
+    def test_polylines_intersect(self):
+        a = PolyLine([(0, 0), (1, 3), (2, 0), (3, 3)])
+        b = PolyLine([(0, 1.5), (3, 1.5)])
+        c = PolyLine([(10, 10), (11, 11)])
+        assert vp.polylines_intersect(a, b)
+        assert not vp.polylines_intersect(a, c)
+
+    def test_polylines_match_scalar_random(self):
+        rng = np.random.default_rng(3)
+        for _ in range(50):
+            a = PolyLine(rng.uniform(0, 4, size=(rng.integers(2, 6), 2)))
+            b = PolyLine(rng.uniform(0, 4, size=(rng.integers(2, 6), 2)))
+            assert vp.polylines_intersect(a, b) == sp.polyline_intersects_polyline(a, b)
+
+
+class TestPointSegmentDistances:
+    def test_matches_scalar(self):
+        rng = np.random.default_rng(5)
+        line = PolyLine(rng.uniform(0, 10, size=(8, 2)))
+        pts = rng.uniform(-2, 12, size=(100, 2))
+        got = vp.points_segments_min_distance(pts, line)
+        want = np.array(
+            [sp.point_polyline_distance(Point(x, y), line) for x, y in pts]
+        )
+        np.testing.assert_allclose(got, want, rtol=1e-12, atol=1e-12)
+
+    def test_degenerate_segment_in_line(self):
+        line = PolyLine([(0, 0), (0, 0), (10, 0)])
+        got = vp.points_segments_min_distance(np.array([[5.0, 2.0]]), line)
+        assert got[0] == pytest.approx(2.0)

@@ -1,0 +1,74 @@
+"""WKT codec round-trip and error-handling tests."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Point, PolyLine, Polygon, WktError, from_wkt, to_wkt
+
+
+class TestRoundTrip:
+    def test_point(self):
+        p = Point(1.25, -3.5)
+        assert from_wkt(to_wkt(p)) == p
+
+    def test_linestring(self):
+        line = PolyLine([(0, 0), (1.5, 2.25), (-3, 4)])
+        assert from_wkt(to_wkt(line)) == line
+
+    def test_polygon(self):
+        poly = Polygon([(0, 0), (4, 0), (4, 4), (0, 4)])
+        assert from_wkt(to_wkt(poly)) == poly
+
+    def test_polygon_with_holes(self):
+        poly = Polygon(
+            [(0, 0), (10, 0), (10, 10), (0, 10)],
+            holes=[[(2, 2), (4, 2), (4, 4), (2, 4)], [(6, 6), (8, 6), (8, 8), (6, 8)]],
+        )
+        back = from_wkt(to_wkt(poly))
+        assert back == poly
+        assert len(back.holes) == 2
+
+    def test_high_precision_coordinates_survive(self):
+        p = Point(-73.98201375213, 40.74301293847)
+        assert from_wkt(to_wkt(p)) == p
+
+
+class TestParsing:
+    def test_case_insensitive(self):
+        assert isinstance(from_wkt("point (1 2)"), Point)
+        assert isinstance(from_wkt("LineString (0 0, 1 1)"), PolyLine)
+
+    def test_whitespace_tolerant(self):
+        assert from_wkt("  POINT (  1   2 ) ") == Point(1, 2)
+
+    def test_scientific_notation(self):
+        assert from_wkt("POINT (1e3 -2.5e-2)") == Point(1000.0, -0.025)
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "POINT ()",
+            "POINT (1)",
+            "POINT (a b)",
+            "LINESTRING (1 1)",
+            "LINESTRING (1 1, x 2)",
+            "POLYGON ()",
+            "POLYGON ((0 0, 1 1))",  # too few distinct points
+            "TRIANGLE ((0 0, 1 0, 0 1))",
+            "MULTIPOINT ((1 1))",
+        ],
+    )
+    def test_malformed_raises(self, bad):
+        with pytest.raises(WktError):
+            from_wkt(bad)
+
+    def test_non_string(self):
+        with pytest.raises(WktError):
+            from_wkt(42)
+
+    def test_unsupported_geometry_serialization(self):
+        with pytest.raises(TypeError):
+            to_wkt(object())

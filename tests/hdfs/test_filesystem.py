@@ -1,0 +1,153 @@
+"""Simulated HDFS tests: blocks, accounting, failure modes."""
+
+import pytest
+
+from repro.geometry import Point
+from repro.hdfs import HdfsError, SimulatedHDFS, estimate_size
+from repro.metrics import Counters
+
+
+def make_fs(block_size=100):
+    counters = Counters()
+    return SimulatedHDFS(block_size=block_size, counters=counters), counters
+
+
+class TestSizeEstimation:
+    def test_strings_exact(self):
+        assert estimate_size("hello") == 6
+
+    def test_numbers(self):
+        assert estimate_size(3) == estimate_size(2.5) == 12
+
+    def test_geometry_uses_serialized_size(self):
+        p = Point(1, 2)
+        assert estimate_size(p) == p.serialized_size()
+
+    def test_containers_sum(self):
+        assert estimate_size(("ab", 1)) > estimate_size("ab")
+        assert estimate_size({"k": "v"}) > 0
+        assert estimate_size([1, 2, 3]) == 3 * 12 + 3
+
+    def test_none_and_bool(self):
+        assert estimate_size(None) == 1
+        assert estimate_size(True) == 2
+
+    def test_fallback_str(self):
+        class Weird:
+            def __str__(self):
+                return "xyz"
+
+        assert estimate_size(Weird()) == 4
+
+
+class TestWriteRead:
+    def test_roundtrip(self):
+        fs, _ = make_fs()
+        fs.write_file("/data/a", ["r1", "r2", "r3"])
+        assert fs.read_all("/data/a") == ["r1", "r2", "r3"]
+
+    def test_blocks_split_on_size(self):
+        fs, _ = make_fs(block_size=25)
+        fs.write_file("/f", ["x" * 10] * 5)  # each record 11 bytes
+        assert fs.num_blocks("/f") == 3  # 2+2+1 records
+        assert fs.num_records("/f") == 5
+
+    def test_oversized_record_gets_own_block(self):
+        fs, _ = make_fs(block_size=10)
+        fs.write_file("/f", ["tiny", "x" * 50, "tiny2"])
+        assert fs.num_blocks("/f") == 3
+        assert fs.read_all("/f") == ["tiny", "x" * 50, "tiny2"]
+
+    def test_empty_file_has_one_empty_block(self):
+        fs, _ = make_fs()
+        fs.write_file("/empty", [])
+        assert fs.num_blocks("/empty") == 1
+        assert fs.read_all("/empty") == []
+
+    def test_no_overwrite_by_default(self):
+        fs, _ = make_fs()
+        fs.write_file("/f", ["a"])
+        with pytest.raises(HdfsError):
+            fs.write_file("/f", ["b"])
+        fs.write_file("/f", ["b"], overwrite=True)
+        assert fs.read_all("/f") == ["b"]
+
+    def test_missing_path(self):
+        fs, _ = make_fs()
+        with pytest.raises(HdfsError):
+            fs.read_all("/nope")
+        with pytest.raises(HdfsError):
+            fs.delete("/nope")
+
+    def test_list_and_delete(self):
+        fs, _ = make_fs()
+        fs.write_file("/a/1", ["x"])
+        fs.write_file("/a/2", ["y"])
+        fs.write_file("/b/1", ["z"])
+        assert fs.list_files("/a") == ["/a/1", "/a/2"]
+        fs.delete("/a/1")
+        assert not fs.exists("/a/1")
+
+
+class TestBlockAccess:
+    def test_read_block(self):
+        fs, _ = make_fs(block_size=25)
+        fs.write_file("/f", [f"rec{i:02d}xxx" for i in range(6)])
+        block = fs.read_block("/f", 0)
+        assert len(block) >= 1
+        with pytest.raises(HdfsError):
+            fs.read_block("/f", 99)
+
+    def test_blocks_meta_free(self):
+        fs, counters = make_fs(block_size=25)
+        fs.write_file("/f", ["x" * 10] * 5)
+        before = counters["hdfs.bytes_read"]
+        meta = fs.blocks_meta("/f")
+        assert counters["hdfs.bytes_read"] == before  # metadata read is free
+        assert sum(m[1] for m in meta) == 5
+
+    def test_attach_aux(self):
+        fs, counters = make_fs()
+        fs.write_file("/f", ["a", "b"])
+        fs.attach_block_aux("/f", 0, aux={"index": True}, nbytes=64)
+        block = fs.read_block("/f", 0)
+        assert block.aux == {"index": True}
+        assert block.total_bytes == block.nbytes + 64
+
+
+class TestAccounting:
+    def test_write_charges_bytes(self):
+        fs, counters = make_fs()
+        fs.write_file("/f", ["abcd", "efgh"])  # 5 + 5 bytes
+        assert counters["hdfs.bytes_written"] == 10
+        assert counters["hdfs.records_written"] == 2
+
+    def test_read_charges_bytes(self):
+        fs, counters = make_fs()
+        fs.write_file("/f", ["abcd"])
+        fs.read_all("/f")
+        assert counters["hdfs.bytes_read"] == 5
+        assert counters["hdfs.records_read"] == 1
+
+    def test_block_read_charges_only_block(self):
+        fs, counters = make_fs(block_size=25)
+        fs.write_file("/f", ["x" * 10] * 4)
+        counters["hdfs.bytes_read"] = 0
+        fs.read_block("/f", 0)
+        assert counters["hdfs.bytes_read"] == 22  # one block: 2 records
+
+    def test_local_roundtrip_charges_both_sides(self):
+        fs, counters = make_fs()
+        fs.write_file("/f", ["abcd"])
+        records = fs.copy_to_local("/f")
+        assert records == ["abcd"]
+        assert counters["localfs.bytes_written"] == 5
+        fs.copy_from_local("/g", ["wxyz"])
+        assert counters["localfs.bytes_read"] == 5
+        assert fs.read_all("/g") == ["wxyz"]
+
+    def test_geometry_records_use_wkt_size(self):
+        fs, counters = make_fs(block_size=10**6)
+        p = Point(1, 2)
+        fs.write_file("/pts", [p, p])
+        assert counters["hdfs.bytes_written"] == 2 * p.serialized_size()

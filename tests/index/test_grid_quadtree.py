@@ -1,0 +1,119 @@
+"""Grid index and quadtree unit tests."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import MBR, MBRArray
+from repro.index import GridIndex, QuadTree
+
+
+def random_boxes(n, seed=0, extent=100.0, max_size=5.0):
+    rng = np.random.default_rng(seed)
+    mins = rng.uniform(0, extent, size=(n, 2))
+    sizes = rng.uniform(0, max_size, size=(n, 2))
+    return MBRArray(np.hstack([mins, mins + sizes]))
+
+
+def brute_force(boxes: MBRArray, q: MBR):
+    return {i for i in range(len(boxes)) if boxes[i].intersects(q)}
+
+
+EXTENT = MBR(0, 0, 105, 105)
+
+
+class TestGridIndex:
+    def test_validation(self):
+        from repro.geometry import EMPTY_MBR
+
+        with pytest.raises(ValueError):
+            GridIndex(EMPTY_MBR, 4, 4)
+        with pytest.raises(ValueError):
+            GridIndex(EXTENT, 0, 4)
+
+    def test_cell_geometry(self):
+        g = GridIndex(MBR(0, 0, 10, 10), 2, 2)
+        assert g.cell_mbr(0) == MBR(0, 0, 5, 5)
+        assert g.cell_mbr(3) == MBR(5, 5, 10, 10)
+        assert g.cell_id(1, 1) == 3
+
+    def test_candidates_are_superset(self):
+        boxes = random_boxes(200, seed=1)
+        g = GridIndex(EXTENT, 8, 8)
+        g.insert_many(boxes)
+        rng = np.random.default_rng(2)
+        for _ in range(20):
+            lo = rng.uniform(0, 90, 2)
+            q = MBR(lo[0], lo[1], lo[0] + 10, lo[1] + 10)
+            got = set(g.query(q).tolist())
+            assert got >= brute_force(boxes, q)
+
+    def test_spanning_object_in_multiple_cells_deduplicated(self):
+        g = GridIndex(MBR(0, 0, 10, 10), 4, 4)
+        g.insert(MBR(1, 1, 9, 9), 7)
+        assert g.occupied_cells > 1
+        np.testing.assert_array_equal(g.query(MBR(0, 0, 10, 10)), [7])
+
+    def test_query_outside_extent(self):
+        g = GridIndex(MBR(0, 0, 10, 10), 4, 4)
+        g.insert(MBR(1, 1, 2, 2), 0)
+        assert g.query(MBR(50, 50, 60, 60)).size == 0
+
+    def test_assign_points_vectorized(self):
+        g = GridIndex(MBR(0, 0, 10, 10), 2, 2)
+        cells = g.assign_points(np.array([[1, 1], [6, 1], [1, 6], [6, 6], [10, 10]]))
+        np.testing.assert_array_equal(cells, [0, 1, 2, 3, 3])
+
+    def test_empty_box_ignored(self):
+        from repro.geometry import EMPTY_MBR
+
+        g = GridIndex(EXTENT, 4, 4)
+        g.insert(EMPTY_MBR, 1)
+        assert len(g) == 0
+
+
+class TestQuadTree:
+    def test_validation(self):
+        from repro.geometry import EMPTY_MBR
+
+        with pytest.raises(ValueError):
+            QuadTree(EMPTY_MBR)
+        with pytest.raises(ValueError):
+            QuadTree(EXTENT, node_capacity=0)
+
+    def test_matches_brute_force(self):
+        boxes = random_boxes(300, seed=4)
+        qt = QuadTree(EXTENT, node_capacity=8)
+        qt.insert_many(boxes)
+        rng = np.random.default_rng(5)
+        for _ in range(20):
+            lo = rng.uniform(0, 90, 2)
+            q = MBR(lo[0], lo[1], lo[0] + rng.uniform(0, 25), lo[1] + rng.uniform(0, 25))
+            assert set(qt.query(q).tolist()) == brute_force(boxes, q)
+
+    def test_splits_on_capacity(self):
+        qt = QuadTree(MBR(0, 0, 16, 16), node_capacity=2, max_depth=6)
+        pts = [(1, 1), (2, 2), (3, 3), (13, 13), (14, 14)]
+        for i, (x, y) in enumerate(pts):
+            qt.insert(MBR(x, y, x + 0.1, y + 0.1), i)
+        assert qt.depth >= 1
+        assert set(qt.query(MBR(0, 0, 4, 4)).tolist()) == {0, 1, 2}
+
+    def test_max_depth_bounds_splitting(self):
+        qt = QuadTree(MBR(0, 0, 1, 1), node_capacity=1, max_depth=2)
+        for i in range(20):
+            qt.insert(MBR(0.1, 0.1, 0.11, 0.11), i)
+        assert qt.depth <= 2
+        assert qt.query(MBR(0, 0, 0.2, 0.2)).size == 20
+
+    def test_item_outside_extent_still_findable(self):
+        qt = QuadTree(MBR(0, 0, 10, 10))
+        qt.insert(MBR(100, 100, 101, 101), 42)
+        np.testing.assert_array_equal(qt.query(MBR(99, 99, 102, 102)), [42])
+
+    def test_leaf_boxes_tile_extent(self):
+        qt = QuadTree(MBR(0, 0, 8, 8), node_capacity=1, max_depth=3)
+        rng = np.random.default_rng(6)
+        for i, (x, y) in enumerate(rng.uniform(0, 8, size=(30, 2))):
+            qt.insert(MBR(x, y, x, y), i)
+        total_area = sum(b.area for b in qt.leaf_boxes())
+        assert total_area == pytest.approx(64.0)

@@ -1,0 +1,74 @@
+"""Hilbert curve tests: bijectivity, locality, sorting."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import MBR
+from repro.index import hilbert_distance, hilbert_sort_order
+
+
+class TestHilbertDistance:
+    def test_order_1_square(self):
+        # The four cells of the order-1 curve in canonical order.
+        xs = np.array([0, 0, 1, 1])
+        ys = np.array([0, 1, 1, 0])
+        np.testing.assert_array_equal(hilbert_distance(xs, ys, order=1), [0, 1, 2, 3])
+
+    def test_bijective_small_order(self):
+        order = 4
+        side = 1 << order
+        gx, gy = np.meshgrid(np.arange(side), np.arange(side))
+        d = hilbert_distance(gx.ravel(), gy.ravel(), order=order)
+        assert sorted(d.tolist()) == list(range(side * side))
+
+    def test_adjacent_cells_along_curve(self):
+        # Consecutive curve positions must be grid neighbours (locality).
+        order = 5
+        side = 1 << order
+        gx, gy = np.meshgrid(np.arange(side), np.arange(side))
+        xs, ys = gx.ravel(), gy.ravel()
+        d = hilbert_distance(xs, ys, order=order)
+        by_d = np.argsort(d)
+        dx = np.abs(np.diff(xs[by_d]))
+        dy = np.abs(np.diff(ys[by_d]))
+        assert np.all(dx + dy == 1)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            hilbert_distance(np.array([2]), np.array([0]), order=1)
+        with pytest.raises(ValueError):
+            hilbert_distance(np.array([-1]), np.array([0]), order=4)
+
+    def test_does_not_mutate_input(self):
+        xs = np.array([1, 2, 3], dtype=np.int64)
+        ys = np.array([3, 2, 1], dtype=np.int64)
+        xs0, ys0 = xs.copy(), ys.copy()
+        hilbert_distance(xs, ys, order=4)
+        np.testing.assert_array_equal(xs, xs0)
+        np.testing.assert_array_equal(ys, ys0)
+
+
+class TestHilbertSort:
+    def test_is_permutation(self):
+        rng = np.random.default_rng(0)
+        pts = rng.uniform(0, 50, size=(200, 2))
+        order = hilbert_sort_order(pts, MBR(0, 0, 50, 50))
+        assert sorted(order.tolist()) == list(range(200))
+
+    def test_improves_locality_over_random(self):
+        # Total tour length through Hilbert-sorted points should be far
+        # shorter than through randomly-ordered points.
+        rng = np.random.default_rng(1)
+        pts = rng.uniform(0, 100, size=(500, 2))
+        order = hilbert_sort_order(pts, MBR(0, 0, 100, 100))
+
+        def tour(perm):
+            p = pts[perm]
+            return np.sqrt(((np.diff(p, axis=0)) ** 2).sum(axis=1)).sum()
+
+        assert tour(order) < 0.3 * tour(np.arange(500))
+
+    def test_degenerate_extent(self):
+        pts = np.array([[5.0, 0.0], [1.0, 0.0], [3.0, 0.0]])
+        order = hilbert_sort_order(pts, MBR(0, 0, 10, 0))
+        assert sorted(order.tolist()) == [0, 1, 2]

@@ -1,0 +1,84 @@
+"""Property-based tests: every index agrees with brute force on any input."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import MBR, MBRArray
+from repro.index import GridIndex, QuadTree, RTree, STRtree, sync_tree_join
+
+coord = st.floats(min_value=-100, max_value=100, allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def mbr_lists(draw, max_size=60):
+    n = draw(st.integers(0, max_size))
+    boxes = []
+    for _ in range(n):
+        x1, x2 = sorted((draw(coord), draw(coord)))
+        y1, y2 = sorted((draw(coord), draw(coord)))
+        boxes.append(MBR(x1, y1, x2, y2))
+    return boxes
+
+
+@st.composite
+def query_boxes(draw):
+    x1, x2 = sorted((draw(coord), draw(coord)))
+    y1, y2 = sorted((draw(coord), draw(coord)))
+    return MBR(x1, y1, x2, y2)
+
+
+def brute(boxes, q):
+    return {i for i, b in enumerate(boxes) if b.intersects(q)}
+
+
+class TestQueryCorrectness:
+    @given(mbr_lists(), query_boxes())
+    @settings(max_examples=60)
+    def test_strtree_exact(self, boxes, q):
+        tree = STRtree(MBRArray.from_mbrs(boxes), leaf_capacity=4, fanout=4)
+        assert set(tree.query(q).tolist()) == brute(boxes, q)
+
+    @given(mbr_lists(), query_boxes())
+    @settings(max_examples=60)
+    def test_rtree_exact(self, boxes, q):
+        tree = RTree(max_entries=4)
+        tree.insert_many(boxes)
+        assert set(tree.query(q).tolist()) == brute(boxes, q)
+
+    @given(mbr_lists(max_size=40), query_boxes())
+    @settings(max_examples=40)
+    def test_quadtree_exact(self, boxes, q):
+        qt = QuadTree(MBR(-100, -100, 100, 100), node_capacity=4, max_depth=6)
+        qt.insert_many(boxes)
+        assert set(qt.query(q).tolist()) == brute(boxes, q)
+
+    @given(mbr_lists(max_size=40), query_boxes())
+    @settings(max_examples=40)
+    def test_grid_superset(self, boxes, q):
+        g = GridIndex(MBR(-100, -100, 100, 100), 6, 6)
+        g.insert_many(MBRArray.from_mbrs(boxes) if boxes else MBRArray.empty())
+        assert set(g.query(q).tolist()) >= brute(boxes, q)
+
+
+class TestStructuralInvariants:
+    @given(mbr_lists(max_size=80))
+    @settings(max_examples=40)
+    def test_rtree_invariants_hold(self, boxes):
+        tree = RTree(max_entries=4)
+        tree.insert_many(boxes)
+        tree.check_invariants()
+
+    @given(mbr_lists(max_size=50), mbr_lists(max_size=50))
+    @settings(max_examples=30)
+    def test_sync_join_matches_nested_loop(self, a, b):
+        ta = STRtree(MBRArray.from_mbrs(a), leaf_capacity=4, fanout=4)
+        tb = STRtree(MBRArray.from_mbrs(b), leaf_capacity=4, fanout=4)
+        got = set(sync_tree_join(ta, tb))
+        want = {
+            (i, j)
+            for i in range(len(a))
+            for j in range(len(b))
+            if a[i].intersects(b[j])
+        }
+        assert got == want

@@ -1,0 +1,109 @@
+"""Dynamic R-tree unit tests: inserts, splits, invariants, queries."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import EMPTY_MBR, MBR, MBRArray
+from repro.index import RTree
+from repro.metrics import Counters
+
+
+def random_boxes(n, seed=0, extent=100.0, max_size=5.0):
+    rng = np.random.default_rng(seed)
+    mins = rng.uniform(0, extent, size=(n, 2))
+    sizes = rng.uniform(0, max_size, size=(n, 2))
+    return MBRArray(np.hstack([mins, mins + sizes]))
+
+
+def brute_force(boxes: MBRArray, q: MBR):
+    return np.array(
+        [i for i in range(len(boxes)) if boxes[i].intersects(q)], dtype=np.int64
+    )
+
+
+class TestConstruction:
+    def test_empty(self):
+        tree = RTree()
+        assert len(tree) == 0
+        assert tree.extent.is_empty
+        assert tree.query(MBR(0, 0, 1, 1)).size == 0
+
+    def test_min_max_entries(self):
+        with pytest.raises(ValueError):
+            RTree(max_entries=3)
+        tree = RTree(max_entries=10)
+        assert tree.min_entries == 5
+
+    def test_insert_grows(self):
+        tree = RTree(max_entries=4)
+        boxes = random_boxes(50, seed=1)
+        tree.insert_many(boxes)
+        assert len(tree) == 50
+        assert tree.height >= 3
+        tree.check_invariants()
+
+    def test_insert_many_with_custom_ids(self):
+        tree = RTree()
+        tree.insert_many([MBR(0, 0, 1, 1), MBR(2, 2, 3, 3)], ids=[10, 20])
+        np.testing.assert_array_equal(tree.query(MBR(0, 0, 5, 5)), [10, 20])
+
+    def test_insert_many_raw_rows(self):
+        tree = RTree()
+        tree.insert_many(np.array([[0.0, 0.0, 1.0, 1.0], [5.0, 5.0, 6.0, 6.0]]))
+        assert len(tree) == 2
+
+
+class TestInvariants:
+    @pytest.mark.parametrize("n", [1, 4, 5, 17, 64, 200])
+    @pytest.mark.parametrize("max_entries", [4, 8, 16])
+    def test_structure_after_inserts(self, n, max_entries):
+        tree = RTree(max_entries=max_entries)
+        tree.insert_many(random_boxes(n, seed=n + max_entries))
+        tree.check_invariants()
+
+    def test_clustered_inserts(self):
+        # Pathological input: many identical boxes force repeated splits.
+        tree = RTree(max_entries=4)
+        for i in range(40):
+            tree.insert(MBR(0, 0, 1, 1), i)
+        tree.check_invariants()
+        assert tree.query(MBR(0.5, 0.5, 0.6, 0.6)).size == 40
+
+    def test_extent_covers_everything(self):
+        boxes = random_boxes(80, seed=2)
+        tree = RTree(max_entries=8)
+        tree.insert_many(boxes)
+        for box in boxes:
+            assert tree.extent.contains(box)
+
+
+class TestQuery:
+    @pytest.mark.parametrize("n", [1, 10, 100, 300])
+    def test_matches_brute_force(self, n):
+        boxes = random_boxes(n, seed=n)
+        tree = RTree(max_entries=8)
+        tree.insert_many(boxes)
+        rng = np.random.default_rng(n)
+        for _ in range(15):
+            lo = rng.uniform(0, 90, 2)
+            q = MBR(lo[0], lo[1], lo[0] + rng.uniform(0, 30), lo[1] + rng.uniform(0, 30))
+            np.testing.assert_array_equal(tree.query(q), brute_force(boxes, q))
+
+    def test_empty_query(self):
+        tree = RTree()
+        tree.insert_many(random_boxes(20))
+        assert tree.query(EMPTY_MBR).size == 0
+
+    def test_count_query(self):
+        tree = RTree()
+        tree.insert_many([MBR(0, 0, 1, 1), MBR(10, 10, 11, 11)])
+        assert tree.count_query(MBR(-1, -1, 2, 2)) == 1
+
+    def test_counters(self):
+        counters = Counters()
+        tree = RTree(max_entries=4, counters=counters)
+        tree.insert_many(random_boxes(30))
+        assert counters["index.build_ops"] == 30
+        assert counters["index.splits"] > 0
+        tree.query(MBR(0, 0, 100, 100))
+        assert counters["index.node_visits"] > 0

@@ -1,0 +1,155 @@
+"""STR-tree unit tests: packing, queries, synchronized join."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import MBR, MBRArray
+from repro.index import STRtree, str_packing_order, sync_tree_join
+from repro.metrics import Counters
+
+
+def random_boxes(n, seed=0, extent=100.0, max_size=5.0):
+    rng = np.random.default_rng(seed)
+    mins = rng.uniform(0, extent, size=(n, 2))
+    sizes = rng.uniform(0, max_size, size=(n, 2))
+    return MBRArray(np.hstack([mins, mins + sizes]))
+
+
+def brute_force(boxes: MBRArray, q: MBR):
+    return np.array(
+        [i for i in range(len(boxes)) if boxes[i].intersects(q)], dtype=np.int64
+    )
+
+
+class TestPackingOrder:
+    def test_permutation(self):
+        boxes = random_boxes(100)
+        order = str_packing_order(boxes.data, 10)
+        assert sorted(order) == list(range(100))
+
+    def test_empty(self):
+        assert str_packing_order(np.empty((0, 4)), 8).size == 0
+
+    def test_groups_are_spatially_tight(self):
+        # STR leaves should have far smaller total area than random grouping.
+        boxes = random_boxes(400, seed=3)
+        order = str_packing_order(boxes.data, 16)
+
+        def grouped_area(perm):
+            total = 0.0
+            for lo in range(0, 400, 16):
+                chunk = boxes.data[perm[lo : lo + 16]]
+                total += (chunk[:, 2].max() - chunk[:, 0].min()) * (
+                    chunk[:, 3].max() - chunk[:, 1].min()
+                )
+            return total
+
+        assert grouped_area(order) < 0.5 * grouped_area(np.arange(400))
+
+
+class TestSTRtreeStructure:
+    def test_empty_tree(self):
+        tree = STRtree(MBRArray.empty())
+        assert len(tree) == 0
+        assert tree.query(MBR(0, 0, 1, 1)).size == 0
+
+    def test_single_item(self):
+        tree = STRtree(MBRArray.from_mbrs([MBR(0, 0, 1, 1)]))
+        assert len(tree) == 1
+        assert tree.height == 1
+        np.testing.assert_array_equal(tree.query(MBR(0.5, 0.5, 2, 2)), [0])
+
+    def test_height_grows_logarithmically(self):
+        assert STRtree(random_boxes(10), leaf_capacity=4, fanout=4).height == 2
+        assert STRtree(random_boxes(100), leaf_capacity=4, fanout=4).height >= 3
+
+    def test_extent(self):
+        boxes = MBRArray.from_mbrs([MBR(0, 0, 1, 1), MBR(5, 5, 9, 7)])
+        assert STRtree(boxes).extent == MBR(0, 0, 9, 7)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            STRtree(random_boxes(5), leaf_capacity=1)
+
+    def test_accepts_raw_array(self):
+        tree = STRtree(np.array([[0.0, 0.0, 1.0, 1.0]]))
+        assert len(tree) == 1
+
+
+class TestSTRtreeQuery:
+    @pytest.mark.parametrize("n", [1, 5, 17, 100, 500])
+    def test_matches_brute_force(self, n):
+        boxes = random_boxes(n, seed=n)
+        tree = STRtree(boxes, leaf_capacity=8, fanout=8)
+        rng = np.random.default_rng(n + 1)
+        for _ in range(20):
+            lo = rng.uniform(0, 90, 2)
+            q = MBR(lo[0], lo[1], lo[0] + rng.uniform(0, 30), lo[1] + rng.uniform(0, 30))
+            np.testing.assert_array_equal(np.sort(tree.query(q)), brute_force(boxes, q))
+
+    def test_empty_query_box(self):
+        tree = STRtree(random_boxes(50))
+        from repro.geometry import EMPTY_MBR
+
+        assert tree.query(EMPTY_MBR).size == 0
+
+    def test_miss_region(self):
+        tree = STRtree(random_boxes(50))
+        assert tree.query(MBR(1000, 1000, 1001, 1001)).size == 0
+
+    def test_query_many(self):
+        boxes = random_boxes(60, seed=9)
+        tree = STRtree(boxes)
+        queries = random_boxes(5, seed=10, max_size=20.0)
+        results = tree.query_many(queries)
+        assert len(results) == 5
+        for i, res in enumerate(results):
+            np.testing.assert_array_equal(np.sort(res), brute_force(boxes, queries[i]))
+
+    def test_counters_charged(self):
+        counters = Counters()
+        tree = STRtree(random_boxes(100), counters=counters)
+        assert counters["index.build_ops"] == 100
+        assert counters["index.nodes_built"] >= 1
+        tree.query(MBR(0, 0, 100, 100))
+        assert counters["index.node_visits"] > 0
+
+
+class TestSyncTreeJoin:
+    def test_matches_brute_force(self):
+        a = random_boxes(80, seed=1)
+        b = random_boxes(90, seed=2)
+        ta = STRtree(a, leaf_capacity=8)
+        tb = STRtree(b, leaf_capacity=8)
+        got = set(sync_tree_join(ta, tb))
+        want = {
+            (i, j)
+            for i in range(len(a))
+            for j in range(len(b))
+            if a[i].intersects(b[j])
+        }
+        assert got == want
+
+    def test_disjoint_extents_prune(self):
+        a = random_boxes(40, seed=3)
+        b = MBRArray(random_boxes(40, seed=4).data + 1000.0)
+        counters = Counters()
+        assert sync_tree_join(STRtree(a), STRtree(b), counters) == []
+        assert counters["index.leaf_pair_tests"] == 0
+
+    def test_empty_side(self):
+        a = STRtree(random_boxes(10))
+        assert sync_tree_join(a, STRtree(MBRArray.empty())) == []
+        assert sync_tree_join(STRtree(MBRArray.empty()), a) == []
+
+    def test_asymmetric_sizes(self):
+        a = random_boxes(3, seed=5, max_size=50.0)
+        b = random_boxes(300, seed=6)
+        got = set(sync_tree_join(STRtree(a, leaf_capacity=4), STRtree(b, leaf_capacity=4)))
+        want = {
+            (i, j)
+            for i in range(len(a))
+            for j in range(len(b))
+            if a[i].intersects(b[j])
+        }
+        assert got == want

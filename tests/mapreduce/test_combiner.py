@@ -1,0 +1,92 @@
+"""Combiner tests: map-side aggregation reduces shuffle volume."""
+
+import pytest
+
+from repro.cluster import SimClock
+from repro.hdfs import SimulatedHDFS
+from repro.mapreduce import MapReduceJob
+from repro.metrics import Counters
+
+
+def wordcount(combiner=None, block_size=64):
+    counters = Counters()
+    hdfs = SimulatedHDFS(block_size=block_size, counters=counters)
+    hdfs.write_file("/in", ["alpha alpha beta alpha"] * 24)
+    MapReduceJob(
+        "wc",
+        hdfs=hdfs, counters=counters, clock=SimClock(),
+        inputs=["/in"],
+        map_task=lambda d: ((w, 1) for line in d.records for w in line.split()),
+        reduce_task=lambda k, vs: [(k, sum(vs))],
+        combiner=combiner,
+        output_path="/out",
+    ).run()
+    return counters, dict(hdfs.read_all("/out"))
+
+
+def sum_combiner(key, values):
+    yield (key, sum(values))
+
+
+class TestCombiner:
+    def test_result_unchanged(self):
+        _, plain = wordcount()
+        _, combined = wordcount(sum_combiner)
+        assert plain == combined == {"alpha": 72, "beta": 24}
+
+    def test_shuffle_volume_reduced(self):
+        plain_counters, _ = wordcount()
+        combined_counters, _ = wordcount(sum_combiner)
+        assert (
+            combined_counters["shuffle.bytes_disk"]
+            < 0.5 * plain_counters["shuffle.bytes_disk"]
+        )
+
+    def test_combine_counters(self):
+        counters, _ = wordcount(sum_combiner)
+        assert counters["mr.combine_in"] > counters["mr.combine_out"] > 0
+
+    def test_combiner_ignored_for_map_only_jobs(self):
+        counters = Counters()
+        hdfs = SimulatedHDFS(block_size=64, counters=counters)
+        hdfs.write_file("/in", ["x y"])
+        MapReduceJob(
+            "maponly",
+            hdfs=hdfs, counters=counters, clock=SimClock(),
+            inputs=["/in"],
+            map_task=lambda d: [len(r) for r in d.records],
+            combiner=sum_combiner,  # no reduce phase: must be a no-op
+            output_path="/out",
+        ).run()
+        assert hdfs.read_all("/out") == [3]
+        assert counters["mr.combine_in"] == 0
+
+    def test_non_idempotent_combiner_semantics(self):
+        # A mean-style combiner must carry (sum, count) pairs to stay
+        # correct — verify the machinery supports structured values.
+        counters = Counters()
+        hdfs = SimulatedHDFS(block_size=32, counters=counters)
+        hdfs.write_file("/in", [f"k {i}" for i in range(10)])
+
+        def map_task(data):
+            for line in data.records:
+                key, value = line.split()
+                yield (key, (int(value), 1))
+
+        def combine(key, pairs):
+            total = sum(s for s, _ in pairs)
+            count = sum(c for _, c in pairs)
+            yield (key, (total, count))
+
+        def reduce_task(key, pairs):
+            total = sum(s for s, _ in pairs)
+            count = sum(c for _, c in pairs)
+            yield (key, total / count)
+
+        MapReduceJob(
+            "mean",
+            hdfs=hdfs, counters=counters, clock=SimClock(),
+            inputs=["/in"], map_task=map_task, reduce_task=reduce_task,
+            combiner=combine, output_path="/out",
+        ).run()
+        assert dict(hdfs.read_all("/out")) == {"k": pytest.approx(4.5)}

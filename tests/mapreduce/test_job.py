@@ -1,0 +1,177 @@
+"""MapReduce engine tests: word count, map-only, splits, accounting."""
+
+import pytest
+
+from repro.cluster import SimClock
+from repro.hdfs import SimulatedHDFS
+from repro.mapreduce import BlockInputFormat, InputFormat, MapReduceJob, Split
+from repro.metrics import Counters
+
+
+def make_env(block_size=64):
+    counters = Counters()
+    hdfs = SimulatedHDFS(block_size=block_size, counters=counters)
+    clock = SimClock()
+    return hdfs, counters, clock
+
+
+def word_count_job(hdfs, counters, clock, **kw):
+    def map_task(data):
+        for line in data.records:
+            for word in line.split():
+                yield (word, 1)
+
+    def reduce_task(key, values):
+        yield (key, sum(values))
+
+    return MapReduceJob(
+        "wordcount",
+        hdfs=hdfs,
+        counters=counters,
+        clock=clock,
+        inputs=["/in"],
+        map_task=map_task,
+        reduce_task=reduce_task,
+        output_path="/out",
+        **kw,
+    )
+
+
+class TestWordCount:
+    def test_correct_result(self):
+        hdfs, counters, clock = make_env()
+        hdfs.write_file("/in", ["a b a", "b c", "a"])
+        result = word_count_job(hdfs, counters, clock).run()
+        out = dict(hdfs.read_all("/out"))
+        assert out == {"a": 3, "b": 2, "c": 1}
+        assert result.output_records == 3
+        assert result.map_output_records == 6
+
+    def test_multiple_blocks_multiple_splits(self):
+        hdfs, counters, clock = make_env(block_size=4)
+        hdfs.write_file("/in", ["a b", "b c", "c d", "d e"])
+        result = word_count_job(hdfs, counters, clock).run()
+        assert result.splits == 4
+        out = dict(hdfs.read_all("/out"))
+        assert out == {"a": 1, "b": 2, "c": 2, "d": 2, "e": 1}
+
+    def test_num_reducers_respected(self):
+        hdfs, counters, clock = make_env()
+        hdfs.write_file("/in", ["a b c d e f"])
+        result = word_count_job(hdfs, counters, clock, num_reducers=3).run()
+        assert result.reducers == 3
+        assert dict(hdfs.read_all("/out"))["a"] == 1
+
+
+class TestMapOnly:
+    def test_map_only_skips_shuffle(self):
+        hdfs, counters, clock = make_env()
+        hdfs.write_file("/in", ["x", "yy", "zzz"])
+        job = MapReduceJob(
+            "lengths",
+            hdfs=hdfs,
+            counters=counters,
+            clock=clock,
+            inputs=["/in"],
+            map_task=lambda data: [len(r) for r in data.records],
+            output_path="/out",
+        )
+        result = job.run()
+        assert hdfs.read_all("/out") == [1, 2, 3]
+        assert result.reducers == 0
+        assert counters["shuffle.bytes_disk"] == 0
+        phase_names = [p.name for p in clock.phases]
+        assert "lengths.map" in phase_names
+        assert not any("shuffle" in n for n in phase_names)
+
+    def test_output_discarded_when_no_path(self):
+        hdfs, counters, clock = make_env()
+        hdfs.write_file("/in", ["x"])
+        job = MapReduceJob(
+            "noout",
+            hdfs=hdfs,
+            counters=counters,
+            clock=clock,
+            inputs=["/in"],
+            map_task=lambda data: data.records,
+        )
+        job.run()
+        assert not hdfs.exists("/out")
+
+
+class TestAccounting:
+    def test_job_and_task_counters(self):
+        hdfs, counters, clock = make_env(block_size=4)
+        hdfs.write_file("/in", ["a b", "b c", "c d"])
+        word_count_job(hdfs, counters, clock, num_reducers=2).run()
+        assert counters["mr.jobs"] == 1
+        assert counters["mr.tasks"] == 3 + 2
+
+    def test_shuffle_bytes_charged(self):
+        hdfs, counters, clock = make_env()
+        hdfs.write_file("/in", ["a b c"])
+        word_count_job(hdfs, counters, clock).run()
+        assert counters["shuffle.bytes_disk"] > 0
+        assert counters["sort.ops"] > 0
+
+    def test_phase_records_grouped(self):
+        hdfs, counters, clock = make_env()
+        hdfs.write_file("/in", ["a b"])
+        word_count_job(hdfs, counters, clock, group="index_a").run()
+        assert {p.group for p in clock.phases} == {"index_a"}
+        names = [p.name for p in clock.phases]
+        assert names == ["wordcount.map", "wordcount.shuffle", "wordcount.reduce"]
+
+    def test_input_read_charged_to_map_phase(self):
+        hdfs, counters, clock = make_env()
+        hdfs.write_file("/in", ["abcdef"])
+        counters["hdfs.bytes_read"] = 0
+        word_count_job(hdfs, counters, clock).run()
+        map_phase = clock.phases[0]
+        assert map_phase.counters["hdfs.bytes_read"] == 7
+
+
+class TestCustomInputFormat:
+    def test_paired_block_splits(self):
+        """A SpatialHadoop-style input format can pair blocks of two files."""
+        hdfs, counters, clock = make_env(block_size=8)
+        hdfs.write_file("/left", ["l1", "l2", "l3", "l4"])
+        hdfs.write_file("/right", ["r1", "r2"])
+
+        class PairFormat(InputFormat):
+            def get_splits(self, fs, inputs):
+                left, right = inputs
+                out = []
+                for lb, _, _ in fs.blocks_meta(left):
+                    for rb, _, _ in fs.blocks_meta(right):
+                        out.append(
+                            Split(parts=[(left, lb), (right, rb)], info={"pair": (lb, rb)})
+                        )
+                return out
+
+        seen = []
+
+        def map_task(data):
+            seen.append((data.split.info["pair"], len(data.part_records)))
+            yield from ((r, 1) for part in data.part_records for r in part)
+
+        job = MapReduceJob(
+            "pairs",
+            hdfs=hdfs,
+            counters=counters,
+            clock=clock,
+            inputs=["/left", "/right"],
+            map_task=map_task,
+            input_format=PairFormat(),
+            output_path=None,
+        )
+        result = job.run()
+        # /left has 2 blocks of 2 records, /right 1 block: 2 paired splits.
+        assert result.splits == 2
+        assert all(parts == 2 for _, parts in seen)
+
+    def test_default_format_one_split_per_block(self):
+        hdfs, counters, clock = make_env(block_size=8)
+        hdfs.write_file("/a", ["aa", "bb", "cc"])
+        splits = BlockInputFormat().get_splits(hdfs, ["/a"])
+        assert len(splits) == hdfs.num_blocks("/a")

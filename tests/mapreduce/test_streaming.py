@@ -1,0 +1,116 @@
+"""Hadoop Streaming layer tests: pipe accounting and failure injection."""
+
+import pytest
+
+from repro.cluster import GB, SimClock, ec2_config, ws_config
+from repro.hdfs import SimulatedHDFS
+from repro.mapreduce import (
+    MapReduceJob,
+    PipePolicy,
+    StreamingPipeError,
+    make_streaming_hook,
+    parse_charge,
+    pipe_capacity_for,
+    serialize_charge,
+)
+from repro.metrics import Counters
+
+
+class TestPipeCapacity:
+    def test_capacity_scales_with_node_memory(self):
+        ws_cap = pipe_capacity_for(ws_config())
+        ec2_cap = pipe_capacity_for(ec2_config(10))
+        assert ws_cap == pytest.approx(0.075 * 128 * GB)
+        assert ec2_cap == pytest.approx(0.075 * 15 * GB)
+        assert ws_cap > ec2_cap
+
+    def test_capacity_independent_of_cluster_size(self):
+        # Pipes are a per-node phenomenon: more nodes do not widen one pipe.
+        assert pipe_capacity_for(ec2_config(10)) == pipe_capacity_for(ec2_config(6))
+
+
+class TestPipePolicy:
+    def test_within_capacity_passes(self):
+        policy = PipePolicy(capacity_bytes=1000, byte_scale=1.0)
+        policy.check("job", "map", 999)  # no raise
+
+    def test_over_capacity_raises(self):
+        policy = PipePolicy(capacity_bytes=1000, byte_scale=1.0)
+        with pytest.raises(StreamingPipeError, match="broken pipe"):
+            policy.check("job", "reduce", 1001)
+
+    def test_byte_scale_converts_to_logical(self):
+        # 10 actual bytes at scale 1000 = 10,000 logical bytes.
+        policy = PipePolicy(capacity_bytes=5000, byte_scale=1000.0)
+        with pytest.raises(StreamingPipeError) as err:
+            policy.check("job", "map", 10)
+        assert err.value.logical_bytes == 10_000
+
+    def test_default_policy_never_fails(self):
+        PipePolicy().check("job", "map", 10**18)
+
+
+class TestStreamingHook:
+    def _run_streaming_job(self, policy):
+        counters = Counters()
+        hdfs = SimulatedHDFS(block_size=1000, counters=counters)
+        clock = SimClock()
+        hdfs.write_file("/in", ["x" * 20] * 5)
+        job = MapReduceJob(
+            "stream",
+            hdfs=hdfs,
+            counters=counters,
+            clock=clock,
+            inputs=["/in"],
+            map_task=lambda data: [(r, 1) for r in data.records],
+            reduce_task=lambda k, vs: [k],
+            output_path="/out",
+            streaming_hook=make_streaming_hook(counters, policy, "stream"),
+        )
+        return job, counters
+
+    def test_processes_and_bytes_counted(self):
+        job, counters = self._run_streaming_job(PipePolicy())
+        job.run()
+        assert counters["streaming.processes"] >= 2  # ≥1 map + ≥1 reduce task
+        assert counters["pipe.bytes"] > 0
+
+    def test_map_task_overflow_fails_job(self):
+        job, _ = self._run_streaming_job(PipePolicy(capacity_bytes=50))
+        with pytest.raises(StreamingPipeError) as err:
+            job.run()
+        assert err.value.kind == "map"
+
+    def test_reduce_task_overflow_fails_job(self):
+        # Map volume per task is fine, but one reducer sees everything.
+        counters = Counters()
+        hdfs = SimulatedHDFS(block_size=30, counters=counters)
+        clock = SimClock()
+        hdfs.write_file("/in", ["x" * 20] * 6)  # 5 blocks-ish, small map tasks
+        policy = PipePolicy(capacity_bytes=100)
+        job = MapReduceJob(
+            "stream",
+            hdfs=hdfs,
+            counters=counters,
+            clock=clock,
+            inputs=["/in"],
+            map_task=lambda data: [("all", r) for r in data.records],
+            reduce_task=lambda k, vs: vs,
+            output_path="/out",
+            num_reducers=1,
+            streaming_hook=make_streaming_hook(counters, policy, "stream"),
+        )
+        with pytest.raises(StreamingPipeError) as err:
+            job.run()
+        assert err.value.kind == "reduce"
+
+
+class TestTextTax:
+    def test_parse_and_serialize_charges(self):
+        counters = Counters()
+        parse_charge(counters, 100, 5000)
+        serialize_charge(counters, 50, 2500)
+        assert counters["parse.records"] == 100
+        assert counters["parse.bytes"] == 5000
+        assert counters["serialize.records"] == 50
+        assert counters["serialize.bytes"] == 2500

@@ -1,0 +1,55 @@
+"""cache()/unpersist() memory-management tests."""
+
+import pytest
+
+from repro.spark import MemoryLedger, SparkContext, SparkOutOfMemoryError
+
+
+class TestUnpersist:
+    def test_releases_ledger(self):
+        ledger = MemoryLedger(budget_bytes=10**12)
+        sc = SparkContext(ledger=ledger)
+        rdd = sc.parallelize(range(500), 4).cache()
+        rdd.collect()
+        held = ledger.live_bytes
+        assert held > 0
+        rdd.unpersist()
+        assert ledger.live_bytes == 0
+        # Peak remains sticky (it records the high-water mark).
+        assert ledger.peak_bytes == held
+
+    def test_unpersist_then_recollect_recomputes(self):
+        sc = SparkContext()
+        shuffled = sc.parallelize([1, 2, 3], 1).keyBy(lambda x: x).partitionBy(2)
+        shuffled.collect()
+        first = sc.counters["shuffle.bytes_mem"]
+        shuffled.unpersist()
+        shuffled.collect()
+        # The shuffle re-ran from the (memoized) parent after unpersist.
+        assert sc.counters["shuffle.bytes_mem"] == pytest.approx(2 * first)
+
+    def test_unpersist_idempotent(self):
+        ledger = MemoryLedger(budget_bytes=10**12)
+        sc = SparkContext(ledger=ledger)
+        rdd = sc.parallelize(range(10), 2)
+        rdd.collect()
+        rdd.unpersist()
+        rdd.unpersist()
+        assert ledger.live_bytes == 0
+
+    def test_unpersist_enables_sequential_queries(self):
+        # Two queries that together exceed the budget fit sequentially
+        # when the first is unpersisted — Spark's between-query hygiene.
+        footprint_one = MemoryLedger(budget_bytes=float("inf"))
+        sc_probe = SparkContext(ledger=footprint_one)
+        sc_probe.parallelize(range(1000), 4).collect()
+        one = footprint_one.live_bytes
+
+        ledger = MemoryLedger(budget_bytes=one * 1.5)
+        sc = SparkContext(ledger=ledger)
+        first = sc.parallelize(range(1000), 4)
+        first.collect()
+        with pytest.raises(SparkOutOfMemoryError):
+            sc.parallelize(range(1000), 4).collect()
+        first.unpersist()
+        sc.parallelize(range(1000), 4).collect()  # now fits

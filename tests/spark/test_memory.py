@@ -1,0 +1,133 @@
+"""Spark memory ledger and OOM tests."""
+
+import pytest
+
+from repro.cluster import GB, PAPER_CONFIGS
+from repro.hdfs import SimulatedHDFS
+from repro.metrics import Counters
+from repro.spark import MemoryLedger, MemoryModel, SparkContext, SparkOutOfMemoryError
+
+
+class TestLedgerBasics:
+    def test_load_footprint(self):
+        ledger = MemoryLedger(budget_bytes=10_000)
+        model = MemoryModel()
+        footprint = ledger.charge_load(10, 100)
+        assert footprint == pytest.approx(
+            10 * model.record_overhead_load + 100 * model.byte_expansion_load
+        )
+        assert ledger.live_bytes == footprint
+        assert ledger.peak_bytes == footprint
+
+    def test_shuffle_cheaper_per_record_than_load(self):
+        model = MemoryModel()
+        assert model.shuffle_footprint(100, 0) < model.load_footprint(100, 0)
+
+    def test_oom_raised_over_budget(self):
+        ledger = MemoryLedger(budget_bytes=1000)
+        with pytest.raises(SparkOutOfMemoryError, match="out of memory"):
+            ledger.charge_load(100, 100)
+
+    def test_scales_convert_to_logical(self):
+        # 10 records at scale 1e6 = 10M logical records.
+        ledger = MemoryLedger(budget_bytes=1 * GB, record_scale=1e6)
+        with pytest.raises(SparkOutOfMemoryError):
+            ledger.charge_load(10_000, 0)
+
+    def test_release_returns_memory(self):
+        ledger = MemoryLedger(budget_bytes=10_000)
+        fp = ledger.charge_load(10, 10)
+        ledger.release(fp)
+        assert ledger.live_bytes == 0
+        assert ledger.peak_bytes == fp  # peak is sticky
+
+    def test_accumulation_triggers_oom(self):
+        ledger = MemoryLedger(budget_bytes=6000)
+        ledger.charge_load(10, 0)  # 2800
+        ledger.charge_load(10, 0)  # 5600
+        with pytest.raises(SparkOutOfMemoryError):
+            ledger.charge_load(10, 0)
+
+
+class TestPaperFailureMatrix:
+    """The calibrated model must reproduce Table 2's OOM pattern.
+
+    Workloads are (records, load bytes, shuffle-tuple bytes): both sides
+    are loaded once and shuffled once, as in the SpatialSpark plan.  The
+    shuffle volume carries the (pid, record) tuple framing the executed
+    pipelines exhibit — ≈2× the raw line bytes for tiny point records,
+    ≈1× for the large polyline records.
+    """
+
+    TAXI_NYCB = (
+        169_720_892 + 38_839,
+        int(6.9 * GB) + 19 * 1024**2,
+        int(1.98 * (6.9 * GB + 19 * 1024**2)),
+    )
+    EDGES_LW = (
+        72_729_686 + 5_857_442,
+        int((23.8 + 8.4) * GB),
+        int(1.02 * (23.8 + 8.4) * GB),
+    )
+
+    @pytest.mark.parametrize("workload", [TAXI_NYCB, EDGES_LW], ids=["taxi-nycb", "edges-lw"])
+    @pytest.mark.parametrize(
+        "config,should_fit",
+        [("WS", True), ("EC2-10", True), ("EC2-8", False), ("EC2-6", False)],
+    )
+    def test_oom_matrix(self, workload, config, should_fit):
+        records, load_bytes, shuffle_bytes = workload
+        cluster = PAPER_CONFIGS()[config]
+        ledger = MemoryLedger(budget_bytes=cluster.usable_memory_bytes)
+
+        def run():
+            ledger.charge_load(records, load_bytes)
+            ledger.charge_shuffle(records, shuffle_bytes)
+
+        if should_fit:
+            run()
+        else:
+            with pytest.raises(SparkOutOfMemoryError):
+                run()
+
+
+class TestContextIntegration:
+    def test_from_hdfs_charges_read_and_memory(self):
+        counters = Counters()
+        hdfs = SimulatedHDFS(block_size=20, counters=counters)
+        hdfs.write_file("/data", ["rec_%d" % i for i in range(10)])
+        ledger = MemoryLedger(budget_bytes=1 * GB)
+        sc = SparkContext(counters=counters, hdfs=hdfs, ledger=ledger)
+        rdd = sc.from_hdfs("/data")
+        assert sorted(rdd.collect()) == sorted("rec_%d" % i for i in range(10))
+        assert rdd.num_partitions == hdfs.num_blocks("/data")
+        assert counters["hdfs.bytes_read"] > 0
+        assert ledger.live_bytes > 0
+
+    def test_from_hdfs_requires_hdfs(self):
+        sc = SparkContext()
+        with pytest.raises(RuntimeError):
+            sc.from_hdfs("/x")
+
+    def test_broadcast_charges_network_and_memory(self):
+        sc = SparkContext(num_nodes=10)
+        bc = sc.broadcast({"index": "x" * 100})
+        assert bc.value["index"] == "x" * 100
+        assert sc.counters["net.bytes_broadcast"] > 100
+        assert sc.ledger.live_bytes >= 10 * 100  # one replica per node
+
+    def test_oom_surfaces_through_action(self):
+        ledger = MemoryLedger(budget_bytes=100)
+        sc = SparkContext(ledger=ledger)
+        rdd = sc.parallelize(range(100))
+        with pytest.raises(SparkOutOfMemoryError):
+            rdd.collect()
+
+    def test_record_phase(self):
+        sc = SparkContext()
+        with sc.record_phase("load", group="index_a", tasks=4):
+            sc.parallelize(range(10)).count()
+        assert len(sc.clock.phases) == 1
+        phase = sc.clock.phases[0]
+        assert phase.group == "index_a"
+        assert phase.counters["spark.stages"] >= 1

@@ -1,0 +1,138 @@
+"""RDD semantics tests: transformations, laziness, shuffles, actions."""
+
+import pytest
+
+from repro.spark import SparkContext
+
+
+@pytest.fixture
+def sc():
+    return SparkContext(default_parallelism=4)
+
+
+class TestNarrowTransformations:
+    def test_map(self, sc):
+        assert sc.parallelize([1, 2, 3]).map(lambda x: x * 2).collect() == [2, 4, 6]
+
+    def test_flatMap(self, sc):
+        rdd = sc.parallelize(["a b", "c"]).flatMap(str.split)
+        assert rdd.collect() == ["a", "b", "c"]
+
+    def test_filter(self, sc):
+        assert sc.parallelize(range(10)).filter(lambda x: x % 3 == 0).collect() == [0, 3, 6, 9]
+
+    def test_mapPartitions(self, sc):
+        rdd = sc.parallelize(range(8), 4).mapPartitions(lambda p: [sum(p)])
+        assert sum(rdd.collect()) == 28
+        assert rdd.num_partitions == 4
+
+    def test_keyBy_keys_values(self, sc):
+        rdd = sc.parallelize([1, 2, 3]).keyBy(lambda x: x % 2)
+        assert rdd.keys().collect() == [1, 0, 1]
+        assert rdd.values().collect() == [1, 2, 3]
+
+    def test_mapValues(self, sc):
+        rdd = sc.parallelize([("a", 1), ("b", 2)]).mapValues(lambda v: v * 10)
+        assert rdd.collect() == [("a", 10), ("b", 20)]
+
+    def test_union(self, sc):
+        a = sc.parallelize([1, 2], 2)
+        b = sc.parallelize([3], 1)
+        u = a.union(b)
+        assert sorted(u.collect()) == [1, 2, 3]
+        assert u.num_partitions == 3
+
+    def test_chaining_is_lazy(self, sc):
+        calls = []
+
+        def f(x):
+            calls.append(x)
+            return x
+
+        rdd = sc.parallelize([1, 2, 3]).map(f)
+        assert calls == []  # nothing ran yet
+        rdd.collect()
+        assert calls == [1, 2, 3]
+
+    def test_memoization_avoids_recompute(self, sc):
+        calls = []
+        rdd = sc.parallelize([1, 2]).map(lambda x: calls.append(x) or x)
+        rdd.collect()
+        rdd.collect()
+        assert calls == [1, 2]
+
+
+class TestSample:
+    def test_fraction_bounds(self, sc):
+        with pytest.raises(ValueError):
+            sc.parallelize([1]).sample(1.5)
+
+    def test_deterministic_given_seed(self, sc):
+        data = list(range(1000))
+        a = sc.parallelize(data, 4).sample(0.3, seed=7).collect()
+        b = sc.parallelize(data, 4).sample(0.3, seed=7).collect()
+        assert a == b
+
+    def test_approximate_fraction(self, sc):
+        data = list(range(10_000))
+        got = sc.parallelize(data, 4).sample(0.2, seed=1).count()
+        assert 1600 < got < 2400
+
+    def test_sample_is_subset(self, sc):
+        data = list(range(100))
+        got = sc.parallelize(data, 4).sample(0.5, seed=3).collect()
+        assert set(got) <= set(data)
+
+
+class TestWideTransformations:
+    def test_groupByKey(self, sc):
+        rdd = sc.parallelize([("a", 1), ("b", 2), ("a", 3)]).groupByKey(3)
+        grouped = dict(rdd.collect())
+        assert sorted(grouped["a"]) == [1, 3]
+        assert grouped["b"] == [2]
+        assert rdd.num_partitions == 3
+
+    def test_reduceByKey(self, sc):
+        rdd = sc.parallelize([("a", 1), ("b", 2), ("a", 3)]).reduceByKey(lambda x, y: x + y)
+        assert dict(rdd.collect()) == {"a": 4, "b": 2}
+
+    def test_join(self, sc):
+        left = sc.parallelize([(1, "l1"), (2, "l2"), (1, "l1b")])
+        right = sc.parallelize([(1, "r1"), (3, "r3")])
+        got = sorted(left.join(right, 2).collect())
+        assert got == [(1, ("l1", "r1")), (1, ("l1b", "r1"))]
+
+    def test_partitionBy_distributes_by_key_hash(self, sc):
+        rdd = sc.parallelize([(i, i) for i in range(20)]).partitionBy(4)
+        parts = rdd._partitions()
+        assert len(parts) == 4
+        for pi, part in enumerate(parts):
+            for k, _ in part:
+                assert hash(k) % 4 == pi
+
+    def test_shuffle_charges_counters(self, sc):
+        sc.parallelize([("a", 1)] * 50).groupByKey(2).collect()
+        assert sc.counters["spark.stages"] >= 2  # shuffle + action
+        assert sc.counters["shuffle.bytes_mem"] > 0
+        assert sc.counters["sort.ops"] > 0
+
+    def test_narrow_ops_do_not_shuffle(self, sc):
+        sc.parallelize(range(100)).map(lambda x: x + 1).collect()
+        assert sc.counters["shuffle.bytes_mem"] == 0
+
+
+class TestActions:
+    def test_count(self, sc):
+        assert sc.parallelize(range(17), 4).count() == 17
+
+    def test_take(self, sc):
+        assert sc.parallelize(range(100), 4).take(5) == [0, 1, 2, 3, 4]
+
+    def test_empty_rdd(self, sc):
+        rdd = sc.parallelize([])
+        assert rdd.collect() == []
+        assert rdd.count() == 0
+
+    def test_partition_count_capped_by_data(self, sc):
+        rdd = sc.parallelize([1, 2], 8)
+        assert rdd.num_partitions <= 2

@@ -1,0 +1,78 @@
+"""Tests for the extended RDD operations (distinct, sortBy, cogroup, ...)."""
+
+import pytest
+
+from repro.spark import SparkContext
+
+
+@pytest.fixture
+def sc():
+    return SparkContext(default_parallelism=4)
+
+
+class TestDistinct:
+    def test_removes_duplicates(self, sc):
+        got = sorted(sc.parallelize([1, 2, 2, 3, 1, 3, 3], 3).distinct(2).collect())
+        assert got == [1, 2, 3]
+
+    def test_is_a_shuffle(self, sc):
+        sc.parallelize([1, 1, 2], 2).distinct(2).collect()
+        assert sc.counters["shuffle.bytes_mem"] > 0
+
+    def test_preserves_unique_input(self, sc):
+        data = list(range(40))
+        assert sorted(sc.parallelize(data, 4).distinct(3).collect()) == data
+
+    def test_empty(self, sc):
+        assert sc.parallelize([]).distinct().collect() == []
+
+
+class TestSortBy:
+    def test_global_order(self, sc):
+        data = [7, 1, 9, 3, 8, 2, 6]
+        assert sc.parallelize(data, 3).sortBy(lambda x: x).collect() == sorted(data)
+
+    def test_custom_key(self, sc):
+        data = ["bbb", "a", "cc"]
+        assert sc.parallelize(data).sortBy(len).collect() == ["a", "cc", "bbb"]
+
+    def test_partition_count(self, sc):
+        rdd = sc.parallelize(range(20), 4).sortBy(lambda x: -x, n_out=5)
+        assert rdd.num_partitions == 5
+        assert rdd.collect() == list(range(19, -1, -1))
+
+    def test_charges_sort_ops(self, sc):
+        sc.parallelize(range(100), 4).sortBy(lambda x: x).collect()
+        assert sc.counters["sort.ops"] > 0
+
+
+class TestCogroup:
+    def test_basic(self, sc):
+        left = sc.parallelize([("a", 1), ("a", 2), ("b", 3)])
+        right = sc.parallelize([("a", 10), ("c", 30)])
+        got = dict(left.cogroup(right, 3).collect())
+        assert sorted(got["a"][0]) == [1, 2] and got["a"][1] == [10]
+        assert got["b"] == ([3], [])
+        assert got["c"] == ([], [30])
+
+    def test_co_partitioned_with_groups(self, sc):
+        left = sc.parallelize([(i, i) for i in range(20)])
+        right = sc.parallelize([(i, -i) for i in range(0, 20, 2)])
+        cg = left.cogroup(right, 4)
+        assert cg.partitioner is not None
+        got = dict(cg.collect())
+        assert got[4] == ([4], [-4])
+        assert got[5] == ([5], [])
+
+
+class TestActions:
+    def test_reduce(self, sc):
+        assert sc.parallelize(range(1, 11), 3).reduce(lambda a, b: a + b) == 55
+
+    def test_reduce_empty_raises(self, sc):
+        with pytest.raises(ValueError):
+            sc.parallelize([]).reduce(lambda a, b: a + b)
+
+    def test_countByKey(self, sc):
+        rdd = sc.parallelize([("x", 1)] * 5 + [("y", 1)] * 2)
+        assert rdd.countByKey() == {"x": 5, "y": 2}

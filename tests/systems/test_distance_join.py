@@ -1,0 +1,80 @@
+"""Distance-join integration tests across the three systems.
+
+The paper's introduction motivates "matching taxi pickup/drop-off
+locations with road segments through point-to-nearest-polyline distance
+computation"; these tests run that workload end to end.
+"""
+
+import pytest
+
+from repro.core import within_distance
+from repro.data import taxi_points, tiger_edges
+from repro.data.synthetic import DOMAIN_NYC
+from repro.geometry import geometry_distance
+from repro.systems import ALL_SYSTEMS, RunEnvironment, make_system
+
+
+@pytest.fixture(scope="module")
+def taxi_roads():
+    pts = taxi_points(500, seed=31)
+    roads = tiger_edges(400, seed=32, domain=DOMAIN_NYC)
+    return pts, roads
+
+
+def brute(pts, roads, d):
+    return frozenset(
+        (i, j)
+        for i, p in enumerate(pts)
+        for j, r in enumerate(roads)
+        if geometry_distance(p, r) <= d
+    )
+
+
+class TestTaxiToRoads:
+    @pytest.mark.parametrize("system_name", sorted(ALL_SYSTEMS))
+    @pytest.mark.parametrize("d", [0.001, 0.005])
+    def test_exact_result(self, system_name, d, taxi_roads):
+        pts, roads = taxi_roads
+        env = RunEnvironment.create(block_size=1 << 13)
+        report = make_system(system_name).run(env, pts, roads, within_distance(d))
+        assert report.ok, report.failure
+        assert report.pairs == brute(pts, roads, d)
+
+    def test_all_systems_agree(self, taxi_roads):
+        pts, roads = taxi_roads
+        results = set()
+        for name in sorted(ALL_SYSTEMS):
+            env = RunEnvironment.create(block_size=1 << 13)
+            results.add(
+                make_system(name).run(env, pts, roads, within_distance(0.003)).pairs
+            )
+        assert len(results) == 1
+
+    def test_monotone_in_distance(self, taxi_roads):
+        pts, roads = taxi_roads
+        prev = frozenset()
+        for d in (0.0005, 0.002, 0.008):
+            env = RunEnvironment.create(block_size=1 << 13)
+            pairs = make_system("SpatialSpark").run(
+                env, pts, roads, within_distance(d)
+            ).pairs
+            assert prev <= pairs
+            prev = pairs
+
+    def test_distance_join_charges_distance_ops(self, taxi_roads):
+        pts, roads = taxi_roads
+        env = RunEnvironment.create(block_size=1 << 13)
+        report = make_system("SpatialSpark").run(env, pts, roads, within_distance(0.005))
+        assert report.counters["geom.dist_tests"] > 0
+        assert report.counters["geom.pip_tests"] == 0  # no polygon probes here
+
+
+class TestDistanceJoinThroughRunner:
+    def test_spatialhadoop_margin_pairing(self, taxi_roads):
+        # A margin large enough that partitions which do not intersect must
+        # still be paired; correctness would break if pairing ignored it.
+        pts, roads = taxi_roads
+        d = 0.02
+        env = RunEnvironment.create(block_size=1 << 12)
+        report = make_system("SpatialHadoop").run(env, pts, roads, within_distance(d))
+        assert report.pairs == brute(pts, roads, d)

@@ -1,0 +1,126 @@
+"""Failure-model tests: the emergent broken-pipe / OOM matrix of Table 2."""
+
+import pytest
+
+from repro.cluster import PAPER_CONFIGS
+from repro.data import dataset, encode_dataset
+from repro.systems import HadoopGIS, RunEnvironment, SpatialHadoop, SpatialSpark
+
+
+def _staged_scale(generated):
+    """(record_scale, byte_scale) on the staged-TSV basis the runner uses."""
+    staged = sum(len(line) + 1 for line in encode_dataset(generated.geometries))
+    return (generated.record_scale, generated.spec.logical_bytes / staged)
+
+
+def env_for(config_name, left, right, block_size=1 << 13):
+    return RunEnvironment.create(
+        PAPER_CONFIGS()[config_name],
+        block_size=block_size,
+        scale_a=_staged_scale(left),
+        scale_b=_staged_scale(right),
+    )
+
+
+@pytest.fixture(scope="module")
+def full_taxi_nycb():
+    taxi = dataset("taxi").generate(scale=1500 / dataset("taxi").logical_records, seed=3)
+    nycb = dataset("nycb").generate(scale=1500 / dataset("nycb").logical_records, seed=3)
+    return taxi, nycb
+
+
+@pytest.fixture(scope="module")
+def sample_taxi_nycb():
+    taxi1m = dataset("taxi1m").generate(
+        scale=1500 / dataset("taxi1m").logical_records, seed=3
+    )
+    nycb = dataset("nycb").generate(scale=1500 / dataset("nycb").logical_records, seed=3)
+    return taxi1m, nycb
+
+
+class TestHadoopGISBrokenPipes:
+    """Paper: HadoopGIS fails ALL full-dataset runs (even 128 GB WS),
+    and the sample runs fail on EC2 but succeed on the workstation."""
+
+    @pytest.mark.parametrize("config", ["WS", "EC2-10", "EC2-8", "EC2-6"])
+    def test_full_datasets_fail_everywhere(self, config, full_taxi_nycb):
+        taxi, nycb = full_taxi_nycb
+        report = HadoopGIS().run(env_for(config, taxi, nycb), taxi.geometries, nycb.geometries)
+        assert not report.ok
+        assert report.failure_kind == "broken_pipe"
+        assert "broken pipe" in report.failure
+
+    def test_sample_succeeds_on_workstation(self, sample_taxi_nycb):
+        taxi1m, nycb = sample_taxi_nycb
+        report = HadoopGIS().run(
+            env_for("WS", taxi1m, nycb), taxi1m.geometries, nycb.geometries
+        )
+        assert report.ok, report.failure
+
+    @pytest.mark.parametrize("config", ["EC2-10", "EC2-8", "EC2-6"])
+    def test_sample_fails_on_ec2(self, config, sample_taxi_nycb):
+        taxi1m, nycb = sample_taxi_nycb
+        report = HadoopGIS().run(
+            env_for(config, taxi1m, nycb), taxi1m.geometries, nycb.geometries
+        )
+        assert not report.ok
+        assert report.failure_kind == "broken_pipe"
+
+
+class TestSpatialSparkOOM:
+    """Paper: SpatialSpark handles full datasets on WS (128 GB) and EC2-10
+    (150 GB) but runs out of memory on EC2-8 and EC2-6."""
+
+    @pytest.mark.parametrize(
+        "config,should_succeed",
+        [("WS", True), ("EC2-10", True), ("EC2-8", False), ("EC2-6", False)],
+    )
+    def test_full_dataset_matrix(self, config, should_succeed, full_taxi_nycb):
+        taxi, nycb = full_taxi_nycb
+        report = SpatialSpark().run(
+            env_for(config, taxi, nycb), taxi.geometries, nycb.geometries
+        )
+        assert report.ok == should_succeed
+        if not should_succeed:
+            assert report.failure_kind == "oom"
+            assert "out of memory" in report.failure
+
+    @pytest.mark.parametrize("config", ["WS", "EC2-10", "EC2-8", "EC2-6"])
+    def test_samples_fit_everywhere(self, config, sample_taxi_nycb):
+        taxi1m, nycb = sample_taxi_nycb
+        report = SpatialSpark().run(
+            env_for(config, taxi1m, nycb), taxi1m.geometries, nycb.geometries
+        )
+        assert report.ok, report.failure
+
+    def test_memory_pressure_reported(self, full_taxi_nycb):
+        taxi, nycb = full_taxi_nycb
+        ws = SpatialSpark().run(env_for("WS", taxi, nycb), taxi.geometries, nycb.geometries)
+        assert 0.9 < ws.memory_pressure <= 1.0  # barely fits, as calibrated
+        ec10 = SpatialSpark().run(
+            env_for("EC2-10", taxi, nycb), taxi.geometries, nycb.geometries
+        )
+        assert ec10.memory_pressure < ws.memory_pressure
+
+
+class TestSpatialHadoopRobustness:
+    """Paper: SpatialHadoop succeeds in every configuration."""
+
+    @pytest.mark.parametrize("config", ["WS", "EC2-10", "EC2-8", "EC2-6"])
+    def test_always_succeeds(self, config, full_taxi_nycb):
+        taxi, nycb = full_taxi_nycb
+        report = SpatialHadoop().run(
+            env_for(config, taxi, nycb), taxi.geometries, nycb.geometries
+        )
+        assert report.ok, report.failure
+
+
+class TestFailuresAreReports:
+    def test_failed_run_keeps_partial_clock(self, full_taxi_nycb):
+        taxi, nycb = full_taxi_nycb
+        report = HadoopGIS().run(
+            env_for("WS", taxi, nycb), taxi.geometries, nycb.geometries
+        )
+        assert not report.ok
+        assert report.pairs is None
+        assert report.clock.phases  # work done before the failure is recorded

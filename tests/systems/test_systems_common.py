@@ -1,0 +1,168 @@
+"""Cross-system tests: correctness parity, reports, stage traces."""
+
+import numpy as np
+import pytest
+
+from repro.core import DataAccessModel, Stage
+from repro.data import census_blocks, linear_water, taxi_points, tiger_edges
+from repro.geometry import geometries_intersect
+from repro.systems import (
+    ALL_SYSTEMS,
+    HadoopGIS,
+    RunEnvironment,
+    SpatialHadoop,
+    SpatialSpark,
+    make_system,
+)
+
+SYSTEMS = sorted(ALL_SYSTEMS)
+
+
+@pytest.fixture(scope="module")
+def pip_workload():
+    pts = taxi_points(600, seed=11)
+    blocks = census_blocks(120, seed=12)
+    brute = frozenset(
+        (i, j)
+        for i, p in enumerate(pts)
+        for j, b in enumerate(blocks)
+        if geometries_intersect(p, b)
+    )
+    return pts, blocks, brute
+
+
+@pytest.fixture(scope="module")
+def polyline_workload():
+    edges = tiger_edges(900, seed=13)
+    water = linear_water(250, seed=14)
+    brute = frozenset(
+        (i, j)
+        for i, a in enumerate(edges)
+        for j, b in enumerate(water)
+        if a.mbr.intersects(b.mbr) and geometries_intersect(a, b)
+    )
+    return edges, water, brute
+
+
+class TestFactory:
+    def test_make_system(self):
+        for name in SYSTEMS:
+            assert make_system(name).name == name
+
+    def test_unknown_system(self):
+        with pytest.raises(ValueError):
+            make_system("GeoSpark")
+
+
+class TestJoinCorrectness:
+    @pytest.mark.parametrize("system_name", SYSTEMS)
+    def test_point_in_polygon_join_exact(self, system_name, pip_workload):
+        pts, blocks, brute = pip_workload
+        env = RunEnvironment.create(block_size=1 << 14)
+        report = make_system(system_name).run(env, pts, blocks)
+        assert report.ok, report.failure
+        assert report.pairs == brute
+
+    @pytest.mark.parametrize("system_name", SYSTEMS)
+    def test_polyline_join_exact(self, system_name, polyline_workload):
+        edges, water, brute = polyline_workload
+        env = RunEnvironment.create(block_size=1 << 14)
+        report = make_system(system_name).run(env, edges, water)
+        assert report.ok, report.failure
+        assert report.pairs == brute
+
+    def test_all_systems_agree(self, pip_workload):
+        pts, blocks, _ = pip_workload
+        results = set()
+        for name in SYSTEMS:
+            env = RunEnvironment.create(block_size=1 << 13)
+            results.add(make_system(name).run(env, pts, blocks).pairs)
+        assert len(results) == 1
+
+    @pytest.mark.parametrize("system_name", SYSTEMS)
+    def test_empty_result_join(self, system_name):
+        # Disjoint datasets: everything runs but nothing matches.
+        edges = tiger_edges(100, seed=1)
+        from repro.geometry import PolyLine
+
+        far = [PolyLine(l.coords + 500.0) for l in linear_water(30, seed=2)]
+        env = RunEnvironment.create(block_size=1 << 13)
+        report = make_system(system_name).run(env, edges, far)
+        assert report.ok
+        assert report.pairs == frozenset()
+
+
+class TestReports:
+    @pytest.mark.parametrize("system_name", SYSTEMS)
+    def test_report_structure(self, system_name, pip_workload):
+        pts, blocks, _ = pip_workload
+        env = RunEnvironment.create(block_size=1 << 14)
+        report = make_system(system_name).run(env, pts, blocks)
+        assert report.system == system_name
+        assert report.cluster == "WS"
+        assert report.ok and report.failure is None
+        assert report.clock.phases, "no phases recorded"
+        assert report.engine_profile  # jts or geos profile attached
+
+    def test_breakdown_groups(self, pip_workload):
+        pts, blocks, _ = pip_workload
+        env = RunEnvironment.create(block_size=1 << 14)
+        report = SpatialHadoop().run(env, pts, blocks)
+        groups = {p.group for p in report.clock.phases}
+        assert groups == {"index_a", "index_b", "join"}
+
+    def test_costed_breakdown_sums(self, pip_workload):
+        pts, blocks, _ = pip_workload
+        env = RunEnvironment.create(block_size=1 << 14)
+        report = SpatialHadoop().run(env, pts, blocks).costed()
+        b = report.breakdown_seconds()
+        assert b["TOT"] == pytest.approx(b["IA"] + b["IB"] + b["DJ"])
+        assert b["TOT"] > 0
+
+    def test_engine_assignment_matches_paper(self):
+        # HadoopGIS links GEOS; the other two link JTS.
+        assert HadoopGIS.engine_name == "geos"
+        assert SpatialHadoop.engine_name == "jts"
+        assert SpatialSpark.engine_name == "jts"
+
+
+class TestStageTraces:
+    """The Fig.-1 properties the paper derives from the framework."""
+
+    def test_access_models(self):
+        assert HadoopGIS().stage_trace().access_model == DataAccessModel.STREAMING
+        assert SpatialHadoop().stage_trace().access_model == DataAccessModel.RANDOM
+        assert SpatialSpark().stage_trace().access_model == DataAccessModel.FUNCTIONAL
+
+    def test_spatialspark_touches_hdfs_only_on_load(self):
+        trace = SpatialSpark().stage_trace()
+        readers = [s for s in trace.steps if s.reads_hdfs]
+        writers = [s for s in trace.steps if s.writes_hdfs]
+        assert len(readers) == 1 and not writers
+
+    def test_hadoopgis_has_most_hdfs_interactions(self):
+        touch = {
+            name: ALL_SYSTEMS[name]().stage_trace().hdfs_touch_points
+            for name in SYSTEMS
+        }
+        assert touch["HadoopGIS"] > touch["SpatialHadoop"] > touch["SpatialSpark"]
+
+    def test_hadoopgis_serial_local_programs(self):
+        from repro.core import RunsOn
+
+        trace = HadoopGIS().stage_trace()
+        local = [s for s in trace.serial_steps if s.runs_on == RunsOn.LOCAL_PROGRAM]
+        assert len(local) >= 3  # partition gen, dedup, sample combine
+
+    def test_spatialhadoop_global_join_on_master(self):
+        from repro.core import RunsOn
+
+        trace = SpatialHadoop().stage_trace()
+        gj = trace.steps_in(Stage.GLOBAL_JOIN)
+        assert any(s.runs_on == RunsOn.MASTER for s in gj)
+
+    def test_every_system_covers_all_stages(self):
+        for name in SYSTEMS:
+            trace = ALL_SYSTEMS[name]().stage_trace()
+            for stage in Stage:
+                assert trace.steps_in(stage), f"{name} missing {stage}"

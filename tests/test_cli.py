@@ -1,0 +1,59 @@
+"""CLI tests (python -m repro ...)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "taxi-nycb", "SpatialSpark"])
+        assert args.config == "WS"
+        assert args.exec_records == 2500
+
+    @pytest.mark.parametrize(
+        "command", ["table1", "table2", "table3", "fig1", "headlines", "calibrate"]
+    )
+    def test_subcommands_parse(self, command):
+        assert build_parser().parse_args([command]).command == command
+
+
+class TestCommands:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "169,720,892" in out
+        assert "6.9 GB" in out
+
+    def test_fig1(self, capsys):
+        assert main(["fig1"]) == 0
+        out = capsys.readouterr().out
+        assert "HadoopGIS" in out and "functional" in out
+
+    def test_run_success(self, capsys):
+        code = main(
+            ["run", "taxi1m-nycb", "SpatialSpark", "EC2-10", "--exec-records", "600"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ok" in out and "TOT=" in out
+
+    def test_run_failure_cell(self, capsys):
+        code = main(
+            ["run", "taxi-nycb", "SpatialSpark", "EC2-6", "--exec-records", "600"]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "FAILED (oom)" in out
+
+    def test_run_unknown_experiment(self, capsys):
+        assert main(["run", "osm-osm", "SpatialSpark"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_run_unknown_system(self, capsys):
+        assert main(["run", "taxi-nycb", "Sedona"]) == 2
+        assert "unknown system" in capsys.readouterr().err

@@ -1,0 +1,76 @@
+"""Tests for the shared Counters type (the accounting backbone)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.metrics import Counters
+
+keys = st.sampled_from(["a", "b", "c", "hdfs.bytes_read", "geom.pip_tests"])
+counter_dicts = st.dictionaries(keys, st.floats(0, 1e9), max_size=5)
+
+
+class TestBasics:
+    def test_missing_key_is_zero(self):
+        c = Counters()
+        assert c["nope"] == 0.0
+        assert "nope" not in c  # reading must not create the key
+
+    def test_add(self):
+        c = Counters()
+        c.add("x")
+        c.add("x", 2.5)
+        assert c["x"] == 3.5
+
+    def test_merge_returns_self(self):
+        c = Counters({"a": 1})
+        assert c.merge({"a": 2, "b": 3}) is c
+        assert c == {"a": 3, "b": 3}
+
+    def test_snapshot_is_independent(self):
+        c = Counters({"a": 1})
+        snap = c.snapshot()
+        c.add("a")
+        assert snap["a"] == 1
+
+    def test_diff(self):
+        c = Counters({"a": 5, "b": 2})
+        earlier = {"a": 3, "c": 1}
+        assert c.diff(earlier) == {"a": 2, "b": 2, "c": -1}
+
+    def test_diff_drops_zero_deltas(self):
+        c = Counters({"a": 5})
+        assert "a" not in c.diff({"a": 5})
+
+    def test_scaled(self):
+        c = Counters({"a": 2, "b": 3})
+        assert c.scaled({"a": 10}, default=1.0) == {"a": 20, "b": 3}
+
+    def test_total(self):
+        total = Counters.total([{"a": 1}, {"a": 2, "b": 1}])
+        assert total == {"a": 3, "b": 1}
+
+
+class TestProperties:
+    @given(counter_dicts, counter_dicts)
+    def test_merge_is_addition(self, d1, d2):
+        c = Counters(d1)
+        c.merge(d2)
+        for k in set(d1) | set(d2):
+            assert c[k] == d1.get(k, 0) + d2.get(k, 0)
+
+    @given(counter_dicts, counter_dicts)
+    def test_diff_inverts_merge(self, base, extra):
+        c = Counters(base)
+        snap = c.snapshot()
+        c.merge(extra)
+        delta = c.diff(snap)
+        for k, v in extra.items():
+            # Floating-point addition loses the increment when it is tiny
+            # relative to the base value; only check recoverable deltas.
+            if v > 1e-6 * base.get(k, 0.0):
+                assert delta[k] == pytest.approx(v, rel=1e-9, abs=1e-12)
+
+    @given(counter_dicts)
+    def test_total_of_one_is_identity(self, d):
+        assert Counters.total([d]) == {k: v for k, v in d.items()}
