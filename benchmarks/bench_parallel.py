@@ -1,0 +1,115 @@
+#!/usr/bin/env python
+"""Real wall-clock speedup of the task execution backends.
+
+Unlike the ``bench_table*`` modules (which report *simulated* seconds
+from the cost model), this script measures how long the reproduction
+itself takes to run one join as the executor backend and worker count
+change.  The simulated outputs are bit-identical across backends by
+construction — wall-clock time is the only thing at stake, and the
+per-stage task timings from ``RunReport.engine_profile["exec"]`` show
+where it goes.
+
+Run:  PYTHONPATH=src python benchmarks/bench_parallel.py [--out FILE]
+
+Prints (and optionally writes) a JSON document::
+
+    {
+      "workload": {...}, "cpu_count": 8,
+      "runs": [{"backend": "serial", "workers": 1, "wall_seconds": ...,
+                "task_seconds": ..., "speedup": 1.0, ...}, ...]
+    }
+
+Speedups are relative to the serial backend.  Thread workers are bounded
+by the GIL (expect ~1×); the fork-based process backend is where real
+multi-core speedup appears — on a single-core host every backend
+necessarily measures ~1×, so the JSON records ``cpu_count`` alongside.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+
+from repro import spatial_join
+from repro.data import census_blocks, taxi_points
+
+#: (backend, workers) grid; serial first so speedups have a baseline.
+GRID = [
+    ("serial", 1),
+    ("thread", 4),
+    ("process", 2),
+    ("process", 4),
+]
+
+
+def measure(points, blocks, *, system: str, backend: str, workers: int) -> dict:
+    start = time.perf_counter()
+    report = spatial_join(
+        points, blocks, system=system, backend=backend, workers=workers,
+        block_size=1 << 15,
+    )
+    wall = time.perf_counter() - start
+    exec_profile = report.engine_profile["exec"]
+    return {
+        "backend": backend,
+        "workers": workers,
+        "wall_seconds": round(wall, 3),
+        "status": report.status,
+        "pairs": len(report.pairs or ()),
+        "stages": exec_profile["stages"],
+        "tasks": exec_profile["tasks"],
+        # summed per-task body time; > wall_seconds means tasks overlapped
+        "task_seconds": round(exec_profile["task_seconds"], 3),
+        "simulated_seconds": round(report.clock.total_seconds, 3),
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--exec-records", type=int, default=20_000,
+                        help="records per dataset (default 20000)")
+    parser.add_argument("--system", default="SpatialHadoop",
+                        choices=("HadoopGIS", "SpatialHadoop", "SpatialSpark"))
+    parser.add_argument("--out", default=None, help="write the JSON here too")
+    args = parser.parse_args()
+
+    points = taxi_points(args.exec_records, seed=3)
+    blocks = census_blocks(args.exec_records, seed=4)
+
+    runs = []
+    baseline = None
+    for backend, workers in GRID:
+        row = measure(points, blocks, system=args.system,
+                      backend=backend, workers=workers)
+        if baseline is None:
+            baseline = row["wall_seconds"]
+        row["speedup"] = round(baseline / max(row["wall_seconds"], 1e-9), 2)
+        runs.append(row)
+        print(f"{backend:>8} x{workers}: {row['wall_seconds']:7.2f}s "
+              f"(speedup {row['speedup']:.2f}x, pairs {row['pairs']:,})")
+
+    pair_sets = {r["pairs"] for r in runs}
+    assert len(pair_sets) == 1, f"backends disagreed on results: {pair_sets}"
+
+    document = {
+        "workload": {
+            "system": args.system,
+            "exec_records": args.exec_records,
+            "datasets": "taxi_points x census_blocks",
+        },
+        "cpu_count": os.cpu_count(),
+        "runs": runs,
+    }
+    text = json.dumps(document, indent=2)
+    print(text)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+        print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -10,8 +10,9 @@ that all three return the identical join result with very different
 Run:  python examples/quickstart.py
 """
 
+from repro import spatial_join
 from repro.data import census_blocks, taxi_points
-from repro.systems import ALL_SYSTEMS, RunEnvironment, make_system
+from repro.systems import ALL_SYSTEMS
 
 
 def main() -> None:
@@ -20,13 +21,12 @@ def main() -> None:
     blocks = census_blocks(200, seed=8)
     print(f"workload: {len(points):,} points × {len(blocks):,} polygons\n")
 
-    # 2. Run each system end-to-end on a fresh simulated environment
-    #    (HDFS + MapReduce/Spark + the workstation hardware model).
+    # 2. Run each system end to end on the simulated workstation (HDFS +
+    #    MapReduce/Spark + the hardware model); spatial_join stages the
+    #    data, runs the full pipeline, and costs the clock in one call.
     reports = {}
     for name in sorted(ALL_SYSTEMS):
-        env = RunEnvironment.create(block_size=1 << 13)
-        report = make_system(name).run(env, points, blocks)
-        report.costed()  # counts -> simulated seconds for this cluster
+        report = spatial_join(points, blocks, system=name, block_size=1 << 13)
         reports[name] = report
         b = report.breakdown_seconds()
         # SpatialSpark's asynchronous stages are all accounted to the

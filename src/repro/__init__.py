@@ -11,19 +11,57 @@ Public API layers:
 * :mod:`repro.systems` — HadoopGIS, SpatialHadoop, SpatialSpark.
 * :mod:`repro.experiments` — the experiment harness and table regeneration.
 
-Most users start from::
+Most users start from the top-level facade::
 
-    from repro.experiments import run_experiment
+    from repro import run_experiment, spatial_join
+
+    # a paper experiment cell, extrapolated to paper scale:
     report = run_experiment("taxi-nycb", "SpatialSpark", "EC2-10")
 
-or run joins directly::
-
-    from repro.systems import RunEnvironment, SpatialSpark
-    report = SpatialSpark().run(RunEnvironment.create(), left, right)
+    # or your own data through one system, costed as-is:
+    report = spatial_join(points, polygons, system="SpatialSpark",
+                          cluster="WS", workers=4)
 
 A command-line interface is available via ``python -m repro --help``.
 """
 
-__version__ = "1.0.0"
+from typing import Any
 
-__all__ = ["__version__"]
+__version__ = "1.1.0"
+
+__all__ = [
+    "__version__",
+    "EXPERIMENTS",
+    "RunEnvironment",
+    "RunReport",
+    "make_system",
+    "run_experiment",
+    "spatial_join",
+]
+
+#: Lazily-resolved top-level exports (PEP 562), so ``import repro`` stays
+#: cheap and the CLI keeps its fast ``--help`` path.
+_EXPORTS = {
+    "EXPERIMENTS": ("repro.experiments.runner", "EXPERIMENTS"),
+    "RunEnvironment": ("repro.systems.base", "RunEnvironment"),
+    "RunReport": ("repro.systems.base", "RunReport"),
+    "make_system": ("repro.systems", "make_system"),
+    "run_experiment": ("repro.experiments.runner", "run_experiment"),
+    "spatial_join": ("repro.api", "spatial_join"),
+}
+
+
+def __getattr__(name: str) -> Any:
+    try:
+        module_name, attr = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    from importlib import import_module
+
+    value = getattr(import_module(module_name), attr)
+    globals()[name] = value  # cache for subsequent lookups
+    return value
+
+
+def __dir__() -> list:
+    return sorted(set(globals()) | set(_EXPORTS))

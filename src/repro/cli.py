@@ -21,8 +21,19 @@ from typing import Optional, Sequence
 __all__ = ["main", "build_parser"]
 
 
+def _add_worker_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--workers", type=int, default=1,
+                   help="task-execution workers (1 = serial)")
+    p.add_argument("--backend", default=None,
+                   choices=("serial", "thread", "process"),
+                   help="force a task execution backend "
+                        "(default: auto from --workers)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse command tree."""
+    from .experiments.runner import DEFAULT_SEED
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description=(
@@ -43,7 +54,9 @@ def build_parser() -> argparse.ArgumentParser:
         p = sub.add_parser(name, help=help_text)
         p.add_argument("--exec-records", type=int, default=None,
                        help="execution-scale records per dataset")
-        p.add_argument("--seed", type=int, default=1)
+        p.add_argument("--seed", type=int, default=DEFAULT_SEED)
+        if name != "headlines":
+            _add_worker_args(p)
 
     run = sub.add_parser("run", help="run one experiment cell")
     run.add_argument("experiment", help="e.g. taxi-nycb")
@@ -51,14 +64,15 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("config", nargs="?", default="WS",
                      help="WS | EC2-10 | EC2-8 | EC2-6 | EC2-<n>")
     run.add_argument("--exec-records", type=int, default=2500)
-    run.add_argument("--seed", type=int, default=1)
+    run.add_argument("--seed", type=int, default=DEFAULT_SEED)
     run.add_argument("--explain", action="store_true",
                      help="print the per-phase cost decomposition")
+    _add_worker_args(run)
 
     validate = sub.add_parser(
         "validate", help="check all systems against brute-force joins"
     )
-    validate.add_argument("--seed", type=int, default=0)
+    validate.add_argument("--seed", type=int, default=DEFAULT_SEED)
     validate.add_argument("--size", type=int, default=400)
 
     report = sub.add_parser(
@@ -66,7 +80,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     report.add_argument("--out", default=None, help="write to a file")
     report.add_argument("--exec-records", type=int, default=None)
-    report.add_argument("--seed", type=int, default=1)
+    report.add_argument("--seed", type=int, default=DEFAULT_SEED)
 
     sub.add_parser("calibrate", help="refit the cost-model constants "
                                      "against the paper's timings")
@@ -98,14 +112,16 @@ def _cmd_fig1(_args) -> int:
 def _cmd_table2(args) -> int:
     from .experiments import table2
 
-    print(table2(exec_records=_exec_override(args), seed=args.seed).render())
+    print(table2(exec_records=_exec_override(args), seed=args.seed,
+                 workers=args.workers, backend=args.backend).render())
     return 0
 
 
 def _cmd_table3(args) -> int:
     from .experiments import table3
 
-    print(table3(exec_records=_exec_override(args), seed=args.seed).render())
+    print(table3(exec_records=_exec_override(args), seed=args.seed,
+                 workers=args.workers, backend=args.backend).render())
     return 0
 
 
@@ -133,6 +149,8 @@ def _cmd_run(args) -> int:
         args.config,
         exec_records=args.exec_records,
         seed=args.seed,
+        workers=args.workers,
+        backend=args.backend,
     )
     if not report.ok:
         print(f"{args.experiment} × {args.system} × {args.config}: "

@@ -226,4 +226,5 @@ class CostModel:
         """Fill in ``seconds`` for every phase of a clock, in place."""
         for phase in clock.phases:
             phase.seconds = self.phase_seconds(phase)
+        clock.costed = True
         return clock

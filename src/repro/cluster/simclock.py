@@ -45,6 +45,10 @@ class SimClock:
     """Accumulates costed phases and answers breakdown queries."""
 
     phases: list[PhaseRecord] = field(default_factory=list)
+    #: set by :meth:`repro.cluster.costmodel.CostModel.cost_clock`; until
+    #: then the per-phase ``seconds`` are meaningless zeros and breakdown
+    #: queries refuse to answer.
+    costed: bool = False
 
     def record(self, phase: PhaseRecord) -> None:
         """Append a phase to the ledger."""

@@ -1,0 +1,240 @@
+"""Pluggable multi-core task execution backends.
+
+The substrates (``MapReduceJob``, ``RDD``) hand their independent task
+bodies to an :class:`ExecutorBackend` instead of looping over them.
+Three implementations are provided:
+
+* :class:`SerialBackend` — runs tasks one by one in the calling thread
+  (the default; zero dependencies, zero overhead beyond the wrapper).
+* :class:`ThreadBackend` — a ``ThreadPoolExecutor``; parallelism is
+  bounded by the GIL but NumPy kernels and any releasing code overlap.
+* :class:`ProcessBackend` — a fork-based ``ProcessPoolExecutor`` giving
+  real multi-core execution of the pure-Python geometry/refinement work.
+
+**Determinism is the design constraint**: every backend runs each task
+against its own scratch :class:`~repro.metrics.Counters` (see
+:mod:`repro.exec.task`) and :func:`merge_outcomes` folds the scratches
+back in task-index order, so counters, phase records, result ordering
+and failure outcomes are bit-identical across backends.  The backends
+only change wall-clock time, never the simulated run.
+
+Task bodies are closures over driver state; they cannot be pickled, so
+:class:`ProcessBackend` relies on ``fork`` (the task list is published in
+a module global that forked workers inherit, and only task *indices*
+cross the pipe).  On platforms without ``fork`` it degrades to threads.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import multiprocessing
+import os
+from typing import Any, Callable, Optional, Sequence
+
+from ..metrics import _REDIRECT, Counters
+from .task import TaskOutcome, run_task
+
+__all__ = [
+    "ExecutorBackend",
+    "SerialBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "resolve_backend",
+    "merge_outcomes",
+    "BACKENDS",
+]
+
+
+def merge_outcomes(
+    outcomes: Sequence[TaskOutcome], shared: Counters
+) -> tuple[list, dict]:
+    """Fold task outcomes into the shared counters, in task-index order.
+
+    Returns ``(results, side)`` where *results* is the per-task result
+    list and *side* maps each :func:`~repro.exec.task.emit` key to the
+    list of values emitted under it (task order, then emit order).  When
+    a task captured an error, the scratches of all earlier tasks *and*
+    of the failing task are merged before the error is re-raised — the
+    exact state a serial run leaves behind when that task raises.
+    """
+    results: list = []
+    side: dict = {}
+    for outcome in outcomes:
+        shared.merge(outcome.counters)
+        for key, value in outcome.side:
+            side.setdefault(key, []).append(value)
+        if outcome.error is not None:
+            raise outcome.error
+        results.append(outcome.result)
+    return results, side
+
+
+def _in_task() -> bool:
+    return getattr(_REDIRECT, "task_side", None) is not None
+
+
+class ExecutorBackend:
+    """Runs independent task bodies; subclasses choose the concurrency."""
+
+    name = "abstract"
+
+    def __init__(self, workers: int = 1):
+        self.workers = max(1, int(workers))
+        #: per-stage timing rows appended by :meth:`run_tasks`.
+        self.profile: list[dict] = []
+
+    # ------------------------------------------------------------- dispatch
+    def run_tasks(
+        self, label: str, fns: Sequence[Callable[[], Any]], shared: Counters
+    ) -> list[TaskOutcome]:
+        """Execute all task bodies and return their outcomes, in order.
+
+        Also appends a per-stage timing row (label, task count, summed
+        task seconds, max task seconds) to :attr:`profile`.
+        """
+        if not fns:
+            return []
+        if len(fns) == 1 or _in_task():
+            # Nested dispatch (a task body triggering another stage) and
+            # single-task stages always run inline.
+            outcomes = self._serial(fns, shared)
+        else:
+            outcomes = self._execute(fns, shared)
+        task_seconds = [o.seconds for o in outcomes]
+        self.profile.append(
+            {
+                "label": label,
+                "tasks": len(outcomes),
+                "task_seconds": sum(task_seconds),
+                "max_task_seconds": max(task_seconds, default=0.0),
+            }
+        )
+        return outcomes
+
+    def _serial(
+        self, fns: Sequence[Callable[[], Any]], shared: Counters
+    ) -> list[TaskOutcome]:
+        outcomes = []
+        for index, fn in enumerate(fns):
+            outcome = run_task(index, fn, shared)
+            outcomes.append(outcome)
+            if outcome.error is not None:
+                break  # serial semantics: later tasks never start
+        return outcomes
+
+    def _execute(
+        self, fns: Sequence[Callable[[], Any]], shared: Counters
+    ) -> list[TaskOutcome]:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------ reporting
+    def profile_summary(self) -> dict:
+        """Aggregate per-task timing for ``RunReport.engine_profile``."""
+        return {
+            "backend": self.name,
+            "workers": self.workers,
+            "stages": len(self.profile),
+            "tasks": sum(row["tasks"] for row in self.profile),
+            "task_seconds": sum(row["task_seconds"] for row in self.profile),
+            "phases": list(self.profile),
+        }
+
+
+class SerialBackend(ExecutorBackend):
+    """One task at a time, in the calling thread (the default)."""
+
+    name = "serial"
+
+    def __init__(self, workers: int = 1):
+        super().__init__(1)
+
+    def _execute(self, fns, shared):
+        return self._serial(fns, shared)
+
+
+class ThreadBackend(ExecutorBackend):
+    """``ThreadPoolExecutor``-based backend (GIL-bounded concurrency)."""
+
+    name = "thread"
+
+    def _execute(self, fns, shared):
+        workers = min(self.workers, len(fns))
+        with concurrent.futures.ThreadPoolExecutor(max_workers=workers) as pool:
+            return list(
+                pool.map(lambda i: run_task(i, fns[i], shared), range(len(fns)))
+            )
+
+
+#: Task list published for forked ProcessBackend workers (fork-inherited;
+#: only task indices are pickled across the pipe).
+_FORK_STATE: Optional[tuple[Sequence[Callable[[], Any]], Counters]] = None
+
+
+def _fork_worker(index: int) -> TaskOutcome:
+    fns, shared = _FORK_STATE
+    return run_task(index, fns[index], shared)
+
+
+class ProcessBackend(ExecutorBackend):
+    """Fork-based multi-process backend: real multi-core execution.
+
+    Each task runs in a forked worker against an inherited snapshot of
+    the driver state; only its :class:`TaskOutcome` (result records,
+    scratch counters, side outputs, error, timing) crosses back.  Falls
+    back to :class:`ThreadBackend` semantics where ``fork`` is missing.
+    """
+
+    name = "process"
+
+    @staticmethod
+    def available() -> bool:
+        """Whether this platform supports fork-based process pools."""
+        return hasattr(os, "fork") and (
+            "fork" in multiprocessing.get_all_start_methods()
+        )
+
+    def _execute(self, fns, shared):
+        if not self.available():  # pragma: no cover - non-POSIX fallback
+            return ThreadBackend(self.workers)._execute(fns, shared)
+        global _FORK_STATE
+        workers = min(self.workers, len(fns))
+        _FORK_STATE = (fns, shared)
+        try:
+            with concurrent.futures.ProcessPoolExecutor(
+                max_workers=workers,
+                mp_context=multiprocessing.get_context("fork"),
+            ) as pool:
+                return list(pool.map(_fork_worker, range(len(fns))))
+        finally:
+            _FORK_STATE = None
+
+
+BACKENDS = {
+    "serial": SerialBackend,
+    "thread": ThreadBackend,
+    "process": ProcessBackend,
+}
+
+
+def resolve_backend(
+    backend: "str | ExecutorBackend | None" = None, workers: int = 1
+) -> ExecutorBackend:
+    """Build the executor for a run.
+
+    *backend* is a name from :data:`BACKENDS`, an already-built backend
+    (returned as-is), or None — meaning serial for ``workers <= 1`` and
+    the best available parallel backend (process, else thread) above.
+    """
+    if isinstance(backend, ExecutorBackend):
+        return backend
+    if backend is None:
+        if workers <= 1:
+            return SerialBackend()
+        backend = "process" if ProcessBackend.available() else "thread"
+    try:
+        cls = BACKENDS[backend]
+    except KeyError:
+        raise ValueError(
+            f"unknown executor backend {backend!r}; options: {sorted(BACKENDS)}"
+        ) from None
+    return cls(workers)

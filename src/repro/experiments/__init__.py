@@ -2,6 +2,7 @@
 
 from .extrapolate import ScaleInfo, classify_counter, extrapolate_clock, pair_factor
 from .runner import (
+    DEFAULT_SEED,
     EXPERIMENTS,
     ExperimentSpec,
     full_scale_dims,
@@ -24,6 +25,7 @@ from .tables import (
 )
 
 __all__ = [
+    "DEFAULT_SEED",
     "EXPERIMENTS",
     "ExperimentSpec",
     "run_experiment",

@@ -24,7 +24,7 @@ import numpy as np
 from ..cluster.costmodel import CostModel, CostParams
 from ..cluster.simclock import SimClock
 from ..cluster.specs import PAPER_CONFIGS, ClusterConfig
-from .runner import run_experiment
+from .runner import DEFAULT_SEED, run_experiment
 
 __all__ = [
     "PAPER_TIMINGS",
@@ -221,7 +221,7 @@ def observation_features(
     return offset, features
 
 
-def collect_observations(seed: int = 1) -> list[Observation]:
+def collect_observations(seed: int = DEFAULT_SEED) -> list[Observation]:
     """Execute each successful (experiment, system, config) cell once and
     decompose its paper timing(s) into cost features."""
     configs = PAPER_CONFIGS()

@@ -17,21 +17,28 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from ..cluster.costmodel import CostModel, CostParams
+from ..cluster.costmodel import CostParams
 from ..cluster.specs import PAPER_CONFIGS, ClusterConfig, ec2_config
 from ..data.catalog import DatasetSpec, GeneratedDataset, dataset
 from ..data.loaders import encode_dataset
+from ..exec.backend import ExecutorBackend
 from ..systems import make_system
 from ..systems.base import RunEnvironment, RunReport
-from .extrapolate import ScaleInfo, extrapolate_clock, pair_factor
+from .extrapolate import ScaleInfo, pair_factor
 
 __all__ = [
     "ExperimentSpec",
     "EXPERIMENTS",
+    "DEFAULT_SEED",
     "run_experiment",
     "mean_mbr_dims",
     "full_scale_dims",
 ]
+
+#: The one default RNG seed of the repo.  The CLI, ``run_experiment`` and
+#: the validation harness all used to disagree (1 vs 0 vs 0), so the same
+#: nominal command produced different tables depending on the entry point.
+DEFAULT_SEED = 1
 
 
 @dataclass(frozen=True)
@@ -118,9 +125,11 @@ def run_experiment(
     cluster_name: "str | ClusterConfig" = "WS",
     *,
     exec_records: int = 2500,
-    seed: int = 0,
+    seed: int = DEFAULT_SEED,
     cost_params: Optional[CostParams] = None,
     system_kwargs: Optional[dict] = None,
+    workers: int = 1,
+    backend: "str | ExecutorBackend | None" = None,
 ) -> RunReport:
     """Run one cell of Table 2/3 and return a costed, paper-scale report.
 
@@ -128,6 +137,9 @@ def run_experiment(
     are extrapolated to the catalog's logical sizes before costing.
     *cluster_name* accepts the paper's four names, ``EC2-<n>`` for any
     node count (scalability sweeps), or a :class:`ClusterConfig`.
+    *workers* / *backend* pick the task execution backend (serial by
+    default); parallel backends change wall-clock time only — reported
+    counts, seconds and failures are identical by construction.
     """
     try:
         spec = EXPERIMENTS[exp_id]
@@ -165,6 +177,8 @@ def run_experiment(
         scale_a=scale_a,
         scale_b=scale_b,
         seed=seed,
+        workers=workers,
+        backend=backend,
     )
     env.input_block_sizes.update({"/input/a": bs_a, "/input/b": bs_b})
     system = make_system(system_name, **(system_kwargs or {}))
@@ -189,11 +203,4 @@ def run_experiment(
         staged_bytes_a=staged_a,
         staged_bytes_b=staged_b,
     )
-    report.clock = extrapolate_clock(report.clock, info)
-    CostModel(
-        cluster,
-        params=cost_params,
-        engine_profile=report.engine_profile,
-        memory_pressure=report.memory_pressure,
-    ).cost_clock(report.clock)
-    return report
+    return report.costed(cost_params, cluster=cluster, scale=info)

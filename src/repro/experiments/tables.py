@@ -19,7 +19,7 @@ from typing import Optional
 from ..core.framework import compare_traces
 from ..data.catalog import table1_rows
 from ..systems import ALL_SYSTEMS, RunReport
-from .runner import run_experiment
+from .runner import DEFAULT_SEED, run_experiment
 
 __all__ = [
     "table1",
@@ -94,7 +94,8 @@ class Table2Result:
 
 
 def table2(
-    *, exec_records: Optional[dict] = None, seed: int = 1
+    *, exec_records: Optional[dict] = None, seed: int = DEFAULT_SEED,
+    workers: int = 1, backend=None,
 ) -> Table2Result:
     """Run every Table-2 cell and collect the results."""
     exec_records = {**DEFAULT_EXEC_RECORDS, **(exec_records or {})}
@@ -103,7 +104,8 @@ def table2(
         for system in SYSTEM_ORDER:
             for config in TABLE2_CONFIGS:
                 report = run_experiment(
-                    exp, system, config, exec_records=exec_records[exp], seed=seed
+                    exp, system, config, exec_records=exec_records[exp],
+                    seed=seed, workers=workers, backend=backend,
                 )
                 key = (exp, system, config)
                 reports[key] = report
@@ -144,7 +146,8 @@ class Table3Result:
 
 
 def table3(
-    *, exec_records: Optional[dict] = None, seed: int = 1
+    *, exec_records: Optional[dict] = None, seed: int = DEFAULT_SEED,
+    workers: int = 1, backend=None,
 ) -> Table3Result:
     """Run every Table-3 cell and collect IA/IB/DJ/TOT breakdowns."""
     exec_records = {**DEFAULT_EXEC_RECORDS, **(exec_records or {})}
@@ -153,7 +156,8 @@ def table3(
         for system in SYSTEM_ORDER:
             for config in TABLE3_CONFIGS:
                 report = run_experiment(
-                    exp, system, config, exec_records=exec_records[exp], seed=seed
+                    exp, system, config, exec_records=exec_records[exp],
+                    seed=seed, workers=workers, backend=backend,
                 )
                 key = (exp, system, config)
                 reports[key] = report

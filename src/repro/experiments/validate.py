@@ -15,6 +15,7 @@ from ..data import census_blocks, linear_water, taxi_points, tiger_edges
 from ..data.synthetic import DOMAIN_NYC
 from ..geometry import geometries_intersect, geometry_distance
 from ..systems import ALL_SYSTEMS, RunEnvironment, make_system
+from .runner import DEFAULT_SEED
 
 __all__ = ["ValidationCase", "validation_cases", "run_validation"]
 
@@ -44,7 +45,7 @@ class ValidationCase:
         return left, right
 
 
-def validation_cases(seed: int = 0, size: int = 400) -> list[ValidationCase]:
+def validation_cases(seed: int = DEFAULT_SEED, size: int = 400) -> list[ValidationCase]:
     """The default validation matrix: every kind pair × both predicates."""
     cases = []
     kind_pairs = [
@@ -88,7 +89,7 @@ def _brute(left, right, predicate: JoinPredicate) -> frozenset:
 
 
 def run_validation(
-    seed: int = 0, size: int = 400, verbose_print=None
+    seed: int = DEFAULT_SEED, size: int = 400, verbose_print=None
 ) -> list[tuple[str, str, bool]]:
     """(case, system, passed) for every case × system.
 

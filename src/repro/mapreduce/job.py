@@ -28,6 +28,7 @@ from typing import Any, Callable, Iterable, Optional, Sequence
 import numpy as np
 
 from ..cluster.simclock import PhaseRecord, SimClock
+from ..exec.backend import ExecutorBackend, SerialBackend, merge_outcomes
 from ..hdfs.filesystem import SimulatedHDFS
 from ..hdfs.sizeof import estimate_size
 from ..metrics import Counters
@@ -58,6 +59,10 @@ class TaskAttemptError(RuntimeError):
         super().__init__(
             f"{kind} task {index} of job {job!r} failed {attempts} attempts"
         )
+
+    def __reduce__(self):
+        # Survive the pickle round trip out of a ProcessBackend worker.
+        return (TaskAttemptError, (self.job, self.kind, self.index, self.attempts))
 
 
 @dataclass
@@ -108,6 +113,11 @@ class JobResult:
     map_output_records: int
     splits: int
     reducers: int
+    #: side outputs collected from the tasks' :func:`repro.exec.emit`
+    #: calls, keyed by emit key, values in task-index order.  The
+    #: process-safe channel for reducers handing structured data back to
+    #: the driver (closure mutation is lost when tasks run in workers).
+    side: dict = field(default_factory=dict)
 
 
 class MapReduceJob:
@@ -147,6 +157,11 @@ class MapReduceJob:
         (charging the duplicated work) up to ``MAX_TASK_ATTEMPTS`` times —
         the "mature platform" robustness the paper credits SpatialHadoop
         with.
+    executor:
+        The :class:`~repro.exec.ExecutorBackend` task attempts run on
+        (default: a fresh serial backend).  Parallel backends change only
+        wall-clock time: outcomes merge in task-index order, so counters,
+        phase records and failures are identical to serial execution.
     """
 
     def __init__(
@@ -166,6 +181,7 @@ class MapReduceJob:
         group: str = "join",
         streaming_hook: Optional[Callable[[str, int, int], None]] = None,
         fault_injector: Optional[Callable[[str, int, int], bool]] = None,
+        executor: Optional[ExecutorBackend] = None,
     ):
         self.name = name
         self.hdfs = hdfs
@@ -181,6 +197,7 @@ class MapReduceJob:
         self.group = group
         self.streaming_hook = streaming_hook
         self.fault_injector = fault_injector
+        self.executor = executor if executor is not None else SerialBackend()
 
     def _attempts(self, kind: str, index: int, body: Callable[[], list]) -> list:
         """Run a task body with Hadoop-style retries under fault injection."""
@@ -204,10 +221,9 @@ class MapReduceJob:
         # ----------------------------------------------------------- map
         before = self.counters.snapshot()
         self.counters.add("mr.tasks", len(splits))
-        map_out: list = []
-        for index, split in enumerate(splits):
 
-            def attempt(split=split):
+        def make_map_task(index: int, split: Split) -> Callable[[], list]:
+            def attempt():
                 data = self._materialize(split)
                 bytes_in = sum(estimate_size(r) for r in data.records)
                 task_out = list(self.map_task(data))
@@ -229,7 +245,15 @@ class MapReduceJob:
                     )
                 return task_out
 
-            map_out.extend(self._attempts("map", index, attempt))
+            return lambda: self._attempts("map", index, attempt)
+
+        outcomes = self.executor.run_tasks(
+            f"{self.name}.map",
+            [make_map_task(i, split) for i, split in enumerate(splits)],
+            self.counters,
+        )
+        per_task_out, map_side = merge_outcomes(outcomes, self.counters)
+        map_out: list = [record for task_out in per_task_out for record in task_out]
         self.clock.record(
             PhaseRecord(
                 name=f"{self.name}.map",
@@ -247,6 +271,7 @@ class MapReduceJob:
                 map_output_records=len(map_out),
                 splits=len(splits),
                 reducers=0,
+                side=map_side,
             )
 
         # -------------------------------------------------------- shuffle
@@ -272,10 +297,9 @@ class MapReduceJob:
 
         # --------------------------------------------------------- reduce
         before = self.counters.snapshot()
-        reduce_out: list = []
-        for index, bucket in enumerate(grouped):
 
-            def attempt(bucket=bucket):
+        def make_reduce_task(index: int, bucket: dict) -> Callable[[], list]:
+            def attempt():
                 bytes_in = 0
                 records_in = 0
                 task_out: list = []
@@ -291,7 +315,18 @@ class MapReduceJob:
                     )
                 return task_out
 
-            reduce_out.extend(self._attempts("reduce", index, attempt))
+            return lambda: self._attempts("reduce", index, attempt)
+
+        outcomes = self.executor.run_tasks(
+            f"{self.name}.reduce",
+            [make_reduce_task(i, bucket) for i, bucket in enumerate(grouped)],
+            self.counters,
+        )
+        per_task_out, reduce_side = merge_outcomes(outcomes, self.counters)
+        reduce_out: list = [record for task_out in per_task_out for record in task_out]
+        side = dict(map_side)
+        for key, values in reduce_side.items():
+            side.setdefault(key, []).extend(values)
         out_records = self._write_output(reduce_out, tasks=n_reducers, before=before)
         return JobResult(
             output_path=self.output_path,
@@ -299,6 +334,7 @@ class MapReduceJob:
             map_output_records=len(map_out),
             splits=len(splits),
             reducers=n_reducers,
+            side=side,
         )
 
     # -------------------------------------------------------------- helpers

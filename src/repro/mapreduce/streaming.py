@@ -59,6 +59,13 @@ class StreamingPipeError(RuntimeError):
             f"{capacity / 2**30:.2f} GiB capacity"
         )
 
+    def __reduce__(self):
+        # Survive the pickle round trip out of a ProcessBackend worker.
+        return (
+            StreamingPipeError,
+            (self.job, self.kind, self.logical_bytes, self.capacity),
+        )
+
 
 def pipe_capacity_for(
     cluster: ClusterConfig, fraction: float = DEFAULT_PIPE_FRACTION

@@ -8,9 +8,17 @@ all of them makes per-phase accounting uniform and mergeable.
 
 from __future__ import annotations
 
+import threading
 from typing import Iterable, Mapping
 
 __all__ = ["Counters"]
+
+#: Thread-local charge redirection, keyed by id(counters-instance).  The
+#: executor backends install a per-task scratch sink here so that task
+#: bodies running concurrently charge their own ledger; the scratches are
+#: merged back in task-index order, keeping parallel runs bit-identical
+#: to serial ones (see :mod:`repro.exec`).
+_REDIRECT = threading.local()
 
 
 class Counters(dict):
@@ -21,12 +29,18 @@ class Counters(dict):
 
     def add(self, key: str, amount: float = 1.0) -> None:
         """Increment *key* by *amount* (default 1)."""
+        sinks = getattr(_REDIRECT, "sinks", None)
+        if sinks:
+            sink = sinks.get(id(self))
+            if sink is not None:
+                sink[key] = sink.get(key, 0.0) + amount
+                return
         self[key] = self.get(key, 0.0) + amount
 
     def merge(self, other: Mapping[str, float]) -> "Counters":
         """Add every counter of *other* into self; returns self."""
         for key, value in other.items():
-            self[key] = self.get(key, 0.0) + value
+            self.add(key, value)
         return self
 
     def scaled(self, factors: Mapping[str, float], default: float = 1.0) -> "Counters":

@@ -10,9 +10,10 @@ context manager for Table 3 breakdowns.
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Optional, Sequence
 
 from ..cluster.simclock import PhaseRecord, SimClock
+from ..exec.backend import ExecutorBackend, SerialBackend, merge_outcomes
 from ..hdfs.filesystem import SimulatedHDFS
 from ..hdfs.sizeof import estimate_size
 from ..metrics import Counters
@@ -43,6 +44,7 @@ class SparkContext:
         default_parallelism: int = 8,
         num_nodes: int = 1,
         scale_resolver: Optional[Callable[[str], tuple[float, float]]] = None,
+        executor: Optional[ExecutorBackend] = None,
     ):
         self.counters = counters if counters is not None else Counters()
         self.clock = clock if clock is not None else SimClock()
@@ -50,6 +52,9 @@ class SparkContext:
         self.ledger = ledger if ledger is not None else MemoryLedger()
         self.default_parallelism = max(1, default_parallelism)
         self.num_nodes = max(1, num_nodes)
+        #: task execution backend per-partition stage tasks run on; the
+        #: serial default keeps single-threaded behaviour bit-identical.
+        self.executor = executor if executor is not None else SerialBackend()
         #: Optional fn(label) -> (record_scale, byte_scale): maps an RDD
         #: back to its source dataset so per-dataset scale factors apply
         #: (labels compose, so a lineage keeps its source path in the label).
@@ -116,6 +121,17 @@ class SparkContext:
         self.counters.add("net.bytes_broadcast", size)
         self.ledger.charge_broadcast(size, replicas=self.num_nodes, what="broadcast")
         return Broadcast(value, size)
+
+    # --------------------------------------------------------- stage tasks
+    def run_stage_tasks(self, label: str, fns: Sequence[Callable[[], Any]]) -> list:
+        """Run one stage's per-partition task bodies on the executor.
+
+        Outcomes merge in partition order, so counters and results are
+        identical to a serial loop regardless of the backend.
+        """
+        outcomes = self.executor.run_tasks(label, fns, self.counters)
+        results, _side = merge_outcomes(outcomes, self.counters)
+        return results
 
     # ------------------------------------------------------- phase recording
     @contextmanager

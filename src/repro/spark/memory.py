@@ -44,6 +44,10 @@ class SparkOutOfMemoryError(MemoryError):
             f"{needed / 2**30:.1f} GiB live, budget {budget / 2**30:.1f} GiB"
         )
 
+    def __reduce__(self):
+        # Survive the pickle round trip out of a ProcessBackend worker.
+        return (SparkOutOfMemoryError, (self.needed, self.budget, self.what))
+
 
 @dataclass(frozen=True)
 class MemoryModel:

@@ -137,7 +137,10 @@ class RDD:
         parent = self
 
         def compute():
-            return [fn(part) for part in parent._partitions()]
+            parts = parent._partitions()
+            return self.ctx.run_stage_tasks(
+                label, [lambda part=part: fn(part) for part in parts]
+            )
 
         return RDD(self.ctx, parents=(parent,), compute=compute, label=label)
 
@@ -183,16 +186,20 @@ class RDD:
             raise ValueError("sample fraction must be in [0, 1]")
         parent = self
 
+        def sample_part(i: int, part: list) -> list:
+            rng = np.random.default_rng((seed, i))
+            if not part:
+                return []
+            mask = rng.random(len(part)) < fraction
+            return [x for x, keep in zip(part, mask) if keep]
+
         def compute():
-            out = []
-            for i, part in enumerate(parent._partitions()):
-                rng = np.random.default_rng((seed, i))
-                if part:
-                    mask = rng.random(len(part)) < fraction
-                    out.append([x for x, keep in zip(part, mask) if keep])
-                else:
-                    out.append([])
-            return out
+            parts = parent._partitions()
+            return self.ctx.run_stage_tasks(
+                f"sample({parent.label})",
+                [lambda i=i, part=part: sample_part(i, part)
+                 for i, part in enumerate(parts)],
+            )
 
         return RDD(self.ctx, parents=(parent,), compute=compute, label=f"sample({self.label})")
 
@@ -221,17 +228,21 @@ class RDD:
 
         shuffled = self._shuffled(n, bucket, f"distinct({self.label})")
 
+        def distinct_part(part: list) -> list:
+            seen = set()
+            uniq = []
+            for x in part:
+                if x not in seen:
+                    seen.add(x)
+                    uniq.append(x)
+            return uniq
+
         def compute():
-            out = []
-            for part in shuffled._partitions():
-                seen = set()
-                uniq = []
-                for x in part:
-                    if x not in seen:
-                        seen.add(x)
-                        uniq.append(x)
-                out.append(uniq)
-            return out
+            parts = shuffled._partitions()
+            return self.ctx.run_stage_tasks(
+                f"distinct({shuffled.label})",
+                [lambda part=part: distinct_part(part) for part in parts],
+            )
 
         return RDD(self.ctx, parents=(shuffled,), compute=compute,
                    n_partitions=n, label=f"distinct({self.label})")
@@ -270,18 +281,20 @@ class RDD:
         left = self.groupByKey(n)
         right = other.groupByKey(n)
 
+        def cogroup_part(lpart: list, rpart: list) -> list:
+            lmap = dict(lpart)
+            rmap = dict(rpart)
+            return [
+                (k, (lmap.get(k, []), rmap.get(k, [])))
+                for k in sorted(set(lmap) | set(rmap), key=repr)
+            ]
+
         def compute():
-            out = []
-            for lpart, rpart in zip(left._partitions(), right._partitions()):
-                lmap = dict(lpart)
-                rmap = dict(rpart)
-                out.append(
-                    [
-                        (k, (lmap.get(k, []), rmap.get(k, [])))
-                        for k in sorted(set(lmap) | set(rmap), key=repr)
-                    ]
-                )
-            return out
+            pairs = list(zip(left._partitions(), right._partitions()))
+            return self.ctx.run_stage_tasks(
+                f"cogroup({left.label},{right.label})",
+                [lambda lp=lp, rp=rp: cogroup_part(lp, rp) for lp, rp in pairs],
+            )
 
         out = RDD(self.ctx, parents=(left, right), compute=compute,
                   n_partitions=n, label=f"cogroup({self.label},{other.label})")
@@ -295,12 +308,19 @@ class RDD:
         """Common shuffle machinery: redistribute records into n_out buckets."""
         parent = self
 
+        def shuffle_part(part: list) -> tuple[int, list[list]]:
+            # Each map-side task buckets its own partition; the sizing
+            # charge rides along so it lands in the task's scratch.
+            nbytes = sum(estimate_size(r) for r in part)
+            self.ctx.counters.add("shuffle.bytes_mem", nbytes)
+            local: list[list] = [[] for _ in range(n_out)]
+            bucket_fn(part, local)
+            return local
+
         def compute():
             parts = parent._partitions()
             self.ctx.counters.add("spark.stages")
             self.ctx.counters.add("spark.tasks", max(len(parts), 1))
-            nbytes = sum(estimate_size(r) for p in parts for r in p)
-            self.ctx.counters.add("shuffle.bytes_mem", nbytes)
             n_records = sum(len(p) for p in parts)
             # Per-record serde + hashing + grouping churn of an in-memory
             # exchange — Spark's dominant per-record cost on tiny records.
@@ -309,9 +329,15 @@ class RDD:
                 self.ctx.counters.add(
                     "sort.ops", n_records * max(np.log2(n_records), 1.0)
                 )
+            local_buckets = self.ctx.run_stage_tasks(
+                label, [lambda part=part: shuffle_part(part) for part in parts]
+            )
+            # Reduce-side concatenation in map-task order reproduces the
+            # record order of a serial single-bucket pass exactly.
             buckets: list[list] = [[] for _ in range(n_out)]
-            for part in parts:
-                bucket_fn(part, buckets)
+            for local in local_buckets:
+                for bucket, found in zip(buckets, local):
+                    bucket.extend(found)
             return buckets
 
         return RDD(
@@ -342,14 +368,18 @@ class RDD:
         parent = self
         shuffled = parent.partitionBy(n)
 
+        def group_part(part: list) -> list:
+            groups: dict = {}
+            for k, v in part:
+                groups.setdefault(k, []).append(v)
+            return list(groups.items())
+
         def compute():
-            out = []
-            for part in shuffled._partitions():
-                groups: dict = {}
-                for k, v in part:
-                    groups.setdefault(k, []).append(v)
-                out.append(list(groups.items()))
-            return out
+            parts = shuffled._partitions()
+            return self.ctx.run_stage_tasks(
+                f"groupByKey({parent.label})",
+                [lambda part=part: group_part(part) for part in parts],
+            )
 
         out = RDD(
             self.ctx,
@@ -384,18 +414,22 @@ class RDD:
         left = aligned(self)
         right = aligned(other)
 
+        def join_part(lpart: list, rpart: list) -> list:
+            lmap: dict = {}
+            for k, v in lpart:
+                lmap.setdefault(k, []).append(v)
+            joined = []
+            for k, w in rpart:
+                for v in lmap.get(k, ()):
+                    joined.append((k, (v, w)))
+            return joined
+
         def compute():
-            out = []
-            for lpart, rpart in zip(left._partitions(), right._partitions()):
-                lmap: dict = {}
-                for k, v in lpart:
-                    lmap.setdefault(k, []).append(v)
-                joined = []
-                for k, w in rpart:
-                    for v in lmap.get(k, ()):
-                        joined.append((k, (v, w)))
-                out.append(joined)
-            return out
+            pairs = list(zip(left._partitions(), right._partitions()))
+            return self.ctx.run_stage_tasks(
+                f"join({left.label},{right.label})",
+                [lambda lp=lp, rp=rp: join_part(lp, rp) for lp, rp in pairs],
+            )
 
         out = RDD(
             self.ctx,

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import TYPE_CHECKING, Optional, Sequence, Union
 
 from ..cluster.costmodel import CostModel, CostParams
 from ..cluster.simclock import SimClock
@@ -19,11 +19,15 @@ from ..cluster.specs import ClusterConfig, ws_config
 from ..core.framework import StageTrace
 from ..core.predicate import INTERSECTS, JoinPredicate
 from ..data.loaders import SpatialRecord, encode_dataset
+from ..exec.backend import ExecutorBackend, resolve_backend
 from ..geometry.primitives import Geometry
 from ..hdfs.filesystem import SimulatedHDFS
 from ..mapreduce.streaming import StreamingPipeError, pipe_capacity_for
 from ..metrics import Counters
 from ..spark.memory import SparkOutOfMemoryError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from ..experiments.extrapolate import ScaleInfo
 
 __all__ = ["RunEnvironment", "RunReport", "SpatialJoinSystem", "GROUPS"]
 
@@ -54,6 +58,9 @@ class RunEnvironment:
     #: optional per-input block sizes (path -> bytes) used when staging,
     #: so each dataset's block count matches its paper-scale structure.
     input_block_sizes: dict = field(default_factory=dict)
+    #: task execution backend every substrate in this environment runs
+    #: task attempts on; serial by default so behaviour is unchanged.
+    executor: ExecutorBackend = field(default_factory=lambda: resolve_backend())
 
     @classmethod
     def create(
@@ -64,7 +71,18 @@ class RunEnvironment:
         scale_a: tuple[float, float] = (1.0, 1.0),
         scale_b: tuple[float, float] = (1.0, 1.0),
         seed: int = 0,
+        workers: int = 1,
+        backend: Union[str, ExecutorBackend, None] = None,
     ) -> "RunEnvironment":
+        """Build an environment around one shared counters instance.
+
+        *workers* / *backend* select the task execution backend: with the
+        defaults everything runs serially; ``workers>1`` picks a process
+        pool when the platform supports it (threads otherwise), and
+        *backend* forces ``"serial"`` / ``"thread"`` / ``"process"`` or
+        accepts a ready :class:`~repro.exec.ExecutorBackend`.  Results are
+        bit-identical across backends by construction.
+        """
         cluster = cluster or ws_config()
         counters = Counters()
         hdfs = SimulatedHDFS(block_size=block_size, counters=counters)
@@ -77,6 +95,7 @@ class RunEnvironment:
             scale_b=scale_b,
             seed=seed,
             block_size=block_size,
+            executor=resolve_backend(backend, workers),
         )
 
     def load_input(self, path: str, geometries: Sequence[Geometry]) -> None:
@@ -122,14 +141,32 @@ class RunReport:
         return self.status == "ok"
 
     def costed(
-        self, cost_params: Optional[CostParams] = None
+        self,
+        cost_params: Optional[CostParams] = None,
+        *,
+        cluster: Optional[ClusterConfig] = None,
+        scale: Optional["ScaleInfo"] = None,
     ) -> "RunReport":
-        """Fill simulated seconds into the clock for this run's cluster."""
-        from ..cluster.specs import PAPER_CONFIGS
+        """Fill simulated seconds into the clock — the one costing path.
 
-        cluster = PAPER_CONFIGS().get(self.cluster)
+        Without arguments this looks the run's cluster up among the
+        paper's named configurations.  *cluster* supplies an explicit
+        :class:`ClusterConfig` instead (required for ad-hoc ``EC2-<n>``
+        sweeps whose names the paper tables don't know).  *scale*, when
+        given, extrapolates the measured per-phase counts to paper scale
+        before costing — the experiment runner routes through here rather
+        than re-implementing extrapolation + costing itself.
+        """
         if cluster is None:
-            raise ValueError(f"unknown cluster {self.cluster!r} for costing")
+            from ..cluster.specs import PAPER_CONFIGS
+
+            cluster = PAPER_CONFIGS().get(self.cluster)
+            if cluster is None:
+                raise ValueError(f"unknown cluster {self.cluster!r} for costing")
+        if scale is not None:
+            from ..experiments.extrapolate import extrapolate_clock
+
+            self.clock = extrapolate_clock(self.clock, scale)
         CostModel(
             cluster,
             params=cost_params,
@@ -140,6 +177,12 @@ class RunReport:
 
     def breakdown_seconds(self) -> dict[str, float]:
         """IA / IB / DJ / TOT seconds (requires a costed clock)."""
+        if not self.clock.costed:
+            raise RuntimeError(
+                "clock has not been costed; call RunReport.costed() (or "
+                "run_experiment, which costs for you) before asking for a "
+                "seconds breakdown"
+            )
         out = {
             "IA": self.clock.group_seconds("index_a"),
             "IB": self.clock.group_seconds("index_b"),
@@ -200,6 +243,10 @@ class SpatialJoinSystem(ABC):
             failure_kind = "broken_pipe"
         elif isinstance(error, SparkOutOfMemoryError):
             failure_kind = "oom"
+        profile = dict(engine_profile or {})
+        # Per-stage wall-clock of the execution backend rides along for
+        # benchmarking; the cost model ignores non-counter keys.
+        profile["exec"] = env.executor.profile_summary()
         return RunReport(
             system=self.name,
             cluster=env.cluster.name,
@@ -209,6 +256,6 @@ class SpatialJoinSystem(ABC):
             failure=str(error) if error else None,
             failure_kind=failure_kind,
             pairs=frozenset(pairs) if pairs is not None else None,
-            engine_profile=dict(engine_profile or {}),
+            engine_profile=profile,
             memory_pressure=memory_pressure,
         )

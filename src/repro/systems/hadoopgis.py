@@ -127,7 +127,7 @@ class HadoopGIS(SpatialJoinSystem):
             f"hgis.{d}.convert",
             hdfs=hdfs, counters=counters, clock=env.clock,
             inputs=[f"/input/{d}"], map_task=convert_map,
-            output_path=f"/hgis/{d}/tsv", group=group,
+            output_path=f"/hgis/{d}/tsv", group=group, executor=env.executor,
             streaming_hook=hook(f"hgis.{d}.convert"),
         ).run()
 
@@ -148,7 +148,7 @@ class HadoopGIS(SpatialJoinSystem):
             f"hgis.{d}.sample",
             hdfs=hdfs, counters=counters, clock=env.clock,
             inputs=[f"/hgis/{d}/tsv"], map_task=sample_map,
-            output_path=f"/hgis/{d}/samples", group=group,
+            output_path=f"/hgis/{d}/samples", group=group, executor=env.executor,
             streaming_hook=hook(f"hgis.{d}.sample"),
         ).run()
 
@@ -169,7 +169,8 @@ class HadoopGIS(SpatialJoinSystem):
             hdfs=hdfs, counters=counters, clock=env.clock,
             inputs=[f"/hgis/{d}/samples"], map_task=extent_map,
             reduce_task=extent_reduce, output_path=f"/hgis/{d}/extent",
-            num_reducers=1, group=group, streaming_hook=hook(f"hgis.{d}.extent"),
+            num_reducers=1, group=group, executor=env.executor,
+            streaming_hook=hook(f"hgis.{d}.extent"),
         ).run()
 
         # Step 4: map-only normalization of sample MBRs against the extent.
@@ -193,7 +194,7 @@ class HadoopGIS(SpatialJoinSystem):
             f"hgis.{d}.normalize",
             hdfs=hdfs, counters=counters, clock=env.clock,
             inputs=[f"/hgis/{d}/samples"], map_task=normalize_map,
-            output_path=f"/hgis/{d}/samples_norm", group=group,
+            output_path=f"/hgis/{d}/samples_norm", group=group, executor=env.executor,
             streaming_hook=hook(f"hgis.{d}.normalize"),
         ).run()
 
@@ -247,7 +248,7 @@ class HadoopGIS(SpatialJoinSystem):
             hdfs=hdfs, counters=counters, clock=env.clock,
             inputs=[f"/hgis/{d}/tsv"], map_task=assign_map,
             reduce_task=assign_reduce, output_path=f"/hgis/{d}/partitioned",
-            group=group, streaming_hook=hook(f"hgis.{d}.assign"),
+            group=group, executor=env.executor, streaming_hook=hook(f"hgis.{d}.assign"),
         ).run()
 
         # Step 6b: pipelined cat|sort|uniq dedup over the whole partitioned
@@ -389,7 +390,7 @@ class HadoopGIS(SpatialJoinSystem):
             map_task=join_map, reduce_task=join_reduce,
             output_path="/hgis/join/results",
             num_reducers=max(len(partitioning), 1),
-            group="join",
+            group="join", executor=env.executor,
             # Accounting-only hook: failure checks run inside the tasks
             # with per-side logical volumes.
             streaming_hook=make_streaming_hook(counters, PipePolicy(), "hgis.join"),

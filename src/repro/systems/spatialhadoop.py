@@ -37,6 +37,7 @@ from ..core.localjoin import local_join
 from ..core.partitioning import STRPartitioner, SpatialPartitioning
 from ..core.predicate import INTERSECTS, JoinPredicate
 from ..data.loaders import SpatialRecord, from_tsv_line
+from ..exec.task import emit
 from ..geometry.engine import JTS_COST_PROFILE, make_engine
 from ..geometry.mbr import EMPTY_MBR, MBRArray
 from ..hdfs.filesystem import Block
@@ -143,8 +144,6 @@ class SpatialHadoop(SpatialJoinSystem):
         seed = (env.seed, hash(d) & 0xFFFF)
 
         # ---- MR job 1: sample and build the partitioning. -----------------
-        partitioning_holder: dict[str, SpatialPartitioning] = {}
-
         def sample_map(data):
             # Lines are sampled *before* parsing: unsampled records flow
             # through untouched (SpatialHadoop samples raw text lines).
@@ -160,18 +159,23 @@ class SpatialHadoop(SpatialJoinSystem):
             counters.add("cpu.ops", len(values))
             boxes = MBRArray(np.array(values).reshape(len(values), 4))
             part = self.partitioner.partition(boxes, n_parts, universe)
-            partitioning_holder["part"] = part
+            # Reduce tasks may run in another process: the partitioning
+            # travels back to the job master on the task side channel.
+            emit("part", part)
             for b in part.boxes:
                 yield (b.xmin, b.ymin, b.xmax, b.ymax)
 
-        MapReduceJob(
+        sample_result = MapReduceJob(
             f"shadoop.{d}.sample+partition",
             hdfs=hdfs, counters=counters, clock=env.clock,
             inputs=[f"/input/{d}"], map_task=sample_map,
             reduce_task=sample_reduce, output_path=f"/shadoop/{d}/seed_master",
-            num_reducers=1, group=group,
+            num_reducers=1, group=group, executor=env.executor,
         ).run()
-        part = partitioning_holder.get("part")
+        # Last emission wins: a retried attempt re-emits, and only the
+        # final (successful) attempt's partitioning is the real one.
+        parts_emitted = sample_result.side.get("part", [])
+        part = parts_emitted[-1] if parts_emitted else None
         if part is None:  # degenerate: empty sample — one universe partition
             part = SpatialPartitioning(
                 boxes=MBRArray(np.array([universe.as_tuple()])), tiles=False
@@ -188,19 +192,21 @@ class SpatialHadoop(SpatialJoinSystem):
                 pid = part.assign_best(rec.geometry.mbr)
                 yield (pid, rec)
 
-        collected: dict[int, list[SpatialRecord]] = {}
-
         def assign_reduce(pid, recs):
-            collected[pid] = list(recs)
+            emit(pid, list(recs))
             return ()
 
-        MapReduceJob(
+        assign_result = MapReduceJob(
             f"shadoop.{d}.partition",
             hdfs=hdfs, counters=counters, clock=env.clock,
             inputs=[f"/input/{d}"], map_task=assign_map,
             reduce_task=assign_reduce, output_path=None,
             num_reducers=max(min(len(part), 32), 1), group=group,
+            executor=env.executor,
         ).run()
+        collected: dict[int, list[SpatialRecord]] = {
+            pid: values[-1] for pid, values in assign_result.side.items()
+        }
 
         # Write one HDFS block per partition, each headed by its own
         # STR-tree index, and the _master file of expanded partition MBRs.
@@ -279,7 +285,7 @@ class SpatialHadoop(SpatialJoinSystem):
                 counters, env.clock, margin=predicate.filter_margin
             ),
             output_path="/shadoop/join/results",
-            group="join",
+            group="join", executor=env.executor,
         )
         job.run()
         results = set(hdfs.read_all("/shadoop/join/results"))

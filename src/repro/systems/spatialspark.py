@@ -105,6 +105,7 @@ class SpatialSpark(SpatialJoinSystem):
             default_parallelism=env.cluster.total_cores,
             num_nodes=env.cluster.num_nodes,
             scale_resolver=scale_for,
+            executor=env.executor,
         )
         universe = MBRArray.from_geometries(
             [r.geometry for r in left] + [r.geometry for r in right]

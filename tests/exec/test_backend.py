@@ -1,0 +1,232 @@
+"""Unit tests for the pluggable task execution backends.
+
+The contract under test: *any* backend produces bit-identical shared
+counters, result ordering, side outputs and failure behaviour — only
+wall-clock time may differ.
+"""
+
+import pytest
+
+from repro.exec import (
+    BACKENDS,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    emit,
+    merge_outcomes,
+    resolve_backend,
+    run_task,
+)
+from repro.metrics import Counters
+
+ALL_BACKENDS = [SerialBackend(), ThreadBackend(4), ProcessBackend(4)]
+
+
+def backend_ids(backend):
+    return backend.name
+
+
+def make_tasks(shared, n=8):
+    """Task bodies charging the shared counters and returning their index."""
+
+    def make(i):
+        def body():
+            shared.add("work.ops", i + 1)
+            shared.add("work.tasks")
+            return i * 10
+
+        return body
+
+    return [make(i) for i in range(n)]
+
+
+class TestRunTask:
+    def test_captures_result_and_counters(self):
+        shared = Counters()
+
+        def body():
+            shared.add("x", 3)
+            return "done"
+
+        outcome = run_task(0, body, shared)
+        assert outcome.result == "done"
+        assert outcome.error is None
+        assert outcome.counters == {"x": 3}
+        assert shared == {}  # nothing leaked into the shared instance
+        assert outcome.seconds >= 0.0
+
+    def test_captures_error_after_partial_charges(self):
+        shared = Counters()
+
+        def body():
+            shared.add("x", 2)
+            raise ValueError("boom")
+
+        outcome = run_task(0, body, shared)
+        assert isinstance(outcome.error, ValueError)
+        assert outcome.counters == {"x": 2}
+        assert shared == {}
+
+    def test_unrelated_counters_not_redirected(self):
+        shared, other = Counters(), Counters()
+
+        def body():
+            other.add("y")
+
+        run_task(0, body, shared)
+        assert other == {"y": 1}
+
+    def test_merge_inside_task_is_redirected(self):
+        shared = Counters()
+
+        def body():
+            shared.merge({"a": 1, "b": 2})
+
+        outcome = run_task(0, body, shared)
+        assert outcome.counters == {"a": 1, "b": 2}
+        assert shared == {}
+
+
+class TestEmit:
+    def test_emit_outside_task_raises(self):
+        with pytest.raises(RuntimeError, match="outside a task"):
+            emit("k", 1)
+
+    def test_emit_travels_in_outcome(self):
+        shared = Counters()
+
+        def body():
+            emit("part", "payload")
+            emit("part", "payload2")
+
+        outcome = run_task(0, body, shared)
+        assert outcome.side == [("part", "payload"), ("part", "payload2")]
+
+
+class TestMergeOutcomes:
+    def test_merges_in_index_order(self):
+        shared = Counters()
+        tasks = make_tasks(shared, n=6)
+        outcomes = [run_task(i, fn, shared) for i, fn in enumerate(tasks)]
+        results, side = merge_outcomes(outcomes, shared)
+        assert results == [0, 10, 20, 30, 40, 50]
+        assert side == {}
+        assert shared == {"work.ops": 21, "work.tasks": 6}
+
+    def test_error_reraised_after_merging_failing_scratch(self):
+        shared = Counters()
+
+        def good():
+            shared.add("n")
+
+        def bad():
+            shared.add("n")
+            raise RuntimeError("task failed")
+
+        outcomes = [run_task(0, good, shared), run_task(1, bad, shared)]
+        with pytest.raises(RuntimeError, match="task failed"):
+            merge_outcomes(outcomes, shared)
+        # Both the preceding task's and the failing task's charges landed,
+        # exactly like a serial loop that died on task 1.
+        assert shared == {"n": 2}
+
+    def test_side_outputs_keyed_and_ordered(self):
+        shared = Counters()
+
+        def make(i):
+            def body():
+                emit("k", i)
+
+            return body
+
+        outcomes = [run_task(i, make(i), shared) for i in range(4)]
+        _, side = merge_outcomes(outcomes, shared)
+        assert side == {"k": [0, 1, 2, 3]}
+
+
+@pytest.mark.parametrize("backend", ALL_BACKENDS, ids=backend_ids)
+class TestBackendEquivalence:
+    def test_results_and_counters_identical_to_serial(self, backend):
+        shared = Counters()
+        outcomes = backend.run_tasks("stage", make_tasks(shared, 8), shared)
+        results, _ = merge_outcomes(outcomes, shared)
+        assert results == [i * 10 for i in range(8)]
+        assert shared == {"work.ops": 36, "work.tasks": 8}
+
+    def test_error_surfaces_at_failing_index(self, backend):
+        shared = Counters()
+
+        def make(i):
+            def body():
+                shared.add("n")
+                if i == 3:
+                    raise ValueError(f"task {i} died")
+                return i
+
+            return body
+
+        outcomes = backend.run_tasks("stage", [make(i) for i in range(6)], shared)
+        with pytest.raises(ValueError, match="task 3 died"):
+            merge_outcomes(outcomes, shared)
+        # Tasks 0..3 merged; parallel backends may have *run* later tasks,
+        # but their scratches are discarded by the failing merge.
+        assert shared == {"n": 4}
+
+    def test_empty_task_list(self, backend):
+        shared = Counters()
+        assert backend.run_tasks("stage", [], shared) == []
+
+    def test_profile_rows_recorded(self, backend):
+        shared = Counters()
+        backend.profile.clear()
+        backend.run_tasks("alpha", make_tasks(shared, 4), shared)
+        summary = backend.profile_summary()
+        assert summary["backend"] == backend.name
+        assert summary["phases"][-1]["label"] == "alpha"
+        assert summary["phases"][-1]["tasks"] == 4
+        assert summary["task_seconds"] >= 0.0
+
+
+class TestNestedDispatch:
+    def test_stage_inside_task_runs_inline(self):
+        shared = Counters()
+        backend = ThreadBackend(4)
+
+        def outer():
+            inner = backend.run_tasks(
+                "inner",
+                [lambda: shared.add("inner.ops") for _ in range(3)],
+                shared,
+            )
+            merge_outcomes(inner, shared)
+            shared.add("outer.ops")
+
+        outcomes = backend.run_tasks("outer", [outer, outer], shared)
+        merge_outcomes(outcomes, shared)
+        assert shared == {"inner.ops": 6, "outer.ops": 2}
+
+
+class TestResolveBackend:
+    def test_default_is_serial(self):
+        assert resolve_backend().name == "serial"
+        assert resolve_backend(None, 1).name == "serial"
+
+    def test_workers_pick_parallel(self):
+        backend = resolve_backend(None, 4)
+        assert backend.name in ("process", "thread")
+        assert backend.workers == 4
+
+    def test_explicit_names(self):
+        for name in BACKENDS:
+            assert resolve_backend(name, 2).name == name
+
+    def test_instance_passthrough(self):
+        backend = ThreadBackend(2)
+        assert resolve_backend(backend) is backend
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown executor backend"):
+            resolve_backend("mpi", 4)
+
+    def test_serial_forces_one_worker(self):
+        assert SerialBackend(8).workers == 1

@@ -162,3 +162,93 @@ class TestCostedReports:
         geos = CostModel(ws_config(), engine_profile=GEOS_COST_PROFILE).phase_seconds(phase)
         jts = CostModel(ws_config(), engine_profile=JTS_COST_PROFILE).phase_seconds(phase)
         assert geos == pytest.approx(4 * jts)
+
+
+BACKENDS = ("serial", "thread", "process")
+
+
+def report_fingerprint(report):
+    """Everything a run produced except wall-clock: must match across
+    backends bit for bit."""
+    return (
+        report.status,
+        report.failure_kind,
+        report.failure,
+        report.pairs,
+        dict(report.counters),
+        [
+            (p.name, p.group, p.tasks, p.seconds, dict(p.counters))
+            for p in report.clock.phases
+        ],
+        report.memory_pressure,
+    )
+
+
+class TestBackendDeterminism:
+    """The tentpole invariant: parallel execution backends change only
+    wall-clock time — pairs, per-phase counters, simulated seconds and
+    failure outcomes are bit-identical to serial execution."""
+
+    @pytest.mark.parametrize("exp_id", ["taxi-nycb", "edges-linearwater"])
+    @pytest.mark.parametrize("system", sorted(ALL_SYSTEMS))
+    def test_table2_experiments_identical_across_backends(self, exp_id, system):
+        from repro.experiments import run_experiment
+
+        fingerprints = {
+            backend: report_fingerprint(
+                run_experiment(
+                    exp_id, system, "EC2-10", exec_records=400,
+                    seed=2, workers=3, backend=backend,
+                )
+            )
+            for backend in BACKENDS
+        }
+        assert fingerprints["thread"] == fingerprints["serial"]
+        assert fingerprints["process"] == fingerprints["serial"]
+
+    def test_oom_failure_identical_across_backends(self):
+        from repro.experiments import run_experiment
+
+        fingerprints = [
+            report_fingerprint(
+                run_experiment(
+                    "taxi-nycb", "SpatialSpark", "EC2-6", exec_records=600,
+                    seed=1, workers=3, backend=backend,
+                )
+            )
+            for backend in BACKENDS
+        ]
+        assert fingerprints[0][1] == "oom"
+        assert fingerprints[0] == fingerprints[1] == fingerprints[2]
+
+    def test_broken_pipe_failure_identical_across_backends(self):
+        from repro.experiments import run_experiment
+
+        fingerprints = [
+            report_fingerprint(
+                run_experiment(
+                    "edges-linearwater", "HadoopGIS", "EC2-10",
+                    exec_records=600, seed=1, workers=3, backend=backend,
+                )
+            )
+            for backend in BACKENDS
+        ]
+        assert fingerprints[0][1] == "broken_pipe"
+        assert fingerprints[0] == fingerprints[1] == fingerprints[2]
+
+    def test_direct_run_identical_and_profiled(self):
+        pts = taxi_points(400, seed=19)
+        blocks = census_blocks(50, seed=20)
+        reports = {}
+        for backend in BACKENDS:
+            env = RunEnvironment.create(
+                block_size=1 << 13, workers=4, backend=backend
+            )
+            reports[backend] = SpatialHadoop().run(env, pts, blocks)
+        base = report_fingerprint(reports["serial"])
+        for backend in ("thread", "process"):
+            assert report_fingerprint(reports[backend]) == base
+            exec_profile = reports[backend].engine_profile["exec"]
+            assert exec_profile["backend"] == backend
+            assert exec_profile["tasks"] > 0
+            assert exec_profile["task_seconds"] > 0.0

@@ -125,6 +125,29 @@ class TestReports:
         assert SpatialHadoop.engine_name == "jts"
         assert SpatialSpark.engine_name == "jts"
 
+    def test_breakdown_requires_costed_clock(self, pip_workload):
+        pts, blocks, _ = pip_workload
+        env = RunEnvironment.create(block_size=1 << 14)
+        report = SpatialHadoop().run(env, pts, blocks)
+        with pytest.raises(RuntimeError, match="has not been costed"):
+            report.breakdown_seconds()
+        report.costed()
+        assert report.breakdown_seconds()["TOT"] > 0
+
+    def test_costed_with_explicit_cluster(self, pip_workload):
+        # EC2-<n> sweep configs aren't in the paper tables; costing them
+        # needs the explicit-ClusterConfig path of RunReport.costed.
+        from repro.cluster import ec2_config
+
+        pts, blocks, _ = pip_workload
+        config = ec2_config(7)
+        env = RunEnvironment.create(config, block_size=1 << 14)
+        report = SpatialHadoop().run(env, pts, blocks)
+        with pytest.raises(ValueError, match="unknown cluster"):
+            report.costed()
+        report.costed(cluster=config)
+        assert report.breakdown_seconds()["TOT"] > 0
+
 
 class TestStageTraces:
     """The Fig.-1 properties the paper derives from the framework."""

@@ -59,4 +59,11 @@ def test_public_items_have_docstrings(module_name):
 
 
 def test_package_exposes_version():
-    assert repro.__version__ == "1.0.0"
+    assert repro.__version__ == "1.1.0"
+
+
+def test_top_level_exports_resolve():
+    for name in ("spatial_join", "run_experiment", "make_system",
+                 "RunEnvironment", "RunReport", "EXPERIMENTS"):
+        assert getattr(repro, name) is not None
+    assert "spatial_join" in dir(repro)
