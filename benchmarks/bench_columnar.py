@@ -1,0 +1,144 @@
+#!/usr/bin/env python
+"""Real wall-clock comparison of the object vs columnar data planes.
+
+Runs the same local join twice — once over lists of geometry objects,
+once over :class:`~repro.geometry.batch.GeometryBatch` inputs — and
+measures how long the reproduction itself takes in each representation.
+The joined pairs and every counter are bit-identical by construction
+(the golden equivalence tests assert it); wall-clock time is the only
+difference, and it comes from three places:
+
+* MBR arrays are cached on the batch at parse/build time, so the filter
+  stage never rebuilds them from objects (``MBRArray.from_geometries``
+  is a full Python scan per join on the object plane);
+* a batch left side probes the STR tree with one level-synchronous
+  ``query_many`` traversal instead of one Python tree walk per geometry;
+* refinement gathers point coordinates straight from the packed buffer.
+
+Run:  PYTHONPATH=src python benchmarks/bench_columnar.py [--check]
+
+Writes ``BENCH_columnar.json`` at the repo root (override with --out)::
+
+    {
+      "algorithm": "indexed_nested_loop",
+      "scales": [{"name": "small", ..., "speedup": 3.1},
+                 {"name": "table1", ..., "speedup": 4.0}]
+    }
+
+``--check`` exits non-zero if the batch plane is slower than the object
+plane at any scale (the CI smoke gate).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+from repro.core.localjoin import local_join
+from repro.core.predicate import INTERSECTS
+from repro.data.synthetic import (
+    census_blocks,
+    census_blocks_batch,
+    taxi_points,
+    taxi_points_batch,
+)
+from repro.geometry.engine import make_engine
+from repro.metrics import Counters
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: (name, points, polygons).  "table1" mirrors the paper's Table-1
+#: workload character: a large clustered point set joined against the
+#: census-block tessellation (scaled to benchmark-friendly counts).
+SCALES = [
+    ("small", 20_000, 500),
+    ("table1", 120_000, 2_000),
+]
+
+
+def _measure(fn, *, repeats: int) -> tuple[float, object]:
+    best, result = float("inf"), None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def run_scale(
+    name: str, n_points: int, n_polys: int, *, algorithm: str, repeats: int
+) -> dict:
+    objs = (taxi_points(n_points, seed=11), census_blocks(n_polys, seed=12))
+    batches = (
+        taxi_points_batch(n_points, seed=11),
+        census_blocks_batch(n_polys, seed=12),
+    )
+
+    def join(left, right):
+        # A fresh engine + counters per run: timing covers exactly one
+        # join, including the MBR-array (re)build the object plane pays.
+        engine = make_engine("jts", Counters())
+        return local_join(
+            algorithm, left, right, engine,
+            counters=Counters(), predicate=INTERSECTS,
+        )
+
+    obj_secs, obj_pairs = _measure(lambda: join(*objs), repeats=repeats)
+    batch_secs, batch_pairs = _measure(lambda: join(*batches), repeats=repeats)
+    assert obj_pairs == batch_pairs, f"{name}: planes disagreed on pairs"
+    return {
+        "name": name,
+        "points": n_points,
+        "polygons": n_polys,
+        "pairs": len(obj_pairs),
+        "object_seconds": round(obj_secs, 4),
+        "batch_seconds": round(batch_secs, 4),
+        "speedup": round(obj_secs / max(batch_secs, 1e-9), 2),
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--algorithm", default="indexed_nested_loop",
+                        choices=("indexed_nested_loop", "plane_sweep", "sync_rtree"))
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="multiply every record count (CI uses a tiny one)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="best-of-N timing (default 3)")
+    parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_columnar.json"),
+                        help="output JSON path (default: repo root)")
+    parser.add_argument("--check", action="store_true",
+                        help="exit non-zero if the batch plane is slower")
+    args = parser.parse_args()
+
+    scales = []
+    for name, n_points, n_polys in SCALES:
+        row = run_scale(
+            name,
+            max(int(n_points * args.scale), 100),
+            max(int(n_polys * args.scale), 16),
+            algorithm=args.algorithm,
+            repeats=args.repeats,
+        )
+        scales.append(row)
+        print(f"{name:>8}: object {row['object_seconds']:8.3f}s  "
+              f"batch {row['batch_seconds']:8.3f}s  "
+              f"speedup {row['speedup']:5.2f}x  (pairs {row['pairs']:,})")
+
+    document = {"algorithm": args.algorithm, "scale": args.scale,
+                "repeats": args.repeats, "scales": scales}
+    text = json.dumps(document, indent=2)
+    with open(args.out, "w", encoding="utf-8") as fh:
+        fh.write(text + "\n")
+    print(f"wrote {args.out}")
+
+    if args.check and any(row["speedup"] < 1.0 for row in scales):
+        print("FAIL: columnar plane slower than the object plane")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -31,9 +31,12 @@ import argparse
 import json
 import os
 import time
+from pathlib import Path
 
 from repro import spatial_join
 from repro.data import census_blocks, taxi_points
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
 
 #: (backend, workers) grid; serial first so speedups have a baseline.
 GRID = [
@@ -72,7 +75,8 @@ def main() -> int:
                         help="records per dataset (default 20000)")
     parser.add_argument("--system", default="SpatialHadoop",
                         choices=("HadoopGIS", "SpatialHadoop", "SpatialSpark"))
-    parser.add_argument("--out", default=None, help="write the JSON here too")
+    parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_parallel.json"),
+                        help="output JSON path (default: repo root)")
     args = parser.parse_args()
 
     points = taxi_points(args.exec_records, seed=3)

@@ -53,7 +53,9 @@ def spatial_join(
     ----------
     left, right:
         The two inputs — sequences of :class:`~repro.geometry.primitives.
-        Geometry` objects or :class:`~repro.data.loaders.SpatialRecord`.
+        Geometry` objects, :class:`~repro.data.loaders.SpatialRecord`
+        lists, or columnar :class:`~repro.geometry.batch.GeometryBatch`
+        instances (results and counters are identical either way).
     system:
         ``"HadoopGIS"``, ``"SpatialHadoop"`` or ``"SpatialSpark"``.
     predicate:

@@ -15,6 +15,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..geometry.batch import GeometryBatch, as_mbr_array
 from ..geometry.mbr import MBRArray
 from ..index.strtree import STRtree, sync_tree_join
 from ..metrics import Counters
@@ -34,7 +35,7 @@ def _expand(a: MBRArray, margin: float) -> MBRArray:
 
 
 def pair_partitions_nested(
-    a: MBRArray, b: MBRArray, counters: Optional[Counters] = None,
+    a: "MBRArray | GeometryBatch", b: "MBRArray | GeometryBatch", counters: Optional[Counters] = None,
     *, margin: float = 0.0,
 ) -> list[tuple[int, int]]:
     """Brute-force all-pairs MBR test (fine for small partition counts).
@@ -43,6 +44,7 @@ def pair_partitions_nested(
     whose contents could be within the predicate's distance.
     """
     counters = counters if counters is not None else Counters()
+    a, b = as_mbr_array(a), as_mbr_array(b)
     if len(a) == 0 or len(b) == 0:
         return []
     a = _expand(a, margin)
@@ -54,11 +56,12 @@ def pair_partitions_nested(
 
 
 def pair_partitions_sweep(
-    a: MBRArray, b: MBRArray, counters: Optional[Counters] = None,
+    a: "MBRArray | GeometryBatch", b: "MBRArray | GeometryBatch", counters: Optional[Counters] = None,
     *, margin: float = 0.0,
 ) -> list[tuple[int, int]]:
     """Plane-sweep pairing — "any in-memory spatial join technique" works."""
     counters = counters if counters is not None else Counters()
+    a, b = as_mbr_array(a), as_mbr_array(b)
     if len(a) == 0 or len(b) == 0:
         return []
     a = _expand(a, margin)
@@ -94,11 +97,12 @@ def pair_partitions_sweep(
 
 
 def pair_partitions_indexed(
-    a: MBRArray, b: MBRArray, counters: Optional[Counters] = None,
+    a: "MBRArray | GeometryBatch", b: "MBRArray | GeometryBatch", counters: Optional[Counters] = None,
     *, margin: float = 0.0,
 ) -> list[tuple[int, int]]:
     """Synchronized STR-tree traversal pairing."""
     counters = counters if counters is not None else Counters()
+    a, b = as_mbr_array(a), as_mbr_array(b)
     if len(a) == 0 or len(b) == 0:
         return []
     a = _expand(a, margin)
@@ -115,7 +119,7 @@ _STRATEGIES = {
 
 
 def pair_partitions(
-    strategy: str, a: MBRArray, b: MBRArray, counters: Optional[Counters] = None,
+    strategy: str, a: "MBRArray | GeometryBatch", b: "MBRArray | GeometryBatch", counters: Optional[Counters] = None,
     *, margin: float = 0.0,
 ) -> list[tuple[int, int]]:
     """Dispatch a pairing strategy by name."""

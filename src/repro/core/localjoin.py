@@ -17,10 +17,17 @@ cost, which the counters capture.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Union
 
 import numpy as np
 
+from ..geometry.batch import (
+    KIND_POINT,
+    KIND_POLYGON,
+    KIND_POLYLINE,
+    GeometryBatch,
+    as_mbr_array,
+)
 from ..geometry.engine import GeometryEngine
 from ..geometry.mbr import MBRArray
 from ..geometry.primitives import Geometry, Point, Polygon, PolyLine
@@ -35,13 +42,61 @@ __all__ = [
     "sync_rtree_join",
     "LOCAL_JOIN_ALGORITHMS",
     "local_join",
+    "GeometrySource",
 ]
+
+#: Either representation of one join side: a list of geometry objects or
+#: a columnar :class:`~repro.geometry.batch.GeometryBatch`.  Every join
+#: below produces bit-identical pairs and counters for both.
+GeometrySource = Union[Sequence[Geometry], GeometryBatch]
+
+
+def _refine_batch(
+    left: GeometryBatch,
+    right: GeometryBatch,
+    candidates: np.ndarray,
+    engine: GeometryEngine,
+    predicate: JoinPredicate,
+) -> list[tuple[int, int]]:
+    """Columnar refine: same grouping as the object path, no object scans.
+
+    The point coordinates of each group come straight out of the packed
+    buffer (``points_xy``); only the right-side polygon/polyline of each
+    group is materialised (lazily, cached) for the exact kernel.  Group
+    sizes — and therefore every engine counter charge — match the object
+    path exactly; survivors are sorted, so ordering differences between
+    the grouping strategies never surface.
+    """
+    survivors: list[tuple[int, int]] = []
+    target = KIND_POLYGON if predicate.kind == "intersects" else KIND_POLYLINE
+    grouped = (left.kinds[candidates[:, 0]] == KIND_POINT) & (
+        right.kinds[candidates[:, 1]] == target
+    )
+    bp = candidates[grouped]
+    # Stable sort by right id: groups keep candidate-encounter order inside.
+    bp = bp[np.argsort(bp[:, 1], kind="stable")]
+    group_js, group_starts = np.unique(bp[:, 1], return_index=True)
+    group_ends = np.append(group_starts[1:], bp.shape[0])
+    for j, s, e in zip(group_js, group_starts, group_ends):
+        point_rows = bp[s:e, 0]
+        xy = left.points_xy(point_rows)
+        if predicate.kind == "intersects":
+            mask = engine.points_in_polygon(right[j], xy)
+        else:
+            mask = engine.points_within_distance(right[j], xy, predicate.distance)
+        j = int(j)
+        survivors.extend((int(i), j) for i, keep in zip(point_rows, mask) if keep)
+    for i, j in candidates[~grouped]:
+        if predicate.evaluate(engine, left[int(i)], right[int(j)]):
+            survivors.append((int(i), int(j)))
+    survivors.sort()
+    return survivors
 
 
 def refine_candidates(
-    left: Sequence[Geometry],
-    right: Sequence[Geometry],
-    candidates: Sequence[tuple[int, int]],
+    left: GeometrySource,
+    right: GeometrySource,
+    candidates: "Sequence[tuple[int, int]] | np.ndarray",
     engine: GeometryEngine,
     predicate: JoinPredicate = INTERSECTS,
 ) -> list[tuple[int, int]]:
@@ -50,10 +105,14 @@ def refine_candidates(
     Point-vs-polygon intersect candidates and point-vs-polyline distance
     candidates are grouped per right-side geometry and refined with one
     batched kernel call (the vectorized fast path); all other kind pairs
-    refine pairwise.  Output is sorted for determinism.
+    refine pairwise.  Output is sorted for determinism.  When both sides
+    are :class:`GeometryBatch`, grouping and point gathers are columnar.
     """
-    if not candidates:
+    if len(candidates) == 0:
         return []
+    if isinstance(left, GeometryBatch) and isinstance(right, GeometryBatch):
+        cand = np.asarray(candidates, dtype=np.int64).reshape(-1, 2)
+        return _refine_batch(left, right, cand, engine, predicate)
     survivors: list[tuple[int, int]] = []
     batched: dict[int, list[int]] = {}
     rest: list[tuple[int, int]] = []
@@ -80,8 +139,8 @@ def refine_candidates(
 
 
 def indexed_nested_loop_join(
-    left: Sequence[Geometry],
-    right: Sequence[Geometry],
+    left: GeometrySource,
+    right: GeometrySource,
     engine: GeometryEngine,
     *,
     counters: Optional[Counters] = None,
@@ -91,24 +150,39 @@ def indexed_nested_loop_join(
     """Index the right side with an STR tree, probe with every left MBR.
 
     For distance predicates the probe boxes are expanded by the margin,
-    keeping the filter a superset of the exact matches.
+    keeping the filter a superset of the exact matches.  A batch left
+    side probes all boxes in one level-synchronous ``query_many``
+    traversal instead of one tree walk per geometry.
     """
     counters = counters if counters is not None else Counters()
-    if not left or not right:
+    if not len(left) or not len(right):
         return []
-    tree = STRtree(MBRArray.from_geometries(right), counters=counters,
+    tree = STRtree(as_mbr_array(right), counters=counters,
                    leaf_capacity=leaf_capacity)
-    candidates: list[tuple[int, int]] = []
-    for i, geom in enumerate(left):
-        for j in tree.query(predicate.expand(geom.mbr)):
-            candidates.append((i, int(j)))
+    if isinstance(left, GeometryBatch):
+        probes = left.mbrs
+        if predicate.filter_margin:
+            probes = MBRArray(
+                probes.data
+                + np.array([-1.0, -1.0, 1.0, 1.0]) * predicate.filter_margin
+            )
+        hits = tree.query_many(probes)
+        counts = np.fromiter((h.size for h in hits), dtype=np.int64, count=len(hits))
+        qi = np.repeat(np.arange(len(hits), dtype=np.int64), counts)
+        cj = np.concatenate(hits) if hits else np.empty(0, dtype=np.int64)
+        candidates: "np.ndarray | list[tuple[int, int]]" = np.stack([qi, cj], axis=1)
+    else:
+        candidates = []
+        for i, geom in enumerate(left):
+            for j in tree.query(predicate.expand(geom.mbr)):
+                candidates.append((i, int(j)))
     counters.add("join.candidates", len(candidates))
     return refine_candidates(left, right, candidates, engine, predicate)
 
 
 def plane_sweep_join(
-    left: Sequence[Geometry],
-    right: Sequence[Geometry],
+    left: GeometrySource,
+    right: GeometrySource,
     engine: GeometryEngine,
     *,
     counters: Optional[Counters] = None,
@@ -119,12 +193,12 @@ def plane_sweep_join(
     Distance predicates sweep with the left boxes expanded by the margin.
     """
     counters = counters if counters is not None else Counters()
-    if not left or not right:
+    if not len(left) or not len(right):
         return []
-    lb = MBRArray.from_geometries(left).data
+    lb = as_mbr_array(left).data
     if predicate.filter_margin:
         lb = lb + np.array([-1.0, -1.0, 1.0, 1.0]) * predicate.filter_margin
-    rb = MBRArray.from_geometries(right).data
+    rb = as_mbr_array(right).data
     lorder = np.argsort(lb[:, 0], kind="stable")
     rorder = np.argsort(rb[:, 0], kind="stable")
     n, m = len(lorder), len(rorder)
@@ -160,8 +234,8 @@ def plane_sweep_join(
 
 
 def sync_rtree_join(
-    left: Sequence[Geometry],
-    right: Sequence[Geometry],
+    left: GeometrySource,
+    right: GeometrySource,
     engine: GeometryEngine,
     *,
     counters: Optional[Counters] = None,
@@ -173,16 +247,16 @@ def sync_rtree_join(
     Distance predicates build the left tree over margin-expanded boxes.
     """
     counters = counters if counters is not None else Counters()
-    if not left or not right:
+    if not len(left) or not len(right):
         return []
-    left_boxes = MBRArray.from_geometries(left)
+    left_boxes = as_mbr_array(left)
     if predicate.filter_margin:
         left_boxes = MBRArray(
             left_boxes.data
             + np.array([-1.0, -1.0, 1.0, 1.0]) * predicate.filter_margin
         )
     ltree = STRtree(left_boxes, counters=counters, leaf_capacity=leaf_capacity)
-    rtree = STRtree(MBRArray.from_geometries(right), counters=counters,
+    rtree = STRtree(as_mbr_array(right), counters=counters,
                     leaf_capacity=leaf_capacity)
     candidates = sync_tree_join(ltree, rtree, counters)
     counters.add("join.candidates", len(candidates))
@@ -198,8 +272,8 @@ LOCAL_JOIN_ALGORITHMS = {
 
 def local_join(
     algorithm: str,
-    left: Sequence[Geometry],
-    right: Sequence[Geometry],
+    left: GeometrySource,
+    right: GeometrySource,
     engine: GeometryEngine,
     *,
     counters: Optional[Counters] = None,

@@ -25,6 +25,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..geometry.batch import GeometryBatch, as_mbr_array
 from ..geometry.mbr import MBR, MBRArray
 from ..index.hilbert import hilbert_sort_order
 from ..index.quadtree import QuadTree
@@ -160,16 +161,25 @@ class Partitioner(ABC):
 
     @abstractmethod
     def partition(
-        self, sample: MBRArray, n_partitions: int, universe: MBR
+        self, sample: "MBRArray | GeometryBatch", n_partitions: int, universe: MBR
     ) -> SpatialPartitioning:
         """Create ≈ *n_partitions* partitions covering *universe*."""
 
     @staticmethod
-    def _validate(sample: MBRArray, n_partitions: int, universe: MBR) -> None:
+    def _validate(
+        sample: "MBRArray | GeometryBatch", n_partitions: int, universe: MBR
+    ) -> MBRArray:
+        """Check arguments and coerce the sample to its MBRs.
+
+        Samples may arrive as an :class:`MBRArray`, a
+        :class:`~repro.geometry.batch.GeometryBatch` (cached MBRs, no
+        recompute), or a plain geometry sequence.
+        """
         if n_partitions < 1:
             raise ValueError("n_partitions must be >= 1")
         if universe.is_empty:
             raise ValueError("universe extent must be non-empty")
+        return as_mbr_array(sample)
 
 
 def _stretch_boundary(tiles: np.ndarray, universe: MBR) -> np.ndarray:
@@ -194,7 +204,7 @@ class GridPartitioner(Partitioner):
         self, sample: MBRArray, n_partitions: int, universe: MBR
     ) -> SpatialPartitioning:
         """Uniform nx×ny tiles over the universe."""
-        self._validate(sample, n_partitions, universe)
+        sample = self._validate(sample, n_partitions, universe)
         nx = max(1, int(np.round(np.sqrt(n_partitions))))
         ny = max(1, -(-n_partitions // nx))
         xs = np.linspace(universe.xmin, universe.xmax, nx + 1)
@@ -222,7 +232,7 @@ class BSPPartitioner(Partitioner):
         self, sample: MBRArray, n_partitions: int, universe: MBR
     ) -> SpatialPartitioning:
         """Median-split tiles balancing the sample across leaves."""
-        self._validate(sample, n_partitions, universe)
+        sample = self._validate(sample, n_partitions, universe)
         centers = sample.centers if len(sample) else np.empty((0, 2))
         rows: list[tuple[float, float, float, float]] = []
 
@@ -270,7 +280,7 @@ class QuadTreePartitioner(Partitioner):
         self, sample: MBRArray, n_partitions: int, universe: MBR
     ) -> SpatialPartitioning:
         """Quadtree-leaf tiles, denser where the sample is dense."""
-        self._validate(sample, n_partitions, universe)
+        sample = self._validate(sample, n_partitions, universe)
         # Leaf capacity sized so ~n_partitions leaves emerge; quadtrees
         # split in fours, so the exact count varies with the skew.
         capacity = max(1, len(sample) // max(n_partitions, 1))
@@ -295,7 +305,7 @@ class STRPartitioner(Partitioner):
         self, sample: MBRArray, n_partitions: int, universe: MBR
     ) -> SpatialPartitioning:
         """Tight leaf-run MBRs of the sample's STR packing order."""
-        self._validate(sample, n_partitions, universe)
+        sample = self._validate(sample, n_partitions, universe)
         if len(sample) == 0:
             return SpatialPartitioning(
                 boxes=MBRArray(np.array([universe.as_tuple()])), tiles=False
@@ -326,7 +336,7 @@ class HilbertPartitioner(Partitioner):
         self, sample: MBRArray, n_partitions: int, universe: MBR
     ) -> SpatialPartitioning:
         """MBRs of equal-length runs along the Hilbert curve."""
-        self._validate(sample, n_partitions, universe)
+        sample = self._validate(sample, n_partitions, universe)
         if len(sample) == 0:
             return SpatialPartitioning(
                 boxes=MBRArray(np.array([universe.as_tuple()])), tiles=False

@@ -13,9 +13,14 @@ from typing import Sequence
 
 import numpy as np
 
+from ..geometry.batch import KIND_CODES, GeometryBatch, as_mbr_array
 from ..geometry.mbr import MBR, MBRArray
 from ..geometry.primitives import Geometry
 from ..hdfs.sizeof import estimate_size
+
+#: kind-code -> kind-name lookup (inverse of :data:`KIND_CODES`)
+_KIND_NAMES = {code: name for name, code in KIND_CODES.items()}
+
 
 __all__ = [
     "DatasetStats",
@@ -52,24 +57,38 @@ class DatasetStats:
         )
 
 
-def describe(geometries: Sequence[Geometry]) -> DatasetStats:
-    """Compute :class:`DatasetStats` for a geometry collection."""
-    if not geometries:
+def describe(geometries: "Sequence[Geometry] | GeometryBatch") -> DatasetStats:
+    """Compute :class:`DatasetStats` for a geometry collection.
+
+    A :class:`GeometryBatch` is summarized entirely from its arrays —
+    cached MBRs, packed point counts, kind codes — without materializing
+    a single geometry object; the numbers are identical either way.
+    """
+    if not len(geometries):
         return DatasetStats(0, MBR(np.inf, np.inf, -np.inf, -np.inf), 0, 0.0,
                             0.0, 0.0, 0.0, ())
-    boxes = MBRArray.from_geometries(geometries)
-    sizes = [estimate_size(g) for g in geometries]
-    kind_counts: dict[str, int] = {}
-    for g in geometries:
-        kind_counts[g.kind] = kind_counts.get(g.kind, 0) + 1
+    boxes = as_mbr_array(geometries)
+    if isinstance(geometries, GeometryBatch):
+        sizes = geometries.serialized_sizes()
+        num_points = geometries.num_points()
+        codes, code_counts = np.unique(geometries.kinds, return_counts=True)
+        kind_counts = {
+            _KIND_NAMES[int(code)]: int(n) for code, n in zip(codes, code_counts)
+        }
+    else:
+        sizes = np.array([estimate_size(g) for g in geometries])
+        num_points = np.array([g.num_points for g in geometries])
+        kind_counts = {}
+        for g in geometries:
+            kind_counts[g.kind] = kind_counts.get(g.kind, 0) + 1
     widths = boxes.xmax - boxes.xmin
     heights = boxes.ymax - boxes.ymin
     return DatasetStats(
         count=len(geometries),
         extent=boxes.extent(),
-        total_bytes=int(sum(sizes)),
+        total_bytes=int(sizes.sum()),
         mean_bytes=float(np.mean(sizes)),
-        mean_points=float(np.mean([g.num_points for g in geometries])),
+        mean_points=float(np.mean(num_points)),
         mean_width=float(widths.mean()),
         mean_height=float(heights.mean()),
         kinds=tuple(sorted(kind_counts.items(), key=lambda kv: -kv[1])),
@@ -77,7 +96,7 @@ def describe(geometries: Sequence[Geometry]) -> DatasetStats:
 
 
 def density_grid(
-    geometries: Sequence[Geometry], nx: int = 16, ny: int = 16,
+    geometries: "Sequence[Geometry] | GeometryBatch", nx: int = 16, ny: int = 16,
     extent: MBR | None = None,
 ) -> np.ndarray:
     """``(ny, nx)`` counts of geometry centers per grid cell.
@@ -85,9 +104,9 @@ def density_grid(
     The raw material for skew analysis (and a quick text heat map of a
     workload's hotspots).
     """
-    if not geometries:
+    if not len(geometries):
         return np.zeros((ny, nx), dtype=np.int64)
-    boxes = MBRArray.from_geometries(geometries)
+    boxes = as_mbr_array(geometries)
     extent = extent or boxes.extent()
     centers = boxes.centers
     w = extent.width or 1.0
@@ -99,7 +118,9 @@ def density_grid(
     return grid
 
 
-def skew_ratio(geometries: Sequence[Geometry], nx: int = 16, ny: int = 16) -> float:
+def skew_ratio(
+    geometries: "Sequence[Geometry] | GeometryBatch", nx: int = 16, ny: int = 16
+) -> float:
     """Max/mean cell density: 1 = perfectly uniform, large = hotspots.
 
     The taxi dataset's Manhattan concentration shows up here — and is why
@@ -111,7 +132,9 @@ def skew_ratio(geometries: Sequence[Geometry], nx: int = 16, ny: int = 16) -> fl
 
 
 def estimate_join_candidates(
-    left: Sequence[Geometry], right: Sequence[Geometry], margin: float = 0.0
+    left: "Sequence[Geometry] | GeometryBatch",
+    right: "Sequence[Geometry] | GeometryBatch",
+    margin: float = 0.0,
 ) -> float:
     """Analytic expected MBR-join candidate count (uniform-placement model).
 
@@ -120,7 +143,7 @@ def estimate_join_candidates(
     the pair-driven counters.  Clustered data exceeds the estimate (the
     model is a lower-bound sanity check, not a predictor of skew).
     """
-    if not left or not right:
+    if not len(left) or not len(right):
         return 0.0
     lstats = describe(left)
     rstats = describe(right)

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..geometry.batch import GeometryBatch
 from ..geometry.mbr import MBR
 from ..geometry.primitives import Point, PolyLine, Polygon
 
@@ -32,6 +33,10 @@ __all__ = [
     "census_blocks",
     "tiger_edges",
     "linear_water",
+    "taxi_points_batch",
+    "census_blocks_batch",
+    "tiger_edges_batch",
+    "linear_water_batch",
 ]
 
 def _quantize(coords: np.ndarray, decimals: int = 6) -> np.ndarray:
@@ -62,8 +67,7 @@ _TAXI_HOTSPOTS = np.array(
 )
 
 
-def taxi_points(n: int, seed: int = 0) -> list[Point]:
-    """Generate *n* hotspot-clustered taxi pickup points."""
+def _taxi_xy(n: int, seed: int) -> np.ndarray:
     if n < 0:
         raise ValueError("n must be >= 0")
     rng = np.random.default_rng(seed)
@@ -74,8 +78,21 @@ def taxi_points(n: int, seed: int = 0) -> list[Point]:
     xy = centers + rng.normal(0, 1, size=(n, 2)) * sigma
     xy[:, 0] = np.clip(xy[:, 0], DOMAIN_NYC.xmin, DOMAIN_NYC.xmax)
     xy[:, 1] = np.clip(xy[:, 1], DOMAIN_NYC.ymin, DOMAIN_NYC.ymax)
-    xy = _quantize(xy)
-    return [Point(x, y) for x, y in xy]
+    return _quantize(xy)
+
+
+def taxi_points(n: int, seed: int = 0) -> list[Point]:
+    """Generate *n* hotspot-clustered taxi pickup points."""
+    return [Point(x, y) for x, y in _taxi_xy(n, seed)]
+
+
+def taxi_points_batch(n: int, seed: int = 0) -> GeometryBatch:
+    """Columnar :func:`taxi_points`: same values, no per-point objects.
+
+    The coordinate array goes straight into the batch's packed buffer, so
+    generating Table-1-scale point sets never materializes a ``Point``.
+    """
+    return GeometryBatch.from_points(_taxi_xy(n, seed))
 
 
 def census_blocks(n: int, seed: int = 0, *, domain: MBR = DOMAIN_NYC) -> list[Polygon]:
@@ -229,3 +246,24 @@ def linear_water(n: int, seed: int = 0, *, domain: MBR = DOMAIN_US) -> list[Poly
         coords = np.vstack([start, start + np.cumsum(deltas, axis=0)])
         out.append(PolyLine(_quantize(coords)))
     return out
+
+
+def census_blocks_batch(
+    n: int, seed: int = 0, *, domain: MBR = DOMAIN_NYC
+) -> GeometryBatch:
+    """Columnar :func:`census_blocks` (identical values and RNG draws)."""
+    return GeometryBatch.from_geometries(census_blocks(n, seed, domain=domain))
+
+
+def tiger_edges_batch(
+    n: int, seed: int = 0, *, domain: MBR = DOMAIN_US
+) -> GeometryBatch:
+    """Columnar :func:`tiger_edges` (identical values and RNG draws)."""
+    return GeometryBatch.from_geometries(tiger_edges(n, seed, domain=domain))
+
+
+def linear_water_batch(
+    n: int, seed: int = 0, *, domain: MBR = DOMAIN_US
+) -> GeometryBatch:
+    """Columnar :func:`linear_water` (identical values and RNG draws)."""
+    return GeometryBatch.from_geometries(linear_water(n, seed, domain=domain))

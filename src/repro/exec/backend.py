@@ -182,6 +182,11 @@ class ProcessBackend(ExecutorBackend):
     the driver state; only its :class:`TaskOutcome` (result records,
     scratch counters, side outputs, error, timing) crosses back.  Falls
     back to :class:`ThreadBackend` semantics where ``fork`` is missing.
+
+    Columnar :class:`~repro.geometry.batch.GeometryBatch` payloads cross
+    the pipe as their underlying arrays (``GeometryBatch.__reduce__``),
+    never as per-geometry objects — crossing a batch costs a handful of
+    buffer copies regardless of geometry count.
     """
 
     name = "process"

@@ -13,6 +13,14 @@ from .engine import (
     JtsLikeEngine,
     make_engine,
 )
+from .batch import (
+    KIND_CODES,
+    KIND_POINT,
+    KIND_POLYGON,
+    KIND_POLYLINE,
+    GeometryBatch,
+    as_mbr_array,
+)
 from .mbr import EMPTY_MBR, MBR, MBRArray
 from .predicates import (
     geometries_intersect,
@@ -24,12 +32,20 @@ from .predicates import (
     segments_intersect,
 )
 from .primitives import Geometry, GeometryLike, Point, PolyLine, Polygon
-from .wkt import WktError, from_wkt, to_wkt
+from .wkt import WktError, from_wkt, to_wkt, wkt_of_parts, wkt_parts
 
 __all__ = [
     "MBR",
     "MBRArray",
     "EMPTY_MBR",
+    "GeometryBatch",
+    "as_mbr_array",
+    "KIND_POINT",
+    "KIND_POLYLINE",
+    "KIND_POLYGON",
+    "KIND_CODES",
+    "wkt_parts",
+    "wkt_of_parts",
     "Geometry",
     "GeometryLike",
     "Point",

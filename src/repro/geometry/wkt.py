@@ -17,9 +17,10 @@ import re
 
 import numpy as np
 
-from .primitives import Geometry, Point, PolyLine, Polygon
+from .batch import KIND_POINT, KIND_POLYGON, KIND_POLYLINE
+from .primitives import Geometry, Point, PolyLine, Polygon, _coerce_coords
 
-__all__ = ["to_wkt", "from_wkt", "WktError"]
+__all__ = ["to_wkt", "from_wkt", "wkt_parts", "wkt_of_parts", "WktError"]
 
 
 class WktError(ValueError):
@@ -99,3 +100,76 @@ def from_wkt(text: str) -> Geometry:
         except ValueError as exc:
             raise WktError(str(exc)) from exc
     raise WktError(f"unrecognized WKT: {text[:80]!r}")
+
+
+# --------------------------------------------------------------------------
+# Batch (columnar) codec: the same text format, parsed straight into the
+# ring arrays a GeometryBatch packs, without materialising Geometry objects.
+
+
+def _fast_coords(text: str, what: str) -> np.ndarray:
+    """One-shot coordinate-list parse (floats identical to ``float()``)."""
+    parts = text.replace(",", " ").split()
+    if not parts:
+        raise WktError(f"empty coordinate list in {what}")
+    if len(parts) % 2:
+        raise WktError(f"malformed coordinate list in {what}")
+    try:
+        arr = np.array(parts, dtype=np.float64)
+    except ValueError as exc:
+        raise WktError(f"non-numeric coordinate in {what}") from exc
+    return arr.reshape(-1, 2)
+
+
+def wkt_parts(text: str) -> tuple[int, list[np.ndarray]]:
+    """Parse WKT into ``(kind_code, ring_arrays)`` for batch assembly.
+
+    The returned rings carry exactly the values :func:`from_wkt` would
+    store on the equivalent geometry object (same float parsing, same
+    ring closing/orientation normalization), so a batch assembled from
+    them is bit-identical to one packed from parsed objects.
+    """
+    if not isinstance(text, str):
+        raise WktError(f"WKT must be a string, got {type(text).__name__}")
+    m = _POINT_RE.match(text)
+    if m:
+        try:
+            x, y = float(m.group(1)), float(m.group(2))
+            if not (np.isfinite(x) and np.isfinite(y)):
+                raise ValueError(text)
+        except ValueError as exc:
+            raise WktError(f"malformed POINT: {text!r}") from exc
+        return KIND_POINT, [np.array([[x, y]], dtype=np.float64)]
+    m = _LINESTRING_RE.match(text)
+    if m:
+        coords = _fast_coords(m.group(1), "LINESTRING")
+        if coords.shape[0] < 2:
+            raise WktError("LINESTRING requires at least 2 points")
+        return KIND_POLYLINE, [_coerce_coords(coords, min_points=2, what="PolyLine")]
+    m = _POLYGON_RE.match(text)
+    if m:
+        rings = [_fast_coords(r.group(1), "POLYGON ring") for r in _RING_RE.finditer(m.group(1))]
+        if not rings:
+            raise WktError(f"POLYGON with no rings: {text!r}")
+        try:
+            normalized = [
+                Polygon._normalize_ring(rings[0], ccw=True, what="Polygon exterior")
+            ] + [
+                Polygon._normalize_ring(r, ccw=False, what="Polygon hole")
+                for r in rings[1:]
+            ]
+        except ValueError as exc:
+            raise WktError(str(exc)) from exc
+        return KIND_POLYGON, normalized
+    raise WktError(f"unrecognized WKT: {text[:80]!r}")
+
+
+def wkt_of_parts(kind: int, rings: list[np.ndarray]) -> str:
+    """Serialize batch ring arrays to WKT — same text as :func:`to_wkt`."""
+    if kind == KIND_POINT:
+        return f"POINT ({_fmt(rings[0][0, 0])} {_fmt(rings[0][0, 1])})"
+    if kind == KIND_POLYLINE:
+        return f"LINESTRING ({_coords_text(rings[0])})"
+    if kind == KIND_POLYGON:
+        return f"POLYGON ({', '.join(f'({_coords_text(r)})' for r in rings)})"
+    raise TypeError(f"unknown kind code {kind!r}")

@@ -29,6 +29,7 @@ import numpy as np
 
 from ..cluster.simclock import PhaseRecord, SimClock
 from ..exec.backend import ExecutorBackend, SerialBackend, merge_outcomes
+from ..geometry.batch import GeometryBatch
 from ..hdfs.filesystem import SimulatedHDFS
 from ..hdfs.sizeof import estimate_size
 from ..metrics import Counters
@@ -65,6 +66,13 @@ class TaskAttemptError(RuntimeError):
         return (TaskAttemptError, (self.job, self.kind, self.index, self.attempts))
 
 
+def _records_size(records) -> int:
+    """Total estimated bytes of a record container (columnar-aware)."""
+    if isinstance(records, GeometryBatch):
+        return records.serialized_size()
+    return sum(estimate_size(r) for r in records)
+
+
 @dataclass
 class Split:
     """A unit of map-task input: one or more (path, block_idx) parts."""
@@ -78,8 +86,10 @@ class SplitData:
     """Materialized split content handed to a map task."""
 
     split: Split
-    records: list  # concatenation of all parts' records
-    part_records: list[list]  # records per part
+    #: concatenation of all parts' records (one GeometryBatch when every
+    #: part holds a columnar block)
+    records: "list | GeometryBatch"
+    part_records: "list[list | GeometryBatch]"  # records per part
     part_aux: list[Any]  # aux payload per part (block index etc.)
 
 
@@ -225,7 +235,7 @@ class MapReduceJob:
         def make_map_task(index: int, split: Split) -> Callable[[], list]:
             def attempt():
                 data = self._materialize(split)
-                bytes_in = sum(estimate_size(r) for r in data.records)
+                bytes_in = _records_size(data.records)
                 task_out = list(self.map_task(data))
                 if self.combiner is not None and self.reduce_task is not None:
                     groups: dict = {}
@@ -344,7 +354,14 @@ class MapReduceJob:
             block = self.hdfs.read_block(path, block_idx)
             part_records.append(block.records)
             part_aux.append(block.aux)
-        records = [r for part in part_records for r in part]
+        if part_records and all(
+            isinstance(p, GeometryBatch) for p in part_records
+        ):
+            # Columnar blocks stay columnar: concatenate the array slices
+            # instead of materialising per-record geometry objects.
+            records: "list | GeometryBatch" = GeometryBatch.concat(part_records)
+        else:
+            records = [r for part in part_records for r in part]
         return SplitData(
             split=split, records=records, part_records=part_records, part_aux=part_aux
         )

@@ -16,6 +16,7 @@ from ..cluster.simclock import PhaseRecord, SimClock
 from ..exec.backend import ExecutorBackend, SerialBackend, merge_outcomes
 from ..hdfs.filesystem import SimulatedHDFS
 from ..hdfs.sizeof import estimate_size
+from ..geometry.batch import GeometryBatch
 from ..metrics import Counters
 from .memory import MemoryLedger
 from .rdd import RDD
@@ -97,7 +98,11 @@ class SparkContext:
             meta = hdfs.blocks_meta(path)
             parts = []
             for block_idx, _, _ in meta:
-                parts.append(list(hdfs.read_block(path, block_idx).records))
+                records = hdfs.read_block(path, block_idx).records
+                # Columnar blocks stay columnar; text/record blocks copy.
+                parts.append(
+                    records if isinstance(records, GeometryBatch) else list(records)
+                )
             ctx.counters.add("spark.tasks", max(len(parts), 1))
             return parts or [[]]
 

@@ -24,6 +24,7 @@ from typing import Any, Callable, Iterable, Optional
 
 import numpy as np
 
+from ..geometry.batch import GeometryBatch
 from ..hdfs.sizeof import estimate_size
 
 __all__ = ["RDD"]
@@ -79,7 +80,12 @@ class RDD:
                 parts = self._compute()
             if self._charges_memory != "none":
                 records = sum(len(p) for p in parts)
-                nbytes = sum(estimate_size(r) for p in parts for r in p)
+                nbytes = sum(
+                    p.serialized_size()
+                    if isinstance(p, GeometryBatch)
+                    else sum(estimate_size(r) for r in p)
+                    for p in parts
+                )
                 scale = (
                     self.ctx.scale_resolver(self.label)
                     if self.ctx.scale_resolver is not None

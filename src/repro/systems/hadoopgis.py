@@ -76,8 +76,8 @@ class HadoopGIS(SpatialJoinSystem):
         self, env: RunEnvironment, left, right, predicate: JoinPredicate = INTERSECTS
     ) -> RunReport:
         """Execute the full HadoopGIS pipeline (see the module docstring)."""
-        left = self._as_records(left)
-        right = self._as_records(right)
+        left = self._as_batch(left)
+        right = self._as_batch(right)
         engine = make_engine("geos", env.counters)
         # Pipe volumes are converted to paper scale with the byte scale of
         # the dataset flowing through the pipe; the join job mixes both
@@ -87,10 +87,12 @@ class HadoopGIS(SpatialJoinSystem):
         # The join job mixes records of both datasets in one task; its
         # tasks track their own logical volumes per side (byte_scale=1).
         policy_join = PipePolicy(capacity_bytes=env.pipe_capacity, byte_scale=1.0)
-        env.load_input("/input/a", [r.geometry for r in left])
-        env.load_input("/input/b", [r.geometry for r in right])
-        universe = MBRArray.from_geometries(
-            [r.geometry for r in left] + [r.geometry for r in right]
+        env.load_input("/input/a", left)
+        env.load_input("/input/b", right)
+        # Both batches carry parse-time MBRs: the joint extent needs no
+        # per-geometry rebuild.
+        universe = MBRArray(
+            np.vstack([left.mbrs.data, right.mbrs.data])
         ).extent()
         n_parts = self.n_partitions or max(
             4, env.hdfs.num_blocks("/input/a") + env.hdfs.num_blocks("/input/b")

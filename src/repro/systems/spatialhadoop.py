@@ -38,8 +38,9 @@ from ..core.partitioning import STRPartitioner, SpatialPartitioning
 from ..core.predicate import INTERSECTS, JoinPredicate
 from ..data.loaders import SpatialRecord, from_tsv_line
 from ..exec.task import emit
+from ..geometry.batch import GeometryBatch
 from ..geometry.engine import JTS_COST_PROFILE, make_engine
-from ..geometry.mbr import EMPTY_MBR, MBRArray
+from ..geometry.mbr import MBRArray
 from ..hdfs.filesystem import Block
 from ..index.strtree import STRtree
 from ..mapreduce.job import InputFormat, MapReduceJob, Split
@@ -115,11 +116,11 @@ class SpatialHadoop(SpatialJoinSystem):
         self, env: RunEnvironment, left, right, predicate: JoinPredicate = INTERSECTS
     ) -> RunReport:
         """Execute the full SpatialHadoop pipeline (see the module docstring)."""
-        left = self._as_records(left)
-        right = self._as_records(right)
+        left = self._as_batch(left)
+        right = self._as_batch(right)
         engine = make_engine("jts", env.counters)
-        env.load_input("/input/a", [r.geometry for r in left])
-        env.load_input("/input/b", [r.geometry for r in right])
+        env.load_input("/input/a", left)
+        env.load_input("/input/b", right)
         # SpatialHadoop sizes partitions to HDFS blocks: one partition per
         # block of the dataset being indexed (scale-stable by design).
         n_parts_a = self.n_partitions or max(2, env.hdfs.num_blocks("/input/a"))
@@ -134,13 +135,13 @@ class SpatialHadoop(SpatialJoinSystem):
         self,
         env: RunEnvironment,
         d: str,
-        records: Sequence[SpatialRecord],
+        batch: GeometryBatch,
         n_parts: int,
         *,
         group: str,
     ) -> None:
         counters, hdfs = env.counters, env.hdfs
-        universe = MBRArray.from_geometries([r.geometry for r in records]).extent()
+        universe = batch.extent()
         seed = (env.seed, hash(d) & 0xFFFF)
 
         # ---- MR job 1: sample and build the partitioning. -----------------
@@ -214,23 +215,24 @@ class SpatialHadoop(SpatialJoinSystem):
 
         before = counters.snapshot()
         blocks, master_rows = [], []
+        # Parsed rids are positional, so they index straight into the
+        # staged batch: block sizes, content MBRs and block-local trees
+        # all come from the parse-time cache instead of per-record
+        # geometry rebuilds (the WKT round trip is float-exact).
+        record_sizes = batch.record_sizes()
         for pid in range(len(part)):
             recs = collected.get(pid, [])
-            nbytes = sum(r.serialized_size() for r in recs)
+            rows = np.fromiter((r.rid for r in recs), dtype=np.int64, count=len(recs))
+            nbytes = int(record_sizes[rows].sum())
             # Serializing typed records into the block file costs CPU
             # proportional to their size (vertex encoding).
             serialize_charge(counters, len(recs), nbytes)
-            blocks.append(Block(records=recs, nbytes=nbytes))
-            content = MBRArray.from_geometries([r.geometry for r in recs]).extent() \
-                if recs else EMPTY_MBR
-            master_rows.append(content.as_tuple())
+            blocks.append(Block(records=batch.take(rows), nbytes=nbytes))
+            master_rows.append(batch.mbrs.take(rows).extent().as_tuple())
         hdfs.write_blocks(f"/shadoop/{d}/data", blocks, overwrite=True)
         for pid, block in enumerate(blocks):
-            if block.records:
-                tree = STRtree(
-                    MBRArray.from_geometries([r.geometry for r in block.records]),
-                    counters=counters,
-                )
+            if len(block.records):
+                tree = STRtree(block.records.mbrs, counters=counters)
                 # The block-local index costs ~36 bytes per tree node on
                 # disk — tiny next to the block data, as the paper notes.
                 n_nodes = -(-len(block.records) // tree.leaf_capacity) + 1
@@ -259,22 +261,23 @@ class SpatialHadoop(SpatialJoinSystem):
         results: set[tuple[int, int]] = set()
 
         def join_map(data):
-            a_recs, b_recs = data.part_records
-            if not a_recs or not b_recs:
+            a_batch, b_batch = data.part_records
+            if not len(a_batch) or not len(b_batch):
                 return
             # Binary block deserialization: every record materialized from
             # a block file pays a per-record Writable-decoding cost.
-            counters.add("deser.records", len(a_recs) + len(b_recs))
+            counters.add("deser.records", len(a_batch) + len(b_batch))
             refined = local_join(
                 self.local_algorithm,
-                [r.geometry for r in a_recs],
-                [r.geometry for r in b_recs],
+                a_batch,
+                b_batch,
                 engine,
                 counters=counters,
                 predicate=predicate,
             )
+            a_ids, b_ids = a_batch.ids, b_batch.ids
             for i, j in refined:
-                yield (a_recs[i].rid, b_recs[j].rid)
+                yield (int(a_ids[i]), int(b_ids[j]))
 
         job = MapReduceJob(
             "shadoop.join",

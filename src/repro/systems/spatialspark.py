@@ -44,6 +44,7 @@ from ..core.localjoin import refine_candidates
 from ..core.partitioning import BSPPartitioner
 from ..core.predicate import INTERSECTS, JoinPredicate
 from ..data.loaders import SpatialRecord, from_tsv_line
+from ..geometry.batch import GeometryBatch
 from ..geometry.engine import JTS_COST_PROFILE, make_engine
 from ..geometry.mbr import MBRArray
 from ..hdfs.sizeof import estimate_size
@@ -85,11 +86,11 @@ class SpatialSpark(SpatialJoinSystem):
         self, env: RunEnvironment, left, right, predicate: JoinPredicate = INTERSECTS
     ) -> RunReport:
         """Execute the full SpatialSpark pipeline (see the module docstring)."""
-        left = self._as_records(left)
-        right = self._as_records(right)
+        left = self._as_batch(left)
+        right = self._as_batch(right)
         engine = make_engine("jts", env.counters)
-        env.load_input("/input/a", [r.geometry for r in left])
-        env.load_input("/input/b", [r.geometry for r in right])
+        env.load_input("/input/a", left)
+        env.load_input("/input/b", right)
         ledger = MemoryLedger(budget_bytes=env.cluster.usable_memory_bytes)
 
         def scale_for(label: str) -> tuple[float, float]:
@@ -107,8 +108,10 @@ class SpatialSpark(SpatialJoinSystem):
             scale_resolver=scale_for,
             executor=env.executor,
         )
-        universe = MBRArray.from_geometries(
-            [r.geometry for r in left] + [r.geometry for r in right]
+        # Both batches carry parse-time MBRs: the joint extent needs no
+        # per-geometry rebuild.
+        universe = MBRArray(
+            np.vstack([left.mbrs.data, right.mbrs.data])
         ).extent()
         n_parts = self.n_partitions or max(
             4, env.hdfs.num_blocks("/input/a") + env.hdfs.num_blocks("/input/b")
@@ -144,8 +147,8 @@ class SpatialSpark(SpatialJoinSystem):
         sc: SparkContext,
         env: RunEnvironment,
         engine,
-        left: list[SpatialRecord],
-        right: list[SpatialRecord],
+        left: GeometryBatch,
+        right: GeometryBatch,
         universe,
         n_parts: int,
         predicate: JoinPredicate = INTERSECTS,
@@ -169,7 +172,11 @@ class SpatialSpark(SpatialJoinSystem):
         with sc.record_phase("sspark.partition", group="join", tasks=1):
             # Sample only the right side, in memory, and build partitions.
             sample = right_rdd.sample(self.sample_fraction, seed=env.seed).collect()
-            sample_boxes = MBRArray.from_geometries([r.geometry for r in sample])
+            # Parsed rids are positional: sampled MBRs come straight out of
+            # the batch's cache (the WKT round trip is float-exact).
+            sample_boxes = right.mbrs.take(
+                np.fromiter((r.rid for r in sample), dtype=np.int64, count=len(sample))
+            )
             counters.add("cpu.ops", max(len(sample), 1))
             partitioning = self.partitioner.partition(sample_boxes, n_parts, universe)
             tree = STRtree(partitioning.boxes, counters=counters)
@@ -198,24 +205,41 @@ class SpatialSpark(SpatialJoinSystem):
                 _pid, (a_recs, b_recs) = kv
                 if not a_recs or not b_recs:
                     return
-                tree = STRtree(
-                    MBRArray.from_geometries([r.geometry for r in b_recs]),
-                    counters=counters,
+                # Columnar local join: slice both sides out of the input
+                # batches by rid (positional), index and probe with the
+                # cached MBRs, and refine on the packed buffers.
+                a_rows = np.fromiter(
+                    (r.rid for r in a_recs), dtype=np.int64, count=len(a_recs)
                 )
-                candidates = []
-                for i, rec in enumerate(a_recs):
-                    for j in tree.query(predicate.expand(rec.geometry.mbr)):
-                        candidates.append((i, int(j)))
+                b_rows = np.fromiter(
+                    (r.rid for r in b_recs), dtype=np.int64, count=len(b_recs)
+                )
+                a_batch, b_batch = left.take(a_rows), right.take(b_rows)
+                tree = STRtree(b_batch.mbrs, counters=counters)
+                probes = a_batch.mbrs
+                if predicate.filter_margin:
+                    probes = MBRArray(
+                        probes.data
+                        + np.array([-1.0, -1.0, 1.0, 1.0]) * predicate.filter_margin
+                    )
+                hits = tree.query_many(probes)
+                counts = np.fromiter(
+                    (h.size for h in hits), dtype=np.int64, count=len(hits)
+                )
+                qi = np.repeat(np.arange(len(hits), dtype=np.int64), counts)
+                cj = (
+                    np.concatenate(hits)
+                    if hits
+                    else np.empty(0, dtype=np.int64)
+                )
+                candidates = np.stack([qi, cj], axis=1)
                 counters.add("join.candidates", len(candidates))
                 refined = refine_candidates(
-                    [r.geometry for r in a_recs],
-                    [r.geometry for r in b_recs],
-                    candidates,
-                    engine,
-                    predicate,
+                    a_batch, b_batch, candidates, engine, predicate
                 )
+                a_ids, b_ids = a_batch.ids, b_batch.ids
                 for i, j in refined:
-                    yield (a_recs[i].rid, b_recs[j].rid)
+                    yield (int(a_ids[i]), int(b_ids[j]))
 
             result = joined.flatMap(match).collect()
             # Multi-assignment duplicates are removed in memory.
@@ -254,10 +278,9 @@ class SpatialSpark(SpatialJoinSystem):
             left_rdd = sc.from_hdfs("/input/a").map(parse)
             right = sc.from_hdfs("/input/b").map(parse).collect()
             right_bytes = sum(estimate_size(r) for r in right)
-            tree = STRtree(
-                MBRArray.from_geometries([r.geometry for r in right]),
-                counters=counters,
-            )
+            # Collected parse order is file order, so the cached batch MBRs
+            # line up row-for-row with the collected records.
+            tree = STRtree(right_records.mbrs, counters=counters)
             # The broadcast payload is the whole right side; its *logical*
             # volume (paper scale) is what lands on every executor, which
             # is exactly this design's memory wall.

@@ -86,5 +86,8 @@ class TestTsvCodec:
             from_tsv_line("abc\tPOINT (1 2)")  # non-integer id
 
     def test_serialized_size_includes_id(self):
+        # The id field contributes its actual text width plus the tab.
         rec = SpatialRecord(1, Point(0, 0))
-        assert rec.serialized_size() == 12 + rec.geometry.serialized_size()
+        assert rec.serialized_size() == 2 + rec.geometry.serialized_size()
+        wide = SpatialRecord(123456, Point(0, 0))
+        assert wide.serialized_size() == 7 + wide.geometry.serialized_size()
