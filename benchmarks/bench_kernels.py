@@ -1,0 +1,261 @@
+#!/usr/bin/env python
+"""Wall-clock impact of the CSR-native refine + sweep kernels.
+
+Runs the same local plane-sweep join three ways and times each:
+
+* **object** — geometry-object lists end to end: the Python event-loop
+  sweep plus per-pair scalar refinement;
+* **legacy** — :class:`GeometryBatch` inputs through the *pre-kernel*
+  batch plane, vendored below exactly as it stood before the CSR layer
+  landed: the same Python event-loop sweep (one ``counters.add`` per
+  event), a per-right-geometry refine loop, and per-pair ``zip`` /
+  ``extend`` survivor assembly;
+* **csr** — the current batch plane: vectorized sort + ``searchsorted``
+  stripe sweep and one CSR kernel call refining every candidate in a
+  single chunked pass over the packed coords buffer.
+
+All three produce identical pairs (asserted here; the golden-equivalence
+tests additionally pin counters); wall-clock is the only difference.
+Two workloads are measured — point-in-polygon refinement and
+point-to-polyline distance refinement.
+
+Run:  PYTHONPATH=src python benchmarks/bench_kernels.py [--check]
+
+Writes ``BENCH_kernels.json`` at the repo root (override with --out)::
+
+    {
+      "workloads": [{"name": "pts_poly", "scales": [
+          {"name": "table1", ..., "csr_vs_legacy": 3.1,
+           "csr_vs_object": 4.2}, ...]}, ...]
+    }
+
+``--check`` exits non-zero if the CSR path is slower than the legacy
+per-group batch path at any scale (the CI smoke gate).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.localjoin import local_join
+from repro.core.predicate import INTERSECTS, within_distance
+from repro.data.synthetic import (
+    census_blocks,
+    census_blocks_batch,
+    taxi_points,
+    taxi_points_batch,
+    tiger_edges,
+    tiger_edges_batch,
+)
+from repro.geometry.engine import JtsLikeEngine
+from repro.metrics import Counters
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+# --------------------------------------------------------------------------
+# The pre-kernel batch plane, vendored verbatim from the revision before
+# the CSR layer (commit "Columnar GeometryBatch data plane") so the
+# baseline stays runnable as the live code evolves.
+# --------------------------------------------------------------------------
+
+def _legacy_refine_batch(left, right, candidates, engine, predicate):
+    from repro.geometry.batch import KIND_POINT, KIND_POLYGON, KIND_POLYLINE
+
+    survivors = []
+    target = KIND_POLYGON if predicate.kind == "intersects" else KIND_POLYLINE
+    grouped = (left.kinds[candidates[:, 0]] == KIND_POINT) & (
+        right.kinds[candidates[:, 1]] == target
+    )
+    bp = candidates[grouped]
+    bp = bp[np.argsort(bp[:, 1], kind="stable")]
+    group_js, group_starts = np.unique(bp[:, 1], return_index=True)
+    group_ends = np.append(group_starts[1:], bp.shape[0])
+    for j, s, e in zip(group_js, group_starts, group_ends):
+        point_rows = bp[s:e, 0]
+        xy = left.points_xy(point_rows)
+        if predicate.kind == "intersects":
+            mask = engine.points_in_polygon(right[j], xy)
+        else:
+            mask = engine.points_within_distance(right[j], xy, predicate.distance)
+        j = int(j)
+        survivors.extend((int(i), j) for i, keep in zip(point_rows, mask) if keep)
+    for i, j in candidates[~grouped]:
+        if predicate.evaluate(engine, left[int(i)], right[int(j)]):
+            survivors.append((int(i), int(j)))
+    survivors.sort()
+    return survivors
+
+
+def legacy_plane_sweep_join(left, right, engine, *, counters, predicate):
+    lb = left.mbrs.data
+    if predicate.filter_margin:
+        lb = lb + np.array([-1.0, -1.0, 1.0, 1.0]) * predicate.filter_margin
+    rb = right.mbrs.data
+    lorder = np.argsort(lb[:, 0], kind="stable")
+    rorder = np.argsort(rb[:, 0], kind="stable")
+    n, m = len(lorder), len(rorder)
+    counters.add(
+        "sort.ops",
+        n * max(np.log2(max(n, 2)), 1) + m * max(np.log2(max(m, 2)), 1),
+    )
+    candidates = []
+    li = ri = 0
+    active_left = []
+    active_right = []
+    while li < n or ri < m:
+        take_left = ri >= m or (li < n and lb[lorder[li], 0] <= rb[rorder[ri], 0])
+        if take_left:
+            i = int(lorder[li])
+            li += 1
+            x = lb[i, 0]
+            active_right = [j for j in active_right if rb[j, 2] >= x]
+            counters.add("join.sweep_ops", len(active_right) + 1)
+            for j in active_right:
+                if lb[i, 1] <= rb[j, 3] and rb[j, 1] <= lb[i, 3]:
+                    candidates.append((i, j))
+            active_left.append(i)
+        else:
+            j = int(rorder[ri])
+            ri += 1
+            x = rb[j, 0]
+            active_left = [i for i in active_left if lb[i, 2] >= x]
+            counters.add("join.sweep_ops", len(active_left) + 1)
+            for i in active_left:
+                if lb[i, 1] <= rb[j, 3] and rb[j, 1] <= lb[i, 3]:
+                    candidates.append((i, j))
+            active_right.append(j)
+    counters.add("join.candidates", len(candidates))
+    cand = np.asarray(candidates, dtype=np.int64).reshape(-1, 2)
+    return _legacy_refine_batch(left, right, cand, engine, predicate)
+
+
+# --------------------------------------------------------------------------
+
+#: (scale name, points, right-side geometries)
+SCALES = [
+    ("small", 20_000, 500),
+    ("table1", 120_000, 2_000),
+]
+
+#: (workload name, left factories, right factories, predicate)
+WORKLOADS = [
+    ("pts_poly", (taxi_points, taxi_points_batch),
+     (census_blocks, census_blocks_batch), INTERSECTS),
+    ("pts_edges", (taxi_points, taxi_points_batch),
+     (tiger_edges, tiger_edges_batch), within_distance(0.01)),
+]
+
+
+def _measure(fn, *, repeats: int) -> tuple[float, object]:
+    best, result = float("inf"), None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def run_scale(name, n_points, n_right, left_f, right_f, predicate, *,
+              repeats: int) -> dict:
+    left_obj, left_batch = left_f
+    right_obj, right_batch = right_f
+    objs = (left_obj(n_points, seed=11), right_obj(n_right, seed=12))
+    batches = (left_batch(n_points, seed=11), right_batch(n_right, seed=12))
+
+    def join_current(left, right):
+        # Fresh engine + counters per run so each timing covers one
+        # complete join, caches and all.
+        return local_join(
+            "plane_sweep", left, right, JtsLikeEngine(Counters()),
+            counters=Counters(), predicate=predicate,
+        )
+
+    def join_legacy():
+        return legacy_plane_sweep_join(
+            *batches, JtsLikeEngine(Counters()),
+            counters=Counters(), predicate=predicate,
+        )
+
+    secs, pairs = {}, {}
+    secs["object"], pairs["object"] = _measure(
+        lambda: join_current(*objs), repeats=repeats)
+    secs["legacy"], pairs["legacy"] = _measure(join_legacy, repeats=repeats)
+    secs["csr"], pairs["csr"] = _measure(
+        lambda: join_current(*batches), repeats=repeats)
+
+    # object/legacy are sorted tuple lists; csr is a lexsorted ndarray.
+    csr_tuples = list(map(tuple, pairs["csr"].tolist()))
+    assert pairs["object"] == pairs["legacy"] == csr_tuples, \
+        f"{name}: planes disagreed on pairs"
+
+    return {
+        "name": name,
+        "points": n_points,
+        "right": n_right,
+        "pairs": len(csr_tuples),
+        "object_seconds": round(secs["object"], 4),
+        "legacy_seconds": round(secs["legacy"], 4),
+        "csr_seconds": round(secs["csr"], 4),
+        "csr_vs_legacy": round(secs["legacy"] / max(secs["csr"], 1e-9), 2),
+        "csr_vs_object": round(secs["object"] / max(secs["csr"], 1e-9), 2),
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="multiply every record count (CI uses a tiny one)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="best-of-N timing (default 3)")
+    parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_kernels.json"),
+                        help="output JSON path (default: repo root)")
+    parser.add_argument("--check", action="store_true",
+                        help="exit non-zero if CSR is slower than legacy")
+    args = parser.parse_args()
+
+    workloads = []
+    for wname, left_f, right_f, predicate in WORKLOADS:
+        scales = []
+        for sname, n_points, n_right in SCALES:
+            row = run_scale(
+                sname,
+                max(int(n_points * args.scale), 100),
+                max(int(n_right * args.scale), 16),
+                left_f, right_f, predicate,
+                repeats=args.repeats,
+            )
+            scales.append(row)
+            print(f"{wname:>9}/{sname:<7}: object {row['object_seconds']:8.3f}s  "
+                  f"legacy {row['legacy_seconds']:8.3f}s  "
+                  f"csr {row['csr_seconds']:8.3f}s  "
+                  f"(csr vs legacy {row['csr_vs_legacy']:5.2f}x, "
+                  f"vs object {row['csr_vs_object']:5.2f}x, "
+                  f"pairs {row['pairs']:,})")
+        workloads.append({"name": wname, "scales": scales})
+
+    document = {"algorithm": "plane_sweep", "scale": args.scale,
+                "repeats": args.repeats, "workloads": workloads}
+    text = json.dumps(document, indent=2)
+    with open(args.out, "w", encoding="utf-8") as fh:
+        fh.write(text + "\n")
+    print(f"wrote {args.out}")
+
+    slow = [
+        (w["name"], row["name"])
+        for w in workloads for row in w["scales"]
+        if row["csr_vs_legacy"] < 1.0
+    ]
+    if args.check and slow:
+        print(f"FAIL: CSR path slower than the legacy batch plane at {slow}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

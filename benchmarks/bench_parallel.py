@@ -90,6 +90,9 @@ def main() -> int:
         if baseline is None:
             baseline = row["wall_seconds"]
         row["speedup"] = round(baseline / max(row["wall_seconds"], 1e-9), 2)
+        # Flag GIL-bound (or oversubscribed) configurations explicitly so
+        # downstream tables don't silently present a slowdown as a win.
+        row["slower_than_serial"] = row["speedup"] < 1.0
         runs.append(row)
         print(f"{backend:>8} x{workers}: {row['wall_seconds']:7.2f}s "
               f"(speedup {row['speedup']:.2f}x, pairs {row['pairs']:,})")

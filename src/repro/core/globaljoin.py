@@ -27,6 +27,10 @@ __all__ = [
     "pair_partitions",
 ]
 
+#: All strategies return a lexsorted ``(n, 2)`` int64 ndarray of
+#: (a_index, b_index) partition pairs — the columnar pair plane.
+_EMPTY_PAIRS = np.empty((0, 2), dtype=np.int64)
+
 
 def _expand(a: MBRArray, margin: float) -> MBRArray:
     if not margin:
@@ -37,7 +41,7 @@ def _expand(a: MBRArray, margin: float) -> MBRArray:
 def pair_partitions_nested(
     a: "MBRArray | GeometryBatch", b: "MBRArray | GeometryBatch", counters: Optional[Counters] = None,
     *, margin: float = 0.0,
-) -> list[tuple[int, int]]:
+) -> np.ndarray:
     """Brute-force all-pairs MBR test (fine for small partition counts).
 
     *margin* expands the left boxes — distance joins must pair partitions
@@ -46,24 +50,24 @@ def pair_partitions_nested(
     counters = counters if counters is not None else Counters()
     a, b = as_mbr_array(a), as_mbr_array(b)
     if len(a) == 0 or len(b) == 0:
-        return []
+        return _EMPTY_PAIRS
     a = _expand(a, margin)
     counters.add("geom.mbr_tests", len(a) * len(b))
     counters.add("cpu.ops", len(a) * len(b))
     mat = a.cross_intersects(b)
-    ii, jj = np.nonzero(mat)
-    return sorted(zip(ii.tolist(), jj.tolist()))
+    ii, jj = np.nonzero(mat)  # row-major: already lexsorted
+    return np.stack([ii, jj], axis=1).astype(np.int64, copy=False)
 
 
 def pair_partitions_sweep(
     a: "MBRArray | GeometryBatch", b: "MBRArray | GeometryBatch", counters: Optional[Counters] = None,
     *, margin: float = 0.0,
-) -> list[tuple[int, int]]:
+) -> np.ndarray:
     """Plane-sweep pairing — "any in-memory spatial join technique" works."""
     counters = counters if counters is not None else Counters()
     a, b = as_mbr_array(a), as_mbr_array(b)
     if len(a) == 0 or len(b) == 0:
-        return []
+        return _EMPTY_PAIRS
     a = _expand(a, margin)
     ao = np.argsort(a.xmin, kind="stable")
     bo = np.argsort(b.xmin, kind="stable")
@@ -71,6 +75,7 @@ def pair_partitions_sweep(
     ai = bi = 0
     active_a: list[int] = []
     active_b: list[int] = []
+    cpu_ops = 0  # accumulated locally, charged once below
     while ai < len(ao) or bi < len(bo):
         take_a = bi >= len(bo) or (ai < len(ao) and a.xmin[ao[ai]] <= b.xmin[bo[bi]])
         if take_a:
@@ -78,7 +83,7 @@ def pair_partitions_sweep(
             ai += 1
             x = a.xmin[i]
             active_b = [j for j in active_b if b.xmax[j] >= x]
-            counters.add("cpu.ops", len(active_b) + 1)
+            cpu_ops += len(active_b) + 1
             for j in active_b:
                 if a.ymin[i] <= b.ymax[j] and b.ymin[j] <= a.ymax[i]:
                     out.append((i, j))
@@ -88,27 +93,30 @@ def pair_partitions_sweep(
             bi += 1
             x = b.xmin[j]
             active_a = [i for i in active_a if a.xmax[i] >= x]
-            counters.add("cpu.ops", len(active_a) + 1)
+            cpu_ops += len(active_a) + 1
             for i in active_a:
                 if a.ymin[i] <= b.ymax[j] and b.ymin[j] <= a.ymax[i]:
                     out.append((i, j))
             active_b.append(j)
-    return sorted(out)
+    counters.add("cpu.ops", cpu_ops)
+    if not out:
+        return _EMPTY_PAIRS
+    return np.array(sorted(out), dtype=np.int64)
 
 
 def pair_partitions_indexed(
     a: "MBRArray | GeometryBatch", b: "MBRArray | GeometryBatch", counters: Optional[Counters] = None,
     *, margin: float = 0.0,
-) -> list[tuple[int, int]]:
+) -> np.ndarray:
     """Synchronized STR-tree traversal pairing."""
     counters = counters if counters is not None else Counters()
     a, b = as_mbr_array(a), as_mbr_array(b)
     if len(a) == 0 or len(b) == 0:
-        return []
+        return _EMPTY_PAIRS
     a = _expand(a, margin)
     ta = STRtree(a, counters=counters)
     tb = STRtree(b, counters=counters)
-    return sorted(sync_tree_join(ta, tb, counters))
+    return sync_tree_join(ta, tb, counters)  # already lexsorted
 
 
 _STRATEGIES = {
@@ -121,7 +129,7 @@ _STRATEGIES = {
 def pair_partitions(
     strategy: str, a: "MBRArray | GeometryBatch", b: "MBRArray | GeometryBatch", counters: Optional[Counters] = None,
     *, margin: float = 0.0,
-) -> list[tuple[int, int]]:
+) -> np.ndarray:
     """Dispatch a pairing strategy by name."""
     try:
         fn = _STRATEGIES[strategy]

@@ -26,6 +26,7 @@ from ..geometry.batch import (
     KIND_POLYGON,
     KIND_POLYLINE,
     GeometryBatch,
+    _ranges,
     as_mbr_array,
 )
 from ..geometry.engine import GeometryEngine
@@ -51,23 +52,33 @@ __all__ = [
 GeometrySource = Union[Sequence[Geometry], GeometryBatch]
 
 
+_EMPTY_PAIRS = np.empty((0, 2), dtype=np.int64)
+
+
+def _lexsorted(pairs: np.ndarray) -> np.ndarray:
+    """Sort an ``(n, 2)`` pair array lexicographically (i, then j)."""
+    if pairs.shape[0] < 2:
+        return pairs
+    return pairs[np.lexsort((pairs[:, 1], pairs[:, 0]))]
+
+
 def _refine_batch(
     left: GeometryBatch,
     right: GeometryBatch,
     candidates: np.ndarray,
     engine: GeometryEngine,
     predicate: JoinPredicate,
-) -> list[tuple[int, int]]:
-    """Columnar refine: same grouping as the object path, no object scans.
+) -> np.ndarray:
+    """Columnar refine over CSR kernels: one engine call for all pairs.
 
-    The point coordinates of each group come straight out of the packed
-    buffer (``points_xy``); only the right-side polygon/polyline of each
-    group is materialised (lazily, cached) for the exact kernel.  Group
-    sizes — and therefore every engine counter charge — match the object
-    path exactly; survivors are sorted, so ordering differences between
-    the grouping strategies never surface.
+    All point-vs-polygon (or point-vs-polyline) candidates are handed to
+    the engine's CSR batch method in a single call — the fast engines
+    evaluate them in one chunked pass over the packed coords buffer; the
+    scalar engines fall back to the historical per-group dispatch inside
+    the same method, so counter charges match the object path exactly
+    either way.  Survivors come back as a lexsorted ``(n, 2)`` int64
+    ndarray (the columnar pair plane).
     """
-    survivors: list[tuple[int, int]] = []
     target = KIND_POLYGON if predicate.kind == "intersects" else KIND_POLYLINE
     grouped = (left.kinds[candidates[:, 0]] == KIND_POINT) & (
         right.kinds[candidates[:, 1]] == target
@@ -75,22 +86,29 @@ def _refine_batch(
     bp = candidates[grouped]
     # Stable sort by right id: groups keep candidate-encounter order inside.
     bp = bp[np.argsort(bp[:, 1], kind="stable")]
-    group_js, group_starts = np.unique(bp[:, 1], return_index=True)
-    group_ends = np.append(group_starts[1:], bp.shape[0])
-    for j, s, e in zip(group_js, group_starts, group_ends):
-        point_rows = bp[s:e, 0]
-        xy = left.points_xy(point_rows)
+    if bp.shape[0]:
+        xy = left.points_xy(bp[:, 0])
         if predicate.kind == "intersects":
-            mask = engine.points_in_polygon(right[j], xy)
+            mask = engine.points_in_polygons(right, bp[:, 1], xy)
         else:
-            mask = engine.points_within_distance(right[j], xy, predicate.distance)
-        j = int(j)
-        survivors.extend((int(i), j) for i, keep in zip(point_rows, mask) if keep)
-    for i, j in candidates[~grouped]:
-        if predicate.evaluate(engine, left[int(i)], right[int(j)]):
-            survivors.append((int(i), int(j)))
-    survivors.sort()
-    return survivors
+            mask = engine.points_within_distances(
+                right, bp[:, 1], xy, predicate.distance
+            )
+        kept = bp[mask]
+    else:
+        kept = bp
+    rest = candidates[~grouped]
+    if rest.shape[0]:
+        rmask = np.fromiter(
+            (
+                predicate.evaluate(engine, left[int(i)], right[int(j)])
+                for i, j in rest
+            ),
+            dtype=bool,
+            count=rest.shape[0],
+        )
+        kept = np.concatenate([kept, rest[rmask]])
+    return _lexsorted(kept)
 
 
 def refine_candidates(
@@ -99,20 +117,24 @@ def refine_candidates(
     candidates: "Sequence[tuple[int, int]] | np.ndarray",
     engine: GeometryEngine,
     predicate: JoinPredicate = INTERSECTS,
-) -> list[tuple[int, int]]:
+) -> "list[tuple[int, int]] | np.ndarray":
     """Exact-geometry refinement of MBR-filter candidates.
 
     Point-vs-polygon intersect candidates and point-vs-polyline distance
-    candidates are grouped per right-side geometry and refined with one
-    batched kernel call (the vectorized fast path); all other kind pairs
-    refine pairwise.  Output is sorted for determinism.  When both sides
-    are :class:`GeometryBatch`, grouping and point gathers are columnar.
+    candidates refine through the engine's batch methods (one CSR kernel
+    pass on the fast engines); all other kind pairs refine pairwise.
+    When both sides are :class:`GeometryBatch` the survivors stay
+    columnar — a lexsorted ``(n, 2)`` int64 ndarray; object-list inputs
+    keep the documented sorted list-of-tuples form.  Both planes hold
+    identical pairs and counter totals.
     """
-    if len(candidates) == 0:
-        return []
     if isinstance(left, GeometryBatch) and isinstance(right, GeometryBatch):
+        if len(candidates) == 0:
+            return _EMPTY_PAIRS
         cand = np.asarray(candidates, dtype=np.int64).reshape(-1, 2)
         return _refine_batch(left, right, cand, engine, predicate)
+    if len(candidates) == 0:
+        return []
     survivors: list[tuple[int, int]] = []
     batched: dict[int, list[int]] = {}
     rest: list[tuple[int, int]] = []
@@ -146,36 +168,36 @@ def indexed_nested_loop_join(
     counters: Optional[Counters] = None,
     leaf_capacity: int = 16,
     predicate: JoinPredicate = INTERSECTS,
-) -> list[tuple[int, int]]:
+) -> "list[tuple[int, int]] | np.ndarray":
     """Index the right side with an STR tree, probe with every left MBR.
 
     For distance predicates the probe boxes are expanded by the margin,
-    keeping the filter a superset of the exact matches.  A batch left
-    side probes all boxes in one level-synchronous ``query_many``
-    traversal instead of one tree walk per geometry.
+    keeping the filter a superset of the exact matches.  Both input
+    planes probe all boxes in one level-synchronous ``query_many``
+    traversal — bit-identical hits and traversal accounting to one tree
+    walk per geometry, without the per-geometry Python loop.
     """
     counters = counters if counters is not None else Counters()
     if not len(left) or not len(right):
-        return []
+        return _EMPTY_PAIRS if isinstance(left, GeometryBatch) and isinstance(
+            right, GeometryBatch) else []
     tree = STRtree(as_mbr_array(right), counters=counters,
                    leaf_capacity=leaf_capacity)
-    if isinstance(left, GeometryBatch):
-        probes = left.mbrs
-        if predicate.filter_margin:
-            probes = MBRArray(
-                probes.data
-                + np.array([-1.0, -1.0, 1.0, 1.0]) * predicate.filter_margin
-            )
-        hits = tree.query_many(probes)
-        counts = np.fromiter((h.size for h in hits), dtype=np.int64, count=len(hits))
-        qi = np.repeat(np.arange(len(hits), dtype=np.int64), counts)
-        cj = np.concatenate(hits) if hits else np.empty(0, dtype=np.int64)
-        candidates: "np.ndarray | list[tuple[int, int]]" = np.stack([qi, cj], axis=1)
+    probes = as_mbr_array(left)
+    if predicate.filter_margin:
+        probes = MBRArray(
+            probes.data
+            + np.array([-1.0, -1.0, 1.0, 1.0]) * predicate.filter_margin
+        )
+    hits = tree.query_many(probes)
+    counts = np.fromiter((h.size for h in hits), dtype=np.int64, count=len(hits))
+    qi = np.repeat(np.arange(len(hits), dtype=np.int64), counts)
+    cj = np.concatenate(hits) if hits else np.empty(0, dtype=np.int64)
+    if isinstance(left, GeometryBatch) and isinstance(right, GeometryBatch):
+        candidates: "np.ndarray | list[tuple[int, int]]" = np.stack(
+            [qi, cj], axis=1)
     else:
-        candidates = []
-        for i, geom in enumerate(left):
-            for j in tree.query(predicate.expand(geom.mbr)):
-                candidates.append((i, int(j)))
+        candidates = list(zip(qi.tolist(), cj.tolist()))
     counters.add("join.candidates", len(candidates))
     return refine_candidates(left, right, candidates, engine, predicate)
 
@@ -187,26 +209,54 @@ def plane_sweep_join(
     *,
     counters: Optional[Counters] = None,
     predicate: JoinPredicate = INTERSECTS,
-) -> list[tuple[int, int]]:
+) -> "list[tuple[int, int]] | np.ndarray":
     """Classic plane-sweep MBR join along the x axis.
 
     Distance predicates sweep with the left boxes expanded by the margin.
+    Batch inputs replace the Python event loop with a sort +
+    ``searchsorted`` stripe sweep producing the same candidate multiset
+    and the same ``join.sweep_ops`` total (derived in closed form from
+    the event-loop semantics); object inputs keep the reference loop,
+    accumulating ``sweep_ops`` locally and charging once per call.
     """
     counters = counters if counters is not None else Counters()
     if not len(left) or not len(right):
-        return []
+        return _EMPTY_PAIRS if isinstance(left, GeometryBatch) and isinstance(
+            right, GeometryBatch) else []
     lb = as_mbr_array(left).data
     if predicate.filter_margin:
         lb = lb + np.array([-1.0, -1.0, 1.0, 1.0]) * predicate.filter_margin
     rb = as_mbr_array(right).data
+    n, m = lb.shape[0], rb.shape[0]
+    counters.add("sort.ops", n * max(np.log2(max(n, 2)), 1) + m * max(np.log2(max(m, 2)), 1))
+    if isinstance(left, GeometryBatch) and isinstance(right, GeometryBatch):
+        candidates: "np.ndarray | list[tuple[int, int]]" = (
+            _sweep_candidates_batch(lb, rb, counters)
+        )
+    else:
+        candidates = _sweep_candidates_object(lb, rb, counters)
+    counters.add("join.candidates", len(candidates))
+    return refine_candidates(left, right, candidates, engine, predicate)
+
+
+def _sweep_candidates_object(
+    lb: np.ndarray, rb: np.ndarray, counters: Counters
+) -> list[tuple[int, int]]:
+    """Reference event-loop sweep (object plane): defines the semantics.
+
+    Events are the xmin of every box, merged left-first on ties; each
+    event prunes the opposite active list and pairs with its survivors.
+    ``join.sweep_ops`` — one per event plus the surviving active-list
+    length — is accumulated locally and charged once at the end.
+    """
     lorder = np.argsort(lb[:, 0], kind="stable")
     rorder = np.argsort(rb[:, 0], kind="stable")
     n, m = len(lorder), len(rorder)
-    counters.add("sort.ops", n * max(np.log2(max(n, 2)), 1) + m * max(np.log2(max(m, 2)), 1))
     candidates: list[tuple[int, int]] = []
     li = ri = 0
     active_left: list[int] = []  # indices into lb, still open
     active_right: list[int] = []
+    sweep_ops = 0
     while li < n or ri < m:
         take_left = ri >= m or (li < n and lb[lorder[li], 0] <= rb[rorder[ri], 0])
         if take_left:
@@ -214,7 +264,7 @@ def plane_sweep_join(
             li += 1
             x = lb[i, 0]
             active_right = [j for j in active_right if rb[j, 2] >= x]
-            counters.add("join.sweep_ops", len(active_right) + 1)
+            sweep_ops += len(active_right) + 1
             for j in active_right:
                 if lb[i, 1] <= rb[j, 3] and rb[j, 1] <= lb[i, 3]:
                     candidates.append((i, j))
@@ -224,13 +274,68 @@ def plane_sweep_join(
             ri += 1
             x = rb[j, 0]
             active_left = [i for i in active_left if lb[i, 2] >= x]
-            counters.add("join.sweep_ops", len(active_left) + 1)
+            sweep_ops += len(active_left) + 1
             for i in active_left:
                 if lb[i, 1] <= rb[j, 3] and rb[j, 1] <= lb[i, 3]:
                     candidates.append((i, j))
             active_right.append(j)
-    counters.add("join.candidates", len(candidates))
-    return refine_candidates(left, right, candidates, engine, predicate)
+    counters.add("join.sweep_ops", sweep_ops)
+    return candidates
+
+
+def _sweep_candidates_batch(
+    lb: np.ndarray, rb: np.ndarray, counters: Counters
+) -> np.ndarray:
+    """Vectorized stripe sweep: same pairs and counters, no event loop.
+
+    The event loop emits (i, j) exactly once, at whichever event opens
+    second: either ``lb0_i <= rb0_j <= lb2_i`` (right event j finds i
+    active) or ``rb0_j < lb0_i <= rb2_j`` (left event i finds j active)
+    — a disjoint, complete split of x-overlap.  Both cases enumerate via
+    ``searchsorted`` against the sorted xmin arrays.  ``join.sweep_ops``
+    totals follow the same decomposition in closed form: each event
+    charges one plus the size of the pruned opposite active list, which
+    is a difference of two ``searchsorted`` ranks (boxes opened before
+    the event minus boxes already closed).
+    """
+    n, m = lb.shape[0], rb.shape[0]
+    l0, l2 = lb[:, 0], lb[:, 2]
+    r0, r2 = rb[:, 0], rb[:, 2]
+    l0s, l2s = np.sort(l0), np.sort(l2)
+    r0s, r2s = np.sort(r0), np.sort(r2)
+    sweep_ops = n + m
+    # Left event at x = l0_i sees {j : r0_j < l0_i <= r2_j} active.
+    sweep_ops += int(
+        np.searchsorted(r0s, l0, side="left").sum()
+        - np.searchsorted(r2s, l0, side="left").sum()
+    )
+    # Right event at x = r0_j sees {i : l0_i <= r0_j <= l2_i} active
+    # (ties open left-first, so l0_i == r0_j counts as active).
+    sweep_ops += int(
+        np.searchsorted(l0s, r0, side="right").sum()
+        - np.searchsorted(l2s, r0, side="left").sum()
+    )
+    counters.add("join.sweep_ops", sweep_ops)
+    # Case 1: emitted at right event j — lb0_i <= rb0_j <= lb2_i.
+    rorder = np.argsort(r0, kind="stable")
+    r0_sorted = r0[rorder]
+    lo = np.searchsorted(r0_sorted, l0, side="left")
+    hi = np.searchsorted(r0_sorted, l2, side="right")
+    c1 = hi - lo
+    ii1 = np.repeat(np.arange(n, dtype=np.int64), c1)
+    jj1 = rorder[_ranges(lo, c1, int(c1.sum()))]
+    # Case 2: emitted at left event i — rb0_j < lb0_i <= rb2_j.
+    lorder = np.argsort(l0, kind="stable")
+    l0_sorted = l0[lorder]
+    lo2 = np.searchsorted(l0_sorted, r0, side="right")
+    hi2 = np.searchsorted(l0_sorted, r2, side="right")
+    c2 = hi2 - lo2
+    jj2 = np.repeat(np.arange(m, dtype=np.int64), c2)
+    ii2 = lorder[_ranges(lo2, c2, int(c2.sum()))]
+    ii = np.concatenate([ii1, ii2])
+    jj = np.concatenate([jj1, jj2])
+    keep = (lb[ii, 1] <= rb[jj, 3]) & (rb[jj, 1] <= lb[ii, 3])
+    return np.stack([ii[keep], jj[keep]], axis=1)
 
 
 def sync_rtree_join(
@@ -241,14 +346,19 @@ def sync_rtree_join(
     counters: Optional[Counters] = None,
     leaf_capacity: int = 16,
     predicate: JoinPredicate = INTERSECTS,
-) -> list[tuple[int, int]]:
+) -> "list[tuple[int, int]] | np.ndarray":
     """Synchronized traversal of STR trees built over both sides.
 
     Distance predicates build the left tree over margin-expanded boxes.
+    The traversal itself is the iterative level-synchronous frontier
+    expansion in :func:`~repro.index.strtree.sync_tree_join`; its
+    ndarray candidates flow straight into the columnar refine for batch
+    inputs and convert to tuples for the object plane.
     """
     counters = counters if counters is not None else Counters()
     if not len(left) or not len(right):
-        return []
+        return _EMPTY_PAIRS if isinstance(left, GeometryBatch) and isinstance(
+            right, GeometryBatch) else []
     left_boxes = as_mbr_array(left)
     if predicate.filter_margin:
         left_boxes = MBRArray(
@@ -258,8 +368,11 @@ def sync_rtree_join(
     ltree = STRtree(left_boxes, counters=counters, leaf_capacity=leaf_capacity)
     rtree = STRtree(as_mbr_array(right), counters=counters,
                     leaf_capacity=leaf_capacity)
-    candidates = sync_tree_join(ltree, rtree, counters)
+    candidates: "np.ndarray | list[tuple[int, int]]" = sync_tree_join(
+        ltree, rtree, counters)
     counters.add("join.candidates", len(candidates))
+    if not (isinstance(left, GeometryBatch) and isinstance(right, GeometryBatch)):
+        candidates = list(map(tuple, candidates.tolist()))
     return refine_candidates(left, right, candidates, engine, predicate)
 
 

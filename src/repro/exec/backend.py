@@ -153,16 +153,40 @@ class SerialBackend(ExecutorBackend):
 
 
 class ThreadBackend(ExecutorBackend):
-    """``ThreadPoolExecutor``-based backend (GIL-bounded concurrency)."""
+    """``ThreadPoolExecutor``-based backend (GIL-bounded concurrency).
+
+    Tasks are dispatched as one contiguous index slice per worker (not
+    one future per task), so pool overhead is paid ``workers`` times per
+    stage instead of ``tasks`` times.  Each slice runs its tasks serially
+    in one thread and outcomes are flattened back in task-index order, so
+    the merged counters and results stay bit-identical to serial.
+
+    Pure-Python task bodies still serialize on the GIL — on such
+    workloads this backend is a portability fallback (expect ~1× or
+    slightly below serial), and real speedup requires the fork-based
+    :class:`ProcessBackend`.  Only NumPy kernels and other GIL-releasing
+    sections genuinely overlap.
+    """
 
     name = "thread"
 
     def _execute(self, fns, shared):
         workers = min(self.workers, len(fns))
+        # Contiguous slices, sized as evenly as possible.
+        base, extra = divmod(len(fns), workers)
+        slices = []
+        start = 0
+        for w in range(workers):
+            stop = start + base + (1 if w < extra else 0)
+            slices.append(range(start, stop))
+            start = stop
+
+        def run_slice(indices):
+            return [run_task(i, fns[i], shared) for i in indices]
+
         with concurrent.futures.ThreadPoolExecutor(max_workers=workers) as pool:
-            return list(
-                pool.map(lambda i: run_task(i, fns[i], shared), range(len(fns)))
-            )
+            chunks = pool.map(run_slice, slices)
+            return [outcome for chunk in chunks for outcome in chunk]
 
 
 #: Task list published for forked ProcessBackend workers (fork-inherited;

@@ -93,6 +93,7 @@ class GeometryBatch:
         "mbrs",
         "_objects",
         "_id_rows",
+        "_coords_cols",
     )
 
     def __init__(
@@ -123,6 +124,7 @@ class GeometryBatch:
         self.mbrs = mbrs
         self._objects: Optional[list] = None  # lazy Geometry cache
         self._id_rows: Optional[dict] = None  # lazy id -> row map
+        self._coords_cols: Optional[tuple] = None  # lazy (x, y) columns
 
     # ----------------------------------------------------------- constructors
     @staticmethod
@@ -337,6 +339,21 @@ class GeometryBatch:
         """
         starts = self.ring_offsets[self.geom_rings[np.asarray(rows, dtype=np.int64)]]
         return self.coords[starts]
+
+    def coords_cols(self) -> tuple[np.ndarray, np.ndarray]:
+        """Contiguous 1-D copies of the x and y coordinate columns.
+
+        Fancy-indexing a contiguous 1-D array is markedly faster than
+        indexing a strided column view of the ``(P, 2)`` buffer; the CSR
+        refine kernels gather from these heavily.  Built lazily, cached
+        for the batch's lifetime (the buffers are immutable).
+        """
+        if self._coords_cols is None:
+            self._coords_cols = (
+                np.ascontiguousarray(self.coords[:, 0]),
+                np.ascontiguousarray(self.coords[:, 1]),
+            )
+        return self._coords_cols
 
     def serialized_sizes(self) -> np.ndarray:
         """Vector of ``Geometry.serialized_size()`` values (20 + 20·points)."""

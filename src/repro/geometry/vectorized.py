@@ -9,6 +9,8 @@ chunked over the point axis to bound memory.
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
 from .primitives import PolyLine, Polygon
@@ -33,16 +35,49 @@ def _ring_segments(ring: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     return ring[:-1], ring[1:]
 
 
-def points_on_ring(ring: np.ndarray, xy: np.ndarray) -> np.ndarray:
+class _RingPre:
+    """Precomputed per-segment arrays of one ring, built once per ring."""
+
+    __slots__ = ("ax", "ay", "bx", "by", "xmin", "xmax", "ymin", "ymax",
+                 "safe_dy")
+
+    def __init__(self, ring: np.ndarray):
+        a, b = _ring_segments(ring)
+        self.ax, self.ay = a[:, 0], a[:, 1]
+        self.bx, self.by = b[:, 0], b[:, 1]
+        self.xmin, self.xmax = np.minimum(self.ax, self.bx), np.maximum(self.ax, self.bx)
+        self.ymin, self.ymax = np.minimum(self.ay, self.by), np.maximum(self.ay, self.by)
+        dy = self.by - self.ay
+        self.safe_dy = np.where(dy == 0.0, 1.0, dy)
+
+
+def _polygon_ring_pre(poly: Polygon) -> "list[tuple[np.ndarray, _RingPre]]":
+    """Per-ring precomputes of a polygon, cached on the instance.
+
+    Ordered ``[exterior, *holes]``.  ``Polygon`` is immutable, so the
+    cache (stashed in the instance ``__dict__`` alongside the
+    ``cached_property`` values) never goes stale.
+    """
+    cached = poly.__dict__.get("_ring_pre")
+    if cached is None:
+        cached = [(r, _RingPre(r)) for r in (poly.exterior, *poly.holes)]
+        poly.__dict__["_ring_pre"] = cached
+    return cached
+
+
+def points_on_ring(
+    ring: np.ndarray, xy: np.ndarray, *, pre: "Optional[_RingPre]" = None
+) -> np.ndarray:
     """Boolean mask of points lying exactly on a closed ring's boundary."""
     xy = np.asarray(xy, dtype=np.float64)
     n = xy.shape[0]
     out = np.zeros(n, dtype=bool)
-    a, b = _ring_segments(ring)
-    ax, ay = a[:, 0], a[:, 1]
-    bx, by = b[:, 0], b[:, 1]
-    seg_xmin, seg_xmax = np.minimum(ax, bx), np.maximum(ax, bx)
-    seg_ymin, seg_ymax = np.minimum(ay, by), np.maximum(ay, by)
+    if pre is None:
+        pre = _RingPre(ring)
+    ax, ay = pre.ax, pre.ay
+    bx, by = pre.bx, pre.by
+    seg_xmin, seg_xmax = pre.xmin, pre.xmax
+    seg_ymin, seg_ymax = pre.ymin, pre.ymax
     for lo in range(0, n, _CHUNK):
         px = xy[lo : lo + _CHUNK, 0][:, None]
         py = xy[lo : lo + _CHUNK, 1][:, None]
@@ -60,7 +95,8 @@ def points_on_ring(ring: np.ndarray, xy: np.ndarray) -> np.ndarray:
 
 
 def points_in_ring(
-    ring: np.ndarray, xy: np.ndarray, *, boundary: bool = True
+    ring: np.ndarray, xy: np.ndarray, *, boundary: bool = True,
+    pre: Optional[_RingPre] = None,
 ) -> np.ndarray:
     """Vectorized crossing-number test for many points against one ring.
 
@@ -70,13 +106,13 @@ def points_in_ring(
     xy = np.asarray(xy, dtype=np.float64)
     n = xy.shape[0]
     inside = np.zeros(n, dtype=bool)
-    a, b = _ring_segments(ring)
-    ax, ay = a[:, 0], a[:, 1]
-    bx, by = b[:, 0], b[:, 1]
-    dy = by - ay
-    # Guard the horizontal segments: they never satisfy the half-open rule,
-    # so a dummy divisor avoids divide-by-zero warnings without branching.
-    safe_dy = np.where(dy == 0.0, 1.0, dy)
+    if pre is None:
+        pre = _RingPre(ring)
+    ax, ay = pre.ax, pre.ay
+    bx, by = pre.bx, pre.by
+    # Horizontal segments never satisfy the half-open rule, so the dummy
+    # divisor in safe_dy avoids divide-by-zero warnings without branching.
+    safe_dy = pre.safe_dy
     for lo in range(0, n, _CHUNK):
         px = xy[lo : lo + _CHUNK, 0][:, None]
         py = xy[lo : lo + _CHUNK, 1][:, None]
@@ -85,7 +121,7 @@ def points_in_ring(
         inside[lo : lo + _CHUNK] = (
             np.sum(straddles & (px < x_cross), axis=1) % 2 == 1
         )
-    on_edge = points_on_ring(ring, xy)
+    on_edge = points_on_ring(ring, xy, pre=pre)
     if boundary:
         return inside | on_edge
     return inside & ~on_edge
@@ -109,10 +145,12 @@ def points_in_polygon(poly: Polygon, xy: np.ndarray) -> np.ndarray:
     if cand.size == 0:
         return result
     sub = xy[cand]
-    mask = points_in_ring(poly.exterior, sub, boundary=True)
-    for hole in poly.holes:
-        on_hole_edge = points_on_ring(hole, sub)
-        strictly_in_hole = points_in_ring(hole, sub, boundary=False)
+    rings = _polygon_ring_pre(poly)
+    ext_ring, ext_pre = rings[0]
+    mask = points_in_ring(ext_ring, sub, boundary=True, pre=ext_pre)
+    for hole, hole_pre in rings[1:]:
+        on_hole_edge = points_on_ring(hole, sub, pre=hole_pre)
+        strictly_in_hole = points_in_ring(hole, sub, boundary=False, pre=hole_pre)
         mask &= on_hole_edge | ~strictly_in_hole
     result[cand] = mask
     return result
@@ -182,15 +220,25 @@ def polylines_intersect(a: PolyLine, b: PolyLine) -> bool:
     )
 
 
+def _polyline_seg_pre(line: PolyLine) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """``(a, d, safe_len2)`` segment arrays of a polyline, cached on it."""
+    cached = line.__dict__.get("_seg_pre")
+    if cached is None:
+        c = line.coords
+        a, b = c[:-1], c[1:]
+        d = b - a
+        seg_len2 = (d**2).sum(axis=1)
+        safe_len2 = np.where(seg_len2 == 0.0, 1.0, seg_len2)
+        cached = (a, d, safe_len2)
+        line.__dict__["_seg_pre"] = cached
+    return cached
+
+
 def points_segments_min_distance(xy: np.ndarray, line: PolyLine) -> np.ndarray:
     """Minimum distance from each point to any segment of a polyline."""
     xy = np.asarray(xy, dtype=np.float64)
     n = xy.shape[0]
-    c = line.coords
-    a, b = c[:-1], c[1:]
-    d = b - a
-    seg_len2 = (d**2).sum(axis=1)
-    safe_len2 = np.where(seg_len2 == 0.0, 1.0, seg_len2)
+    a, d, safe_len2 = _polyline_seg_pre(line)
     out = np.empty(n, dtype=np.float64)
     for lo in range(0, n, _CHUNK):
         p = xy[lo : lo + _CHUNK]

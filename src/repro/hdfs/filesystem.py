@@ -20,6 +20,7 @@ from typing import Any, Callable, Iterable, Iterator, Optional, Sequence
 
 from ..geometry.batch import GeometryBatch
 from ..metrics import Counters
+from ..pairs import PairBlock
 from .sizeof import estimate_size
 
 __all__ = ["Block", "HdfsFile", "SimulatedHDFS", "HdfsError", "DEFAULT_BLOCK_SIZE"]
@@ -43,13 +44,27 @@ class Block:
     nbytes: int
     aux: Any = None
     aux_nbytes: int = 0
+    _num_records: Optional[int] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     @property
     def total_bytes(self) -> int:
         return self.nbytes + self.aux_nbytes
 
     def __len__(self) -> int:
-        return len(self.records)
+        """Logical record count: a :class:`~repro.pairs.PairBlock` in the
+        record list stands for its pair count, keeping ``hdfs.records_*``
+        totals identical to the per-tuple flow."""
+        if self._num_records is None:
+            records = self.records
+            if isinstance(records, list):
+                self._num_records = sum(
+                    len(r) if isinstance(r, PairBlock) else 1 for r in records
+                )
+            else:
+                self._num_records = len(records)
+        return self._num_records
 
 
 @dataclass

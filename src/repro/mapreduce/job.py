@@ -33,6 +33,7 @@ from ..geometry.batch import GeometryBatch
 from ..hdfs.filesystem import SimulatedHDFS
 from ..hdfs.sizeof import estimate_size
 from ..metrics import Counters
+from ..pairs import PairBlock
 
 __all__ = [
     "Split",
@@ -71,6 +72,13 @@ def _records_size(records) -> int:
     if isinstance(records, GeometryBatch):
         return records.serialized_size()
     return sum(estimate_size(r) for r in records)
+
+
+def _num_records(records) -> int:
+    """Logical record count: PairBlocks stand for their pair count."""
+    if isinstance(records, GeometryBatch):
+        return len(records)
+    return sum(len(r) if isinstance(r, PairBlock) else 1 for r in records)
 
 
 @dataclass
@@ -251,7 +259,8 @@ class MapReduceJob:
                 bytes_out = sum(estimate_size(r) for r in task_out)
                 if self.streaming_hook is not None:
                     self.streaming_hook(
-                        "map", bytes_in, bytes_out, len(data.records), len(task_out)
+                        "map", bytes_in, bytes_out,
+                        _num_records(data.records), _num_records(task_out),
                     )
                 return task_out
 
@@ -278,7 +287,7 @@ class MapReduceJob:
             return JobResult(
                 output_path=self.output_path,
                 output_records=out_records,
-                map_output_records=len(map_out),
+                map_output_records=_num_records(map_out),
                 splits=len(splits),
                 reducers=0,
                 side=map_side,
@@ -379,4 +388,4 @@ class MapReduceJob:
                 group=self.group,
             )
         )
-        return len(records)
+        return _num_records(records)

@@ -13,6 +13,8 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Optional, Sequence, Union
 
+import numpy as np
+
 from ..cluster.costmodel import CostModel, CostParams
 from ..cluster.simclock import SimClock
 from ..cluster.specs import ClusterConfig, ws_config
@@ -254,7 +256,7 @@ class SpatialJoinSystem(ABC):
         self,
         env: RunEnvironment,
         *,
-        pairs: Optional[set] = None,
+        pairs: "Optional[set | frozenset | np.ndarray]" = None,
         error: Optional[Exception] = None,
         engine_profile: Optional[dict] = None,
         memory_pressure: float = 0.0,
@@ -268,6 +270,10 @@ class SpatialJoinSystem(ABC):
         # Per-stage wall-clock of the execution backend rides along for
         # benchmarking; the cost model ignores non-counter keys.
         profile["exec"] = env.executor.profile_summary()
+        if isinstance(pairs, np.ndarray):
+            # Columnar pair plane -> the documented tuple set, at the
+            # API boundary only.
+            pairs = frozenset(map(tuple, pairs.tolist()))
         return RunReport(
             system=self.name,
             cluster=env.cluster.name,

@@ -45,6 +45,7 @@ from ..hdfs.filesystem import Block
 from ..index.strtree import STRtree
 from ..mapreduce.job import InputFormat, MapReduceJob, Split
 from ..mapreduce.streaming import parse_charge, serialize_charge
+from ..pairs import PairBlock, unique_pairs
 from .base import RunEnvironment, RunReport, SpatialJoinSystem
 
 __all__ = ["SpatialHadoop"]
@@ -84,7 +85,7 @@ class _BinarySpatialInputFormat(InputFormat):
         )
         return [
             Split(parts=[(left_data, i), (right_data, j)], info={"pair": (i, j)})
-            for i, j in pairs
+            for i, j in pairs.tolist()
         ]
 
 
@@ -256,9 +257,8 @@ class SpatialHadoop(SpatialJoinSystem):
     # ------------------------------------------------------------- join
     def _distributed_join(
         self, env: RunEnvironment, engine, predicate: JoinPredicate = INTERSECTS
-    ) -> set:
+    ) -> np.ndarray:
         counters, hdfs = env.counters, env.hdfs
-        results: set[tuple[int, int]] = set()
 
         def join_map(data):
             a_batch, b_batch = data.part_records
@@ -275,9 +275,14 @@ class SpatialHadoop(SpatialJoinSystem):
                 counters=counters,
                 predicate=predicate,
             )
-            a_ids, b_ids = a_batch.ids, b_batch.ids
-            for i, j in refined:
-                yield (int(a_ids[i]), int(b_ids[j]))
+            # The (n, 2) row-index survivors map to dataset ids in one
+            # gather and stay columnar — one PairBlock per split, which
+            # the simulated HDFS accounts as n pair records.
+            if len(refined):
+                a_ids, b_ids = a_batch.ids, b_batch.ids
+                yield PairBlock(
+                    np.stack([a_ids[refined[:, 0]], b_ids[refined[:, 1]]], axis=1)
+                )
 
         job = MapReduceJob(
             "shadoop.join",
@@ -291,8 +296,7 @@ class SpatialHadoop(SpatialJoinSystem):
             group="join", executor=env.executor,
         )
         job.run()
-        results = set(hdfs.read_all("/shadoop/join/results"))
-        return results
+        return unique_pairs(hdfs.read_all("/shadoop/join/results"))
 
     # ------------------------------------------------------------ stage map
     def stage_trace(self) -> StageTrace:

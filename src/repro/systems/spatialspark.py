@@ -50,6 +50,7 @@ from ..geometry.mbr import MBRArray
 from ..hdfs.sizeof import estimate_size
 from ..index.strtree import STRtree
 from ..mapreduce.streaming import parse_charge
+from ..pairs import PairBlock, unique_pairs
 from ..spark.context import SparkContext
 from ..spark.memory import MemoryLedger, SparkOutOfMemoryError
 from .base import RunEnvironment, RunReport, SpatialJoinSystem
@@ -237,16 +238,24 @@ class SpatialSpark(SpatialJoinSystem):
                 refined = refine_candidates(
                     a_batch, b_batch, candidates, engine, predicate
                 )
-                a_ids, b_ids = a_batch.ids, b_batch.ids
-                for i, j in refined:
-                    yield (int(a_ids[i]), int(b_ids[j]))
+                # Survivors stay columnar: one PairBlock per partition
+                # pair, ids gathered in one vectorized step.
+                if len(refined):
+                    a_ids, b_ids = a_batch.ids, b_batch.ids
+                    yield PairBlock(
+                        np.stack(
+                            [a_ids[refined[:, 0]], b_ids[refined[:, 1]]], axis=1
+                        )
+                    )
 
             result = joined.flatMap(match).collect()
-            # Multi-assignment duplicates are removed in memory.
+            # Multi-assignment duplicates are removed in memory; the sort
+            # is charged on the logical pair count, as before.
+            n_result = sum(len(block) for block in result)
             counters.add(
-                "sort.ops", len(result) * max(np.log2(max(len(result), 2)), 1.0)
+                "sort.ops", n_result * max(np.log2(max(n_result, 2)), 1.0)
             )
-            pairs = set(result)
+            pairs = unique_pairs(result)
         return pairs
 
     # ------------------------------------------------- broadcast-based join

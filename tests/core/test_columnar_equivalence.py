@@ -53,8 +53,17 @@ def test_local_join_object_vs_batch(algorithm, engine_name, workload):
             algorithm, l_in, r_in, engine, counters=counters, predicate=predicate
         )
         results[tag] = (pairs, dict(counters))
-    assert results["object"][0] == results["batch"][0]
-    assert results["object"][1] == results["batch"][1]
+    obj_pairs, obj_counters = results["object"]
+    bat_pairs, bat_counters = results["batch"]
+    # The object plane keeps the documented sorted list of tuples; the
+    # batch plane is a lexsorted (n, 2) int64 ndarray of the same pairs.
+    assert isinstance(obj_pairs, list)
+    assert isinstance(bat_pairs, np.ndarray)
+    assert bat_pairs.dtype == np.int64 and bat_pairs.ndim == 2
+    as_tuples = list(map(tuple, bat_pairs.tolist()))
+    assert as_tuples == sorted(as_tuples)  # lexsorted
+    assert obj_pairs == as_tuples
+    assert obj_counters == bat_counters
 
 
 def test_query_many_matches_scalar_queries():
@@ -129,7 +138,7 @@ def test_distance_pairs_match_bruteforce():
         for j, poly in enumerate(right)
         if INTERSECTS.evaluate(brute, p, poly)
     )
-    assert got == expected
+    assert list(map(tuple, got.tolist())) == expected
 
 
 def test_write_batch_file_matches_write_file():

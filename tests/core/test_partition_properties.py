@@ -73,7 +73,8 @@ class TestBestAssignmentLemma:
             contents[pid] = contents[pid].union(box)
         expanded = part.expanded_to_contents(contents)
         # Treat the items as two sides of a self-join.
-        pairs = set(pair_partitions_nested(expanded.boxes, expanded.boxes))
+        pairs = set(map(tuple, pair_partitions_nested(
+            expanded.boxes, expanded.boxes).tolist()))
         for i, a in enumerate(items):
             for j, b in enumerate(items):
                 if a.intersects(b):

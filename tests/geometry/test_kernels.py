@@ -1,0 +1,282 @@
+"""CSR multi-geometry kernels must agree bit-for-bit with the scalar path.
+
+The kernels in :mod:`repro.geometry.kernels` evaluate whole candidate
+sets against a batch's packed CSR buffers.  These tests pit them against
+three references on randomized inputs: the scalar predicates, the
+per-ring vectorized kernels, and the base engine's grouped fallback —
+including boundary points, polygons with holes, degenerate horizontal
+segments, and chunk-boundary effects.
+"""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Point, PolyLine, Polygon
+from repro.geometry import kernels as kp
+from repro.geometry import predicates as sp
+from repro.geometry import vectorized as vp
+from repro.geometry.batch import GeometryBatch
+from repro.geometry.engine import GeometryEngine, make_engine
+from repro.metrics import Counters
+
+
+def star_polygon(rng, cx, cy, rmax, with_hole=False):
+    """Random star-shaped polygon (sorted angles → simple ring)."""
+    n = int(rng.integers(4, 12))
+    angles = np.sort(rng.uniform(0.0, 2 * np.pi, n))
+    while np.any(np.diff(angles) < 1e-6):
+        angles = np.sort(rng.uniform(0.0, 2 * np.pi, n))
+    radii = rng.uniform(0.4 * rmax, rmax, n)
+    pts = [(cx + r * np.cos(a), cy + r * np.sin(a)) for r, a in zip(radii, angles)]
+    holes = []
+    if with_hole:
+        hr = 0.25 * rmax
+        ha = np.linspace(0.0, 2 * np.pi, 6, endpoint=False)
+        holes = [[(cx + hr * np.cos(a), cy + hr * np.sin(a)) for a in ha]]
+    return Polygon(pts, holes=holes)
+
+
+def random_polygons(rng, n):
+    return [
+        star_polygon(
+            rng,
+            cx=rng.uniform(0, 10),
+            cy=rng.uniform(0, 10),
+            rmax=rng.uniform(0.5, 2.5),
+            with_hole=bool(rng.integers(0, 2)),
+        )
+        for _ in range(n)
+    ]
+
+
+def random_polylines(rng, n):
+    out = []
+    for _ in range(n):
+        k = int(rng.integers(2, 9))
+        base = rng.uniform(0, 10, 2)
+        steps = rng.uniform(-1, 1, (k, 2))
+        out.append(PolyLine((base + np.cumsum(steps, axis=0)).tolist()))
+    return out
+
+
+def boundary_points(poly, rng, per_ring=4):
+    """Exact vertices and exact midpoints of random ring segments."""
+    pts = []
+    for ring in (poly.exterior, *poly.holes):
+        segs = rng.integers(0, ring.shape[0] - 1, per_ring)
+        for s in segs:
+            a, b = ring[s], ring[s + 1]
+            pts.append(a)
+            pts.append((a + b) / 2.0)  # exact: cross product is exactly 0
+    return np.array(pts)
+
+
+def candidate_pairs(rng, xy_pool, n_geoms, k):
+    rows = rng.integers(0, n_geoms, k).astype(np.int64)
+    xy = xy_pool[rng.integers(0, xy_pool.shape[0], k)]
+    return xy, rows
+
+
+class TestPointsInPolygonsCSR:
+    def test_matches_scalar_and_vectorized(self):
+        rng = np.random.default_rng(101)
+        polys = random_polygons(rng, 12)
+        batch = GeometryBatch.from_geometries(polys)
+        pool = rng.uniform(-1, 11, (300, 2))
+        xy, rows = candidate_pairs(rng, pool, len(polys), 500)
+
+        got = kp.points_in_polygons_csr(
+            xy, rows, batch.coords, batch.ring_offsets, batch.geom_rings,
+            batch.mbrs.data,
+        )
+        scalar = np.array(
+            [sp.point_in_polygon(polys[r], x, y) for (x, y), r in zip(xy, rows)]
+        )
+        np.testing.assert_array_equal(got, scalar)
+        for r in np.unique(rows):
+            sel = rows == r
+            np.testing.assert_array_equal(
+                got[sel], vp.points_in_polygon(polys[r], xy[sel])
+            )
+
+    def test_boundary_points_inclusive(self):
+        rng = np.random.default_rng(102)
+        polys = random_polygons(rng, 8)
+        batch = GeometryBatch.from_geometries(polys)
+        for r, poly in enumerate(polys):
+            xy = boundary_points(poly, rng)
+            rows = np.full(xy.shape[0], r, dtype=np.int64)
+            got = kp.points_in_polygons_csr(
+                xy, rows, batch.coords, batch.ring_offsets, batch.geom_rings,
+                batch.mbrs.data,
+            )
+            scalar = np.array([sp.point_in_polygon(poly, x, y) for x, y in xy])
+            np.testing.assert_array_equal(got, scalar)
+            # Exact ring vertices (even positions of the first 2*per_ring
+            # points, which come from the exterior ring) are inclusively
+            # contained: their cross product is exactly zero.  Midpoints
+            # only get the scalar-agreement guarantee — (a+b)/2 need not
+            # lie exactly on the segment in floating point.
+            assert got[:8:2].all()
+
+    def test_degenerate_horizontal_segments(self):
+        # Axis-aligned rings are all horizontal/vertical segments: the
+        # safe_dy guard and the half-open crossing rule get no help from
+        # general-position geometry here.
+        boxes = [
+            Polygon([(0, 0), (4, 0), (4, 4), (0, 4)]),
+            Polygon([(1, 1), (9, 1), (9, 3), (1, 3)],
+                    holes=[[(2, 1.5), (3, 1.5), (3, 2.5), (2, 2.5)]]),
+        ]
+        batch = GeometryBatch.from_geometries(boxes)
+        # Points sitting exactly on horizontal-edge y-levels, inside,
+        # outside, on corners and on the hole boundary.
+        xy = np.array([
+            [2.0, 0.0], [2.0, 4.0], [0.0, 0.0], [4.0, 4.0], [5.0, 0.0],
+            [2.0, 2.0], [-1.0, 0.0],
+            [2.0, 1.0], [2.0, 3.0], [2.5, 1.5], [2.5, 2.0], [5.0, 2.0],
+            [1.0, 1.0], [9.0, 3.0], [2.0, 1.5], [10.0, 1.0],
+        ])
+        rows = np.array([0] * 7 + [1] * 9, dtype=np.int64)
+        got = kp.points_in_polygons_csr(
+            xy, rows, batch.coords, batch.ring_offsets, batch.geom_rings,
+            batch.mbrs.data,
+        )
+        scalar = np.array(
+            [sp.point_in_polygon(boxes[r], x, y) for (x, y), r in zip(xy, rows)]
+        )
+        np.testing.assert_array_equal(got, scalar)
+
+    def test_chunking_is_invisible(self, monkeypatch):
+        rng = np.random.default_rng(103)
+        polys = random_polygons(rng, 10)
+        batch = GeometryBatch.from_geometries(polys)
+        pool = rng.uniform(-1, 11, (200, 2))
+        xy, rows = candidate_pairs(rng, pool, len(polys), 400)
+        args = (xy, rows, batch.coords, batch.ring_offsets, batch.geom_rings,
+                batch.mbrs.data)
+        whole = kp.points_in_polygons_csr(*args)
+        monkeypatch.setattr(kp, "_FLAT_CHUNK", 7)
+        np.testing.assert_array_equal(kp.points_in_polygons_csr(*args), whole)
+
+    def test_empty_candidates(self):
+        batch = GeometryBatch.from_geometries(
+            random_polygons(np.random.default_rng(104), 3)
+        )
+        got = kp.points_in_polygons_csr(
+            np.empty((0, 2)), np.empty(0, dtype=np.int64),
+            batch.coords, batch.ring_offsets, batch.geom_rings, batch.mbrs.data,
+        )
+        assert got.shape == (0,) and got.dtype == bool
+
+
+class TestPointsWithinPolylinesCSR:
+    @pytest.mark.parametrize("distance", [0.05, 0.5, 2.0])
+    def test_matches_vectorized(self, distance):
+        rng = np.random.default_rng(105)
+        lines = random_polylines(rng, 10)
+        batch = GeometryBatch.from_geometries(lines)
+        pool = rng.uniform(-2, 12, (300, 2))
+        xy, rows = candidate_pairs(rng, pool, len(lines), 600)
+        # Guarantee hits at every threshold: one point 0.01 off each
+        # line's first vertex, paired with that line.
+        near = np.array([line.coords[0] + [0.01, 0.0] for line in lines])
+        xy = np.concatenate([xy, near])
+        rows = np.concatenate(
+            [rows, np.arange(len(lines), dtype=np.int64)]
+        )
+        got = kp.points_within_polylines_csr(
+            xy, rows, batch.coords, batch.ring_offsets, batch.geom_rings,
+            distance,
+        )
+        assert got.any()  # the thresholds are chosen to produce hits
+        for r in np.unique(rows):
+            sel = rows == r
+            want = vp.points_segments_min_distance(xy[sel], lines[r]) <= distance
+            np.testing.assert_array_equal(got[sel], want)
+
+    def test_matches_scalar_off_threshold(self):
+        # The scalar distance uses hypot (different rounding than
+        # sqrt-of-sum), so compare masks only where the distance is not
+        # within an ulp-scale band of the threshold.
+        rng = np.random.default_rng(106)
+        lines = random_polylines(rng, 6)
+        batch = GeometryBatch.from_geometries(lines)
+        pool = rng.uniform(-2, 12, (200, 2))
+        xy, rows = candidate_pairs(rng, pool, len(lines), 300)
+        distance = 0.75
+        got = kp.points_within_polylines_csr(
+            xy, rows, batch.coords, batch.ring_offsets, batch.geom_rings,
+            distance,
+        )
+        scalar = np.array([
+            sp.point_polyline_distance(Point(x, y), lines[r])
+            for (x, y), r in zip(xy, rows)
+        ])
+        clear = np.abs(scalar - distance) > 1e-9
+        assert clear.sum() > 200
+        np.testing.assert_array_equal(got[clear], (scalar <= distance)[clear])
+
+    def test_exact_on_vertex_distance_zero(self):
+        line = PolyLine([(0.0, 0.0), (3.0, 0.0), (3.0, 4.0)])
+        batch = GeometryBatch.from_geometries([line])
+        xy = np.array([[0.0, 0.0], [3.0, 0.0], [3.0, 4.0], [1.5, 0.0]])
+        rows = np.zeros(4, dtype=np.int64)
+        got = kp.points_within_polylines_csr(
+            xy, rows, batch.coords, batch.ring_offsets, batch.geom_rings, 0.0,
+        )
+        np.testing.assert_array_equal(got, [True, True, True, True])
+
+    def test_chunking_is_invisible(self, monkeypatch):
+        rng = np.random.default_rng(107)
+        lines = random_polylines(rng, 8)
+        batch = GeometryBatch.from_geometries(lines)
+        pool = rng.uniform(-2, 12, (150, 2))
+        xy, rows = candidate_pairs(rng, pool, len(lines), 250)
+        args = (xy, rows, batch.coords, batch.ring_offsets, batch.geom_rings, 0.8)
+        whole = kp.points_within_polylines_csr(*args)
+        monkeypatch.setattr(kp, "_FLAT_CHUNK", 5)
+        np.testing.assert_array_equal(
+            kp.points_within_polylines_csr(*args), whole
+        )
+
+
+class TestEngineGroupedFallbackParity:
+    """JtsLikeEngine's CSR overrides vs the base grouped per-row loop:
+    identical masks AND identical counter totals."""
+
+    def test_points_in_polygons(self):
+        rng = np.random.default_rng(108)
+        polys = random_polygons(rng, 9)
+        batch = GeometryBatch.from_geometries(polys)
+        pool = rng.uniform(-1, 11, (200, 2))
+        xy, rows = candidate_pairs(rng, pool, len(polys), 350)
+        rows = np.sort(rows)  # grouped fallback expects row-sorted input
+
+        c_csr = Counters()
+        csr = make_engine("jts", c_csr).points_in_polygons(batch, rows, xy)
+        c_grp = Counters()
+        grouped = GeometryEngine.points_in_polygons(
+            make_engine("jts", c_grp), batch, rows, xy
+        )
+        np.testing.assert_array_equal(csr, grouped)
+        assert dict(c_csr) == dict(c_grp)
+
+    def test_points_within_distances(self):
+        rng = np.random.default_rng(109)
+        lines = random_polylines(rng, 7)
+        batch = GeometryBatch.from_geometries(lines)
+        pool = rng.uniform(-2, 12, (200, 2))
+        xy, rows = candidate_pairs(rng, pool, len(lines), 300)
+        rows = np.sort(rows)
+
+        c_csr = Counters()
+        csr = make_engine("jts", c_csr).points_within_distances(
+            batch, rows, xy, 0.6
+        )
+        c_grp = Counters()
+        grouped = GeometryEngine.points_within_distances(
+            make_engine("jts", c_grp), batch, rows, xy, 0.6
+        )
+        np.testing.assert_array_equal(csr, grouped)
+        assert dict(c_csr) == dict(c_grp)

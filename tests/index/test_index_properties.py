@@ -74,7 +74,7 @@ class TestStructuralInvariants:
     def test_sync_join_matches_nested_loop(self, a, b):
         ta = STRtree(MBRArray.from_mbrs(a), leaf_capacity=4, fanout=4)
         tb = STRtree(MBRArray.from_mbrs(b), leaf_capacity=4, fanout=4)
-        got = set(sync_tree_join(ta, tb))
+        got = set(map(tuple, sync_tree_join(ta, tb).tolist()))
         want = {
             (i, j)
             for i in range(len(a))
