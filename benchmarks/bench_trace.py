@@ -1,0 +1,130 @@
+#!/usr/bin/env python
+"""Tracing overhead guard: traced vs untraced wall-clock on one join.
+
+The :mod:`repro.trace` spans only snapshot-and-diff counter ledgers, so a
+traced run must cost almost nothing over an untraced one — and nothing at
+all in *results* (pairs and counter totals are asserted bit-identical
+here on every invocation).  This script measures the wall-clock ratio on
+a Table-1-style ``taxi_points × census_blocks`` workload and, under
+``--check``, fails if tracing costs more than the budgeted overhead.
+
+Run:  PYTHONPATH=src python benchmarks/bench_trace.py [--check] [--out FILE]
+      PYTHONPATH=src python benchmarks/bench_trace.py --trace-out trace.json
+
+Prints (and optionally writes) a JSON document::
+
+    {
+      "workload": {...},
+      "untraced_seconds": ..., "traced_seconds": ...,
+      "overhead": 0.03, "budget": 0.10,
+      "spans": 57, "pairs": 12345, "identical_results": true
+    }
+
+``--trace-out`` additionally writes the traced run's span tree as Chrome
+trace-event JSON (open in https://ui.perfetto.dev); CI uploads it as the
+bench-smoke artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+from repro import spatial_join, write_chrome_trace
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Allowed wall-clock overhead of tracing (fraction of untraced time).
+OVERHEAD_BUDGET = 0.10
+
+
+def measure(points, blocks, *, system: str, trace: bool, repeats: int):
+    """Best-of-*repeats* wall seconds plus the last report."""
+    best = float("inf")
+    report = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        report = spatial_join(
+            points, blocks, system=system, block_size=1 << 15, trace=trace
+        )
+        best = min(best, time.perf_counter() - start)
+    return best, report
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--exec-records", type=int, default=10_000,
+                        help="records per dataset (default 10000)")
+    parser.add_argument("--system", default="SpatialHadoop",
+                        choices=("HadoopGIS", "SpatialHadoop", "SpatialSpark"))
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timed repetitions per mode; best is kept")
+    parser.add_argument("--check", action="store_true",
+                        help="exit non-zero if overhead exceeds "
+                             f"{OVERHEAD_BUDGET:.0%}")
+    parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_trace.json"),
+                        help="output JSON path (default: repo root)")
+    parser.add_argument("--trace-out", default=None, metavar="PATH",
+                        help="also write the traced run's Chrome trace JSON")
+    args = parser.parse_args()
+
+    from repro.data import census_blocks, taxi_points
+
+    points = taxi_points(args.exec_records, seed=3)
+    blocks = census_blocks(args.exec_records, seed=4)
+
+    # Warm-up run so neither mode pays first-touch import/JIT costs.
+    spatial_join(points[:200], blocks[:50], system=args.system)
+
+    untraced_seconds, untraced = measure(
+        points, blocks, system=args.system, trace=False, repeats=args.repeats
+    )
+    traced_seconds, traced = measure(
+        points, blocks, system=args.system, trace=True, repeats=args.repeats
+    )
+
+    identical = (
+        traced.pairs == untraced.pairs
+        and dict(traced.counters) == dict(untraced.counters)
+    )
+    overhead = traced_seconds / max(untraced_seconds, 1e-9) - 1.0
+    spans = sum(1 for _ in traced.trace.walk())
+
+    document = {
+        "workload": {
+            "system": args.system,
+            "exec_records": args.exec_records,
+            "datasets": "taxi_points x census_blocks",
+            "repeats": args.repeats,
+        },
+        "untraced_seconds": round(untraced_seconds, 3),
+        "traced_seconds": round(traced_seconds, 3),
+        "overhead": round(overhead, 4),
+        "budget": OVERHEAD_BUDGET,
+        "spans": spans,
+        "pairs": len(traced.pairs or ()),
+        "identical_results": identical,
+    }
+    text = json.dumps(document, indent=2)
+    print(text)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+        print(f"wrote {args.out}")
+    if args.trace_out:
+        write_chrome_trace(traced.trace, args.trace_out)
+        print(f"wrote {args.trace_out} (open in https://ui.perfetto.dev)")
+
+    # Results must match unconditionally: tracing is zero-cost-to-results.
+    assert identical, "traced and untraced runs disagreed on results"
+    if args.check and overhead > OVERHEAD_BUDGET:
+        print(f"FAIL: tracing overhead {overhead:.1%} exceeds "
+              f"{OVERHEAD_BUDGET:.0%} budget")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

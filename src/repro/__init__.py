@@ -34,9 +34,14 @@ __all__ = [
     "EXPERIMENTS",
     "RunEnvironment",
     "RunReport",
+    "Tracer",
     "make_system",
+    "render_skew",
+    "render_tree",
     "run_experiment",
+    "skew_report",
     "spatial_join",
+    "write_chrome_trace",
 ]
 
 #: Lazily-resolved top-level exports (PEP 562), so ``import repro`` stays
@@ -45,9 +50,14 @@ _EXPORTS = {
     "EXPERIMENTS": ("repro.experiments.runner", "EXPERIMENTS"),
     "RunEnvironment": ("repro.systems.base", "RunEnvironment"),
     "RunReport": ("repro.systems.base", "RunReport"),
+    "Tracer": ("repro.trace", "Tracer"),
     "make_system": ("repro.systems", "make_system"),
+    "render_skew": ("repro.trace", "render_skew"),
+    "render_tree": ("repro.trace", "render_tree"),
     "run_experiment": ("repro.experiments.runner", "run_experiment"),
+    "skew_report": ("repro.trace", "skew_report"),
     "spatial_join": ("repro.api", "spatial_join"),
+    "write_chrome_trace": ("repro.trace", "write_chrome_trace"),
 }
 
 

@@ -46,6 +46,7 @@ def spatial_join(
     seed: Optional[int] = None,
     cost_params: Optional[CostParams] = None,
     system_kwargs: Optional[dict] = None,
+    trace: bool = False,
 ) -> RunReport:
     """Join *left* with *right* on a simulated cluster; return a costed report.
 
@@ -77,6 +78,12 @@ def spatial_join(
     system_kwargs:
         Extra keyword arguments for the system constructor (e.g.
         ``{"sample_fraction": 0.1}``).
+    trace:
+        Record a :mod:`repro.trace` span tree of the run and attach it as
+        ``report.trace`` (export with
+        :func:`repro.trace.write_chrome_trace` or analyze with
+        :func:`repro.trace.skew_report`).  Tracing never changes results:
+        pairs and counter totals are bit-identical with it on or off.
 
     Unlike :func:`~repro.experiments.run_experiment`, no paper-scale
     extrapolation happens: the data you pass is the data that runs, and
@@ -93,7 +100,19 @@ def spatial_join(
         workers=workers,
         backend=backend,
     )
-    report = make_system(system, **(system_kwargs or {})).run(
-        env, left, right, predicate
-    )
+    sys_obj = make_system(system, **(system_kwargs or {}))
+    if trace:
+        from .trace import Tracer
+        from .trace.core import span as trace_span
+
+        tracer = Tracer()
+        with tracer.session(
+            "spatial_join", kind="experiment", counters=env.counters,
+            system=sys_obj.name, cluster=config.name,
+        ):
+            with trace_span(sys_obj.name, kind="run", counters=env.counters):
+                report = sys_obj.run(env, left, right, predicate)
+        report.trace = tracer.root
+    else:
+        report = sys_obj.run(env, left, right, predicate)
     return report.costed(cost_params, cluster=config)

@@ -67,6 +67,16 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--seed", type=int, default=DEFAULT_SEED)
     run.add_argument("--explain", action="store_true",
                      help="print the per-phase cost decomposition")
+    run.add_argument("--trace", metavar="PATH", default=None,
+                     help="record a span tree of the run and write it as "
+                          "Chrome trace-event JSON (open in "
+                          "https://ui.perfetto.dev)")
+    run.add_argument("--trace-tree", action="store_true",
+                     help="record a span tree and print it as text")
+    run.add_argument("--skew", action="store_true",
+                     help="record a span tree and print the per-phase "
+                          "task-skew report (straggler ratios, hottest "
+                          "partitions)")
     _add_worker_args(run)
 
     validate = sub.add_parser(
@@ -143,6 +153,7 @@ def _cmd_headlines(args) -> int:
 def _cmd_run(args) -> int:
     from .experiments import run_experiment
 
+    want_trace = bool(args.trace or args.trace_tree or args.skew)
     report = run_experiment(
         args.experiment,
         args.system,
@@ -151,7 +162,25 @@ def _cmd_run(args) -> int:
         seed=args.seed,
         workers=args.workers,
         backend=args.backend,
+        trace=want_trace,
     )
+    if want_trace and report.trace is not None:
+        if args.trace:
+            from .trace import write_chrome_trace
+
+            write_chrome_trace(report.trace, args.trace)
+            print(f"wrote Chrome trace JSON to {args.trace} "
+                  f"(open in https://ui.perfetto.dev)")
+        if args.trace_tree:
+            from .trace import render_tree
+
+            print(render_tree(report.trace, min_seconds=1e-4))
+            print()
+        if args.skew:
+            from .trace import render_skew, skew_report
+
+            print(render_skew(skew_report(report.trace)))
+            print()
     if not report.ok:
         print(f"{args.experiment} × {args.system} × {args.config}: "
               f"FAILED ({report.failure_kind})")

@@ -32,6 +32,7 @@ import os
 from typing import Any, Callable, Optional, Sequence
 
 from ..metrics import _REDIRECT, Counters
+from ..trace.core import attach as _attach_span
 from .task import TaskOutcome, run_task
 
 __all__ = [
@@ -61,6 +62,9 @@ def merge_outcomes(
     side: dict = {}
     for outcome in outcomes:
         shared.merge(outcome.counters)
+        # Trace spans graft here — in the same task-index order the
+        # scratches merge — so the tree structure is backend-independent.
+        _attach_span(outcome.span)
         for key, value in outcome.side:
             side.setdefault(key, []).append(value)
         if outcome.error is not None:
@@ -94,6 +98,10 @@ class ExecutorBackend:
         """
         if not fns:
             return []
+        # Allocate the redirect token in the driver thread before any
+        # worker does: concurrent lazy allocation would be benign only by
+        # luck, and forked workers should inherit the same key.
+        shared.token
         if len(fns) == 1 or _in_task():
             # Nested dispatch (a task body triggering another stage) and
             # single-task stages always run inline.

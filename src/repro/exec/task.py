@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator, Optional
 
 from ..metrics import _REDIRECT, Counters
+from ..trace import core as _trace
 
 __all__ = ["TaskOutcome", "run_task", "emit", "redirect_counters"]
 
@@ -45,6 +46,10 @@ class TaskOutcome:
     side: list = field(default_factory=list)  # [(key, value), ...] in emit order
     error: Optional[BaseException] = None
     seconds: float = 0.0
+    #: The task's finished trace span (None when tracing is off).  It is
+    #: recorded *detached* and grafted by ``merge_outcomes`` in task-index
+    #: order so the trace tree is identical on every backend.
+    span: Optional[_trace.Span] = None
 
 
 @contextmanager
@@ -53,7 +58,7 @@ def redirect_counters(shared: Counters, sink: Counters) -> Iterator[None]:
     sinks = getattr(_REDIRECT, "sinks", None)
     if sinks is None:
         sinks = _REDIRECT.sinks = {}
-    key = id(shared)
+    key = shared.token
     prev = sinks.get(key)
     sinks[key] = sink
     try:
@@ -94,7 +99,20 @@ def run_task(index: int, fn: Callable[[], Any], shared: Counters) -> TaskOutcome
     start = time.perf_counter()
     try:
         with redirect_counters(shared, outcome.counters):
-            outcome.result = fn()
+            if _trace.active():
+                # Detached: the span must not attach to whatever happens to
+                # be open in *this* thread (worker threads have no open
+                # spans; the serial backend would attach here but parallel
+                # ones could not) — merge_outcomes grafts it in task-index
+                # order instead, so the tree is backend-independent.
+                with _trace.span(
+                    "task", kind="task", counters=shared, detach=True,
+                    index=index,
+                ) as sp:
+                    outcome.span = sp
+                    outcome.result = fn()
+            else:
+                outcome.result = fn()
     except Exception as err:  # modelled failures surface via the merge loop
         outcome.error = err
     finally:

@@ -4,11 +4,17 @@
 paper's Section III keeps asking — by splitting every phase into the cost
 model's four components (CPU, disk I/O, shuffle/network, framework
 overheads) and listing the dominant counters behind the CPU term.
+
+When the report carries a trace (``report.trace`` from a traced run),
+each phase also gets its *measured* wall-clock seconds from the matching
+phase span — a real breakdown next to the modelled one, instead of a
+reconstruction.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from ..cluster.costmodel import CostModel
 from ..systems.base import RunReport
@@ -30,6 +36,9 @@ class PhaseCost:
     overhead: float
     #: (counter, simulated CPU seconds) pairs, largest first.
     top_cpu_counters: tuple[tuple[str, float], ...]
+    #: real wall-clock seconds of the matching trace phase span (None when
+    #: the run was not traced).
+    measured_seconds: Optional[float] = None
 
     @property
     def total(self) -> float:
@@ -51,6 +60,14 @@ def explain_report(
         engine_profile=report.engine_profile,
         memory_pressure=report.memory_pressure,
     )
+    # Phase spans share their PhaseRecord's name; pair them up in record
+    # order (names recur only if the same job ran twice, and then the
+    # spans recur in the same order).
+    measured: dict[str, list] = {}
+    if report.trace is not None:
+        for sp in report.trace.walk():
+            if sp.kind == "phase":
+                measured.setdefault(sp.name, []).append(sp.seconds)
     out = []
     for phase in report.clock.phases:
         cpu = model._cpu_seconds(phase.counters, phase.tasks)
@@ -67,6 +84,7 @@ def explain_report(
             if unit:
                 per_counter.append((key, count * unit / divisor))
         per_counter.sort(key=lambda kv: -kv[1])
+        spans = measured.get(phase.name)
         out.append(
             PhaseCost(
                 name=phase.name,
@@ -77,25 +95,42 @@ def explain_report(
                 shuffle=shuffle,
                 overhead=overhead,
                 top_cpu_counters=tuple(per_counter[:top]),
+                measured_seconds=spans.pop(0) if spans else None,
             )
         )
     return out
 
 
 def render_explanation(costs: list[PhaseCost], *, min_share: float = 0.01) -> str:
-    """Human-readable table of a cost decomposition."""
+    """Human-readable table of a cost decomposition.
+
+    Traced runs get one extra column: the phase's *measured* wall-clock
+    (real execution seconds from the span tree) next to the modelled
+    simulated seconds.
+    """
     total = sum(c.total for c in costs) or 1.0
-    lines = [
+    with_measured = any(c.measured_seconds is not None for c in costs)
+    header = (
         f"{'phase':<42}{'group':<9}{'tasks':>6}{'cpu':>9}{'io':>8}"
-        f"{'shuffle':>9}{'ovh':>8}{'total':>9}",
-    ]
+        f"{'shuffle':>9}{'ovh':>8}{'total':>9}"
+    )
+    if with_measured:
+        header += f"{'measured':>11}"
+    lines = [header]
     for c in costs:
         if c.total / total < min_share:
             continue
-        lines.append(
+        row = (
             f"{c.name:<42}{c.group:<9}{c.tasks:>6}{c.cpu:>9,.1f}{c.io:>8,.1f}"
             f"{c.shuffle:>9,.1f}{c.overhead:>8,.1f}{c.total:>9,.1f}"
         )
+        if with_measured:
+            row += (
+                f"{c.measured_seconds * 1e3:>9,.1f}ms"
+                if c.measured_seconds is not None
+                else f"{'-':>11}"
+            )
+        lines.append(row)
         for key, seconds in c.top_cpu_counters:
             if seconds / total >= min_share:
                 lines.append(f"{'':<42}  · {key}: {seconds:,.1f}s")

@@ -130,6 +130,7 @@ def run_experiment(
     system_kwargs: Optional[dict] = None,
     workers: int = 1,
     backend: "str | ExecutorBackend | None" = None,
+    trace: bool = False,
 ) -> RunReport:
     """Run one cell of Table 2/3 and return a costed, paper-scale report.
 
@@ -140,6 +141,9 @@ def run_experiment(
     *workers* / *backend* pick the task execution backend (serial by
     default); parallel backends change wall-clock time only — reported
     counts, seconds and failures are identical by construction.
+    *trace* records a :mod:`repro.trace` span tree of the run and
+    attaches it as ``report.trace`` — results and counters are
+    bit-identical with tracing on or off.
     """
     try:
         spec = EXPERIMENTS[exp_id]
@@ -182,7 +186,21 @@ def run_experiment(
     )
     env.input_block_sizes.update({"/input/a": bs_a, "/input/b": bs_b})
     system = make_system(system_name, **(system_kwargs or {}))
-    report = system.run(env, left.geometries, right.geometries)
+    if trace:
+        from ..trace import Tracer
+        from ..trace.core import span as trace_span
+
+        tracer = Tracer()
+        with tracer.session(
+            f"experiment:{exp_id}", kind="experiment", counters=env.counters,
+            experiment=exp_id, system=system.name, cluster=cluster.name,
+            seed=seed,
+        ):
+            with trace_span(system.name, kind="run", counters=env.counters):
+                report = system.run(env, left.geometries, right.geometries)
+        report.trace = tracer.root
+    else:
+        report = system.run(env, left.geometries, right.geometries)
 
     info = ScaleInfo(
         record_ratio_a=scale_a[0],

@@ -34,6 +34,7 @@ from ..hdfs.filesystem import SimulatedHDFS
 from ..hdfs.sizeof import estimate_size
 from ..metrics import Counters
 from ..pairs import PairBlock
+from ..trace.core import annotate, span as trace_span
 
 __all__ = [
     "Split",
@@ -237,6 +238,14 @@ class MapReduceJob:
         splits = self.input_format.get_splits(self.hdfs, self.inputs)
 
         # ----------------------------------------------------------- map
+        # Phase spans bracket the same interval as the PhaseRecord
+        # (snapshot → clock.record), so a span's counter deltas equal the
+        # phase record's counters bit-exactly.
+        map_span = trace_span(
+            f"{self.name}.map", kind="phase", counters=self.counters,
+            group=self.group, splits=len(splits),
+        )
+        map_span.__enter__()
         before = self.counters.snapshot()
         self.counters.add("mr.tasks", len(splits))
 
@@ -266,24 +275,33 @@ class MapReduceJob:
 
             return lambda: self._attempts("map", index, attempt)
 
-        outcomes = self.executor.run_tasks(
-            f"{self.name}.map",
-            [make_map_task(i, split) for i, split in enumerate(splits)],
-            self.counters,
-        )
-        per_task_out, map_side = merge_outcomes(outcomes, self.counters)
-        map_out: list = [record for task_out in per_task_out for record in task_out]
-        self.clock.record(
-            PhaseRecord(
-                name=f"{self.name}.map",
-                counters=self.counters.diff(before),
-                tasks=max(len(splits), 1),
-                group=self.group,
+        try:
+            outcomes = self.executor.run_tasks(
+                f"{self.name}.map",
+                [make_map_task(i, split) for i, split in enumerate(splits)],
+                self.counters,
             )
-        )
+            per_task_out, map_side = merge_outcomes(outcomes, self.counters)
+            map_out: list = [
+                record for task_out in per_task_out for record in task_out
+            ]
+            self.clock.record(
+                PhaseRecord(
+                    name=f"{self.name}.map",
+                    counters=self.counters.diff(before),
+                    tasks=max(len(splits), 1),
+                    group=self.group,
+                )
+            )
+        finally:
+            map_span.__exit__(None, None, None)
 
         if self.reduce_task is None:
-            out_records = self._write_output(map_out, tasks=max(len(splits), 1))
+            with trace_span(
+                f"{self.name}.map_write", kind="phase",
+                counters=self.counters, group=self.group,
+            ):
+                out_records = self._write_output(map_out, tasks=max(len(splits), 1))
             return JobResult(
                 output_path=self.output_path,
                 output_records=out_records,
@@ -294,27 +312,41 @@ class MapReduceJob:
             )
 
         # -------------------------------------------------------- shuffle
-        before = self.counters.snapshot()
-        n_reducers = self.num_reducers or max(len(splits), 1)
-        self.counters.add("mr.tasks", n_reducers)
-        shuffle_bytes = sum(estimate_size(kv) for kv in map_out)
-        self.counters.add("shuffle.bytes_disk", shuffle_bytes)
-        if map_out:
-            self.counters.add("sort.ops", len(map_out) * max(np.log2(len(map_out)), 1.0))
-        grouped: list[dict] = [dict() for _ in range(n_reducers)]
-        for key, value in map_out:
-            bucket = grouped[hash(key) % n_reducers]
-            bucket.setdefault(key, []).append(value)
-        self.clock.record(
-            PhaseRecord(
-                name=f"{self.name}.shuffle",
-                counters=self.counters.diff(before),
-                tasks=n_reducers,
-                group=self.group,
+        with trace_span(
+            f"{self.name}.shuffle", kind="phase", counters=self.counters,
+            group=self.group,
+        ):
+            before = self.counters.snapshot()
+            n_reducers = self.num_reducers or max(len(splits), 1)
+            self.counters.add("mr.tasks", n_reducers)
+            shuffle_bytes = sum(estimate_size(kv) for kv in map_out)
+            self.counters.add("shuffle.bytes_disk", shuffle_bytes)
+            annotate(
+                reducers=n_reducers,
+                records=len(map_out),
+                bytes=shuffle_bytes,
             )
-        )
+            if map_out:
+                self.counters.add("sort.ops", len(map_out) * max(np.log2(len(map_out)), 1.0))
+            grouped: list[dict] = [dict() for _ in range(n_reducers)]
+            for key, value in map_out:
+                bucket = grouped[hash(key) % n_reducers]
+                bucket.setdefault(key, []).append(value)
+            self.clock.record(
+                PhaseRecord(
+                    name=f"{self.name}.shuffle",
+                    counters=self.counters.diff(before),
+                    tasks=n_reducers,
+                    group=self.group,
+                )
+            )
 
         # --------------------------------------------------------- reduce
+        reduce_span = trace_span(
+            f"{self.name}.reduce", kind="phase", counters=self.counters,
+            group=self.group, reducers=n_reducers,
+        )
+        reduce_span.__enter__()
         before = self.counters.snapshot()
 
         def make_reduce_task(index: int, bucket: dict) -> Callable[[], list]:
@@ -326,7 +358,12 @@ class MapReduceJob:
                     values = bucket[key]
                     bytes_in += sum(estimate_size(v) for v in values)
                     records_in += len(values)
-                    task_out.extend(self.reduce_task(key, values))
+                    with trace_span(
+                        "partition", kind="partition",
+                        counters=self.counters,
+                        key=repr(key), values=len(values),
+                    ):
+                        task_out.extend(self.reduce_task(key, values))
                 bytes_out = sum(estimate_size(r) for r in task_out)
                 if self.streaming_hook is not None:
                     self.streaming_hook(
@@ -336,17 +373,24 @@ class MapReduceJob:
 
             return lambda: self._attempts("reduce", index, attempt)
 
-        outcomes = self.executor.run_tasks(
-            f"{self.name}.reduce",
-            [make_reduce_task(i, bucket) for i, bucket in enumerate(grouped)],
-            self.counters,
-        )
-        per_task_out, reduce_side = merge_outcomes(outcomes, self.counters)
-        reduce_out: list = [record for task_out in per_task_out for record in task_out]
-        side = dict(map_side)
-        for key, values in reduce_side.items():
-            side.setdefault(key, []).extend(values)
-        out_records = self._write_output(reduce_out, tasks=n_reducers, before=before)
+        try:
+            outcomes = self.executor.run_tasks(
+                f"{self.name}.reduce",
+                [make_reduce_task(i, bucket) for i, bucket in enumerate(grouped)],
+                self.counters,
+            )
+            per_task_out, reduce_side = merge_outcomes(outcomes, self.counters)
+            reduce_out: list = [
+                record for task_out in per_task_out for record in task_out
+            ]
+            side = dict(map_side)
+            for key, values in reduce_side.items():
+                side.setdefault(key, []).extend(values)
+            out_records = self._write_output(
+                reduce_out, tasks=n_reducers, before=before
+            )
+        finally:
+            reduce_span.__exit__(None, None, None)
         return JobResult(
             output_path=self.output_path,
             output_records=out_records,

@@ -8,17 +8,24 @@ all of them makes per-phase accounting uniform and mergeable.
 
 from __future__ import annotations
 
+import itertools
 import threading
 from typing import Iterable, Mapping
 
 __all__ = ["Counters"]
 
-#: Thread-local charge redirection, keyed by id(counters-instance).  The
-#: executor backends install a per-task scratch sink here so that task
-#: bodies running concurrently charge their own ledger; the scratches are
-#: merged back in task-index order, keeping parallel runs bit-identical
-#: to serial ones (see :mod:`repro.exec`).
+#: Thread-local charge redirection, keyed by the instance's redirect
+#: :attr:`Counters.token`.  The executor backends install a per-task
+#: scratch sink here so that task bodies running concurrently charge
+#: their own ledger; the scratches are merged back in task-index order,
+#: keeping parallel runs bit-identical to serial ones (see
+#: :mod:`repro.exec`).  Tokens are allocated from a process-wide monotonic
+#: counter and never reused — unlike ``id()``, which the allocator can
+#: recycle, so a GC'd-and-reallocated Counters could otherwise silently
+#: inherit a stale sink entry.
 _REDIRECT = threading.local()
+_NEXT_TOKEN = itertools.count(1)
+_TOKEN_LOCK = threading.Lock()
 
 
 class Counters(dict):
@@ -27,14 +34,33 @@ class Counters(dict):
     def __missing__(self, key: str) -> float:
         return 0.0
 
+    @property
+    def token(self) -> int:
+        """This instance's redirect key: unique for the process lifetime.
+
+        Allocated lazily on first use so plain ledgers never pay for it;
+        once allocated it sticks to the instance (and travels with pickles
+        only as a stale int — forked workers resolve redirects against the
+        token they inherited, which is exactly the instance they share).
+        """
+        tok = self.__dict__.get("_token")
+        if tok is None:
+            with _TOKEN_LOCK:  # two threads must not race to different tokens
+                tok = self.__dict__.get("_token")
+                if tok is None:
+                    tok = self.__dict__["_token"] = next(_NEXT_TOKEN)
+        return tok
+
     def add(self, key: str, amount: float = 1.0) -> None:
         """Increment *key* by *amount* (default 1)."""
         sinks = getattr(_REDIRECT, "sinks", None)
         if sinks:
-            sink = sinks.get(id(self))
-            if sink is not None:
-                sink[key] = sink.get(key, 0.0) + amount
-                return
+            tok = self.__dict__.get("_token")
+            if tok is not None:
+                sink = sinks.get(tok)
+                if sink is not None:
+                    sink[key] = sink.get(key, 0.0) + amount
+                    return
         self[key] = self.get(key, 0.0) + amount
 
     def merge(self, other: Mapping[str, float]) -> "Counters":

@@ -18,6 +18,7 @@ from ..hdfs.filesystem import SimulatedHDFS
 from ..hdfs.sizeof import estimate_size
 from ..geometry.batch import GeometryBatch
 from ..metrics import Counters
+from ..trace.core import span as trace_span
 from .memory import MemoryLedger
 from .rdd import RDD
 
@@ -134,18 +135,28 @@ class SparkContext:
         Outcomes merge in partition order, so counters and results are
         identical to a serial loop regardless of the backend.
         """
-        outcomes = self.executor.run_tasks(label, fns, self.counters)
-        results, _side = merge_outcomes(outcomes, self.counters)
+        with trace_span(
+            label, kind="stage", counters=self.counters, tasks=len(fns)
+        ):
+            outcomes = self.executor.run_tasks(label, fns, self.counters)
+            results, _side = merge_outcomes(outcomes, self.counters)
         return results
 
     # ------------------------------------------------------- phase recording
     @contextmanager
     def record_phase(self, name: str, *, group: str = "join", tasks: int = 1):
-        """Record all counters accumulated in the block as one PhaseRecord."""
-        before = self.counters.snapshot()
-        yield
-        self.clock.record(
-            PhaseRecord(
-                name=name, counters=self.counters.diff(before), tasks=tasks, group=group
+        """Record all counters accumulated in the block as one PhaseRecord.
+
+        When tracing is active the block also becomes a phase span
+        bracketing the same interval, so the span's counter deltas equal
+        the PhaseRecord's counters bit-exactly.
+        """
+        with trace_span(name, kind="phase", counters=self.counters, group=group):
+            before = self.counters.snapshot()
+            yield
+            self.clock.record(
+                PhaseRecord(
+                    name=name, counters=self.counters.diff(before),
+                    tasks=tasks, group=group,
+                )
             )
-        )

@@ -26,6 +26,7 @@ import numpy as np
 
 from ..geometry.batch import GeometryBatch
 from ..hdfs.sizeof import estimate_size
+from ..trace.core import span as trace_span
 
 __all__ = ["RDD"]
 
@@ -264,16 +265,21 @@ class RDD:
 
         def compute():
             parts = parent._partitions()
-            self.ctx.counters.add("spark.stages")
-            self.ctx.counters.add("spark.tasks", max(len(parts), 1))
             items = [x for p in parts for x in p]
-            nbytes = sum(estimate_size(x) for x in items)
-            self.ctx.counters.add("shuffle.bytes_mem", nbytes)
-            if items:
-                self.ctx.counters.add(
-                    "sort.ops", len(items) * max(np.log2(len(items)), 1.0)
-                )
-            items.sort(key=key_fn)
+            with trace_span(
+                f"sortBy({parent.label})", kind="shuffle",
+                counters=self.ctx.counters,
+                records=len(items), out_partitions=n,
+            ):
+                self.ctx.counters.add("spark.stages")
+                self.ctx.counters.add("spark.tasks", max(len(parts), 1))
+                nbytes = sum(estimate_size(x) for x in items)
+                self.ctx.counters.add("shuffle.bytes_mem", nbytes)
+                if items:
+                    self.ctx.counters.add(
+                        "sort.ops", len(items) * max(np.log2(len(items)), 1.0)
+                    )
+                items.sort(key=key_fn)
             size = max(1, -(-len(items) // n))
             return [items[i : i + size] for i in range(0, len(items), size)] or [[]]
 
@@ -325,25 +331,30 @@ class RDD:
 
         def compute():
             parts = parent._partitions()
-            self.ctx.counters.add("spark.stages")
-            self.ctx.counters.add("spark.tasks", max(len(parts), 1))
             n_records = sum(len(p) for p in parts)
-            # Per-record serde + hashing + grouping churn of an in-memory
-            # exchange — Spark's dominant per-record cost on tiny records.
-            self.ctx.counters.add("spark.shuffle_records", n_records)
-            if n_records:
-                self.ctx.counters.add(
-                    "sort.ops", n_records * max(np.log2(n_records), 1.0)
+            with trace_span(
+                label, kind="shuffle", counters=self.ctx.counters,
+                records=n_records, out_partitions=n_out,
+            ):
+                self.ctx.counters.add("spark.stages")
+                self.ctx.counters.add("spark.tasks", max(len(parts), 1))
+                # Per-record serde + hashing + grouping churn of an
+                # in-memory exchange — Spark's dominant per-record cost on
+                # tiny records.
+                self.ctx.counters.add("spark.shuffle_records", n_records)
+                if n_records:
+                    self.ctx.counters.add(
+                        "sort.ops", n_records * max(np.log2(n_records), 1.0)
+                    )
+                local_buckets = self.ctx.run_stage_tasks(
+                    label, [lambda part=part: shuffle_part(part) for part in parts]
                 )
-            local_buckets = self.ctx.run_stage_tasks(
-                label, [lambda part=part: shuffle_part(part) for part in parts]
-            )
-            # Reduce-side concatenation in map-task order reproduces the
-            # record order of a serial single-bucket pass exactly.
-            buckets: list[list] = [[] for _ in range(n_out)]
-            for local in local_buckets:
-                for bucket, found in zip(buckets, local):
-                    bucket.extend(found)
+                # Reduce-side concatenation in map-task order reproduces
+                # the record order of a serial single-bucket pass exactly.
+                buckets: list[list] = [[] for _ in range(n_out)]
+                for local in local_buckets:
+                    for bucket, found in zip(buckets, local):
+                        bucket.extend(found)
             return buckets
 
         return RDD(

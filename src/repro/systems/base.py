@@ -31,6 +31,7 @@ from ..spark.memory import SparkOutOfMemoryError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
     from ..experiments.extrapolate import ScaleInfo
+    from ..trace.core import Span as TraceSpan
 
 __all__ = ["RunEnvironment", "RunReport", "SpatialJoinSystem", "GROUPS"]
 
@@ -147,6 +148,10 @@ class RunReport:
     #: peak live executor memory / budget (Spark systems only; drives the
     #: GC-pressure penalty in the cost model).
     memory_pressure: float = 0.0
+    #: root of the recorded span tree when the run was traced (see
+    #: :mod:`repro.trace`); None otherwise.  Filled in by the caller that
+    #: owns the tracing session (``spatial_join`` / ``run_experiment``).
+    trace: Optional["TraceSpan"] = None
 
     @property
     def ok(self) -> bool:

@@ -51,6 +51,7 @@ from ..mapreduce.streaming import (
     parse_charge,
     serialize_charge,
 )
+from ..trace.core import annotate, span as trace_span
 from .base import RunEnvironment, RunReport, SpatialJoinSystem
 
 __all__ = ["HadoopGIS"]
@@ -98,12 +99,16 @@ class HadoopGIS(SpatialJoinSystem):
             4, env.hdfs.num_blocks("/input/a") + env.hdfs.num_blocks("/input/b")
         )
         try:
-            self._preprocess(env, policy_a, "a", group="index_a")
-            self._preprocess(env, policy_b, "b", group="index_b")
-            partitioning = self._combine_samples(env, universe, n_parts)
-            pairs = self._distributed_join(
-                env, policy_join, engine, partitioning, predicate
-            )
+            with trace_span("preprocess:a", kind="stage", counters=env.counters):
+                self._preprocess(env, policy_a, "a", group="index_a")
+            with trace_span("preprocess:b", kind="stage", counters=env.counters):
+                self._preprocess(env, policy_b, "b", group="index_b")
+            with trace_span("global_join", kind="stage", counters=env.counters):
+                partitioning = self._combine_samples(env, universe, n_parts)
+            with trace_span("local_join", kind="stage", counters=env.counters):
+                pairs = self._distributed_join(
+                    env, policy_join, engine, partitioning, predicate
+                )
         except StreamingPipeError as err:
             return self._report(env, error=err, engine_profile=GEOS_COST_PROFILE)
         return self._report(env, pairs=pairs, engine_profile=GEOS_COST_PROFILE)
@@ -201,25 +206,30 @@ class HadoopGIS(SpatialJoinSystem):
         ).run()
 
         # Step 5: serial local program generating partitions (HDFS↔local copies).
-        before = counters.snapshot()
-        sample_lines = hdfs.copy_to_local(f"/hgis/{d}/samples")
-        boxes = _parse_mbr_lines(sample_lines)
-        counters.add("cpu.ops", max(len(boxes), 1))
-        part = GridPartitioner().partition(
-            boxes, max(4, hdfs.num_blocks(f"/hgis/{d}/tsv")), _extent_mbr(ex)
-        )
-        part_lines = [
-            f"{b.xmin},{b.ymin},{b.xmax},{b.ymax}" for b in part.boxes
-        ]
-        hdfs.copy_from_local(f"/hgis/{d}/partitions", part_lines, overwrite=True)
-        env.clock.record(
-            PhaseRecord(
-                name=f"hgis.{d}.gen_partitions",
-                counters=counters.diff(before),
-                tasks=1,  # serial local program
-                group=group,
+        with trace_span(
+            f"hgis.{d}.gen_partitions", kind="phase", counters=counters,
+            group=group,
+        ):
+            before = counters.snapshot()
+            sample_lines = hdfs.copy_to_local(f"/hgis/{d}/samples")
+            boxes = _parse_mbr_lines(sample_lines)
+            counters.add("cpu.ops", max(len(boxes), 1))
+            part = GridPartitioner().partition(
+                boxes, max(4, hdfs.num_blocks(f"/hgis/{d}/tsv")), _extent_mbr(ex)
             )
-        )
+            part_lines = [
+                f"{b.xmin},{b.ymin},{b.xmax},{b.ymax}" for b in part.boxes
+            ]
+            annotate(partitions=len(part))
+            hdfs.copy_from_local(f"/hgis/{d}/partitions", part_lines, overwrite=True)
+            env.clock.record(
+                PhaseRecord(
+                    name=f"hgis.{d}.gen_partitions",
+                    counters=counters.diff(before),
+                    tasks=1,  # serial local program
+                    group=group,
+                )
+            )
 
         # Step 6: MR job assigning partition ids (most expensive step).
         def assign_map(data):
@@ -255,23 +265,27 @@ class HadoopGIS(SpatialJoinSystem):
 
         # Step 6b: pipelined cat|sort|uniq dedup over the whole partitioned
         # file — one serial streaming process; the paper's broken-pipe site.
-        before = counters.snapshot()
-        lines = hdfs.read_all(f"/hgis/{d}/partitioned")
-        volume_in = sum(len(l) + 1 for l in lines)
-        counters.add("sort.ops", len(lines) * max(np.log2(max(len(lines), 2)), 1.0))
-        deduped = sorted(set(lines))
-        volume_out = sum(len(l) + 1 for l in deduped)
-        counters.add("streaming.processes")
-        counters.add("pipe.bytes", volume_in + volume_out)
-        hdfs.write_file(f"/hgis/{d}/partitioned_dedup", deduped, overwrite=True)
-        env.clock.record(
-            PhaseRecord(
-                name=f"hgis.{d}.dedup",
-                counters=counters.diff(before),
-                tasks=1,
-                group=group,
+        with trace_span(
+            f"hgis.{d}.dedup", kind="phase", counters=counters, group=group,
+        ):
+            before = counters.snapshot()
+            lines = hdfs.read_all(f"/hgis/{d}/partitioned")
+            volume_in = sum(len(l) + 1 for l in lines)
+            counters.add("sort.ops", len(lines) * max(np.log2(max(len(lines), 2)), 1.0))
+            deduped = sorted(set(lines))
+            volume_out = sum(len(l) + 1 for l in deduped)
+            counters.add("streaming.processes")
+            counters.add("pipe.bytes", volume_in + volume_out)
+            annotate(bytes=volume_in + volume_out, records=len(lines))
+            hdfs.write_file(f"/hgis/{d}/partitioned_dedup", deduped, overwrite=True)
+            env.clock.record(
+                PhaseRecord(
+                    name=f"hgis.{d}.dedup",
+                    counters=counters.diff(before),
+                    tasks=1,
+                    group=group,
+                )
             )
-        )
         policy.check(f"hgis.{d}.dedup", "reduce", volume_in + volume_out)
 
     # ---------------------------------------------------------- global join
@@ -285,23 +299,28 @@ class HadoopGIS(SpatialJoinSystem):
         serial round trip — a design cost the paper highlights.
         """
         counters, hdfs = env.counters, env.hdfs
-        before = counters.snapshot()
-        lines = hdfs.copy_to_local("/hgis/a/samples") + hdfs.copy_to_local(
-            "/hgis/b/samples"
-        )
-        boxes = _parse_mbr_lines(lines)
-        counters.add("cpu.ops", max(len(boxes), 1))
-        part = GridPartitioner().partition(boxes, n_parts, universe)
-        part_lines = [f"{b.xmin},{b.ymin},{b.xmax},{b.ymax}" for b in part.boxes]
-        hdfs.copy_from_local("/hgis/join/partitions", part_lines, overwrite=True)
-        env.clock.record(
-            PhaseRecord(
-                name="hgis.join.combine_samples",
-                counters=counters.diff(before),
-                tasks=1,
-                group="join",
+        with trace_span(
+            "hgis.join.combine_samples", kind="phase", counters=counters,
+            group="join",
+        ):
+            before = counters.snapshot()
+            lines = hdfs.copy_to_local("/hgis/a/samples") + hdfs.copy_to_local(
+                "/hgis/b/samples"
             )
-        )
+            boxes = _parse_mbr_lines(lines)
+            counters.add("cpu.ops", max(len(boxes), 1))
+            part = GridPartitioner().partition(boxes, n_parts, universe)
+            part_lines = [f"{b.xmin},{b.ymin},{b.xmax},{b.ymax}" for b in part.boxes]
+            annotate(samples=len(lines), partitions=len(part))
+            hdfs.copy_from_local("/hgis/join/partitions", part_lines, overwrite=True)
+            env.clock.record(
+                PhaseRecord(
+                    name="hgis.join.combine_samples",
+                    counters=counters.diff(before),
+                    tasks=1,
+                    group="join",
+                )
+            )
         return part
 
     def _distributed_join(
@@ -382,6 +401,11 @@ class HadoopGIS(SpatialJoinSystem):
                 engine,
                 predicate,
             )
+            # Lands on the enclosing partition span (from MapReduceJob).
+            annotate(
+                a_records=len(a_recs), b_records=len(b_recs),
+                candidates=len(candidates), refined=len(refined),
+            )
             for i, j in refined:
                 yield (a_recs[i].rid, b_recs[j].rid)
 
@@ -400,20 +424,25 @@ class HadoopGIS(SpatialJoinSystem):
         job.run()
         # Multi-assignment can emit the same result pair from two partitions;
         # a final dedup pass (sort-unique again) removes them.
-        before = counters.snapshot()
-        out_pairs = hdfs.read_all("/hgis/join/results")
-        counters.add(
-            "sort.ops", len(out_pairs) * max(np.log2(max(len(out_pairs), 2)), 1.0)
-        )
-        results = set(out_pairs)
-        env.clock.record(
-            PhaseRecord(
-                name="hgis.join.dedup_results",
-                counters=counters.diff(before),
-                tasks=1,
-                group="join",
+        with trace_span(
+            "hgis.join.dedup_results", kind="phase", counters=counters,
+            group="join",
+        ):
+            before = counters.snapshot()
+            out_pairs = hdfs.read_all("/hgis/join/results")
+            counters.add(
+                "sort.ops", len(out_pairs) * max(np.log2(max(len(out_pairs), 2)), 1.0)
             )
-        )
+            results = set(out_pairs)
+            annotate(pairs_in=len(out_pairs), pairs_out=len(results))
+            env.clock.record(
+                PhaseRecord(
+                    name="hgis.join.dedup_results",
+                    counters=counters.diff(before),
+                    tasks=1,
+                    group="join",
+                )
+            )
         return results
 
     # ------------------------------------------------------------ stage map

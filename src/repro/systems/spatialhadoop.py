@@ -46,6 +46,7 @@ from ..index.strtree import STRtree
 from ..mapreduce.job import InputFormat, MapReduceJob, Split
 from ..mapreduce.streaming import parse_charge, serialize_charge
 from ..pairs import PairBlock, unique_pairs
+from ..trace.core import annotate, span as trace_span
 from .base import RunEnvironment, RunReport, SpatialJoinSystem
 
 __all__ = ["SpatialHadoop"]
@@ -69,20 +70,26 @@ class _BinarySpatialInputFormat(InputFormat):
         from ..cluster.simclock import PhaseRecord
 
         left_data, right_data = inputs
-        before = self.counters.snapshot()
-        left_mbrs = _read_master(hdfs, left_data + "_master")
-        right_mbrs = _read_master(hdfs, right_data + "_master")
-        pairs = pair_partitions_sweep(
-            left_mbrs, right_mbrs, self.counters, margin=self.margin
-        )
-        self.clock.record(
-            PhaseRecord(
-                name="shadoop.getSplits(global join)",
-                counters=self.counters.diff(before),
-                tasks=1,  # serial, on the job master
-                group="join",
+        with trace_span(
+            "shadoop.getSplits(global join)", kind="phase",
+            counters=self.counters, group="join",
+        ):
+            before = self.counters.snapshot()
+            left_mbrs = _read_master(hdfs, left_data + "_master")
+            right_mbrs = _read_master(hdfs, right_data + "_master")
+            pairs = pair_partitions_sweep(
+                left_mbrs, right_mbrs, self.counters, margin=self.margin
             )
-        )
+            annotate(partitions=(len(left_mbrs), len(right_mbrs)),
+                     split_pairs=len(pairs))
+            self.clock.record(
+                PhaseRecord(
+                    name="shadoop.getSplits(global join)",
+                    counters=self.counters.diff(before),
+                    tasks=1,  # serial, on the job master
+                    group="join",
+                )
+            )
         return [
             Split(parts=[(left_data, i), (right_data, j)], info={"pair": (i, j)})
             for i, j in pairs.tolist()
@@ -126,9 +133,12 @@ class SpatialHadoop(SpatialJoinSystem):
         # block of the dataset being indexed (scale-stable by design).
         n_parts_a = self.n_partitions or max(2, env.hdfs.num_blocks("/input/a"))
         n_parts_b = self.n_partitions or max(2, env.hdfs.num_blocks("/input/b"))
-        self._index_dataset(env, "a", left, n_parts_a, group="index_a")
-        self._index_dataset(env, "b", right, n_parts_b, group="index_b")
-        pairs = self._distributed_join(env, engine, predicate)
+        with trace_span("preprocess:a", kind="stage", counters=env.counters):
+            self._index_dataset(env, "a", left, n_parts_a, group="index_a")
+        with trace_span("preprocess:b", kind="stage", counters=env.counters):
+            self._index_dataset(env, "b", right, n_parts_b, group="index_b")
+        with trace_span("join", kind="stage", counters=env.counters):
+            pairs = self._distributed_join(env, engine, predicate)
         return self._report(env, pairs=pairs, engine_profile=JTS_COST_PROFILE)
 
     # --------------------------------------------------------------- indexing
@@ -214,6 +224,11 @@ class SpatialHadoop(SpatialJoinSystem):
         # STR-tree index, and the _master file of expanded partition MBRs.
         from ..cluster.simclock import PhaseRecord
 
+        write_span = trace_span(
+            f"shadoop.{d}.write_indexed_blocks", kind="phase",
+            counters=counters, group=group, partitions=len(part),
+        )
+        write_span.__enter__()
         before = counters.snapshot()
         blocks, master_rows = [], []
         # Parsed rids are positional, so they index straight into the
@@ -253,6 +268,7 @@ class SpatialHadoop(SpatialJoinSystem):
                 group=group,
             )
         )
+        write_span.__exit__(None, None, None)
 
     # ------------------------------------------------------------- join
     def _distributed_join(
@@ -262,6 +278,10 @@ class SpatialHadoop(SpatialJoinSystem):
 
         def join_map(data):
             a_batch, b_batch = data.part_records
+            annotate(
+                partition=data.split.info.get("pair"),
+                a_records=len(a_batch), b_records=len(b_batch),
+            )
             if not len(a_batch) or not len(b_batch):
                 return
             # Binary block deserialization: every record materialized from
@@ -275,6 +295,7 @@ class SpatialHadoop(SpatialJoinSystem):
                 counters=counters,
                 predicate=predicate,
             )
+            annotate(refined=len(refined))
             # The (n, 2) row-index survivors map to dataset ids in one
             # gather and stay columnar — one PairBlock per split, which
             # the simulated HDFS accounts as n pair records.

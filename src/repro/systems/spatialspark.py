@@ -53,6 +53,7 @@ from ..mapreduce.streaming import parse_charge
 from ..pairs import PairBlock, unique_pairs
 from ..spark.context import SparkContext
 from ..spark.memory import MemoryLedger, SparkOutOfMemoryError
+from ..trace.core import annotate, span as trace_span
 from .base import RunEnvironment, RunReport, SpatialJoinSystem
 
 __all__ = ["SpatialSpark"]
@@ -206,6 +207,13 @@ class SpatialSpark(SpatialJoinSystem):
                 _pid, (a_recs, b_recs) = kv
                 if not a_recs or not b_recs:
                     return
+                # One task body matches several partitions; each gets its
+                # own partition span under the enclosing task span.
+                partition_span = trace_span(
+                    "partition", kind="partition", counters=counters,
+                    partition=int(_pid),
+                )
+                partition_span.__enter__()
                 # Columnar local join: slice both sides out of the input
                 # batches by rid (positional), index and probe with the
                 # cached MBRs, and refine on the packed buffers.
@@ -238,6 +246,11 @@ class SpatialSpark(SpatialJoinSystem):
                 refined = refine_candidates(
                     a_batch, b_batch, candidates, engine, predicate
                 )
+                annotate(
+                    a_records=len(a_recs), b_records=len(b_recs),
+                    candidates=len(candidates), refined=len(refined),
+                )
+                partition_span.__exit__(None, None, None)
                 # Survivors stay columnar: one PairBlock per partition
                 # pair, ids gathered in one vectorized step.
                 if len(refined):

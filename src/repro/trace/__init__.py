@@ -1,0 +1,36 @@
+"""Hierarchical run tracing with per-partition skew analysis.
+
+See :mod:`repro.trace.core` for the span model, :mod:`repro.trace.export`
+for the rendered-tree / Chrome-trace exporters, and
+:mod:`repro.trace.skew` for the straggler/skew report.
+"""
+
+from .core import (
+    TIMING_FIELDS,
+    Span,
+    Tracer,
+    active,
+    annotate,
+    attach,
+    current_span,
+    span,
+)
+from .export import chrome_trace, render_tree, write_chrome_trace
+from .skew import PhaseSkew, render_skew, skew_report
+
+__all__ = [
+    "TIMING_FIELDS",
+    "Span",
+    "Tracer",
+    "active",
+    "annotate",
+    "attach",
+    "current_span",
+    "span",
+    "chrome_trace",
+    "render_tree",
+    "write_chrome_trace",
+    "PhaseSkew",
+    "render_skew",
+    "skew_report",
+]

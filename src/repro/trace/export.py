@@ -1,0 +1,140 @@
+"""Trace exporters: rendered tree and Chrome trace-event JSON (Perfetto).
+
+Two consumers of the span tree:
+
+* :func:`render_tree` — an indented text tree with per-span wall-clock
+  and the dominant counter deltas, for terminals and reports.
+* :func:`chrome_trace` / :func:`write_chrome_trace` — the Chrome
+  trace-event format (``{"traceEvents": [...]}``), loadable in Perfetto
+  (https://ui.perfetto.dev) or ``chrome://tracing``.  Spans become
+  complete ("X") events; attributes and counter deltas ride in ``args``.
+
+Timestamps come from ``time.perf_counter()``.  On Linux that clock is
+``CLOCK_MONOTONIC``, shared across forked workers, so task spans from
+the process backend line up with driver-side phases on one timeline.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+from .core import Span
+
+__all__ = ["render_tree", "chrome_trace", "write_chrome_trace"]
+
+
+def _fmt_seconds(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:,.2f}s"
+    return f"{seconds * 1e3:,.1f}ms"
+
+
+def render_tree(
+    root: Span,
+    *,
+    max_depth: Optional[int] = None,
+    min_seconds: float = 0.0,
+    top_counters: int = 3,
+) -> str:
+    """Indented text rendering of a span tree.
+
+    *min_seconds* prunes fast subtrees (children below it are summarized
+    as one ``… n spans`` line); *top_counters* limits the counter deltas
+    shown per span to the largest ones.
+    """
+    lines: list[str] = []
+
+    def visit(sp: Span, depth: int) -> None:
+        indent = "  " * depth
+        attrs = ""
+        if sp.attrs:
+            attrs = " {" + ", ".join(
+                f"{k}={v}" for k, v in sorted(sp.attrs.items())
+            ) + "}"
+        counters = ""
+        if sp.counters and top_counters:
+            top = sorted(sp.counters.items(), key=lambda kv: -abs(kv[1]))
+            counters = "  · " + " ".join(
+                f"{k}={v:,.0f}" for k, v in top[:top_counters]
+            )
+        lines.append(
+            f"{indent}{sp.name} [{sp.kind}] {_fmt_seconds(sp.seconds)}"
+            f"{attrs}{counters}"
+        )
+        if max_depth is not None and depth + 1 > max_depth:
+            if sp.children:
+                lines.append(f"{indent}  … {len(sp.children)} spans")
+            return
+        hidden = 0
+        for child in sp.children:
+            if child.seconds < min_seconds and not child.children:
+                hidden += 1
+                continue
+            visit(child, depth + 1)
+        if hidden:
+            lines.append(f"{indent}  … {hidden} spans < {_fmt_seconds(min_seconds)}")
+
+    visit(root, 0)
+    return "\n".join(lines)
+
+
+def _jsonable(value):
+    """Coerce attr/counter values into plain JSON types."""
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (str, bool)) or value is None:
+        return value
+    if isinstance(value, (int, float)):
+        return value
+    item = getattr(value, "item", None)  # numpy scalars
+    if callable(item):
+        try:
+            return item()
+        except (TypeError, ValueError):
+            pass
+    return str(value)
+
+
+def chrome_trace(root: Span) -> dict:
+    """The span tree as a Chrome trace-event document (Perfetto-loadable).
+
+    Each span becomes one complete ("X") event on its worker's
+    ``pid``/``tid`` track, with timestamps relative to the root span so
+    the trace starts at t=0.
+    """
+    base = root.start
+    events: list[dict] = []
+    for sp in root.walk():
+        args: dict = {k: _jsonable(v) for k, v in sorted(sp.attrs.items())}
+        if sp.counters:
+            args["counters"] = {
+                k: _jsonable(v) for k, v in sorted(sp.counters.items())
+            }
+        events.append(
+            {
+                "name": sp.name,
+                "cat": sp.kind,
+                "ph": "X",
+                "ts": round((sp.start - base) * 1e6, 3),
+                "dur": round(sp.seconds * 1e6, 3),
+                "pid": sp.pid,
+                "tid": sp.tid,
+                "args": args,
+            }
+        )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"root": root.name, "spans": len(events)},
+    }
+
+
+def write_chrome_trace(root: Span, path: str) -> str:
+    """Serialize :func:`chrome_trace` to *path*; returns the path."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(chrome_trace(root), fh, indent=1)
+        fh.write("\n")
+    return path

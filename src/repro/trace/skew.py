@@ -1,0 +1,202 @@
+"""Per-partition skew analysis over a span tree.
+
+The paper explains most of the HadoopGIS / SpatialHadoop divergence with
+partition skew: a handful of hot partitions (dense Manhattan cells, long
+rivers crossing many tiles) make some tasks far slower than the median,
+and the job waits on its stragglers.  LocationSpark (Tang et al.) builds
+the same per-partition execution statistics at runtime to drive its skew
+analyzer, and SATO (Aji et al.) shows skew measurement is *the*
+diagnostic for distributed spatial joins.
+
+:func:`skew_report` computes those numbers from a recorded trace: for
+every phase that ran tasks — task-duration and counter histograms,
+p50/p95/max, max-over-median straggler ratios, and the top-k hottest
+partitions with their attributes (partition ids, candidate counts).
+Durations are wall-clock (nondeterministic); the counter-based columns
+are bit-identical across backends, so tests and regression gates key on
+those.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .core import Span
+
+__all__ = ["PhaseSkew", "skew_report", "render_skew"]
+
+#: Counters most indicative of partition-local join work, preferred (in
+#: this order) when selecting which counter columns to report.
+_PREFERRED_COUNTERS = (
+    "join.candidates",
+    "join.results",
+    "geom.pip_tests",
+    "geom.segment_tests",
+    "refine.ops",
+    "cpu.ops",
+)
+
+
+def _percentile(values: np.ndarray, q: float) -> float:
+    return float(np.percentile(values, q)) if values.size else 0.0
+
+
+def _ratio(maximum: float, median: float, mean: float) -> float:
+    """Max-over-median straggler ratio, falling back to the mean when the
+    median is zero (more than half the tasks idle)."""
+    if median > 0:
+        return maximum / median
+    if mean > 0:
+        return maximum / mean
+    return 1.0
+
+
+@dataclass
+class PhaseSkew:
+    """Skew statistics of one phase's task population."""
+
+    phase: str
+    kind: str
+    tasks: int
+    #: wall-clock stats of the task durations (seconds)
+    seconds: dict = field(default_factory=dict)
+    #: max task duration / median task duration (the paper's straggler lens)
+    straggler_ratio: float = 1.0
+    p95_ratio: float = 1.0
+    #: task-duration histogram counts and bin edges (seconds)
+    histogram: list = field(default_factory=list)
+    bin_edges: list = field(default_factory=list)
+    #: per-counter skew: key -> {total, p50, p95, max, max_over_median,
+    #: histogram} — deterministic across backends, unlike durations.
+    counter_stats: dict = field(default_factory=dict)
+    #: top-k hottest tasks by duration: {attrs, seconds, counters}
+    hottest: list = field(default_factory=list)
+
+
+def _phase_task_groups(root: Span) -> list[tuple[Span, list[Span]]]:
+    """Task spans grouped under their nearest phase/stage ancestor."""
+    groups: dict[int, tuple[Span, list[Span]]] = {}
+
+    def visit(sp: Span, phase: Optional[Span]) -> None:
+        if sp.kind in ("phase", "stage"):
+            phase = sp
+        if sp.kind == "task" and phase is not None:
+            groups.setdefault(id(phase), (phase, []))[1].append(sp)
+        for child in sp.children:
+            visit(child, phase)
+
+    visit(root, None)
+    return list(groups.values())
+
+
+def _counter_columns(
+    tasks: Sequence[Span], counter_keys: Optional[Sequence[str]], limit: int = 4
+) -> list[str]:
+    totals: dict[str, float] = {}
+    for task in tasks:
+        for key, value in task.counters.items():
+            totals[key] = totals.get(key, 0.0) + abs(value)
+    if counter_keys is not None:
+        return [k for k in counter_keys if k in totals]
+    preferred = [k for k in _PREFERRED_COUNTERS if k in totals]
+    if preferred:
+        return preferred[:limit]
+    return [k for k, _ in sorted(totals.items(), key=lambda kv: -kv[1])[:limit]]
+
+
+def skew_report(
+    root: Span,
+    *,
+    top_k: int = 5,
+    counter_keys: Optional[Sequence[str]] = None,
+    bins: int = 8,
+    min_tasks: int = 2,
+) -> list[PhaseSkew]:
+    """Per-phase skew statistics for every phase that ran ≥ *min_tasks* tasks.
+
+    *counter_keys* pins the counter columns (default: the join-work
+    counters present, else the phase's largest counters).
+    """
+    out: list[PhaseSkew] = []
+    for phase, tasks in _phase_task_groups(root):
+        if len(tasks) < min_tasks:
+            continue
+        durations = np.array([t.seconds for t in tasks], dtype=float)
+        median = float(np.median(durations))
+        mean = float(durations.mean())
+        maximum = float(durations.max())
+        counts, edges = np.histogram(durations, bins=bins)
+        row = PhaseSkew(
+            phase=phase.name,
+            kind=phase.kind,
+            tasks=len(tasks),
+            seconds={
+                "total": float(durations.sum()),
+                "mean": mean,
+                "p50": median,
+                "p95": _percentile(durations, 95),
+                "max": maximum,
+            },
+            straggler_ratio=_ratio(maximum, median, mean),
+            p95_ratio=_ratio(_percentile(durations, 95), median, mean),
+            histogram=counts.tolist(),
+            bin_edges=edges.tolist(),
+        )
+        for key in _counter_columns(tasks, counter_keys):
+            values = np.array([t.counters.get(key, 0.0) for t in tasks])
+            c_median = float(np.median(values))
+            c_counts, _ = np.histogram(values, bins=bins)
+            row.counter_stats[key] = {
+                "total": float(values.sum()),
+                "p50": c_median,
+                "p95": _percentile(values, 95),
+                "max": float(values.max()),
+                "max_over_median": _ratio(
+                    float(values.max()), c_median, float(values.mean())
+                ),
+                "histogram": c_counts.tolist(),
+            }
+        order = np.argsort(-durations, kind="stable")[:top_k]
+        for i in order.tolist():
+            task = tasks[i]
+            top = sorted(task.counters.items(), key=lambda kv: -abs(kv[1]))[:3]
+            row.hottest.append(
+                {
+                    "attrs": dict(task.attrs),
+                    "seconds": task.seconds,
+                    "counters": dict(top),
+                }
+            )
+        out.append(row)
+    return out
+
+
+def render_skew(report: list[PhaseSkew], *, min_ratio: float = 0.0) -> str:
+    """Human-readable skew table with the hottest partitions per phase."""
+    lines = [
+        f"{'phase':<44}{'tasks':>6}{'p50':>9}{'p95':>9}{'max':>9}{'straggler':>10}",
+    ]
+    for row in report:
+        if row.straggler_ratio < min_ratio:
+            continue
+        s = row.seconds
+        name = row.phase if len(row.phase) <= 44 else row.phase[:41] + "..."
+        lines.append(
+            f"{name:<44}{row.tasks:>6}{s['p50']*1e3:>7,.1f}ms"
+            f"{s['p95']*1e3:>7,.1f}ms{s['max']*1e3:>7,.1f}ms"
+            f"{row.straggler_ratio:>9.2f}x"
+        )
+        for key, stats in row.counter_stats.items():
+            lines.append(
+                f"    · {key}: total={stats['total']:,.0f} p50={stats['p50']:,.0f} "
+                f"max={stats['max']:,.0f} (x{stats['max_over_median']:.2f} median)"
+            )
+        for hot in row.hottest[:3]:
+            attrs = ", ".join(f"{k}={v}" for k, v in sorted(hot["attrs"].items()))
+            lines.append(
+                f"    ★ {hot['seconds']*1e3:,.1f}ms  {attrs or '(no attrs)'}"
+            )
+    return "\n".join(lines)

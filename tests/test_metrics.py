@@ -74,3 +74,69 @@ class TestProperties:
     @given(counter_dicts)
     def test_total_of_one_is_identity(self, d):
         assert Counters.total([d]) == {k: v for k, v in d.items()}
+
+
+class TestRedirectToken:
+    """The redirect sink map is keyed by an explicit per-instance token,
+    not ``id()`` — a GC'd-and-reallocated Counters must never inherit a
+    stale sink registered for a dead instance at the same address."""
+
+    def test_tokens_are_unique_and_stable(self):
+        a, b = Counters(), Counters()
+        assert a.token != b.token
+        assert a.token == a.token  # allocated once, then cached
+
+    def test_token_not_allocated_until_asked(self):
+        c = Counters()
+        assert "_token" not in c.__dict__
+        c.add("x")  # plain charges never allocate a token
+        assert "_token" not in c.__dict__
+        c.token
+        assert "_token" in c.__dict__
+
+    def test_stale_id_keyed_sink_is_ignored(self):
+        from repro.metrics import _REDIRECT
+
+        c = Counters()
+        sinks = getattr(_REDIRECT, "sinks", None)
+        if sinks is None:
+            sinks = _REDIRECT.sinks = {}
+        # Simulate the old bug's poison: a sink registered under this
+        # instance's id() (as if a dead Counters once lived there).
+        stale = {}
+        sinks[id(c)] = stale
+        try:
+            c.add("x", 5)
+        finally:
+            del sinks[id(c)]
+        assert stale == {}
+        assert c == {"x": 5}
+
+    def test_redirect_hits_only_the_token_keyed_sink(self):
+        from repro.exec import run_task
+
+        first = Counters()
+        first.token  # allocate, then drop the instance
+        del first
+        c = Counters()
+
+        def body():
+            c.add("x", 3)
+
+        outcome = run_task(0, body, c)
+        assert outcome.counters == {"x": 3}
+        assert c == {}
+
+    def test_reallocated_instance_cannot_collide(self):
+        # Tokens never collide even when instances reuse a freed address
+        # (CPython recycles them eagerly) — the scenario id() keying got
+        # wrong.  Allocate-and-drop in a loop to force address reuse.
+        addresses = set()
+        tokens = set()
+        for _ in range(64):
+            c = Counters()
+            addresses.add(id(c))
+            tokens.add(c.token)
+            del c
+        assert len(tokens) == 64
+        assert len(addresses) < 64  # addresses *were* reused; tokens not

@@ -1,0 +1,281 @@
+"""Exporters and analyses over recorded traces.
+
+Covers the Chrome trace-event exporter (Perfetto-loadable JSON), the text
+tree renderer, the per-partition skew report (on a deliberately skewed
+synthetic dataset and on a fully deterministic executor workload), the
+explain integration (measured wall-clock next to modelled seconds), the
+CLI flags, and the outside-a-session no-op guarantees.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import spatial_join
+from repro.cli import main
+from repro.data.synthetic import DOMAIN_NYC, census_blocks, taxi_points
+from repro.exec import SerialBackend, merge_outcomes
+from repro.experiments import explain_report, render_explanation
+from repro.geometry.primitives import Point
+from repro.metrics import Counters
+from repro.trace import (
+    Tracer,
+    active,
+    annotate,
+    attach,
+    chrome_trace,
+    current_span,
+    render_skew,
+    render_tree,
+    skew_report,
+    span,
+    write_chrome_trace,
+)
+
+
+def run_traced(system="SpatialHadoop", left=None, right=None):
+    return spatial_join(
+        left if left is not None else taxi_points(300, seed=31),
+        right if right is not None else census_blocks(40, seed=32),
+        system=system,
+        cluster="WS",
+        seed=9,
+        trace=True,
+    )
+
+
+def skewed_points(n=600, seed=33, hot_fraction=0.9):
+    """Points crammed into one tiny corner cell: one partition gets ~all
+    the join work, the rest next to nothing — a deliberate straggler."""
+    rng = np.random.default_rng(seed)
+    hot = int(n * hot_fraction)
+    d = DOMAIN_NYC
+    xs = np.concatenate([
+        d.xmin + rng.random(hot) * d.width * 0.03,
+        d.xmin + rng.random(n - hot) * d.width,
+    ])
+    ys = np.concatenate([
+        d.ymin + rng.random(hot) * d.height * 0.03,
+        d.ymin + rng.random(n - hot) * d.height,
+    ])
+    return [Point(float(x), float(y)) for x, y in zip(xs, ys)]
+
+
+@pytest.fixture(scope="module")
+def skewed_report():
+    """A traced join over the hot-cell dataset on a *uniform grid*.
+
+    The grid partitioner does not adapt to density (unlike the sampling
+    BSP/STR schemes, which exist to balance exactly this), so the corner
+    cell keeps the whole hotspot and its local-join task is a genuine
+    straggler."""
+    from repro.core import GridPartitioner
+
+    return spatial_join(
+        skewed_points(),
+        census_blocks(60, seed=34),
+        system="SpatialHadoop",
+        cluster="WS",
+        seed=9,
+        system_kwargs={"partitioner": GridPartitioner(), "n_partitions": 9},
+        trace=True,
+    )
+
+
+class TestChromeTrace:
+    def test_events_are_valid_complete_events(self):
+        report = run_traced()
+        doc = chrome_trace(report.trace)
+        spans = list(report.trace.walk())
+        assert doc["otherData"]["spans"] == len(spans)
+        events = doc["traceEvents"]
+        assert len(events) == len(spans)
+        for event in events:
+            assert event["ph"] == "X"
+            assert set(event) >= {"name", "cat", "ph", "ts", "dur", "pid", "tid"}
+            assert event["ts"] >= 0.0
+            assert event["dur"] >= 0.0
+        # The root event starts the timeline.
+        assert events[0]["ts"] == 0.0
+        assert events[0]["name"] == report.trace.name
+        # Kinds become categories (Perfetto's track filter).
+        assert {e["cat"] for e in events} >= {"experiment", "run", "phase", "task"}
+
+    def test_json_round_trips(self, tmp_path):
+        report = run_traced("SpatialSpark")
+        path = tmp_path / "trace.json"
+        assert write_chrome_trace(report.trace, path) == path
+        loaded = json.loads(path.read_text())
+        assert loaded == json.loads(json.dumps(chrome_trace(report.trace)))
+        assert loaded["traceEvents"]
+
+    def test_counter_deltas_travel_in_args(self):
+        report = run_traced()
+        events = chrome_trace(report.trace)["traceEvents"]
+        with_counters = [e for e in events if e["args"].get("counters")]
+        assert with_counters, "no event carried counter deltas"
+        for event in with_counters:
+            for value in event["args"]["counters"].values():
+                assert isinstance(value, float)
+
+
+class TestRenderTree:
+    def test_tree_shows_hierarchy_and_counters(self):
+        report = run_traced()
+        text = render_tree(report.trace, min_seconds=0.0)
+        lines = text.splitlines()
+        assert lines[0].lstrip().startswith("spatial_join")
+        assert any("SpatialHadoop" in line for line in lines)
+        # Children are indented below their parents.
+        assert any(line.startswith("  ") for line in lines)
+
+    def test_min_seconds_prunes(self):
+        report = run_traced()
+        full = render_tree(report.trace, min_seconds=0.0)
+        pruned = render_tree(report.trace, min_seconds=10.0)
+        assert len(pruned.splitlines()) < len(full.splitlines())
+
+
+class TestSkewReport:
+    def test_deterministic_executor_skew(self):
+        # One task does 100x the median's work: the counter-based
+        # straggler columns must say exactly that, on any machine.
+        shared = Counters()
+        backend = SerialBackend()
+        amounts = [1, 1, 100, 1]
+
+        def make(amount):
+            def body():
+                shared.add("join.candidates", amount)
+
+            return body
+
+        tracer = Tracer()
+        with tracer.session("root", counters=shared):
+            with span("local_join", kind="phase", counters=shared):
+                outcomes = backend.run_tasks(
+                    "local_join", [make(a) for a in amounts], shared
+                )
+                merge_outcomes(outcomes, shared)
+        rows = skew_report(tracer.root)
+        assert len(rows) == 1
+        row = rows[0]
+        assert row.phase == "local_join"
+        assert row.tasks == 4
+        stats = row.counter_stats["join.candidates"]
+        assert stats["total"] == 103.0
+        assert stats["max"] == 100.0
+        assert stats["p50"] == 1.0
+        assert stats["max_over_median"] == 100.0
+        assert sum(stats["histogram"]) == 4
+        assert row.straggler_ratio >= 1.0
+        assert len(row.hottest) == 4
+        assert sum(row.histogram) == 4
+
+    def test_skewed_dataset_yields_straggler_ratios(self, skewed_report):
+        rows = skew_report(skewed_report.trace)
+        assert rows, "no multi-task phase in the trace"
+        join_rows = [
+            r for r in rows
+            if any(
+                s["max_over_median"] >= 2.0 for s in r.counter_stats.values()
+            )
+        ]
+        assert join_rows, "hot-cell dataset produced no counter skew"
+        for row in rows:
+            assert row.straggler_ratio >= 1.0
+            assert row.p95_ratio >= 0.0
+            assert row.hottest
+            assert sum(row.histogram) == row.tasks
+
+    def test_counter_keys_pin_columns(self, skewed_report):
+        rows = skew_report(skewed_report.trace, counter_keys=["join.candidates"])
+        assert any(list(r.counter_stats) == ["join.candidates"] for r in rows)
+
+    def test_render_skew_table(self, skewed_report):
+        text = render_skew(skew_report(skewed_report.trace))
+        lines = text.splitlines()
+        assert "straggler" in lines[0]
+        assert any(line.lstrip().startswith("·") for line in lines)
+        assert any(line.lstrip().startswith("★") for line in lines)
+
+
+class TestExplainIntegration:
+    def test_measured_seconds_come_from_phase_spans(self):
+        report = run_traced()
+        costs = explain_report(report)
+        measured = [c for c in costs if c.measured_seconds is not None]
+        assert measured, "traced run produced no measured phase costs"
+        span_seconds = {}
+        for sp in report.trace.walk():
+            if sp.kind == "phase":
+                span_seconds.setdefault(sp.name, []).append(sp.seconds)
+        for cost in measured:
+            assert cost.measured_seconds in span_seconds[cost.name]
+
+    def test_untraced_run_has_no_measured_column(self):
+        report = spatial_join(
+            taxi_points(200, seed=31), census_blocks(30, seed=32),
+            system="SpatialSpark", seed=9,
+        )
+        costs = explain_report(report)
+        assert all(c.measured_seconds is None for c in costs)
+        assert "measured" not in render_explanation(costs).splitlines()[0]
+
+    def test_render_shows_measured_column(self):
+        report = run_traced()
+        text = render_explanation(explain_report(report))
+        assert "measured" in text.splitlines()[0]
+        assert "ms" in text
+
+
+class TestCli:
+    def test_trace_flag_writes_chrome_json(self, tmp_path, capsys):
+        out = tmp_path / "run.trace.json"
+        rc = main([
+            "run", "taxi-nycb", "SpatialSpark", "--exec-records", "300",
+            "--trace", str(out),
+        ])
+        assert rc == 0
+        doc = json.loads(out.read_text())
+        assert doc["traceEvents"]
+        assert "perfetto" in capsys.readouterr().out
+
+    def test_skew_and_tree_flags_print(self, capsys):
+        rc = main([
+            "run", "taxi-nycb", "SpatialSpark", "--exec-records", "300",
+            "--trace-tree", "--skew",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "straggler" in out
+        assert "spatial_join" not in out  # experiment runs use their own root
+        assert "experiment:taxi-nycb" in out
+
+    def test_untraced_run_unchanged(self, capsys):
+        rc = main(["run", "taxi-nycb", "SpatialSpark", "--exec-records", "300"])
+        assert rc == 0
+        assert "straggler" not in capsys.readouterr().out
+
+
+class TestNoOpOutsideSession:
+    def test_span_yields_none_and_records_nothing(self):
+        counters = Counters()
+        assert not active()
+        with span("outside", counters=counters, attr=1) as sp:
+            counters.add("x", 2)
+            assert sp is None
+            assert current_span() is None
+            annotate(ignored=True)  # must not raise
+        attach(None)  # must not raise
+        assert dict(counters) == {"x": 2.0}
+
+    def test_session_root_captured_even_without_children(self):
+        tracer = Tracer()
+        with tracer.session("empty") as root:
+            assert active()
+            assert current_span() is root
+        assert not active()
+        assert tracer.root is root
+        assert tracer.root.children == []
