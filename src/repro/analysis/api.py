@@ -1,0 +1,198 @@
+"""API001: export lists must resolve to real attributes.
+
+The top-level package (and any future lazy package) exposes its API
+through a PEP 562 ``_EXPORTS`` table — ``name -> (module, attr)`` — plus
+a plain ``__all__``.  Nothing checks either at import time: a renamed
+function leaves a dangling entry that only explodes when a user first
+touches it.  This rule resolves both statically:
+
+* every ``__all__`` entry must be bound at module top level (assignment,
+  def/class, import) or be a key of the module's ``_EXPORTS`` table;
+* every ``_EXPORTS`` value ``(module, attr)`` whose module lives under
+  the linted source tree must actually define *attr* (in its own
+  top-level bindings, or transitively via its own ``_EXPORTS``).
+
+Modules outside the tree (third-party) are skipped; a target module that
+does ``from x import *`` or defines ``__getattr__`` is treated as opaque
+and accepted.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional
+
+from .core import FileContext, Rule, register
+
+__all__ = ["ExportIntegrity"]
+
+
+@dataclass
+class _ModuleSurface:
+    """Statically visible top-level surface of one module."""
+
+    bindings: set = field(default_factory=set)
+    export_keys: set = field(default_factory=set)
+    has_star_import: bool = False
+    has_getattr: bool = False
+
+    def defines(self, name: str) -> bool:
+        return (
+            name in self.bindings
+            or name in self.export_keys
+            or self.has_star_import
+            or self.has_getattr
+        )
+
+
+def _collect_surface(tree: ast.Module) -> _ModuleSurface:
+    surface = _ModuleSurface()
+
+    def collect(stmts) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    for node in ast.walk(target):
+                        if isinstance(node, ast.Name):
+                            surface.bindings.add(node.id)
+            elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+                if isinstance(stmt.target, ast.Name):
+                    surface.bindings.add(stmt.target.id)
+            elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                surface.bindings.add(stmt.name)
+                if stmt.name == "__getattr__":
+                    surface.has_getattr = True
+            elif isinstance(stmt, ast.Import):
+                for alias in stmt.names:
+                    surface.bindings.add(alias.asname or alias.name.split(".")[0])
+            elif isinstance(stmt, ast.ImportFrom):
+                for alias in stmt.names:
+                    if alias.name == "*":
+                        surface.has_star_import = True
+                    else:
+                        surface.bindings.add(alias.asname or alias.name)
+            elif isinstance(stmt, (ast.If, ast.Try)):
+                collect(stmt.body)
+                collect(getattr(stmt, "orelse", []))
+                for handler in getattr(stmt, "handlers", []):
+                    collect(handler.body)
+                collect(getattr(stmt, "finalbody", []))
+            elif isinstance(stmt, (ast.For, ast.While, ast.With)):
+                collect(stmt.body)
+                collect(getattr(stmt, "orelse", []))
+
+    collect(tree.body)
+    surface.export_keys |= set(_exports_table(tree) or {})
+    return surface
+
+
+def _literal_str_list(node: ast.AST) -> Optional[list[tuple[str, ast.AST]]]:
+    """Entries of a literal list/tuple of strings, with their nodes."""
+    if not isinstance(node, (ast.List, ast.Tuple)):
+        return None
+    out = []
+    for elt in node.elts:
+        if not (isinstance(elt, ast.Constant) and isinstance(elt.value, str)):
+            return None
+        out.append((elt.value, elt))
+    return out
+
+
+def _exports_table(tree: ast.Module) -> Optional[dict]:
+    """The literal ``_EXPORTS`` dict: name -> ((module, attr), value_node)."""
+    for stmt in tree.body:
+        if (
+            isinstance(stmt, ast.Assign)
+            and len(stmt.targets) == 1
+            and isinstance(stmt.targets[0], ast.Name)
+            and stmt.targets[0].id == "_EXPORTS"
+            and isinstance(stmt.value, ast.Dict)
+        ):
+            table = {}
+            for key, value in zip(stmt.value.keys, stmt.value.values):
+                if not (isinstance(key, ast.Constant) and isinstance(key.value, str)):
+                    continue
+                pair = _literal_str_list(value)
+                if pair is not None and len(pair) == 2:
+                    table[key.value] = ((pair[0][0], pair[1][0]), value)
+            return table
+    return None
+
+
+@register
+class ExportIntegrity(Rule):
+    """API001: ``__all__`` and lazy ``_EXPORTS`` must resolve statically."""
+
+    code = "API001"
+    name = "export-integrity"
+    description = (
+        "__all__ / lazy _EXPORTS entry does not resolve to a real module "
+        "attribute (dangling exports only explode on first attribute access)"
+    )
+
+    def _surface_of(self, path: Path, ctx: FileContext) -> Optional[_ModuleSurface]:
+        cache = ctx.session.module_surfaces
+        key = str(path)
+        if key not in cache:
+            try:
+                cache[key] = _collect_surface(ast.parse(path.read_text()))
+            except (OSError, SyntaxError):
+                cache[key] = None
+        return cache[key]
+
+    def _target_file(self, dotted: str, ctx: FileContext) -> Optional[Path]:
+        """Source file of *dotted* if it lives under the linted tree."""
+        if ctx.root is None:
+            return None
+        base = ctx.root.joinpath(*dotted.split("."))
+        for candidate in (base.with_suffix(".py"), base / "__init__.py"):
+            if candidate.exists():
+                return candidate
+        return None
+
+    def check_module(self, tree: ast.Module, ctx: FileContext) -> None:
+        """Validate this module's ``__all__`` and ``_EXPORTS`` tables."""
+        exports = _exports_table(tree) or {}
+        surface = _collect_surface(tree)
+
+        for stmt in tree.body:
+            if (
+                isinstance(stmt, ast.Assign)
+                and len(stmt.targets) == 1
+                and isinstance(stmt.targets[0], ast.Name)
+                and stmt.targets[0].id == "__all__"
+            ):
+                entries = _literal_str_list(stmt.value)
+                for name, node in entries or ():
+                    if not surface.defines(name):
+                        ctx.report(
+                            self,
+                            node,
+                            f"__all__ entry {name!r} is not bound at module "
+                            "top level and has no _EXPORTS entry",
+                        )
+
+        for name, ((module, attr), node) in exports.items():
+            target = self._target_file(module, ctx)
+            if target is None:
+                # Module not under the linted tree: either third-party
+                # (skip) or a dangling intra-tree reference (flag).
+                top = module.split(".")[0]
+                if ctx.root is not None and (ctx.root / top).is_dir():
+                    ctx.report(
+                        self,
+                        node,
+                        f"_EXPORTS[{name!r}] points at unresolvable module "
+                        f"{module!r}",
+                    )
+                continue
+            target_surface = self._surface_of(target, ctx)
+            if target_surface is not None and not target_surface.defines(attr):
+                ctx.report(
+                    self,
+                    node,
+                    f"_EXPORTS[{name!r}] -> {module}.{attr}: {attr!r} is not "
+                    f"defined at the top level of {module}",
+                )

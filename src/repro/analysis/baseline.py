@@ -1,0 +1,99 @@
+"""Committed JSON baselines: adopt a tool without stopping the world.
+
+A baseline records *known* findings so the lint gate can fail only on
+**new** ones, while also failing on **stale** entries — baselined
+findings that no longer occur — so the debt list can only shrink.  (This
+repo's own baseline is empty by policy: every pre-existing violation was
+fixed, not baselined, when the linter landed.)
+
+Entries are keyed by ``(rule, path, fingerprint-of-source-line)`` rather
+than line numbers, so edits elsewhere in a file don't churn the baseline.
+Identical findings on identical lines are matched as a multiset.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from .core import Finding
+
+__all__ = ["Baseline", "BaselineResult"]
+
+_VERSION = 1
+
+
+@dataclass
+class BaselineResult:
+    """Outcome of checking findings against a baseline."""
+
+    new: list  # findings not covered by the baseline
+    matched: list  # findings the baseline accepts
+    stale: list  # baseline entries no longer observed (dicts)
+
+    @property
+    def clean(self) -> bool:
+        return not self.new and not self.stale
+
+
+class Baseline:
+    """An on-disk set of accepted findings."""
+
+    def __init__(self, entries: Sequence[dict] = ()):
+        self.entries = list(entries)
+
+    # -- persistence -------------------------------------------------------
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        if not Path(path).exists():
+            return cls()
+        doc = json.loads(Path(path).read_text())
+        if doc.get("version") != _VERSION:
+            raise ValueError(
+                f"unsupported baseline version {doc.get('version')!r} in {path}"
+            )
+        return cls(doc.get("findings", []))
+
+    @staticmethod
+    def save(path: Path, findings: Iterable[Finding]) -> None:
+        entries = [
+            {
+                "rule": f.rule,
+                "path": f.path,
+                "fingerprint": f.fingerprint,
+                "snippet": f.snippet,
+            }
+            for f in sorted(findings, key=Finding.sort_key)
+        ]
+        doc = {"version": _VERSION, "findings": entries}
+        Path(path).write_text(json.dumps(doc, indent=2) + "\n")
+
+    # -- matching ----------------------------------------------------------
+    @staticmethod
+    def _key(entry: dict) -> tuple:
+        return (entry["rule"], entry["path"], entry["fingerprint"])
+
+    def check(self, findings: Sequence[Finding]) -> BaselineResult:
+        """Split *findings* into new/matched and detect stale entries."""
+        budget: dict[tuple, int] = {}
+        for entry in self.entries:
+            key = self._key(entry)
+            budget[key] = budget.get(key, 0) + 1
+        new, matched = [], []
+        for finding in findings:
+            key = (finding.rule, finding.path, finding.fingerprint)
+            if budget.get(key, 0) > 0:
+                budget[key] -= 1
+                matched.append(finding)
+            else:
+                new.append(finding)
+        # Stale = the per-key surplus of baseline entries over findings.
+        stale = []
+        for entry in self.entries:
+            key = self._key(entry)
+            if budget.get(key, 0) > 0:
+                budget[key] -= 1
+                stale.append(entry)
+        return BaselineResult(new=new, matched=matched, stale=stale)

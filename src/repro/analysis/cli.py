@@ -1,0 +1,155 @@
+"""``repro-lint`` / ``python -m repro.analysis``: the invariant lint gate.
+
+Exit codes: 0 = clean (possibly via baseline), 1 = new findings or stale
+baseline entries, 2 = usage error.  See DESIGN.md §9 for the contracts
+the rule pack enforces and README §"Invariant linting" for the
+suppression/baseline policy.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from .baseline import Baseline
+from .core import RULES, LintSession, iter_python_files, lint_file
+from .reporting import render_json, render_text
+
+__all__ = ["main"]
+
+#: Baseline used when --baseline is not given and this file exists in cwd.
+DEFAULT_BASELINE = "lint-baseline.json"
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "AST-based invariant linter for the repro codebase: determinism "
+            "(DET*), clock discipline (CLK*), the counter ledger (CTR*), "
+            "and API export integrity (API*)."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help=(
+            "JSON baseline of accepted findings; fails on anything new and "
+            f"on stale entries (default: ./{DEFAULT_BASELINE} when present)"
+        ),
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file; report every finding",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write the current findings to the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RULES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore",
+        metavar="RULES",
+        help="comma-separated rule codes to skip",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="list registered rules and exit"
+    )
+    return parser
+
+
+def _default_paths() -> list[Path]:
+    for candidate in (Path("src/repro"), Path("src"), Path(".")):
+        if candidate.is_dir():
+            return [candidate]
+    return []
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point of ``repro-lint``; returns the process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for code in sorted(RULES):
+            rule = RULES[code]
+            print(f"{code}  {rule.name:<28} {rule.description}")
+        return 0
+
+    paths = args.paths or _default_paths()
+    if not paths:
+        parser.error("no paths given and no src/ directory found")
+    missing = [str(p) for p in paths if not p.exists()]
+    if missing:
+        parser.error(f"no such path: {', '.join(missing)}")
+
+    try:
+        session = LintSession(
+            select=args.select.split(",") if args.select else None,
+            ignore=args.ignore.split(",") if args.ignore else (),
+        )
+    except ValueError as exc:
+        parser.error(str(exc))
+
+    files = list(iter_python_files(paths))
+    findings = []
+    for path in files:
+        findings.extend(lint_file(path, session=session))
+    findings.sort(key=lambda f: f.sort_key())
+
+    baseline_path = args.baseline
+    if baseline_path is None and not args.no_baseline:
+        default = Path(DEFAULT_BASELINE)
+        baseline_path = default if default.exists() or args.write_baseline else None
+    if args.no_baseline:
+        baseline_path = None
+
+    if args.write_baseline:
+        target = baseline_path or Path(DEFAULT_BASELINE)
+        Baseline.save(target, findings)
+        print(f"wrote {len(findings)} finding(s) to {target}")
+        return 0
+
+    stale: list = []
+    matched = 0
+    if baseline_path is not None:
+        try:
+            result = Baseline.load(baseline_path).check(findings)
+        except ValueError as exc:
+            parser.error(str(exc))
+        findings, stale, matched = result.new, result.stale, len(result.matched)
+
+    if args.format == "json":
+        print(json.dumps(
+            render_json(findings, stale=stale, matched=matched, files=len(files)),
+            indent=2,
+        ))
+    else:
+        print(render_text(findings, stale=stale, matched=matched, files=len(files)))
+    return 1 if findings or stale else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

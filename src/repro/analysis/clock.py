@@ -1,0 +1,78 @@
+"""CLK001: wall-clock reads are confined to the tracing/executor whitelist.
+
+The repo's central costing invariant is that simulated seconds are a pure
+function of *counters* (see ``repro.cluster.costmodel``): substrates count
+bytes/records/ops, and only the cost model turns counts into time.  A
+``time.time()`` call anywhere in a substrate or system would leak real
+wall-clock — which varies with machine load — into numbers the paper
+tables treat as reproducible.
+
+The only modules allowed to read the real clock are the ones that measure
+it *on purpose*, and keep it out of results by construction:
+
+* ``repro.exec.task`` — task wall-clock for the benchmark harness,
+* ``repro.trace.core`` / ``repro.trace.export`` — span durations, which
+  :meth:`repro.trace.Span.fingerprint` explicitly excludes.
+
+Everything else must go through ``repro.cluster.simclock``.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .core import FileContext, Rule, register
+
+__all__ = ["WallClock", "CLOCK_WHITELIST"]
+
+#: Modules allowed to read the real clock (measured-on-purpose paths).
+CLOCK_WHITELIST = frozenset(
+    {"repro.exec.task", "repro.trace.core", "repro.trace.export"}
+)
+
+_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "time.thread_time",
+        "time.thread_time_ns",
+        "time.clock_gettime",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+
+@register
+class WallClock(Rule):
+    """CLK001: confine real-clock reads to the measured-on-purpose modules."""
+
+    code = "CLK001"
+    name = "wall-clock-discipline"
+    description = (
+        "real-clock read outside the exec.task/trace whitelist; wall-clock "
+        "must never feed costed counters (use repro.cluster.simclock)"
+    )
+
+    def visit_Call(self, node: ast.Call, ctx: FileContext) -> None:
+        """Flag wall-clock calls in any module outside the whitelist."""
+        if ctx.module in CLOCK_WHITELIST:
+            return
+        dotted = ctx.resolve_imported(node.func)
+        if dotted in _CLOCK_CALLS:
+            ctx.report(
+                self,
+                node,
+                f"{dotted}() outside the clock whitelist "
+                f"({', '.join(sorted(CLOCK_WHITELIST))}): wall-clock must not "
+                "leak into costed paths — counters + the cost model are the "
+                "only source of simulated seconds",
+            )

@@ -1,0 +1,469 @@
+"""The lint driver: findings, the rule registry, and one AST walk per file.
+
+:mod:`repro.analysis` exists because this repo's empirical claims rest on
+*contracts* — bit-identical results across backends, one counter ledger,
+no wall-clock in costed paths — that Python will happily let a one-line
+change break.  Golden tests catch such breakage after it lands; the rules
+here catch it at the source level, before any experiment runs.
+
+Design
+------
+
+* A **rule** is a class with a ``code`` (``DET001``), registered via
+  :func:`register`.  Rules implement ``visit_<NodeType>`` hooks that the
+  driver calls during a single AST walk, and/or a ``check_module`` hook
+  that runs once per file with the full tree.
+* A **FileContext** carries everything a hook needs: source lines, the
+  module's dotted name, an import table (``np`` → ``numpy``), a parent
+  map, per-scope variable tags (is this name a ``Counters`` ledger?  a
+  ``set``?), and ``report()`` to record findings.
+* Suppression is per-line: ``# repro: noqa[DET001]`` silences the named
+  rules on that line, ``# repro: noqa`` silences them all.  Suppressions
+  are deliberate and reviewable — policy in README §"Invariant linting".
+
+The walk is deterministic: files are linted in sorted path order and
+findings are sorted by (path, line, col, rule), so output and baselines
+are stable across runs and machines.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Optional, Sequence
+
+__all__ = [
+    "Finding",
+    "Rule",
+    "RULES",
+    "register",
+    "FileContext",
+    "LintSession",
+    "lint_source",
+    "lint_file",
+    "lint_paths",
+    "iter_python_files",
+    "is_counterish",
+    "is_setish",
+]
+
+#: ``# repro: noqa`` / ``# repro: noqa[DET001,CTR001]``
+_NOQA_RE = re.compile(r"#\s*repro:\s*noqa(?:\[(?P<rules>[A-Za-z0-9_,\s]+)\])?")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    #: the stripped source line — baselines fingerprint on this, not the
+    #: line number, so unrelated edits above a finding don't churn them
+    snippet: str
+
+    @property
+    def fingerprint(self) -> str:
+        digest = hashlib.sha1(
+            f"{self.rule}|{self.path}|{self.snippet}".encode()
+        ).hexdigest()
+        return digest[:16]
+
+    def sort_key(self) -> tuple:
+        """Stable output/baseline order: (path, line, col, rule)."""
+        return (self.path, self.line, self.col, self.rule)
+
+
+# ------------------------------------------------------------------ registry
+RULES: dict[str, type] = {}
+
+
+def register(cls: type) -> type:
+    """Class decorator adding a rule to the global registry by its code."""
+    code = getattr(cls, "code", None)
+    if not code or code in RULES:
+        raise ValueError(f"rule code missing or duplicate: {code!r}")
+    RULES[code] = cls
+    return cls
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set ``code`` / ``name`` / ``description`` and implement any
+    of: ``visit_<NodeType>(node, ctx)`` (called during the shared walk) or
+    ``check_module(tree, ctx)`` (called once per file after the walk).
+    A fresh instance is created per file, so rules may keep per-file state.
+    """
+
+    code = "XXX000"
+    name = "unnamed"
+    description = ""
+
+
+# ------------------------------------------------------------------- session
+class LintSession:
+    """Cross-file state for one lint run: rule selection and parse caches."""
+
+    def __init__(
+        self,
+        *,
+        select: Optional[Sequence[str]] = None,
+        ignore: Sequence[str] = (),
+        counter_schema: Optional[Iterable[str]] = None,
+    ):
+        codes = sorted(RULES)
+        if select is not None:
+            unknown = sorted(set(select) - set(codes))
+            if unknown:
+                raise ValueError(f"unknown rule codes: {', '.join(unknown)}")
+            codes = [c for c in codes if c in set(select)]
+        codes = [c for c in codes if c not in set(ignore)]
+        self.codes = codes
+        #: CTR001's registered-key set; None = read repro.metrics at lint time
+        self.counter_schema = (
+            frozenset(counter_schema) if counter_schema is not None else None
+        )
+        #: API001's cache of parsed sibling modules: path -> _ModuleSurface
+        self.module_surfaces: dict = {}
+
+    def make_rules(self) -> list:
+        """Fresh per-file instances of every enabled rule."""
+        return [RULES[c]() for c in self.codes]
+
+
+# ------------------------------------------------------------------- context
+def _module_name(path: Path) -> tuple[Optional[str], Optional[Path]]:
+    """Dotted module name of *path* and the source root above its package.
+
+    Walks up while ``__init__.py`` markers continue — so for
+    ``src/repro/trace/skew.py`` this returns (``repro.trace.skew``,
+    ``src``).  Returns (None, None) for scripts outside any package.
+    """
+    path = path.resolve()
+    parts = [path.stem] if path.stem != "__init__" else []
+    current = path.parent
+    if not (current / "__init__.py").exists():
+        return None, None
+    while (current / "__init__.py").exists():
+        parts.insert(0, current.name)
+        current = current.parent
+    return ".".join(parts), current
+
+
+class FileContext:
+    """Everything rule hooks need about the file being linted."""
+
+    def __init__(
+        self,
+        *,
+        path: str,
+        text: str,
+        tree: ast.Module,
+        session: LintSession,
+        module: Optional[str] = None,
+        root: Optional[Path] = None,
+    ):
+        self.path = path
+        self.lines = text.splitlines()
+        self.tree = tree
+        self.session = session
+        self.module = module
+        self.root = root
+        self.findings: list[Finding] = []
+        self.imports = _import_table(tree)
+        # Parent links live on the nodes themselves (we own this tree) —
+        # an id()-keyed map would be this package's own DET001 violation.
+        for parent in ast.walk(tree):
+            for child in ast.iter_child_nodes(parent):
+                child._lint_parent = parent  # type: ignore[attr-defined]
+        self._scopes: list[dict[str, str]] = [{}]
+        self._noqa = _noqa_map(self.lines)
+
+    # -- findings ----------------------------------------------------------
+    def report(self, rule: "Rule", node: ast.AST, message: str) -> None:
+        """Record a finding for *rule* at *node*'s source location."""
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        snippet = self.lines[line - 1].strip() if line <= len(self.lines) else ""
+        self.findings.append(
+            Finding(rule.code, self.path, line, col, message, snippet)
+        )
+
+    def suppressed(self, finding: Finding) -> bool:
+        """Whether a ``# repro: noqa`` on the finding's line silences it."""
+        rules = self._noqa.get(finding.line)
+        return rules is not None and (not rules or finding.rule in rules)
+
+    def parent_of(self, node: ast.AST) -> Optional[ast.AST]:
+        """The AST parent of *node* (None for the module root)."""
+        return getattr(node, "_lint_parent", None)
+
+    # -- name resolution ---------------------------------------------------
+    def resolve(self, node: ast.AST) -> Optional[str]:
+        """Dotted origin of a Name/Attribute chain, through the imports.
+
+        ``np.random.rand`` with ``import numpy as np`` resolves to
+        ``numpy.random.rand``; unresolvable chains return None.
+        """
+        parts: list[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.insert(0, node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        origin = self.imports.get(node.id)
+        parts.insert(0, origin if origin is not None else node.id)
+        return ".".join(parts)
+
+    def resolve_imported(self, node: ast.AST) -> Optional[str]:
+        """Like :meth:`resolve`, but only for chains rooted at an import.
+
+        Rules matching well-known module functions (``time.time``,
+        ``numpy.random.rand``) use this so a local variable that merely
+        shares a module's name cannot trigger them.
+        """
+        base = node
+        while isinstance(base, ast.Attribute):
+            base = base.value
+        if isinstance(base, ast.Name) and base.id in self.imports:
+            return self.resolve(node)
+        return None
+
+    def tag(self, name: str) -> Optional[str]:
+        """The innermost scope tag recorded for *name* (see driver)."""
+        for scope in reversed(self._scopes):
+            if name in scope:
+                return scope[name]
+        return None
+
+
+def _noqa_map(lines: Sequence[str]) -> dict[int, frozenset]:
+    """line -> suppressed rule codes (empty frozenset = suppress all)."""
+    out: dict[int, frozenset] = {}
+    for i, line in enumerate(lines, start=1):
+        match = _NOQA_RE.search(line)
+        if match:
+            rules = match.group("rules")
+            out[i] = frozenset(
+                r.strip() for r in rules.split(",") if r.strip()
+            ) if rules else frozenset()
+    return out
+
+
+def _import_table(tree: ast.Module) -> dict[str, str]:
+    """Imported-name table: local alias -> fully dotted origin."""
+    table: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                table[alias.asname or alias.name.split(".")[0]] = (
+                    alias.name if alias.asname else alias.name.split(".")[0]
+                )
+                if alias.asname:
+                    table[alias.asname] = alias.name
+        elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+            for alias in node.names:
+                if alias.name != "*":
+                    table[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+        elif isinstance(node, ast.ImportFrom) and node.level:
+            # Relative import: keep the attribute tail so e.g.
+            # ``from ..metrics import Counters`` resolves Counters.
+            for alias in node.names:
+                if alias.name != "*":
+                    prefix = f"{node.module}." if node.module else ""
+                    table[alias.asname or alias.name] = f".{prefix}{alias.name}"
+    return table
+
+
+# -------------------------------------------------------------- type tagging
+def is_counterish(node: ast.AST, ctx: FileContext) -> bool:
+    """Heuristic: does this expression denote a Counters ledger?
+
+    True for any ``*.counters`` attribute, a bare ``counters`` name, a
+    name assigned from such an expression in an enclosing scope, a
+    ``Counters(...)`` construction, and ledger-returning method calls
+    (``snapshot`` / ``diff`` / ``scaled``) on a counterish receiver.
+    """
+    if isinstance(node, ast.Attribute):
+        return node.attr == "counters"
+    if isinstance(node, ast.Name):
+        return node.id == "counters" or ctx.tag(node.id) == "counters"
+    if isinstance(node, ast.Call):
+        resolved = ctx.resolve(node.func)
+        if resolved is not None and resolved.split(".")[-1] == "Counters":
+            return True
+        if isinstance(node.func, ast.Attribute):
+            if node.func.attr in ("snapshot", "diff", "scaled"):
+                return is_counterish(node.func.value, ctx)
+            if node.func.attr == "total":
+                return is_counterish(node.func.value, ctx) or (
+                    (ctx.resolve(node.func.value) or "").split(".")[-1] == "Counters"
+                )
+    return False
+
+
+_SET_METHODS = ("union", "intersection", "difference", "symmetric_difference")
+
+
+def is_setish(node: ast.AST, ctx: FileContext) -> bool:
+    """Heuristic: does this expression produce a ``set``/``frozenset``?"""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        if isinstance(node.func, ast.Name) and node.func.id in ("set", "frozenset"):
+            return True
+        if isinstance(node.func, ast.Attribute) and node.func.attr in _SET_METHODS:
+            return is_setish(node.func.value, ctx)
+        return False
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.BitXor, ast.Sub)
+    ):
+        return is_setish(node.left, ctx) or is_setish(node.right, ctx)
+    if isinstance(node, ast.Name):
+        return ctx.tag(node.id) == "set"
+    return False
+
+
+def _infer_tag(node: ast.AST, ctx: FileContext) -> Optional[str]:
+    if is_setish(node, ctx):
+        return "set"
+    if is_counterish(node, ctx):
+        return "counters"
+    return None
+
+
+# -------------------------------------------------------------------- driver
+_SCOPE_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef)
+
+
+def _annotation_name(ann: Optional[ast.AST], ctx: "FileContext") -> str:
+    """Trailing name of an annotation, unwrapping quoted forward refs."""
+    if ann is None:
+        return ""
+    if isinstance(ann, ast.Constant) and isinstance(ann.value, str):
+        return ann.value.split(".")[-1].strip()
+    return (ctx.resolve(ann) or "").split(".")[-1]
+
+
+class _Driver(ast.NodeVisitor):
+    """One pass over the tree: dispatch rule hooks, track scope tags."""
+
+    def __init__(self, ctx: FileContext, rules: Sequence[Rule]):
+        self.ctx = ctx
+        #: per node type, the rules that hook it (computed lazily)
+        self._hooks: dict[str, list] = {}
+        self._rules = rules
+
+    def _dispatch(self, node: ast.AST) -> None:
+        kind = type(node).__name__
+        hooks = self._hooks.get(kind)
+        if hooks is None:
+            hooks = self._hooks[kind] = [
+                method
+                for rule in self._rules
+                if (method := getattr(rule, f"visit_{kind}", None)) is not None
+            ]
+        for hook in hooks:
+            hook(node, self.ctx)
+
+    def visit(self, node: ast.AST) -> None:
+        self._dispatch(node)
+        if isinstance(node, _SCOPE_NODES):
+            scope: dict[str, str] = {}
+            if isinstance(node, ast.ClassDef) and node.name == "Counters":
+                # Inside the ledger type itself, ``self`` is a ledger.
+                scope["self"] = "counters"
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                for arg in node.args.args + node.args.kwonlyargs:
+                    if _annotation_name(arg.annotation, self.ctx) == "Counters":
+                        scope[arg.arg] = "counters"
+            self.ctx._scopes.append(scope)
+            self.generic_visit(node)
+            self.ctx._scopes.pop()
+            return
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            if isinstance(target, ast.Name):
+                tag = _infer_tag(node.value, self.ctx)
+                scope = self.ctx._scopes[-1]
+                if tag is not None:
+                    scope[target.id] = tag
+                else:
+                    scope.pop(target.id, None)
+        elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            if _annotation_name(node.annotation, self.ctx) == "Counters":
+                self.ctx._scopes[-1][node.target.id] = "counters"
+        self.generic_visit(node)
+
+
+# --------------------------------------------------------------- entry points
+def lint_source(
+    text: str,
+    path: str = "<string>",
+    *,
+    session: Optional[LintSession] = None,
+    module: Optional[str] = None,
+    root: Optional[Path] = None,
+) -> list[Finding]:
+    """Lint one source string; returns sorted, noqa-filtered findings."""
+    session = session or LintSession()
+    try:
+        tree = ast.parse(text)
+    except SyntaxError as exc:
+        line = exc.lineno or 1
+        lines = text.splitlines()
+        snippet = lines[line - 1].strip() if 0 < line <= len(lines) else ""
+        return [Finding("E999", path, line, exc.offset or 0, f"syntax error: {exc.msg}", snippet)]
+    ctx = FileContext(
+        path=path, text=text, tree=tree, session=session, module=module, root=root
+    )
+    rules = session.make_rules()
+    _Driver(ctx, rules).visit(tree)
+    for rule in rules:
+        check = getattr(rule, "check_module", None)
+        if check is not None:
+            check(tree, ctx)
+    findings = [f for f in ctx.findings if not ctx.suppressed(f)]
+    return sorted(findings, key=Finding.sort_key)
+
+
+def lint_file(path: Path, *, session: Optional[LintSession] = None) -> list[Finding]:
+    """Lint one file, inferring its dotted module name and source root."""
+    module, root = _module_name(path)
+    return lint_source(
+        path.read_text(),
+        str(path),
+        session=session,
+        module=module,
+        root=root,
+    )
+
+
+def iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
+    """Expand files/directories into a sorted, deduplicated .py file list."""
+    seen = []
+    for path in paths:
+        if path.is_dir():
+            seen.extend(
+                p for p in path.rglob("*.py") if "__pycache__" not in p.parts
+            )
+        else:
+            seen.append(path)
+    yield from sorted(set(seen))
+
+
+def lint_paths(
+    paths: Iterable[Path], *, session: Optional[LintSession] = None
+) -> list[Finding]:
+    """Lint every ``.py`` file under *paths* (deterministic order)."""
+    session = session or LintSession()
+    findings: list[Finding] = []
+    for path in iter_python_files(paths):
+        findings.extend(lint_file(path, session=session))
+    return sorted(findings, key=Finding.sort_key)

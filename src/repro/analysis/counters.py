@@ -1,0 +1,79 @@
+"""CTR001: every counter key charged anywhere must be a registered literal.
+
+The counter ledger is the repo's unit of account — the cost model, the
+trace attribution, the skew reports, and every golden test key on exact
+counter names.  A typo'd key (``"geom.pip_test"`` for ``"geom.pip_tests"``)
+doesn't fail anything at runtime: it silently opens a *second* ledger
+entry that the cost model prices at zero, and the run's numbers drift
+without a single error.  This rule makes that a lint failure:
+
+* ``<ledger>.add(key, ...)`` — *key* must be a string literal present in
+  :data:`repro.metrics.COUNTER_SCHEMA`.  Non-literal keys are flagged too
+  (the ledger's own ``merge`` plumbing, which forwards already-validated
+  keys, carries an explicit ``# repro: noqa[CTR001]``).
+* ``<ledger>["key"]`` and ``<ledger>.get("key", ...)`` — literal-key reads
+  must also be registered; an unregistered read is the same typo on the
+  consuming side (it silently reads 0.0).
+
+A ledger expression is recognised structurally (``*.counters`` attributes,
+``Counters(...)`` constructions, ``Counters``-annotated parameters, and
+local aliases of those) — see :func:`repro.analysis.core.is_counterish`.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .core import FileContext, Rule, is_counterish, register
+
+__all__ = ["CounterLedger"]
+
+
+@register
+class CounterLedger(Rule):
+    """CTR001: counter keys must be literals registered in COUNTER_SCHEMA."""
+
+    code = "CTR001"
+    name = "counter-ledger"
+    description = (
+        "counter key not a string literal registered in "
+        "repro.metrics.COUNTER_SCHEMA (typo'd keys silently split ledgers)"
+    )
+
+    def _schema(self, ctx: FileContext) -> frozenset:
+        schema = ctx.session.counter_schema
+        if schema is None:
+            from ..metrics import COUNTER_SCHEMA
+
+            schema = ctx.session.counter_schema = frozenset(COUNTER_SCHEMA)
+        return schema
+
+    def _check_key(self, key: ast.AST, node: ast.AST, ctx: FileContext, op: str) -> None:
+        if isinstance(key, ast.Constant) and isinstance(key.value, str):
+            if key.value not in self._schema(ctx):
+                ctx.report(
+                    self,
+                    node,
+                    f"counter key {key.value!r} ({op}) is not registered in "
+                    "repro.metrics.COUNTER_SCHEMA — register it there or fix "
+                    "the typo (unregistered keys silently split the ledger)",
+                )
+        elif op == "add":
+            ctx.report(
+                self,
+                node,
+                "non-literal counter key in .add(): keys must be string "
+                "literals so the schema check can see them",
+            )
+
+    def visit_Call(self, node: ast.Call, ctx: FileContext) -> None:
+        """Check ``<ledger>.add(key, ...)`` / ``<ledger>.get(key, ...)``."""
+        if not isinstance(node.func, ast.Attribute) or not node.args:
+            return
+        if node.func.attr in ("add", "get") and is_counterish(node.func.value, ctx):
+            self._check_key(node.args[0], node, ctx, node.func.attr)
+
+    def visit_Subscript(self, node: ast.Subscript, ctx: FileContext) -> None:
+        """Check literal-key ``<ledger>["key"]`` reads and writes."""
+        if is_counterish(node.value, ctx):
+            self._check_key(node.slice, node, ctx, "subscript")

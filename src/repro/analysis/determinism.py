@@ -1,0 +1,225 @@
+"""Determinism rules: DET001 (id-as-key), DET002 (RNG), DET003 (set order).
+
+These encode the bit-identical-results contract every backend, engine,
+and data plane in this repo signs up to (see DESIGN.md §9):
+
+* **DET001** — ``id()`` must never be a dict/set key or grouping token.
+  CPython reuses addresses after garbage collection, so an id-keyed
+  table can silently conflate two distinct objects; the ``Counters``
+  redirect-sink bug fixed in PR 4 (and the ``skew.py`` phase-grouping
+  twin of it) was exactly this class.
+* **DET002** — no module-level RNG.  ``random.random()`` /
+  ``np.random.rand()`` draw from hidden process-global state and an
+  unseeded ``default_rng()`` / ``Random()`` seeds from the OS; every
+  random draw must flow from an explicitly seeded generator so the same
+  seed yields the same bytes on every backend.
+* **DET003** — iterating a ``set`` (or set expression) in order-sensitive
+  positions must go through ``sorted()``.  Set iteration order depends
+  on insertion history and, for strings, on per-process hash
+  randomisation — anything it feeds (pair emission, merges, exporters)
+  would differ run to run.  ``dict`` iteration is *not* flagged:
+  CPython dicts iterate in insertion order, which is deterministic
+  whenever insertions are (the property the merge machinery relies on).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .core import FileContext, Rule, is_setish, register
+
+__all__ = ["IdAsKey", "UnseededRng", "UnorderedIteration"]
+
+
+def _is_id_call(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "id"
+        and len(node.args) == 1
+    )
+
+
+@register
+class IdAsKey(Rule):
+    """DET001: ban ``id()`` as a dict/set key or grouping token."""
+
+    code = "DET001"
+    name = "id-as-key"
+    description = (
+        "id() used as a dict/set key or grouping token; addresses are "
+        "recycled after GC, conflating distinct objects"
+    )
+
+    _MSG = (
+        "id() used as a {what}: CPython reuses addresses after GC, so two "
+        "distinct objects can collide — key on a stable identity "
+        "(explicit token, tree path, tuple of attributes) instead"
+    )
+
+    def visit_Subscript(self, node: ast.Subscript, ctx: FileContext) -> None:
+        """Flag ``table[id(x)]`` (and tuple keys containing id())."""
+        keys = node.slice.elts if isinstance(node.slice, ast.Tuple) else [node.slice]
+        for key in keys:
+            if _is_id_call(key):
+                ctx.report(self, node, self._MSG.format(what="subscript key"))
+
+    def visit_Dict(self, node: ast.Dict, ctx: FileContext) -> None:
+        """Flag ``{id(x): ...}`` dict-literal keys."""
+        for key in node.keys:
+            if key is not None and _is_id_call(key):
+                ctx.report(self, node, self._MSG.format(what="dict-literal key"))
+
+    def visit_Set(self, node: ast.Set, ctx: FileContext) -> None:
+        """Flag ``{id(x), ...}`` set-literal elements."""
+        for elt in node.elts:
+            if _is_id_call(elt):
+                ctx.report(self, node, self._MSG.format(what="set-literal element"))
+
+    def visit_Compare(self, node: ast.Compare, ctx: FileContext) -> None:
+        """Flag ``id(x) in seen`` membership probes."""
+        if _is_id_call(node.left) and any(
+            isinstance(op, (ast.In, ast.NotIn)) for op in node.ops
+        ):
+            ctx.report(self, node, self._MSG.format(what="membership probe"))
+
+    _KEYED_METHODS = ("setdefault", "get", "pop", "add", "discard", "remove")
+
+    def visit_Call(self, node: ast.Call, ctx: FileContext) -> None:
+        """Flag keyed-method calls (``setdefault(id(x))``) and ``key=id``."""
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in self._KEYED_METHODS
+            and node.args
+            and _is_id_call(node.args[0])
+        ):
+            ctx.report(
+                self, node, self._MSG.format(what=f"{node.func.attr}() key")
+            )
+        for kw in node.keywords:
+            if (
+                kw.arg == "key"
+                and isinstance(kw.value, ast.Name)
+                and kw.value.id == "id"
+            ):
+                ctx.report(self, node, self._MSG.format(what="key= function"))
+
+
+@register
+class UnseededRng(Rule):
+    """DET002: ban module-level and unseeded RNG draws."""
+
+    code = "DET002"
+    name = "unseeded-rng"
+    description = (
+        "module-level or unseeded RNG; randomness must flow from an "
+        "explicitly seeded generator (np.random.default_rng(seed))"
+    )
+
+    #: constructors that are fine *when* given a seed argument
+    _SEEDABLE = frozenset(
+        {"numpy.random.default_rng", "numpy.random.RandomState", "random.Random"}
+    )
+    #: numpy.random names that never touch the global RNG state
+    _BENIGN = frozenset({"numpy.random.SeedSequence", "numpy.random.Generator"})
+
+    def visit_Call(self, node: ast.Call, ctx: FileContext) -> None:
+        """Flag calls into ``random.*`` / ``numpy.random.*`` global state."""
+        dotted = ctx.resolve_imported(node.func)
+        if dotted is None:
+            return
+        if dotted in self._SEEDABLE:
+            if not node.args and not node.keywords:
+                ctx.report(
+                    self,
+                    node,
+                    f"{dotted}() without a seed draws entropy from the OS; "
+                    "pass a seed derived from DEFAULT_SEED",
+                )
+            return
+        if dotted in self._BENIGN:
+            return
+        if dotted == "random.SystemRandom" or dotted.startswith("random.SystemRandom."):
+            ctx.report(self, node, "SystemRandom is nondeterministic by design")
+            return
+        for prefix, label in (("numpy.random.", "numpy"), ("random.", "stdlib")):
+            if dotted.startswith(prefix) and "." not in dotted[len(prefix):]:
+                ctx.report(
+                    self,
+                    node,
+                    f"{dotted}() uses the {label} module-level RNG (hidden "
+                    "process-global state); use a seeded "
+                    "np.random.default_rng(...) generator instead",
+                )
+                return
+
+
+@register
+class UnorderedIteration(Rule):
+    """DET003: ban set iteration feeding ordered output sans sorted()."""
+
+    code = "DET003"
+    name = "unordered-set-iteration"
+    description = (
+        "iteration over a set feeding ordered output without sorted(); "
+        "set order varies with insertion history and hash randomisation"
+    )
+
+    _MSG = (
+        "iterating a set {where} feeds order-dependent output; wrap the "
+        "iterable in sorted(...) (set iteration order varies across runs)"
+    )
+    #: calls whose result cannot observe iteration order
+    _ORDER_FREE = frozenset(
+        {"sorted", "sum", "min", "max", "any", "all", "len", "set", "frozenset"}
+    )
+
+    def _order_free_parent(self, node: ast.AST, ctx: FileContext) -> bool:
+        parent = ctx.parent_of(node)
+        return (
+            isinstance(parent, ast.Call)
+            and isinstance(parent.func, ast.Name)
+            and parent.func.id in self._ORDER_FREE
+            and node in parent.args
+        )
+
+    def visit_For(self, node: ast.For, ctx: FileContext) -> None:
+        """Flag ``for x in <set expression>:``."""
+        if is_setish(node.iter, ctx):
+            ctx.report(self, node.iter, self._MSG.format(where="in a for loop"))
+
+    def _check_comp(self, node, ctx: FileContext, where: str) -> None:
+        if self._order_free_parent(node, ctx):
+            return
+        for gen in node.generators:
+            if is_setish(gen.iter, ctx):
+                ctx.report(self, gen.iter, self._MSG.format(where=where))
+
+    def visit_ListComp(self, node: ast.ListComp, ctx: FileContext) -> None:
+        """Flag set-fed list comprehensions (ordered output)."""
+        self._check_comp(node, ctx, "in a list comprehension")
+
+    def visit_GeneratorExp(self, node: ast.GeneratorExp, ctx: FileContext) -> None:
+        """Flag set-fed generator expressions outside order-free reducers."""
+        self._check_comp(node, ctx, "in a generator expression")
+
+    def visit_DictComp(self, node: ast.DictComp, ctx: FileContext) -> None:
+        """Flag set-fed dict comprehensions (insertion order leaks)."""
+        self._check_comp(node, ctx, "in a dict comprehension")
+
+    def visit_Call(self, node: ast.Call, ctx: FileContext) -> None:
+        """Flag ``list``/``tuple``/``enumerate``/``str.join`` over sets."""
+        if (
+            isinstance(node.func, ast.Name)
+            and node.func.id in ("list", "tuple", "enumerate")
+            and len(node.args) >= 1
+            and is_setish(node.args[0], ctx)
+        ):
+            ctx.report(self, node, self._MSG.format(where=f"via {node.func.id}()"))
+        elif (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr == "join"
+            and len(node.args) == 1
+            and is_setish(node.args[0], ctx)
+        ):
+            ctx.report(self, node, self._MSG.format(where="via str.join()"))

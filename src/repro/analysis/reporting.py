@@ -1,0 +1,76 @@
+"""Finding reporters: a human text format and a machine JSON document."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from .core import RULES, Finding
+
+__all__ = ["render_text", "render_json"]
+
+
+def render_text(
+    findings: Sequence[Finding],
+    *,
+    stale: Sequence[dict] = (),
+    matched: int = 0,
+    files: Optional[int] = None,
+) -> str:
+    """ruff/flake8-style lines plus a per-rule summary."""
+    lines = [
+        f"{f.path}:{f.line}:{f.col + 1} {f.rule} {f.message}" for f in findings
+    ]
+    for entry in stale:
+        lines.append(
+            f"{entry['path']} {entry['rule']} stale baseline entry "
+            f"(no longer observed): {entry['snippet']!r}"
+        )
+    counts: dict[str, int] = {}
+    for f in findings:
+        counts[f.rule] = counts.get(f.rule, 0) + 1
+    if findings or stale:
+        lines.append("")
+        for rule in sorted(counts):
+            name = getattr(RULES.get(rule), "name", "")
+            lines.append(f"{counts[rule]:>5}  {rule}  {name}")
+        total = len(findings)
+        suffix = f", {len(stale)} stale baseline entr{'y' if len(stale) == 1 else 'ies'}" if stale else ""
+        lines.append(f"{total} finding{'s' if total != 1 else ''}{suffix}.")
+    else:
+        scanned = f" in {files} files" if files is not None else ""
+        baselined = f" ({matched} baselined)" if matched else ""
+        lines.append(f"All checks passed{scanned}{baselined}.")
+    return "\n".join(lines)
+
+
+def render_json(
+    findings: Sequence[Finding],
+    *,
+    stale: Sequence[dict] = (),
+    matched: int = 0,
+    files: Optional[int] = None,
+) -> dict:
+    """JSON-serialisable report document (stable key order)."""
+    return {
+        "version": 1,
+        "files": files,
+        "findings": [
+            {
+                "rule": f.rule,
+                "path": f.path,
+                "line": f.line,
+                "col": f.col,
+                "message": f.message,
+                "snippet": f.snippet,
+                "fingerprint": f.fingerprint,
+            }
+            for f in findings
+        ],
+        "stale_baseline": list(stale),
+        "baselined": matched,
+        "summary": {
+            "findings": len(findings),
+            "stale": len(stale),
+            "ok": not findings and not stale,
+        },
+    }

@@ -12,7 +12,71 @@ import itertools
 import threading
 from typing import Iterable, Mapping
 
-__all__ = ["Counters"]
+__all__ = ["Counters", "COUNTER_SCHEMA"]
+
+#: Central registry of every counter key any substrate may charge.
+#:
+#: The ledger is the repo's unit of account: the cost model prices these
+#: keys, the trace subsystem attributes deltas of them to spans, and the
+#: golden tests compare them bit-for-bit.  A key that is charged but not
+#: registered here is almost always a typo — it would silently open a
+#: second ledger entry that the cost model prices at zero — so the
+#: ``repro-lint`` CTR001 rule requires every literal key used with
+#: ``Counters.add`` / ``[...]`` / ``.get`` to appear in this mapping, and
+#: a runtime test asserts the observed key set of a full run of each
+#: system is a subset of it.  Register new keys here (with a one-line
+#: description) in the same change that first charges them.
+COUNTER_SCHEMA: dict[str, str] = {
+    # -- geometry engine (CPU, priced per-op by the engine profile) -------
+    "geom.mbr_tests": "MBR overlap/containment tests",
+    "geom.pip_tests": "point-in-polygon tests (crossing number)",
+    "geom.seg_pair_tests": "segment-pair intersection tests",
+    "geom.dist_tests": "point/segment distance evaluations",
+    "geom.vertex_ops": "vertices touched by geometry predicates",
+    # -- spatial indexes --------------------------------------------------
+    "index.build_ops": "index construction steps (per item inserted)",
+    "index.nodes_built": "tree nodes materialised at build time",
+    "index.splits": "node splits during incremental builds",
+    "index.node_visits": "nodes touched by queries/traversals",
+    "index.leaf_pair_tests": "candidate pair tests at synchronized leaves",
+    # -- join framework ---------------------------------------------------
+    "join.candidates": "filter-phase candidate pairs produced",
+    "join.sweep_ops": "plane-sweep comparison steps",
+    # -- parsing / serialization (Streaming's text tax) -------------------
+    "parse.records": "text records decoded into objects",
+    "parse.bytes": "bytes of text decoded",
+    "serialize.records": "objects encoded to text records",
+    "serialize.bytes": "bytes of text encoded",
+    "deser.records": "binary records deserialized (SpatialHadoop reads)",
+    "sort.ops": "comparison ops, charged as n·log2(n) by substrates",
+    "cpu.ops": "generic bookkeeping ops",
+    # -- Hadoop Streaming's external processes ----------------------------
+    "streaming.processes": "external mapper/reducer processes spawned",
+    "streaming.refine_calls": "per-candidate refine invocations via pipes",
+    "pipe.bytes": "bytes crossing the Streaming stdin/stdout pipes",
+    "pipe.records": "records crossing the Streaming pipes",
+    # -- distributed/local filesystem I/O ---------------------------------
+    "hdfs.bytes_read": "bytes read from the simulated HDFS",
+    "hdfs.bytes_written": "bytes written to the simulated HDFS",
+    "hdfs.records_read": "records read from the simulated HDFS",
+    "hdfs.records_written": "records written to the simulated HDFS",
+    "localfs.bytes_read": "bytes read from a single node's local FS",
+    "localfs.bytes_written": "bytes written to a single node's local FS",
+    # -- shuffle / network ------------------------------------------------
+    "shuffle.bytes_disk": "Hadoop-style shuffle bytes (spill+transfer+read)",
+    "shuffle.bytes_mem": "Spark in-memory exchange bytes",
+    "spark.shuffle_records": "records crossing a Spark shuffle boundary",
+    "net.bytes_broadcast": "broadcast payload bytes, replicated per node",
+    # -- framework overheads (fixed costs per unit) -----------------------
+    "mr.jobs": "MapReduce jobs launched",
+    "mr.tasks": "map/reduce tasks launched",
+    "mr.task_retries": "task attempts retried after failure",
+    "mr.combine_in": "records entering a combiner",
+    "mr.combine_out": "records leaving a combiner",
+    "spark.stages": "Spark stages executed",
+    "spark.tasks": "Spark tasks executed",
+    "spark.recomputes": "partitions recomputed from lineage after loss",
+}
 
 #: Thread-local charge redirection, keyed by the instance's redirect
 #: :attr:`Counters.token`.  The executor backends install a per-task
@@ -66,7 +130,8 @@ class Counters(dict):
     def merge(self, other: Mapping[str, float]) -> "Counters":
         """Add every counter of *other* into self; returns self."""
         for key, value in other.items():
-            self.add(key, value)
+            # Forwarding keys that were schema-checked where first charged.
+            self.add(key, value)  # repro: noqa[CTR001]
         return self
 
     def scaled(self, factors: Mapping[str, float], default: float = 1.0) -> "Counters":
@@ -81,9 +146,14 @@ class Counters(dict):
         return Counters(self)
 
     def diff(self, earlier: Mapping[str, float]) -> "Counters":
-        """Counters accumulated since an earlier snapshot."""
+        """Counters accumulated since an earlier snapshot.
+
+        Keys are emitted sorted: the result's insertion order feeds
+        per-phase exports, and raw set order varies with string-hash
+        randomisation across processes.
+        """
         out = Counters()
-        for key in set(self) | set(earlier):
+        for key in sorted(set(self) | set(earlier)):
             delta = self.get(key, 0.0) - earlier.get(key, 0.0)
             if delta:
                 out[key] = delta

@@ -29,13 +29,17 @@ from .core import Span
 __all__ = ["PhaseSkew", "skew_report", "render_skew"]
 
 #: Counters most indicative of partition-local join work, preferred (in
-#: this order) when selecting which counter columns to report.
+#: this order) when selecting which counter columns to report.  Every
+#: entry is a key registered in :data:`repro.metrics.COUNTER_SCHEMA`
+#: (earlier revisions listed names no substrate ever charged, so the
+#: preference never matched anything).
 _PREFERRED_COUNTERS = (
     "join.candidates",
-    "join.results",
+    "join.sweep_ops",
     "geom.pip_tests",
-    "geom.segment_tests",
-    "refine.ops",
+    "geom.seg_pair_tests",
+    "geom.dist_tests",
+    "streaming.refine_calls",
     "cpu.ops",
 )
 
@@ -77,18 +81,28 @@ class PhaseSkew:
 
 
 def _phase_task_groups(root: Span) -> list[tuple[Span, list[Span]]]:
-    """Task spans grouped under their nearest phase/stage ancestor."""
-    groups: dict[int, tuple[Span, list[Span]]] = {}
+    """Task spans grouped under their nearest phase/stage ancestor.
 
-    def visit(sp: Span, phase: Optional[Span]) -> None:
+    Groups are keyed by the phase span's *tree path* (the tuple of child
+    indices from the root), not ``id(phase)``: a span's position in the
+    tree is a stable identity that survives copying/pickling and cannot
+    be recycled the way CPython object addresses are (the same stale-
+    address hazard the ``Counters`` redirect tokens exist to avoid).
+    Two phases with identical names at different tree positions stay
+    distinct groups, and the report of a deep-copied tree is identical
+    to the original's.
+    """
+    groups: dict[tuple, tuple[Span, list[Span]]] = {}
+
+    def visit(sp: Span, phase: Optional[Span], phase_path: tuple, path: tuple) -> None:
         if sp.kind in ("phase", "stage"):
-            phase = sp
+            phase, phase_path = sp, path
         if sp.kind == "task" and phase is not None:
-            groups.setdefault(id(phase), (phase, []))[1].append(sp)
-        for child in sp.children:
-            visit(child, phase)
+            groups.setdefault(phase_path, (phase, []))[1].append(sp)
+        for i, child in enumerate(sp.children):
+            visit(child, phase, phase_path, path + (i,))
 
-    visit(root, None)
+    visit(root, None, (), ())
     return list(groups.values())
 
 

@@ -1,0 +1,98 @@
+"""Baseline round-trip, matching semantics, and drift detection."""
+
+import json
+
+import pytest
+
+from repro.analysis import Baseline, Finding, lint_source
+
+VIOLATION = "groups.setdefault(id(x), []).append(1)\n"
+
+
+def findings_for(src, path="pkg/mod.py"):
+    return lint_source(src, path)
+
+
+class TestRoundTrip:
+    def test_save_load_partition(self, tmp_path):
+        findings = findings_for(VIOLATION)
+        assert findings
+        path = tmp_path / "baseline.json"
+        Baseline.save(path, findings)
+        result = Baseline.load(path).check(findings)
+        assert result.clean
+        assert result.matched == findings
+        assert result.new == [] and result.stale == []
+
+    def test_saved_document_is_stable_json(self, tmp_path):
+        findings = findings_for(VIOLATION)
+        path = tmp_path / "baseline.json"
+        Baseline.save(path, findings)
+        doc = json.loads(path.read_text())
+        assert doc["version"] == 1
+        entry = doc["findings"][0]
+        assert set(entry) == {"rule", "path", "fingerprint", "snippet"}
+        # Saving again yields byte-identical output (deterministic order).
+        before = path.read_text()
+        Baseline.save(path, findings)
+        assert path.read_text() == before
+
+    def test_missing_file_is_empty(self, tmp_path):
+        result = Baseline.load(tmp_path / "absent.json").check(findings_for(VIOLATION))
+        assert len(result.new) == 1 and not result.stale
+
+    def test_version_mismatch_raises(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text('{"version": 99, "findings": []}')
+        with pytest.raises(ValueError):
+            Baseline.load(path)
+
+
+class TestMatching:
+    def test_new_finding_not_covered(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        Baseline.save(path, findings_for(VIOLATION))
+        grown = findings_for(VIOLATION + "import time\nt = time.time()\n")
+        result = Baseline.load(path).check(grown)
+        assert [f.rule for f in result.new] == ["CLK001"]
+        assert [f.rule for f in result.matched] == ["DET001"]
+        assert not result.stale
+
+    def test_fixed_finding_goes_stale(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        Baseline.save(path, findings_for(VIOLATION))
+        result = Baseline.load(path).check([])
+        assert not result.new
+        assert [e["rule"] for e in result.stale] == ["DET001"]
+        assert not result.clean
+
+    def test_fingerprint_survives_line_moves(self):
+        a = findings_for(VIOLATION)[0]
+        b = findings_for("# a new comment above\n" + VIOLATION)[0]
+        assert a.line != b.line
+        assert a.fingerprint == b.fingerprint
+
+    def test_duplicate_findings_match_as_multiset(self, tmp_path):
+        twice = findings_for(VIOLATION + VIOLATION)
+        assert len(twice) == 2
+        path = tmp_path / "baseline.json"
+        Baseline.save(path, twice)
+        # Both occurrences covered; dropping one leaves one stale entry.
+        assert Baseline.load(path).check(twice).clean
+        result = Baseline.load(path).check(twice[:1])
+        assert not result.new and len(result.stale) == 1
+
+    def test_different_paths_do_not_match(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        Baseline.save(path, findings_for(VIOLATION, path="pkg/a.py"))
+        result = Baseline.load(path).check(findings_for(VIOLATION, path="pkg/b.py"))
+        assert len(result.new) == 1 and len(result.stale) == 1
+
+
+class TestFindingFingerprint:
+    def test_depends_on_rule_path_and_snippet(self):
+        base = Finding("DET001", "a.py", 3, 0, "msg", "x = id(y)")
+        assert base.fingerprint == Finding("DET001", "a.py", 9, 4, "other", "x = id(y)").fingerprint
+        assert base.fingerprint != Finding("DET002", "a.py", 3, 0, "msg", "x = id(y)").fingerprint
+        assert base.fingerprint != Finding("DET001", "b.py", 3, 0, "msg", "x = id(y)").fingerprint
+        assert base.fingerprint != Finding("DET001", "a.py", 3, 0, "msg", "z = id(y)").fingerprint

@@ -140,3 +140,33 @@ class TestRedirectToken:
             del c
         assert len(tokens) == 64
         assert len(addresses) < 64  # addresses *were* reused; tokens not
+
+
+class TestDiffOrdering:
+    """diff() emits keys sorted: its insertion order feeds per-phase
+    exports, and raw set-union order varies with string-hash
+    randomisation across processes (the DET003 lint contract)."""
+
+    def test_diff_keys_are_sorted(self):
+        c = Counters({"z.late": 5, "a.early": 2, "m.mid": 1})
+        delta = c.diff({"a.early": 1, "q.gone": 3})
+        assert list(delta) == sorted(delta)
+
+    def test_diff_values_unchanged_by_ordering(self):
+        c = Counters({"z": 5, "a": 2})
+        assert c.diff({"a": 1, "q": 3}) == {"z": 5, "a": 1, "q": -3}
+
+
+class TestCounterSchema:
+    def test_every_schema_key_has_a_group_prefix(self):
+        from repro.metrics import COUNTER_SCHEMA
+
+        assert COUNTER_SCHEMA, "schema must not be empty"
+        for key in COUNTER_SCHEMA:
+            assert "." in key and key == key.strip()
+
+    def test_schema_is_importable_from_package_metrics(self):
+        from repro import metrics
+
+        assert "join.candidates" in metrics.COUNTER_SCHEMA
+        assert "geom.pip_tests" in metrics.COUNTER_SCHEMA

@@ -1,0 +1,101 @@
+"""Phase-group identity in the skew report is structural, not ``id()``.
+
+Mirror of the ``Counters`` stale-address regression tests (PR 4): skew
+groups were keyed by ``id(phase)``, the same recycled-address bug class
+the redirect tokens fixed in the ledger.  Groups are now keyed by the
+phase span's tree path, so grouping is a pure function of the tree's
+*structure* — identical for copies, pickles, and across processes.
+"""
+
+import copy
+import pickle
+from dataclasses import asdict
+
+from repro.metrics import COUNTER_SCHEMA, Counters
+from repro.trace.core import Span
+from repro.trace.skew import _PREFERRED_COUNTERS, _phase_task_groups, skew_report
+
+
+def make_task(name, seconds, **counters):
+    return Span(
+        name=name,
+        kind="task",
+        seconds=seconds,
+        counters=Counters(counters),
+        attrs={"part": name},
+    )
+
+
+def make_tree():
+    """run -> [phase local(2 tasks), stage shuffle(3 tasks), phase local(2 tasks)].
+
+    The first and third phases share a *name* deliberately: only a
+    structural identity keeps them distinct without relying on object
+    addresses.
+    """
+    first = Span(name="local", kind="phase", children=[
+        make_task("p0", 0.010, **{"join.candidates": 10.0}),
+        make_task("p1", 0.090, **{"join.candidates": 90.0}),
+    ])
+    shuffle = Span(name="shuffle", kind="stage", children=[
+        make_task("s0", 0.020, **{"cpu.ops": 5.0}),
+        make_task("s1", 0.021, **{"cpu.ops": 6.0}),
+        make_task("s2", 0.500, **{"cpu.ops": 400.0}),
+    ])
+    second = Span(name="local", kind="phase", children=[
+        make_task("q0", 0.030, **{"join.candidates": 30.0}),
+        make_task("q1", 0.031, **{"join.candidates": 31.0}),
+    ])
+    return Span(name="run", kind="run", children=[first, shuffle, second])
+
+
+class TestStructuralGroupIdentity:
+    def test_same_name_phases_stay_distinct(self):
+        groups = _phase_task_groups(make_tree())
+        assert [(phase.name, len(tasks)) for phase, tasks in groups] == [
+            ("local", 2),
+            ("shuffle", 3),
+            ("local", 2),
+        ]
+
+    def test_groups_key_on_tree_path_not_object_identity(self):
+        tree = make_tree()
+        original = _phase_task_groups(tree)
+        clone = _phase_task_groups(copy.deepcopy(tree))
+        # Every object address differs between the trees; grouping must not.
+        assert [(p.name, [t.name for t in ts]) for p, ts in original] == [
+            (p.name, [t.name for t in ts]) for p, ts in clone
+        ]
+
+    def test_report_identical_for_deepcopy_and_pickle_roundtrip(self):
+        tree = make_tree()
+        baseline = [asdict(row) for row in skew_report(tree, bins=4)]
+        for variant in (copy.deepcopy(tree), pickle.loads(pickle.dumps(tree))):
+            assert [asdict(row) for row in skew_report(variant, bins=4)] == baseline
+
+    def test_report_rows_follow_preorder(self):
+        rows = skew_report(make_tree(), bins=4)
+        assert [row.phase for row in rows] == ["local", "shuffle", "local"]
+        assert [row.tasks for row in rows] == [2, 3, 2]
+
+    def test_straggler_attribution_per_group(self):
+        rows = skew_report(make_tree(), bins=4, top_k=1)
+        by_position = {i: row for i, row in enumerate(rows)}
+        assert by_position[1].hottest[0]["attrs"] == {"part": "s2"}
+        # The two same-name phases report their own counter totals.
+        assert by_position[0].counter_stats["join.candidates"]["total"] == 100.0
+        assert by_position[2].counter_stats["join.candidates"]["total"] == 61.0
+
+
+class TestPreferredCountersAreRegistered:
+    def test_preferred_counters_exist_in_schema(self):
+        # Earlier revisions preferred keys no substrate ever charged
+        # ("join.results", "refine.ops"), so the preference list silently
+        # never matched; every entry must be a registered ledger key.
+        missing = [k for k in _PREFERRED_COUNTERS if k not in COUNTER_SCHEMA]
+        assert missing == []
+
+    def test_preferred_counters_drive_column_choice(self):
+        rows = skew_report(make_tree(), bins=4)
+        assert list(rows[0].counter_stats) == ["join.candidates"]
+        assert list(rows[1].counter_stats) == ["cpu.ops"]
