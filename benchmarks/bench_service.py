@@ -1,0 +1,168 @@
+#!/usr/bin/env python
+"""Prepared-path serving gains: one-shot vs warm vs cached queries.
+
+The service's whole point is that ``prepare`` runs ingest + partition +
+index **once**, so a warm query (``join_prepared`` over installed
+artifacts) skips both preprocessing halves, and a cache hit skips the
+join as well.  This script measures, at Table-1-style scale:
+
+* the one-shot ``spatial_join`` latency (full pipeline per call);
+* the warm prepared-path latency with the cache disabled (every query
+  executes the join stage, nothing else);
+* the cache-hit latency (nothing executes);
+* serving throughput at concurrency 1 / 8 / 64 — asserting along the way
+  that every serving path returns pairs bit-identical to the one-shot
+  run and that a cache hit moves no stage counter at all.
+
+Under ``--check`` it fails unless the warm path is at least
+``SPEEDUP_FLOOR``× faster than one-shot and the bit-identity and
+hit-executes-nothing assertions hold.
+
+Run:  PYTHONPATH=src python benchmarks/bench_service.py [--check] [--out FILE]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+from repro import spatial_join
+from repro.service import Query, SpatialQueryService
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Required one-shot / warm-query latency ratio under --check.
+SPEEDUP_FLOOR = 5.0
+
+#: Counter keys a cache hit may move: the service's own bookkeeping.
+SERVICE_KEYS = {
+    "service.queries", "service.cache.hits", "service.cache.misses",
+    "service.cache.evictions",
+}
+
+
+def best_of(repeats, fn):
+    best = float("inf")
+    value = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        value = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, value
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--exec-records", type=int, default=10_000,
+                        help="records per dataset (default 10000)")
+    parser.add_argument("--system", default="SpatialHadoop",
+                        choices=("HadoopGIS", "SpatialHadoop", "SpatialSpark"))
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timed repetitions per mode; best is kept")
+    parser.add_argument("--queries", type=int, default=64,
+                        help="queries per throughput batch (default 64)")
+    parser.add_argument("--check", action="store_true",
+                        help="exit non-zero unless warm speedup >= "
+                             f"{SPEEDUP_FLOOR:.0f}x and identity holds")
+    parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_service.json"),
+                        help="output JSON path (default: repo root)")
+    args = parser.parse_args()
+
+    from repro.data import census_blocks, taxi_points
+
+    points = taxi_points(args.exec_records, seed=3)
+    blocks = census_blocks(args.exec_records, seed=4)
+
+    # Warm-up so no mode pays first-touch import costs.
+    spatial_join(points[:200], blocks[:50], system=args.system)
+
+    one_shot_seconds, one_shot = best_of(
+        args.repeats,
+        lambda: spatial_join(points, blocks, system=args.system,
+                             block_size=1 << 15),
+    )
+
+    # Warm path, cache off: every query executes the join stage.
+    with SpatialQueryService(block_size=1 << 15, cache_entries=0) as svc:
+        prep_start = time.perf_counter()
+        a = svc.prepare(points, system=args.system, roles=("a",))
+        b = svc.prepare(blocks, system=args.system, roles=("b",))
+        prepare_seconds = time.perf_counter() - prep_start
+        warm_seconds, warm = best_of(args.repeats, lambda: a.join(b))
+        throughput = {}
+        for concurrency in (1, 8, 64):
+            batch = [Query("join", a, b)] * args.queries
+            seconds, reports = best_of(
+                1, lambda: svc.execute(batch, concurrency=concurrency)
+            )
+            throughput[str(concurrency)] = {
+                "seconds": round(seconds, 3),
+                "qps": round(args.queries / seconds, 1),
+                "identical": all(r.pairs == one_shot.pairs for r in reports),
+            }
+
+    # Cached path: the second identical query executes nothing.
+    with SpatialQueryService(block_size=1 << 15) as cached_svc:
+        a = cached_svc.prepare(points, system=args.system, roles=("a",))
+        b = cached_svc.prepare(blocks, system=args.system, roles=("b",))
+        miss = a.join(b)
+        ledger_after_miss = cached_svc.counters.snapshot()
+        hit_seconds, hit = best_of(args.repeats, lambda: a.join(b))
+        hit_delta = cached_svc.counters.diff(ledger_after_miss)
+        stage_keys_moved = sorted(
+            k for k, v in hit_delta.items() if v and k not in SERVICE_KEYS
+        )
+
+    identical = (
+        warm.pairs == one_shot.pairs
+        and miss.pairs == one_shot.pairs
+        and hit.cache_hit
+        and hit.pairs == miss.pairs
+        and all(t["identical"] for t in throughput.values())
+    )
+    hit_executes_nothing = stage_keys_moved == []
+    warm_speedup = one_shot_seconds / max(warm_seconds, 1e-9)
+
+    document = {
+        "workload": {
+            "system": args.system,
+            "exec_records": args.exec_records,
+            "datasets": "taxi_points x census_blocks",
+            "repeats": args.repeats,
+            "queries_per_batch": args.queries,
+        },
+        "one_shot_seconds": round(one_shot_seconds, 3),
+        "prepare_seconds": round(prepare_seconds, 3),
+        "warm_query_seconds": round(warm_seconds, 4),
+        "cache_hit_seconds": round(hit_seconds, 5),
+        "warm_speedup": round(warm_speedup, 1),
+        "speedup_floor": SPEEDUP_FLOOR,
+        "throughput": throughput,
+        "pairs": len(one_shot.pairs or ()),
+        "identical_results": identical,
+        "cache_hit_executes_nothing": hit_executes_nothing,
+        "cache_hit_stage_counters_moved": stage_keys_moved,
+    }
+    text = json.dumps(document, indent=2)
+    print(text)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+        print(f"wrote {args.out}")
+
+    # Identity and hit-executes-nothing must hold unconditionally.
+    assert identical, "a serving path disagreed with the one-shot results"
+    assert hit_executes_nothing, (
+        f"cache hit moved stage counters: {stage_keys_moved}"
+    )
+    if args.check and warm_speedup < SPEEDUP_FLOOR:
+        print(f"FAIL: warm speedup {warm_speedup:.1f}x is below the "
+              f"{SPEEDUP_FLOOR:.0f}x floor")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

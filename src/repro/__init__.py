@@ -31,9 +31,11 @@ __version__ = "1.1.0"
 
 __all__ = [
     "__version__",
+    "DatasetHandle",
     "EXPERIMENTS",
     "RunEnvironment",
     "RunReport",
+    "SpatialQueryService",
     "Tracer",
     "make_system",
     "render_skew",
@@ -47,9 +49,11 @@ __all__ = [
 #: Lazily-resolved top-level exports (PEP 562), so ``import repro`` stays
 #: cheap and the CLI keeps its fast ``--help`` path.
 _EXPORTS = {
+    "DatasetHandle": ("repro.service.core", "DatasetHandle"),
     "EXPERIMENTS": ("repro.experiments.runner", "EXPERIMENTS"),
     "RunEnvironment": ("repro.systems.base", "RunEnvironment"),
     "RunReport": ("repro.systems.base", "RunReport"),
+    "SpatialQueryService": ("repro.service.core", "SpatialQueryService"),
     "Tracer": ("repro.trace", "Tracer"),
     "make_system": ("repro.systems", "make_system"),
     "render_skew": ("repro.trace", "render_skew"),

@@ -10,7 +10,11 @@ touches it.  This rule resolves both statically:
   def/class, import) or be a key of the module's ``_EXPORTS`` table;
 * every ``_EXPORTS`` value ``(module, attr)`` whose module lives under
   the linted source tree must actually define *attr* (in its own
-  top-level bindings, or transitively via its own ``_EXPORTS``).
+  top-level bindings, or transitively via its own ``_EXPORTS``);
+* when the module declares ``__all__``, every ``_EXPORTS`` key must
+  appear in it — a lazy export missing from ``__all__`` is reachable by
+  attribute access but invisible to ``from pkg import *``, ``dir()``
+  consumers and the documentation tests, which is always an oversight.
 
 Modules outside the tree (third-party) are skipped; a target module that
 does ``from x import *`` or defines ``__getattr__`` is treated as opaque
@@ -157,6 +161,7 @@ class ExportIntegrity(Rule):
         exports = _exports_table(tree) or {}
         surface = _collect_surface(tree)
 
+        all_names: Optional[set] = None
         for stmt in tree.body:
             if (
                 isinstance(stmt, ast.Assign)
@@ -165,6 +170,8 @@ class ExportIntegrity(Rule):
                 and stmt.targets[0].id == "__all__"
             ):
                 entries = _literal_str_list(stmt.value)
+                if entries is not None:
+                    all_names = {name for name, _ in entries}
                 for name, node in entries or ():
                     if not surface.defines(name):
                         ctx.report(
@@ -173,6 +180,16 @@ class ExportIntegrity(Rule):
                             f"__all__ entry {name!r} is not bound at module "
                             "top level and has no _EXPORTS entry",
                         )
+
+        if all_names is not None:
+            for name, (_, node) in exports.items():
+                if name not in all_names:
+                    ctx.report(
+                        self,
+                        node,
+                        f"_EXPORTS key {name!r} is missing from __all__ "
+                        "(lazy export invisible to star-imports and dir())",
+                    )
 
         for name, ((module, attr), node) in exports.items():
             target = self._target_file(module, ctx)

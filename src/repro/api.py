@@ -1,11 +1,13 @@
 """Top-level convenience API.
 
-Two entry points cover the common uses of the repo:
+Three entry points cover the common uses of the repo:
 
 * :func:`repro.experiments.run_experiment` — run a paper experiment cell
   (named dataset pair, named cluster, extrapolated to paper scale).
 * :func:`spatial_join` (here) — run *your own* data through one of the
   three systems end to end and get a costed :class:`RunReport` back.
+* :class:`repro.service.SpatialQueryService` — prepare datasets once and
+  serve many queries against them (joins, range queries, cached results).
 
 ::
 
@@ -27,8 +29,7 @@ from .cluster.costmodel import CostParams
 from .cluster.specs import ClusterConfig
 from .core.predicate import INTERSECTS, JoinPredicate
 from .exec.backend import ExecutorBackend
-from .systems import make_system
-from .systems.base import RunEnvironment, RunReport
+from .systems.base import RunReport
 
 __all__ = ["spatial_join"]
 
@@ -38,7 +39,7 @@ def spatial_join(
     right: Sequence,
     *,
     system: str = "SpatialSpark",
-    predicate: JoinPredicate = INTERSECTS,
+    predicate: Union[JoinPredicate, str] = INTERSECTS,
     cluster: Union[str, ClusterConfig] = "WS",
     workers: int = 1,
     backend: Union[str, ExecutorBackend, None] = None,
@@ -50,6 +51,13 @@ def spatial_join(
 ) -> RunReport:
     """Join *left* with *right* on a simulated cluster; return a costed report.
 
+    A thin wrapper over the service layer's one-shot path
+    (:func:`repro.service.one_shot_join`): each system's pipeline is the
+    composition ``prepare(a) + prepare(b) + join_prepared`` and this
+    call runs both halves in one shared environment, so the report
+    carries the full IA / IB / DJ breakdown.  Prepare once and query
+    repeatedly instead with :class:`repro.service.SpatialQueryService`.
+
     Parameters
     ----------
     left, right:
@@ -60,8 +68,10 @@ def spatial_join(
     system:
         ``"HadoopGIS"``, ``"SpatialHadoop"`` or ``"SpatialSpark"``.
     predicate:
-        Join semantics; the default is the paper's *intersects*.  Use
-        :func:`repro.core.within_distance` for ε-distance joins.
+        Join semantics; the default is the paper's *intersects*.  Accepts
+        a :class:`~repro.core.JoinPredicate` (see
+        :func:`repro.core.within_distance`) or its string spelling:
+        ``"intersects"``, ``"within_distance:500"``.
     cluster:
         A paper config name (``"WS"``, ``"EC2-10"`` …), ``EC2-<n>`` for
         any node count, or a :class:`ClusterConfig`.
@@ -77,7 +87,8 @@ def spatial_join(
         Optional cost-model overrides used when costing the clock.
     system_kwargs:
         Extra keyword arguments for the system constructor (e.g.
-        ``{"sample_fraction": 0.1}``).
+        ``{"sample_fraction": 0.1}``).  Copied at this boundary — the
+        dict you pass is never mutated.
     trace:
         Record a :mod:`repro.trace` span tree of the run and attach it as
         ``report.trace`` (export with
@@ -90,29 +101,19 @@ def spatial_join(
     the report's seconds describe exactly that workload on the chosen
     cluster.
     """
-    from .experiments.runner import DEFAULT_SEED, resolve_cluster
+    from .service.core import one_shot_join
 
-    config = resolve_cluster(cluster)
-    env = RunEnvironment.create(
-        config,
-        block_size=block_size,
-        seed=DEFAULT_SEED if seed is None else seed,
+    return one_shot_join(
+        left,
+        right,
+        system=system,
+        predicate=predicate,
+        cluster=cluster,
         workers=workers,
         backend=backend,
+        block_size=block_size,
+        seed=seed,
+        cost_params=cost_params,
+        system_kwargs=system_kwargs,
+        trace=trace,
     )
-    sys_obj = make_system(system, **(system_kwargs or {}))
-    if trace:
-        from .trace import Tracer
-        from .trace.core import span as trace_span
-
-        tracer = Tracer()
-        with tracer.session(
-            "spatial_join", kind="experiment", counters=env.counters,
-            system=sys_obj.name, cluster=config.name,
-        ):
-            with trace_span(sys_obj.name, kind="run", counters=env.counters):
-                report = sys_obj.run(env, left, right, predicate)
-        report.trace = tracer.root
-    else:
-        report = sys_obj.run(env, left, right, predicate)
-    return report.costed(cost_params, cluster=config)

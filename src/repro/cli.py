@@ -94,6 +94,22 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("calibrate", help="refit the cost-model constants "
                                      "against the paper's timings")
+
+    service = sub.add_parser(
+        "service",
+        help="demo the prepared-path query service (prepare once, "
+             "serve repeated joins, report per-path latency and cache "
+             "statistics)",
+    )
+    service.add_argument("system", nargs="?", default="SpatialHadoop",
+                         help="HadoopGIS | SpatialHadoop | SpatialSpark")
+    service.add_argument("--size", type=int, default=500,
+                         help="records per dataset")
+    service.add_argument("--queries", type=int, default=8,
+                         help="warm join queries to serve")
+    service.add_argument("--concurrency", type=int, default=8,
+                         help="query dispatch threads")
+    service.add_argument("--seed", type=int, default=DEFAULT_SEED)
     return parser
 
 
@@ -230,6 +246,50 @@ def _cmd_calibrate(_args) -> int:
     return 0
 
 
+def _cmd_service(args) -> int:
+    import time
+
+    from .data import census_blocks, taxi_points
+    from .service import Query, SpatialQueryService
+    from .api import spatial_join
+
+    pts = taxi_points(args.size, seed=args.seed)
+    polys = census_blocks(max(args.size // 8, 10), seed=args.seed + 1)
+
+    # The demo reports *real* serving latency (like benchmarks/ does);
+    # nothing below feeds the cost model's simulated seconds.
+    t0 = time.perf_counter()  # repro: noqa[CLK001]
+    one_shot = spatial_join(pts, polys, system=args.system, seed=args.seed)
+    one_shot_s = time.perf_counter() - t0  # repro: noqa[CLK001]
+
+    with SpatialQueryService(seed=args.seed) as svc:
+        t0 = time.perf_counter()  # repro: noqa[CLK001]
+        a = svc.prepare(pts, system=args.system, roles=("a",))
+        b = svc.prepare(polys, system=args.system, roles=("b",))
+        prepare_s = time.perf_counter() - t0  # repro: noqa[CLK001]
+
+        queries = [Query("join", a, b)] * args.queries
+        t0 = time.perf_counter()  # repro: noqa[CLK001]
+        reports = svc.execute(queries, concurrency=args.concurrency)
+        serve_s = time.perf_counter() - t0  # repro: noqa[CLK001]
+
+        c = svc.counters
+        print(f"service demo: {args.system}, {args.size} × {len(polys)} "
+              f"records, seed={args.seed}")
+        print(f"  one-shot spatial_join: {one_shot_s*1e3:8.1f} ms "
+              f"({len(one_shot.pairs):,} pairs)")
+        print(f"  prepare (once):        {prepare_s*1e3:8.1f} ms")
+        print(f"  serve {args.queries} queries "
+              f"(concurrency {args.concurrency}): {serve_s*1e3:8.1f} ms "
+              f"({args.queries / serve_s:,.0f} qps)")
+        match = all(r.pairs == one_shot.pairs for r in reports)
+        print(f"  pairs identical to one-shot: {match}")
+        print(f"  cache: {int(c['service.cache.hits'])} hits / "
+              f"{int(c['service.cache.misses'])} misses / "
+              f"{int(c['service.cache.evictions'])} evictions")
+    return 0 if match else 1
+
+
 _COMMANDS = {
     "table1": _cmd_table1,
     "fig1": _cmd_fig1,
@@ -240,6 +300,7 @@ _COMMANDS = {
     "report": _cmd_report,
     "validate": _cmd_validate,
     "calibrate": _cmd_calibrate,
+    "service": _cmd_service,
 }
 
 

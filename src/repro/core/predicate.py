@@ -16,7 +16,7 @@ from ..geometry.engine import GeometryEngine
 from ..geometry.mbr import MBR
 from ..geometry.primitives import Geometry
 
-__all__ = ["JoinPredicate", "INTERSECTS", "within_distance"]
+__all__ = ["JoinPredicate", "INTERSECTS", "within_distance", "resolve_predicate"]
 
 
 @dataclass(frozen=True)
@@ -62,3 +62,37 @@ INTERSECTS = JoinPredicate("intersects")
 def within_distance(distance: float) -> JoinPredicate:
     """An ε-distance join predicate."""
     return JoinPredicate("within_distance", float(distance))
+
+
+def resolve_predicate(spec) -> JoinPredicate:
+    """Coerce *spec* into a :class:`JoinPredicate`.
+
+    Accepts a :class:`JoinPredicate` (returned unchanged) or a string
+    spelling: ``"intersects"``, or ``"within_distance:<d>"`` with a
+    non-negative distance after the colon (``"within_distance:500"``).
+    """
+    if isinstance(spec, JoinPredicate):
+        return spec
+    if isinstance(spec, str):
+        name, _, arg = spec.partition(":")
+        name = name.strip()
+        if name == "intersects":
+            if arg:
+                raise ValueError("intersects takes no parameter")
+            return INTERSECTS
+        if name == "within_distance":
+            if not arg:
+                raise ValueError(
+                    "within_distance needs a distance: 'within_distance:<d>'"
+                )
+            try:
+                dist = float(arg)
+            except ValueError:
+                raise ValueError(
+                    f"bad within_distance distance {arg!r}"
+                ) from None
+            return within_distance(dist)
+        raise ValueError(f"unknown predicate {spec!r}")
+    raise TypeError(
+        f"predicate must be a JoinPredicate or str, got {type(spec).__name__}"
+    )

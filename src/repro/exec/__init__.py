@@ -18,9 +18,11 @@ from .backend import (
     merge_outcomes,
     resolve_backend,
 )
+from .pool import run_ordered
 from .task import TaskOutcome, emit, redirect_counters, run_task
 
 __all__ = [
+    "run_ordered",
     "ExecutorBackend",
     "SerialBackend",
     "ThreadBackend",

@@ -1,0 +1,37 @@
+"""Ordered fan-out over a thread pool for the query service.
+
+The service front-end dispatches independent queries concurrently, but
+its results must stay deterministic: :func:`run_ordered` returns results
+in *submission order* regardless of completion order, mirroring the
+task-index merge discipline of :func:`repro.exec.merge_outcomes`.  The
+callables themselves must not share mutable state (the service gives
+each query its own environment and counters); exceptions propagate to
+the caller with their original traceback, after all submitted work has
+finished.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Sequence, TypeVar
+
+__all__ = ["run_ordered"]
+
+T = TypeVar("T")
+
+
+def run_ordered(fns: Sequence[Callable[[], T]], workers: int = 1) -> list[T]:
+    """Run *fns* with up to *workers* threads; results in submission order.
+
+    ``workers <= 1`` (or a single callable) runs serially on the calling
+    thread — the degenerate case has no pool and therefore exactly the
+    serial execution's thread identity, which keeps thread-local counter
+    redirects working for ``concurrency=1``.
+    """
+    if workers <= 1 or len(fns) <= 1:
+        return [fn() for fn in fns]
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        futures = [pool.submit(fn) for fn in fns]
+        # list() in submission order; .result() re-raises the first
+        # failure only after the executor has drained remaining work.
+        return [f.result() for f in futures]

@@ -16,7 +16,7 @@ block file", and its ``_master`` files store partition MBRs.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterable, Iterator, Optional, Sequence
+from typing import Any, Callable, Iterable, Iterator, Mapping, Optional, Sequence
 
 from ..geometry.batch import GeometryBatch
 from ..metrics import Counters
@@ -277,6 +277,33 @@ class SimulatedHDFS:
         """(block_idx, num_records, nbytes) without charging data reads."""
         f = self._file(path)
         return [(i, len(b), b.total_bytes) for i, b in enumerate(f.blocks)]
+
+    # ------------------------------------------- cross-run file linking
+    def export_files(self, prefix: str) -> "dict[str, HdfsFile]":
+        """Snapshot every file under *prefix* as ``{path: HdfsFile}``.
+
+        Uncharged: exporting moves namenode metadata between simulated
+        runs (the service's prepare-once/query-many lifecycle), not
+        bytes.  The returned :class:`HdfsFile` objects are shared by
+        reference — callers must treat them as immutable.
+        """
+        return {p: self._files[p] for p in self.list_files(prefix)}
+
+    def install_files(
+        self, files: "Mapping[str, HdfsFile]", *, overwrite: bool = False
+    ) -> None:
+        """Link already-written files into this namespace by reference.
+
+        The query side of the prepare-once lifecycle: a fresh
+        per-query filesystem starts from the prepared dataset's staged
+        and indexed files without re-paying their write charges.  The
+        shared blocks are read-only by convention; writes under new
+        paths are unaffected.
+        """
+        for path, f in files.items():
+            if path in self._files and not overwrite:
+                raise HdfsError(f"path already exists: {path!r}")
+            self._files[path] = f
 
     # ----------------------------------------------- local filesystem hops
     def copy_to_local(self, path: str) -> list:

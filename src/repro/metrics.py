@@ -76,6 +76,13 @@ COUNTER_SCHEMA: dict[str, str] = {
     "spark.stages": "Spark stages executed",
     "spark.tasks": "Spark tasks executed",
     "spark.recomputes": "partitions recomputed from lineage after loss",
+    # -- query service (repro.service lifecycle ledger) -------------------
+    "service.prepares": "datasets prepared (ingest+partition+index runs)",
+    "service.queries": "queries served by the prepared path",
+    "service.cache.hits": "queries answered from the result cache",
+    "service.cache.misses": "queries that had to execute",
+    "service.cache.evictions": "cached results evicted by the LRU policy",
+    "service.unloads": "dataset handles unloaded from the registry",
 }
 
 #: Thread-local charge redirection, keyed by the instance's redirect

@@ -1,0 +1,58 @@
+"""repro.service — prepare-once / query-many spatial serving.
+
+The serving counterpart of the one-shot :func:`repro.spatial_join`:
+
+::
+
+    from repro.service import SpatialQueryService
+
+    with SpatialQueryService(cluster="WS") as svc:
+        taxi = svc.prepare(taxi_points(2_000, seed=7), system="SpatialHadoop")
+        nycb = svc.prepare(census_blocks(200, seed=8), system="SpatialHadoop")
+        report = taxi.join(nycb)                  # prepared path: no re-staging
+        report = taxi.join(nycb)                  # served from the result cache
+        hits = taxi.range((0.2, 0.2, 0.4, 0.4))   # box query over one handle
+
+See :mod:`repro.service.core` for the lifecycle and determinism
+contract, :mod:`repro.service.cache` for fingerprinting and the LRU
+single-flight cache, and :mod:`repro.service.dispatch` for the
+concurrent front-end's ordered merge.
+"""
+
+from typing import Any
+
+__all__ = [
+    "SpatialQueryService",
+    "DatasetHandle",
+    "Query",
+    "RangeResult",
+    "ResultCache",
+    "one_shot_join",
+]
+
+#: Lazily-resolved exports (PEP 562), matching the top-level package's
+#: idiom so ``import repro.service`` stays cheap for the CLI.
+_EXPORTS = {
+    "SpatialQueryService": ("repro.service.core", "SpatialQueryService"),
+    "DatasetHandle": ("repro.service.core", "DatasetHandle"),
+    "Query": ("repro.service.core", "Query"),
+    "RangeResult": ("repro.service.core", "RangeResult"),
+    "ResultCache": ("repro.service.cache", "ResultCache"),
+    "one_shot_join": ("repro.service.core", "one_shot_join"),
+}
+
+
+def __getattr__(name: str) -> Any:
+    try:
+        module_name, attr = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    from importlib import import_module
+
+    value = getattr(import_module(module_name), attr)
+    globals()[name] = value  # cache for subsequent lookups
+    return value
+
+
+def __dir__() -> list:
+    return sorted(set(globals()) | set(_EXPORTS))

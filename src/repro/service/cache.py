@@ -1,0 +1,140 @@
+"""Canonical query fingerprints and the LRU result cache.
+
+Cache keys follow the composed-key idiom of query engines (QLever's
+``getCacheKeyImpl``): every node of a query canonicalizes *itself* and
+embeds the canonical keys of its children, so two queries share a key
+exactly when every layer that could change the answer is identical.
+Here the leaves are datasets — fingerprinted by *content* (a SHA-256
+over the columnar arrays), not by identity, so re-preparing equal data
+hits the same cache line — and the inner nodes are operations (join,
+range) that append their own parameters.
+
+Excluded from keys on purpose: ``workers`` / ``backend`` (results are
+bit-identical across execution backends by the repo's determinism
+discipline) and anything timing-related.  Included: system, cluster,
+block size, seed and system kwargs — each one changes counters or pairs.
+
+The cache itself is a thread-safe LRU over canonical keys with
+*single-flight* de-duplication: when several concurrent queries share a
+fingerprint, exactly one computes while the rest wait and read the
+cached result, so hit/miss tallies are deterministic at any concurrency
+(1 miss + N−1 hits), not a race.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from typing import Callable, Optional
+
+import numpy as np
+
+__all__ = ["canonical_kwargs", "content_key", "compose_key", "ResultCache"]
+
+
+def canonical_kwargs(kwargs: Optional[dict]) -> str:
+    """A stable, order-insensitive spelling of a kwargs dict."""
+    if not kwargs:
+        return ""
+    return ",".join(f"{k}={kwargs[k]!r}" for k in sorted(kwargs))
+
+
+def content_key(batch) -> str:
+    """SHA-256 of a :class:`~repro.geometry.batch.GeometryBatch`'s arrays.
+
+    Content-addressed: two batches with equal geometry streams hash the
+    same regardless of how or when they were constructed.
+    """
+    h = hashlib.sha256()
+    for arr in (
+        batch.kinds, batch.coords, batch.ring_offsets, batch.geom_rings,
+        batch.ids,
+    ):
+        a = np.ascontiguousarray(arr)
+        h.update(str(a.dtype).encode())
+        h.update(str(a.shape).encode())
+        h.update(a.tobytes())
+    return h.hexdigest()
+
+
+def compose_key(operation: str, *parts: str, **params) -> str:
+    """Compose an operation key from child keys + own parameters.
+
+    ``compose_key("join", key_a, key_b, predicate="intersects")`` — the
+    getCacheKeyImpl idiom: the operation name, its parameters in sorted
+    order, then the children's canonical keys in positional order.
+    """
+    h = hashlib.sha256()
+    h.update(operation.encode())
+    for k in sorted(params):
+        h.update(f"|{k}={params[k]}".encode())
+    for part in parts:
+        h.update(b"|")
+        h.update(part.encode())
+    return h.hexdigest()
+
+
+class ResultCache:
+    """Thread-safe LRU cache with single-flight computation.
+
+    ``get_or_compute(key, compute)`` returns ``(value, was_hit)``.  The
+    first caller for a key runs *compute* outside the lock; concurrent
+    callers with the same key block until it lands, then read it as a
+    hit.  If *compute* raises, waiters are released and the next caller
+    retries (failures are never cached).  Eviction is LRU by last access
+    and counted in :attr:`evictions`.
+    """
+
+    def __init__(self, max_entries: int = 128):
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[str, object]" = OrderedDict()
+        self._inflight: dict[str, threading.Event] = {}
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get_or_compute(self, key: str, compute: Callable[[], object]):
+        """Return ``(value, was_hit)`` for *key*, computing on a miss.
+
+        Single-flight: concurrent callers with the same key block on the
+        first caller's computation and then read it as a hit."""
+        while True:
+            with self._lock:
+                if key in self._entries:
+                    self._entries.move_to_end(key)
+                    self.hits += 1
+                    return self._entries[key], True
+                waiter = self._inflight.get(key)
+                if waiter is None:
+                    self._inflight[key] = threading.Event()
+                    self.misses += 1
+                    break  # this thread computes
+            waiter.wait()
+            # Leader landed (or failed); loop to re-check the table.
+        try:
+            value = compute()
+        except BaseException:
+            with self._lock:
+                self._inflight.pop(key).set()
+            raise
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+            self._inflight.pop(key).set()
+        return value, False
+
+    def clear(self) -> None:
+        """Drop every cached entry (hit/miss/eviction tallies remain)."""
+        with self._lock:
+            self._entries.clear()

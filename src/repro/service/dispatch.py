@@ -1,0 +1,102 @@
+"""Concurrent query dispatch with a deterministic merge.
+
+Queries of one :meth:`~repro.service.SpatialQueryService.execute` batch
+fan out over :func:`repro.exec.pool.run_ordered`; each query executes
+against its own private environment (fresh filesystem + counters, the
+prepared files installed by reference), so worker threads share nothing
+mutable.  All *observable* effects are applied afterwards on the calling
+thread, in submission order — the same merge discipline the task
+executor uses — which is what makes concurrency 1 / 8 / 64 bit-identical:
+
+* results return in submission order;
+* each query's counters merge into the service ledger in submission
+  order (sums commute, but the discipline keeps span grafting and any
+  future order-sensitive bookkeeping aligned with the serial run);
+* finished query spans graft under the service-session root in
+  submission order;
+* cache hit/miss tallies come from the single-flight cache, which makes
+  them a function of the submitted multiset, not of thread interleaving.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..exec.pool import run_ordered
+from ..metrics import Counters
+
+__all__ = ["run_queries"]
+
+
+@dataclass
+class _Outcome:
+    """What one worker hands back for the ordered merge."""
+
+    result: object
+    span: object = None
+    counters: Optional[Counters] = None
+    cache_hit: bool = False
+
+
+def run_queries(service, queries, concurrency: int) -> list:
+    """Execute *queries* for *service*; results in submission order."""
+
+    def make_runner(q):
+        def run() -> _Outcome:
+            fingerprint = service._fingerprint(q)
+            if service.cache is None:
+                result, sp, counters = service._compute(q)
+                return _Outcome(result, sp, counters)
+            holder = {}
+
+            def compute():
+                result, sp, counters = service._compute(q)
+                holder["span"] = sp
+                holder["counters"] = counters
+                return result
+
+            value, was_hit = service.cache.get_or_compute(
+                fingerprint, compute
+            )
+            if was_hit:
+                # Nothing executed: no environment, no counters, all
+                # stage work skipped.  A lightweight span still marks
+                # the query in the service trace.
+                with service._maybe_span(
+                    f"query:{q.kind}", cache="hit",
+                ) as sp:
+                    pass
+                return _Outcome(
+                    service._as_hit(value), sp, None, cache_hit=True
+                )
+            return _Outcome(
+                value, holder.get("span"), holder.get("counters")
+            )
+
+        return run
+
+    outcomes = run_ordered(
+        [make_runner(q) for q in queries], workers=concurrency
+    )
+
+    # Ordered merge on the calling thread.
+    results = []
+    with service._lock:
+        for out in outcomes:
+            results.append(out.result)
+            if out.counters is not None:
+                service.counters.merge(out.counters)
+            service.counters.add("service.queries", 1)
+            if service.cache is not None:
+                if out.cache_hit:
+                    service.counters.add("service.cache.hits", 1)
+                else:
+                    service.counters.add("service.cache.misses", 1)
+            service._graft(out.span)
+        if service.cache is not None:
+            fresh = service.cache.evictions - service._synced_evictions
+            if fresh:
+                service.counters.add("service.cache.evictions", fresh)
+                service._synced_evictions = service.cache.evictions
+    return results

@@ -33,10 +33,24 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
     from ..experiments.extrapolate import ScaleInfo
     from ..trace.core import Span as TraceSpan
 
-__all__ = ["RunEnvironment", "RunReport", "SpatialJoinSystem", "GROUPS"]
+__all__ = [
+    "RunEnvironment",
+    "RunReport",
+    "PreparedDataset",
+    "SpatialJoinSystem",
+    "GROUPS",
+    "ROLES",
+]
 
 #: Reporting groups matching Table 3's columns.
 GROUPS = ("index_a", "index_b", "join")
+
+#: The two join sides.  Role names double as HDFS namespaces
+#: (``/input/a``, ``/hgis/b/...``) and feed the sampling seeds
+#: (``(env.seed, hash(role) & 0xFFFF)``), so they are fixed: a dataset
+#: prepared as ``"a"`` serves as the left side of joins, ``"b"`` as the
+#: right.
+ROLES = ("a", "b")
 
 
 @dataclass
@@ -152,6 +166,10 @@ class RunReport:
     #: :mod:`repro.trace`); None otherwise.  Filled in by the caller that
     #: owns the tracing session (``spatial_join`` / ``run_experiment``).
     trace: Optional["TraceSpan"] = None
+    #: True when this report was answered from the service result cache
+    #: without executing any stage (see :mod:`repro.service`); the payload
+    #: (pairs, counters, clock) is the original computation's.
+    cache_hit: bool = False
 
     @property
     def ok(self) -> bool:
@@ -209,8 +227,48 @@ class RunReport:
         return out
 
 
+@dataclass
+class PreparedDataset:
+    """One dataset after a system's prepare half: staged, partitioned,
+    indexed — everything a query needs short of the join itself.
+
+    The payload is immutable by convention: ``batch`` is the parsed
+    columnar shard (positional ids matching the staged TSV rids) and
+    ``files`` snapshots every HDFS file the prepare stage produced
+    (staged text, partitioned/indexed data, ``_master`` partition
+    metadata).  Queries install these files by reference into a fresh
+    per-query filesystem, so any number of concurrent queries share one
+    prepared copy without re-staging.
+    """
+
+    #: join side ("a" = left, "b" = right); fixed namespace, see ROLES.
+    role: str
+    #: system that prepared it (prepared artifacts are system-specific).
+    system: str
+    #: the parsed columnar dataset with positional ids.
+    batch: GeometryBatch
+    #: block count of the staged input (drives partition-count defaults).
+    num_input_blocks: int
+    #: every HDFS file written by ingest + preprocessing, by path.
+    files: dict = field(default_factory=dict)
+    #: (record_scale, byte_scale) the dataset was prepared under.
+    scale: tuple[float, float] = (1.0, 1.0)
+
+
 class SpatialJoinSystem(ABC):
-    """Interface shared by HadoopGIS, SpatialHadoop and SpatialSpark."""
+    """Interface shared by HadoopGIS, SpatialHadoop and SpatialSpark.
+
+    Every pipeline is split into two halves:
+
+    * :meth:`prepare_dataset` — ingest, partition and index ONE dataset
+      for one join side, returning a :class:`PreparedDataset`;
+    * :meth:`join_prepared` — execute the join stages over two prepared
+      datasets, returning a :class:`RunReport`.
+
+    :meth:`run` is exactly the composition ``prepare(a) + prepare(b) +
+    join_prepared`` in one environment — the one-shot path and the
+    serving path (:mod:`repro.service`) share the same stage code.
+    """
 
     #: the paper's system name
     name: str = "abstract"
@@ -230,6 +288,70 @@ class SpatialJoinSystem(ABC):
 
         *predicate* selects the join semantics: the paper's *intersects*
         (default) or an ε-distance join (``core.within_distance``)."""
+
+    # ------------------------------------------------- prepare/query halves
+    def prepare_dataset(
+        self,
+        env: RunEnvironment,
+        role: str,
+        data: Sequence[SpatialRecord] | Sequence[Geometry] | GeometryBatch,
+    ) -> PreparedDataset:
+        """The prepare half: stage *data* in HDFS and run this system's
+        per-dataset preprocessing (sampling, partitioning, indexing) for
+        one join side.
+
+        Modelled failures (broken pipes) propagate as exceptions here —
+        the caller decides whether that fails a run (:meth:`run`) or a
+        service prepare.
+        """
+        if role not in ROLES:
+            raise ValueError(f"role must be one of {ROLES}, got {role!r}")
+        batch = self._as_batch(data)
+        env.load_input(f"/input/{role}", batch)
+        self._prepare_role(env, role, batch)
+        files: dict = {}
+        for prefix in self._prepare_prefixes(role):
+            files.update(env.hdfs.export_files(prefix))
+        return PreparedDataset(
+            role=role,
+            system=self.name,
+            batch=batch,
+            num_input_blocks=env.hdfs.num_blocks(f"/input/{role}"),
+            files=files,
+            scale=env.scale_a if role == "a" else env.scale_b,
+        )
+
+    def _prepare_role(
+        self, env: RunEnvironment, role: str, batch: GeometryBatch
+    ) -> None:
+        """System-specific preprocessing of one staged dataset (may be a
+        no-op: SpatialSpark's prepare is ingest only)."""
+
+    def _prepare_prefixes(self, role: str) -> tuple:
+        """HDFS path prefixes holding this system's prepared artifacts."""
+        return (f"/input/{role}",)
+
+    @abstractmethod
+    def join_prepared(
+        self,
+        env: RunEnvironment,
+        prep_a: PreparedDataset,
+        prep_b: PreparedDataset,
+        predicate: JoinPredicate = INTERSECTS,
+    ) -> RunReport:
+        """The query half: join two prepared datasets in *env*.
+
+        *env* must already hold the prepared files (the shared
+        environment of a one-shot run, or a fresh per-query filesystem
+        populated via :meth:`install_prepared`).  Like :meth:`run`,
+        modelled failures come back as a failed report, never raise.
+        """
+
+    @staticmethod
+    def install_prepared(env: RunEnvironment, *preps: PreparedDataset) -> None:
+        """Link prepared datasets' files into a fresh query environment."""
+        for prep in preps:
+            env.hdfs.install_files(prep.files)
 
     @abstractmethod
     def stage_trace(self) -> StageTrace:

@@ -76,33 +76,57 @@ class HadoopGIS(SpatialJoinSystem):
     def run(
         self, env: RunEnvironment, left, right, predicate: JoinPredicate = INTERSECTS
     ) -> RunReport:
-        """Execute the full HadoopGIS pipeline (see the module docstring)."""
-        left = self._as_batch(left)
-        right = self._as_batch(right)
-        engine = make_engine("geos", env.counters)
+        """Execute the full HadoopGIS pipeline (see the module docstring).
+
+        Exactly the prepare-half composition plus the query half: charge
+        totals, per-phase deltas and span structure are identical to the
+        historical monolithic pipeline (phase *order* interleaves the two
+        datasets' staging, which no accounting observes).
+        """
+        try:
+            prep_a = self.prepare_dataset(env, "a", left)
+            prep_b = self.prepare_dataset(env, "b", right)
+        except StreamingPipeError as err:
+            return self._report(env, error=err, engine_profile=GEOS_COST_PROFILE)
+        return self.join_prepared(env, prep_a, prep_b, predicate)
+
+    # ------------------------------------------------------- prepare half
+    def _prepare_role(self, env: RunEnvironment, role: str, batch) -> None:
         # Pipe volumes are converted to paper scale with the byte scale of
-        # the dataset flowing through the pipe; the join job mixes both
-        # sides, so it uses the larger (conservative) factor.
-        policy_a = PipePolicy(capacity_bytes=env.pipe_capacity, byte_scale=env.scale_a[1])
-        policy_b = PipePolicy(capacity_bytes=env.pipe_capacity, byte_scale=env.scale_b[1])
+        # the dataset flowing through the pipe.
+        scale = env.scale_a if role == "a" else env.scale_b
+        policy = PipePolicy(capacity_bytes=env.pipe_capacity, byte_scale=scale[1])
+        group = "index_a" if role == "a" else "index_b"
+        with trace_span(f"preprocess:{role}", kind="stage", counters=env.counters):
+            self._preprocess(env, policy, role, group=group)
+
+    def _prepare_prefixes(self, role: str) -> tuple:
+        return (f"/input/{role}", f"/hgis/{role}")
+
+    # --------------------------------------------------------- query half
+    def join_prepared(
+        self,
+        env: RunEnvironment,
+        prep_a,
+        prep_b,
+        predicate: JoinPredicate = INTERSECTS,
+    ) -> RunReport:
+        """The query half: global join (sample combination + joint
+        partitioning) and the local join MR job over the prepared TSV
+        datasets; broken streaming pipes come back as a failed report."""
+        engine = make_engine("geos", env.counters)
         # The join job mixes records of both datasets in one task; its
         # tasks track their own logical volumes per side (byte_scale=1).
         policy_join = PipePolicy(capacity_bytes=env.pipe_capacity, byte_scale=1.0)
-        env.load_input("/input/a", left)
-        env.load_input("/input/b", right)
         # Both batches carry parse-time MBRs: the joint extent needs no
         # per-geometry rebuild.
         universe = MBRArray(
-            np.vstack([left.mbrs.data, right.mbrs.data])
+            np.vstack([prep_a.batch.mbrs.data, prep_b.batch.mbrs.data])
         ).extent()
         n_parts = self.n_partitions or max(
-            4, env.hdfs.num_blocks("/input/a") + env.hdfs.num_blocks("/input/b")
+            4, prep_a.num_input_blocks + prep_b.num_input_blocks
         )
         try:
-            with trace_span("preprocess:a", kind="stage", counters=env.counters):
-                self._preprocess(env, policy_a, "a", group="index_a")
-            with trace_span("preprocess:b", kind="stage", counters=env.counters):
-                self._preprocess(env, policy_b, "b", group="index_b")
             with trace_span("global_join", kind="stage", counters=env.counters):
                 partitioning = self._combine_samples(env, universe, n_parts)
             with trace_span("local_join", kind="stage", counters=env.counters):

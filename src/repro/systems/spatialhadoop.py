@@ -123,20 +123,41 @@ class SpatialHadoop(SpatialJoinSystem):
     def run(
         self, env: RunEnvironment, left, right, predicate: JoinPredicate = INTERSECTS
     ) -> RunReport:
-        """Execute the full SpatialHadoop pipeline (see the module docstring)."""
-        left = self._as_batch(left)
-        right = self._as_batch(right)
-        engine = make_engine("jts", env.counters)
-        env.load_input("/input/a", left)
-        env.load_input("/input/b", right)
+        """Execute the full SpatialHadoop pipeline (see the module docstring).
+
+        Composed from the prepare and query halves; charge totals,
+        per-phase deltas and span structure are identical to the
+        historical monolithic pipeline.
+        """
+        prep_a = self.prepare_dataset(env, "a", left)
+        prep_b = self.prepare_dataset(env, "b", right)
+        return self.join_prepared(env, prep_a, prep_b, predicate)
+
+    # ------------------------------------------------------- prepare half
+    def _prepare_role(self, env: RunEnvironment, role: str, batch) -> None:
         # SpatialHadoop sizes partitions to HDFS blocks: one partition per
         # block of the dataset being indexed (scale-stable by design).
-        n_parts_a = self.n_partitions or max(2, env.hdfs.num_blocks("/input/a"))
-        n_parts_b = self.n_partitions or max(2, env.hdfs.num_blocks("/input/b"))
-        with trace_span("preprocess:a", kind="stage", counters=env.counters):
-            self._index_dataset(env, "a", left, n_parts_a, group="index_a")
-        with trace_span("preprocess:b", kind="stage", counters=env.counters):
-            self._index_dataset(env, "b", right, n_parts_b, group="index_b")
+        n_parts = self.n_partitions or max(
+            2, env.hdfs.num_blocks(f"/input/{role}")
+        )
+        group = "index_a" if role == "a" else "index_b"
+        with trace_span(f"preprocess:{role}", kind="stage", counters=env.counters):
+            self._index_dataset(env, role, batch, n_parts, group=group)
+
+    def _prepare_prefixes(self, role: str) -> tuple:
+        return (f"/input/{role}", f"/shadoop/{role}")
+
+    # --------------------------------------------------------- query half
+    def join_prepared(
+        self,
+        env: RunEnvironment,
+        prep_a,
+        prep_b,
+        predicate: JoinPredicate = INTERSECTS,
+    ) -> RunReport:
+        """The query half: the map-only distributed join over the two
+        prepared R+-tree indexes (no modelled failures)."""
+        engine = make_engine("jts", env.counters)
         with trace_span("join", kind="stage", counters=env.counters):
             pairs = self._distributed_join(env, engine, predicate)
         return self._report(env, pairs=pairs, engine_profile=JTS_COST_PROFILE)

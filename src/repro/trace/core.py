@@ -121,6 +121,10 @@ _TLS = threading.local()  # .stack: list[Span] of open spans in this thread
 #: Count of open Tracer sessions in this process.  Forked workers inherit
 #: it; thread workers read it directly.  While zero, span() is a no-op.
 _ACTIVE_SESSIONS = 0
+#: Guards _ACTIVE_SESSIONS: concurrent query threads may open/close
+#: sessions while a long-lived service session is active, and an unlocked
+#: read-modify-write could drop a decrement and leave tracing stuck on.
+_SESSION_LOCK = threading.Lock()
 
 
 def active() -> bool:
@@ -298,7 +302,8 @@ class _SessionHandle:
 
     def __enter__(self) -> Span:
         global _ACTIVE_SESSIONS
-        _ACTIVE_SESSIONS += 1
+        with _SESSION_LOCK:
+            _ACTIVE_SESSIONS += 1
         return self._handle.__enter__()
 
     def __exit__(self, exc_type, exc_value, tb) -> bool:
@@ -306,5 +311,6 @@ class _SessionHandle:
         try:
             return self._handle.__exit__(exc_type, exc_value, tb)
         finally:
-            _ACTIVE_SESSIONS -= 1
+            with _SESSION_LOCK:
+                _ACTIVE_SESSIONS -= 1
             self._tracer.root = self._handle.span

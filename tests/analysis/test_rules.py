@@ -283,6 +283,34 @@ class TestAPI001ExportIntegrity:
         )
         assert lint_paths([pkg]) == []
 
+    def test_lazy_export_missing_from_all(self, tmp_path):
+        pkg = self._write_package(
+            tmp_path,
+            """
+            __all__ = ["present"]
+            present = 1
+            _EXPORTS = {"run": ("pkg.sub.runner", "run")}
+
+            def __getattr__(name):
+                raise AttributeError(name)
+            """,
+        )
+        findings = lint_paths([pkg])
+        assert [f.rule for f in findings] == ["API001"]
+        assert "missing from __all__" in findings[0].message
+
+    def test_exports_without_all_are_not_flagged(self, tmp_path):
+        pkg = self._write_package(
+            tmp_path,
+            """
+            _EXPORTS = {"run": ("pkg.sub.runner", "run")}
+
+            def __getattr__(name):
+                raise AttributeError(name)
+            """,
+        )
+        assert lint_paths([pkg]) == []
+
     def test_third_party_modules_are_skipped(self, tmp_path):
         pkg = self._write_package(
             tmp_path,

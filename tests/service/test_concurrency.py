@@ -1,0 +1,127 @@
+"""Concurrency determinism of the service front-end.
+
+The contract: a batch of queries against shared handles returns
+bit-identical results — pairs, per-query counters, service-ledger
+totals, trace fingerprints — at any dispatch concurrency.  These suites
+run with the cache disabled so every query actually executes (with the
+cache on, which request of an identical in-flight pair reports the miss
+is unspecified; totals stay deterministic and are covered separately).
+"""
+
+import pytest
+
+from repro.data.synthetic import census_blocks, taxi_points
+from repro.service import Query, SpatialQueryService
+
+SEED = 7
+CONCURRENCIES = (8, 64)
+BOXES = (
+    (-74.00, 40.70, -73.95, 40.75),
+    (-73.99, 40.72, -73.90, 40.80),
+    (-74.02, 40.65, -73.97, 40.71),
+)
+
+
+def make_service(trace=False):
+    return SpatialQueryService(
+        cluster="WS", seed=SEED, cache_entries=0, trace=trace
+    )
+
+
+def make_queries(a, b, n=64):
+    """A deterministic 64-query mix: joins (both predicates) + ranges."""
+    out = []
+    for i in range(n):
+        kind = i % 4
+        if kind == 0:
+            out.append(Query("join", a, b))
+        elif kind == 1:
+            out.append(Query("join", a, b, predicate="within_distance:0.01"))
+        elif kind == 2:
+            out.append(Query("range", a, box=BOXES[i % len(BOXES)]))
+        else:
+            out.append(Query("join", a, b, predicate="within_distance:0.005"))
+    return out
+
+
+def result_view(r):
+    """The comparable, timing-free view of one query result."""
+    if hasattr(r, "pairs"):
+        return ("join", r.status, r.pairs, tuple(sorted(r.counters.items())))
+    return ("range", r.ids, tuple(sorted(r.counters.items())))
+
+
+def run_batch(concurrency):
+    """One fresh service: prepare both sides, run the 64-query mix.
+
+    A fresh service per concurrency level keeps the ledger's float
+    accumulation base identical across runs, so the post-batch ledger
+    states — not just the per-query counters — compare bit-for-bit.
+    """
+    with make_service() as svc:
+        a = svc.prepare(
+            taxi_points(300, seed=11), system="SpatialHadoop", roles=("a",)
+        )
+        b = svc.prepare(
+            census_blocks(40, seed=12), system="SpatialHadoop", roles=("b",)
+        )
+        results = svc.execute(make_queries(a, b), concurrency=concurrency)
+        return [result_view(r) for r in results], dict(svc.counters)
+
+
+class TestInterleavedDeterminism:
+    @pytest.fixture(scope="class")
+    def serial(self):
+        return run_batch(concurrency=1)
+
+    @pytest.mark.parametrize("concurrency", CONCURRENCIES)
+    def test_results_bit_identical_to_serial(self, serial, concurrency):
+        serial_views, serial_ledger = serial
+        views, ledger = run_batch(concurrency)
+        assert views == serial_views
+        assert ledger == serial_ledger
+
+    def test_ledger_counts_queries(self, serial):
+        _, serial_ledger = serial
+        assert serial_ledger["service.queries"] == 64
+
+
+class TestTraceDeterminism:
+    def run_traced(self, concurrency):
+        svc = make_service(trace=True)
+        a = svc.prepare(
+            taxi_points(200, seed=11), system="SpatialHadoop", roles=("a",)
+        )
+        b = svc.prepare(
+            census_blocks(30, seed=12), system="SpatialHadoop", roles=("b",)
+        )
+        svc.execute(make_queries(a, b, n=16), concurrency=concurrency)
+        svc.close()
+        return svc.trace_root
+
+    def test_span_tree_identical_across_concurrency(self):
+        roots = [self.run_traced(c) for c in (1, 8)]
+        fingerprints = {root.fingerprint() for root in roots}
+        assert len(fingerprints) == 1
+        root = roots[0]
+        assert root.name == "service"
+        names = [c.name for c in root.children]
+        # Submission-order grafting: prepares first, then the queries
+        # exactly as submitted.
+        assert names[:2] == ["prepare:a", "prepare:b"]
+        assert len(names) == 2 + 16
+
+
+class TestCacheTotalsUnderConcurrency:
+    def test_single_flight_tallies(self):
+        """Identical in-flight queries: 1 miss + N-1 hits at any
+        concurrency, and every report carries the same pairs."""
+        for concurrency in (1, 8):
+            with SpatialQueryService(cluster="WS", seed=SEED) as svc:
+                a = svc.prepare(taxi_points(200, seed=11), system="SpatialSpark")
+                b = svc.prepare(census_blocks(30, seed=12), system="SpatialSpark")
+                queries = [Query("join", a, b)] * 16
+                reports = svc.execute(queries, concurrency=concurrency)
+                assert svc.counters["service.cache.misses"] == 1
+                assert svc.counters["service.cache.hits"] == 15
+                assert len({r.pairs for r in reports}) == 1

@@ -1,0 +1,282 @@
+"""The prepare-once / query-many service lifecycle.
+
+Covers the DatasetHandle registry (content-addressed dedupe), the
+prepared join path's equivalence to the one-shot ``spatial_join``, range
+queries against brute force, the fingerprinted result cache (hits equal
+recomputation and execute nothing), unload semantics, string predicates,
+and the ``system_kwargs`` non-mutation fix at the API boundary.
+"""
+
+import numpy as np
+import pytest
+
+from repro import spatial_join
+from repro.core.predicate import (
+    INTERSECTS,
+    JoinPredicate,
+    resolve_predicate,
+    within_distance,
+)
+from repro.data.synthetic import census_blocks, taxi_points
+from repro.service import Query, SpatialQueryService
+
+SYSTEMS = ("HadoopGIS", "SpatialHadoop", "SpatialSpark")
+SEED = 7
+
+
+def points(n=300):
+    return taxi_points(n, seed=11)
+
+
+def blocks(n=40):
+    return census_blocks(n, seed=12)
+
+
+@pytest.fixture()
+def svc():
+    with SpatialQueryService(cluster="WS", seed=SEED) as service:
+        yield service
+
+
+class TestResolvePredicate:
+    def test_intersects_string(self):
+        assert resolve_predicate("intersects") is INTERSECTS
+
+    def test_within_distance_string(self):
+        pred = resolve_predicate("within_distance:500")
+        assert pred == within_distance(500.0)
+
+    def test_passthrough(self):
+        pred = within_distance(1.5)
+        assert resolve_predicate(pred) is pred
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["touches", "within_distance", "within_distance:abc", "intersects:1"],
+    )
+    def test_bad_strings(self, bad):
+        with pytest.raises(ValueError):
+            resolve_predicate(bad)
+
+    def test_bad_type(self):
+        with pytest.raises(TypeError):
+            resolve_predicate(123)
+
+
+class TestPreparedJoinEquivalence:
+    @pytest.mark.parametrize("system", SYSTEMS)
+    def test_pairs_match_one_shot(self, svc, system):
+        ref = spatial_join(
+            points(), blocks(), system=system, cluster="WS", seed=SEED
+        )
+        a = svc.prepare(points(), system=system)
+        b = svc.prepare(blocks(), system=system)
+        report = a.join(b)
+        assert report.status == "ok"
+        assert report.pairs == ref.pairs
+        assert not report.cache_hit
+
+    def test_distance_join_string_predicate(self, svc):
+        ref = spatial_join(
+            points(), blocks(), system="SpatialHadoop", cluster="WS",
+            seed=SEED, predicate=within_distance(0.01),
+        )
+        a = svc.prepare(points(), system="SpatialHadoop")
+        b = svc.prepare(blocks(), system="SpatialHadoop")
+        assert a.join(b, "within_distance:0.01").pairs == ref.pairs
+
+    def test_cross_system_join_rejected(self, svc):
+        a = svc.prepare(points(), system="SpatialSpark")
+        b = svc.prepare(blocks(), system="SpatialHadoop")
+        with pytest.raises(ValueError, match="different systems"):
+            a.join(b)
+
+
+class TestHandleRegistry:
+    def test_prepare_is_content_addressed(self, svc):
+        h1 = svc.prepare(points(), system="SpatialSpark")
+        prepares = svc.counters["service.prepares"]
+        h2 = svc.prepare(points(), system="SpatialSpark")
+        assert h2 is h1
+        assert svc.counters["service.prepares"] == prepares
+
+    def test_different_system_different_handle(self, svc):
+        h1 = svc.prepare(points(), system="SpatialSpark")
+        h2 = svc.prepare(points(), system="SpatialHadoop")
+        assert h2 is not h1
+
+    def test_role_filled_in_incrementally(self, svc):
+        h = svc.prepare(points(), system="SpatialSpark", roles=("a",))
+        assert h.roles == ("a",)
+        h2 = svc.prepare(points(), system="SpatialSpark", roles=("b",))
+        assert h2 is h
+        assert h.roles == ("a", "b")
+
+    def test_unload(self, svc):
+        h = svc.prepare(points(), system="SpatialSpark")
+        other = svc.prepare(blocks(), system="SpatialSpark")
+        h.unload()
+        assert not h.alive
+        assert svc.counters["service.unloads"] == 1
+        with pytest.raises(RuntimeError, match="unloaded"):
+            h.join(other)
+        # Re-preparing after unload builds a fresh handle.
+        h2 = svc.prepare(points(), system="SpatialSpark")
+        assert h2 is not h
+        assert h2.alive
+
+
+class TestRangeQueries:
+    BOX = (-73.99, 40.70, -73.93, 40.78)
+
+    def test_points_match_brute_force(self, svc):
+        h = svc.prepare(points(), system="SpatialSpark")
+        result = h.range(self.BOX)
+        batch = h.preps["a"].batch
+        m = batch.mbrs.data
+        xmin, ymin, xmax, ymax = self.BOX
+        inside = np.nonzero(
+            (m[:, 0] >= xmin) & (m[:, 2] <= xmax)
+            & (m[:, 1] >= ymin) & (m[:, 3] <= ymax)
+        )[0]
+        # Points: MBR containment == exact containment.
+        assert set(result.ids) == {int(batch.ids[i]) for i in inside}
+        # One vectorized test per record, plus the engine's per-candidate
+        # recheck during refinement.
+        assert result.counters["geom.mbr_tests"] >= len(batch)
+
+    def test_polygons_refined(self, svc):
+        h = svc.prepare(blocks(), system="SpatialHadoop", roles=("a",))
+        result = h.range(self.BOX)
+        # Refinement can only shrink the MBR-filter candidate set.
+        batch = h.preps["a"].batch
+        m = batch.mbrs.data
+        xmin, ymin, xmax, ymax = self.BOX
+        cand = np.nonzero(
+            (m[:, 0] <= xmax) & (m[:, 2] >= xmin)
+            & (m[:, 1] <= ymax) & (m[:, 3] >= ymin)
+        )[0]
+        assert set(result.ids) <= {int(batch.ids[i]) for i in cand}
+
+    def test_disjoint_box_is_empty(self, svc):
+        h = svc.prepare(points(), system="SpatialSpark")
+        assert h.range((0.0, 0.0, 1.0, 1.0)).ids == ()
+
+
+class TestResultCache:
+    def test_join_hit_equals_recomputation(self, svc):
+        a = svc.prepare(points(), system="SpatialHadoop")
+        b = svc.prepare(blocks(), system="SpatialHadoop")
+        first = a.join(b)
+        ledger_after_miss = svc.counters.snapshot()
+        second = a.join(b)
+        assert second.cache_hit and not first.cache_hit
+        assert second.pairs == first.pairs
+        assert second.breakdown_seconds() == first.breakdown_seconds()
+        assert dict(second.counters) == dict(first.counters)
+        # The hit executed nothing: the only ledger movement is the
+        # service's own bookkeeping — every stage counter stays put.
+        delta = svc.counters.diff(ledger_after_miss)
+        assert {k for k, v in delta.items() if v} == {
+            "service.queries", "service.cache.hits",
+        }
+
+    def test_range_hit(self, svc):
+        h = svc.prepare(points(), system="SpatialSpark")
+        box = (-73.99, 40.70, -73.93, 40.78)
+        first = h.range(box)
+        second = h.range(box)
+        assert second.cache_hit and second.ids == first.ids
+
+    def test_distinct_predicates_do_not_collide(self, svc):
+        a = svc.prepare(points(), system="SpatialSpark")
+        b = svc.prepare(blocks(), system="SpatialSpark")
+        r1 = a.join(b)
+        r2 = a.join(b, "within_distance:0.01")
+        assert not r2.cache_hit
+        assert r2.pairs != r1.pairs
+
+    def test_lru_eviction(self):
+        with SpatialQueryService(cluster="WS", seed=SEED, cache_entries=1) as s:
+            a = s.prepare(points(), system="SpatialSpark")
+            b = s.prepare(blocks(), system="SpatialSpark")
+            a.join(b)
+            a.join(b, "within_distance:0.01")  # evicts the first entry
+            assert s.counters["service.cache.evictions"] == 1
+            assert not a.join(b).cache_hit  # re-miss after eviction
+
+    def test_cache_disabled(self):
+        with SpatialQueryService(cluster="WS", seed=SEED, cache_entries=0) as s:
+            a = s.prepare(points(), system="SpatialSpark")
+            b = s.prepare(blocks(), system="SpatialSpark")
+            assert not a.join(b).cache_hit
+            assert not a.join(b).cache_hit
+            assert s.counters["service.cache.hits"] == 0
+            assert s.counters["service.cache.misses"] == 0
+
+
+class TestApiBoundary:
+    def test_system_kwargs_not_mutated(self):
+        """Regression: spatial_join must never mutate the caller's dict."""
+        kwargs = {"sample_fraction": 0.1}
+        before = dict(kwargs)
+        spatial_join(
+            points(100), blocks(20), system="HadoopGIS", cluster="WS",
+            seed=SEED, system_kwargs=kwargs,
+        )
+        assert kwargs == before
+
+    def test_service_copies_system_kwargs(self, svc):
+        kwargs = {"sample_fraction": 0.1}
+        before = dict(kwargs)
+        svc.prepare(points(100), system="HadoopGIS", system_kwargs=kwargs)
+        assert kwargs == before
+
+    def test_string_predicate_in_spatial_join(self):
+        by_obj = spatial_join(
+            points(100), blocks(20), system="SpatialSpark", cluster="WS",
+            seed=SEED, predicate=within_distance(0.01),
+        )
+        by_str = spatial_join(
+            points(100), blocks(20), system="SpatialSpark", cluster="WS",
+            seed=SEED, predicate="within_distance:0.01",
+        )
+        assert by_str.pairs == by_obj.pairs
+
+    def test_legacy_kwargs_still_accepted(self):
+        """Every historical spatial_join kwarg keeps working."""
+        report = spatial_join(
+            points(100), blocks(20),
+            system="SpatialHadoop",
+            predicate=JoinPredicate("intersects"),
+            cluster="WS",
+            workers=1,
+            backend="serial",
+            block_size=1 << 12,
+            seed=SEED,
+            cost_params=None,
+            system_kwargs=None,
+            trace=True,
+        )
+        assert report.ok
+        assert report.trace is not None
+        assert report.trace.name == "spatial_join"
+
+    def test_query_validation(self, svc):
+        a = svc.prepare(points(100), system="SpatialSpark")
+        with pytest.raises(ValueError, match="right-side handle"):
+            Query("join", a)
+        with pytest.raises(ValueError, match="box"):
+            Query("range", a)
+        with pytest.raises(ValueError, match="kind"):
+            Query("nearest", a)
+        with SpatialQueryService(cluster="WS", seed=SEED) as other:
+            foreign = other.prepare(blocks(20), system="SpatialSpark")
+            with pytest.raises(ValueError, match="different service"):
+                svc.execute([Query("join", a, foreign)])
+
+    def test_closed_service_rejects_work(self):
+        s = SpatialQueryService(cluster="WS", seed=SEED)
+        s.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            s.prepare(points(100), system="SpatialSpark")
