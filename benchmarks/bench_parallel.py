@@ -100,6 +100,17 @@ def main() -> int:
     pair_sets = {r["pairs"] for r in runs}
     assert len(pair_sets) == 1, f"backends disagreed on results: {pair_sets}"
 
+    # Parallel configurations that lose to serial are a regression signal,
+    # not a formatting detail: surface them loudly in CI logs (GitHub
+    # annotation syntax) and, when BENCH_PARALLEL_STRICT is set, fail the
+    # job instead of letting the slowdown ride along in the artifact.
+    slow = [r for r in runs if r["slower_than_serial"]]
+    for row in slow:
+        print(f"::warning title=bench_parallel slowdown::"
+              f"{row['backend']} x{row['workers']} ran "
+              f"{row['speedup']:.2f}x vs serial "
+              f"({row['wall_seconds']:.2f}s, cpu_count={os.cpu_count()})")
+
     document = {
         "workload": {
             "system": args.system,
@@ -115,6 +126,10 @@ def main() -> int:
         with open(args.out, "w", encoding="utf-8") as fh:
             fh.write(text + "\n")
         print(f"wrote {args.out}")
+    if slow and os.environ.get("BENCH_PARALLEL_STRICT"):
+        print(f"BENCH_PARALLEL_STRICT: {len(slow)} configuration(s) "
+              f"slower than serial — failing")
+        return 1
     return 0
 
 

@@ -1,0 +1,155 @@
+#!/usr/bin/env python
+"""Planner quality: auto-chosen plans vs fixed configurations.
+
+The cost-based planner (:mod:`repro.plan`) claims its argmin over
+(local algorithm × partitioner × granularity × broadcast-vs-shuffle)
+lands on a plan whose *measured* simulated seconds are no worse than any
+fixed configuration a user could have pinned by hand.  This script puts
+that claim on the record: for each system it runs the planner-chosen
+plan and the principal fixed configurations over the same workload, then
+reports measured seconds side by side with the planner's own estimate.
+
+Under ``--check`` it fails unless, for every system, the auto plan's
+measured seconds are within ``TOLERANCE`` of the best fixed
+configuration's — i.e. the planner never loses by more than the noise
+floor — and every configuration returns bit-identical result pairs.
+
+Run:  PYTHONPATH=src python benchmarks/bench_planner.py [--check] [--out FILE]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+
+from repro import spatial_join
+from repro.data import census_blocks, taxi_points
+from repro.data.stats import describe
+from repro.experiments.runner import resolve_cluster
+from repro.plan import rank_plans
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Allowed measured-seconds ratio of auto plan vs best fixed config.
+TOLERANCE = 1.05
+
+SYSTEMS = ("HadoopGIS", "SpatialHadoop", "SpatialSpark")
+
+
+def fixed_configs(system: str) -> dict:
+    """The fixed configurations a user could reasonably pin by hand."""
+    if system == "SpatialSpark":
+        return {
+            "shuffle(default)": {"broadcast_join": False},
+            "broadcast": {"broadcast_join": True},
+            "shuffle+plane_sweep": {"broadcast_join": False,
+                                    "local_algorithm": "plane_sweep"},
+        }
+    if system == "SpatialHadoop":
+        return {
+            "plane_sweep(default)": {"local_algorithm": "plane_sweep"},
+            "sync_rtree": {"local_algorithm": "sync_rtree"},
+            "grid": {"partitioner": "grid"},
+        }
+    return {
+        "inl(default)": {"local_algorithm": "indexed_nested_loop"},
+        "plane_sweep": {"local_algorithm": "plane_sweep"},
+        "bsp": {"partitioner": "bsp"},
+    }
+
+
+def measure(points, blocks, *, system, cluster, plan, system_kwargs=None):
+    report = spatial_join(
+        points, blocks, system=system, cluster=cluster,
+        plan=plan, system_kwargs=system_kwargs, seed=11,
+    )
+    return {
+        "status": report.status,
+        "pairs": len(report.pairs or ()),
+        "simulated_seconds": round(report.clock.total_seconds, 3),
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--exec-records", type=int, default=4_000,
+                        help="records in the point dataset (default 4000)")
+    parser.add_argument("--cluster", default="WS")
+    parser.add_argument("--check", action="store_true",
+                        help="exit non-zero if the auto plan loses to a "
+                             f"fixed config by more than {TOLERANCE:.2f}x "
+                             "or any config's pairs differ")
+    parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_planner.json"),
+                        help="output JSON path (default: repo root)")
+    args = parser.parse_args()
+
+    points = taxi_points(args.exec_records, seed=3)
+    blocks = census_blocks(max(args.exec_records // 5, 50), seed=4)
+    stats_l, stats_r = describe(points), describe(blocks)
+    cluster = resolve_cluster(args.cluster)
+
+    results, failures = [], []
+    for system in SYSTEMS:
+        ranked = rank_plans(stats_l, stats_r, "intersects", cluster,
+                            system=system)
+        est, chosen = ranked[0]
+        auto = measure(points, blocks, system=system, cluster=args.cluster,
+                       plan="auto")
+        entry = {
+            "system": system,
+            "chosen_plan": chosen.describe(),
+            "estimated_seconds": round(est.seconds, 3),
+            "auto": auto,
+            "fixed": {},
+        }
+        print(f"{system}: auto -> {chosen.describe()} "
+              f"(est {est.seconds:,.1f}s, measured "
+              f"{auto['simulated_seconds']:,.1f}s sim)")
+        for label, kwargs in fixed_configs(system).items():
+            row = measure(points, blocks, system=system,
+                          cluster=args.cluster, plan=None,
+                          system_kwargs=kwargs)
+            entry["fixed"][label] = row
+            print(f"  {label:>22}: {row['simulated_seconds']:10,.1f}s sim "
+                  f"({row['pairs']:,} pairs)")
+            if row["pairs"] != auto["pairs"]:
+                failures.append(f"{system}/{label}: pairs differ from auto")
+        best = min(r["simulated_seconds"] for r in entry["fixed"].values())
+        entry["best_fixed_seconds"] = best
+        entry["auto_vs_best_fixed"] = round(
+            auto["simulated_seconds"] / max(best, 1e-9), 3
+        )
+        if auto["simulated_seconds"] > best * TOLERANCE:
+            failures.append(
+                f"{system}: auto plan {auto['simulated_seconds']:,.1f}s "
+                f"loses to best fixed {best:,.1f}s"
+            )
+        results.append(entry)
+
+    document = {
+        "workload": {
+            "exec_records": args.exec_records,
+            "cluster": args.cluster,
+            "datasets": "taxi_points x census_blocks",
+        },
+        "tolerance": TOLERANCE,
+        "results": results,
+        "failures": failures,
+    }
+    text = json.dumps(document, indent=2)
+    print(text)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+        print(f"wrote {args.out}")
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}")
+        if args.check:
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -31,13 +31,16 @@ __version__ = "1.1.0"
 
 __all__ = [
     "__version__",
+    "Calibrator",
     "DatasetHandle",
     "EXPERIMENTS",
+    "Plan",
     "RunEnvironment",
     "RunReport",
     "SpatialQueryService",
     "Tracer",
     "make_system",
+    "plan_query",
     "render_skew",
     "render_tree",
     "run_experiment",
@@ -49,13 +52,16 @@ __all__ = [
 #: Lazily-resolved top-level exports (PEP 562), so ``import repro`` stays
 #: cheap and the CLI keeps its fast ``--help`` path.
 _EXPORTS = {
+    "Calibrator": ("repro.plan.calibrate", "Calibrator"),
     "DatasetHandle": ("repro.service.core", "DatasetHandle"),
     "EXPERIMENTS": ("repro.experiments.runner", "EXPERIMENTS"),
+    "Plan": ("repro.plan.planner", "Plan"),
     "RunEnvironment": ("repro.systems.base", "RunEnvironment"),
     "RunReport": ("repro.systems.base", "RunReport"),
     "SpatialQueryService": ("repro.service.core", "SpatialQueryService"),
     "Tracer": ("repro.trace", "Tracer"),
     "make_system": ("repro.systems", "make_system"),
+    "plan_query": ("repro.plan.planner", "plan_query"),
     "render_skew": ("repro.trace", "render_skew"),
     "render_tree": ("repro.trace", "render_tree"),
     "run_experiment": ("repro.experiments.runner", "run_experiment"),

@@ -48,6 +48,7 @@ def spatial_join(
     cost_params: Optional[CostParams] = None,
     system_kwargs: Optional[dict] = None,
     trace: bool = False,
+    plan: object = "auto",
 ) -> RunReport:
     """Join *left* with *right* on a simulated cluster; return a costed report.
 
@@ -95,6 +96,15 @@ def spatial_join(
         :func:`repro.trace.write_chrome_trace` or analyze with
         :func:`repro.trace.skew_report`).  Tracing never changes results:
         pairs and counter totals are bit-identical with it on or off.
+    plan:
+        ``"auto"`` (the default) lets the cost-based planner
+        (:mod:`repro.plan`) pick the local-join algorithm, partitioner,
+        granularity and broadcast-vs-shuffle strategy for *system* from
+        the inputs' statistics.  Pass a frozen
+        :class:`~repro.plan.Plan` to pin every knob (the plan's system
+        wins over *system*), or ``None`` for the legacy fixed defaults.
+        Explicit *system_kwargs* always override plan fields, and result
+        pairs are identical whichever way the knobs were chosen.
 
     Unlike :func:`~repro.experiments.run_experiment`, no paper-scale
     extrapolation happens: the data you pass is the data that runs, and
@@ -116,4 +126,5 @@ def spatial_join(
         cost_params=cost_params,
         system_kwargs=system_kwargs,
         trace=trace,
+        plan=plan,
     )

@@ -95,6 +95,30 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("calibrate", help="refit the cost-model constants "
                                      "against the paper's timings")
 
+    plan = sub.add_parser(
+        "plan",
+        help="rank candidate query plans with the cost-based planner "
+             "(estimates only, nothing executes)",
+    )
+    plan.add_argument("--system", default=None,
+                      help="HadoopGIS | SpatialHadoop | SpatialSpark "
+                           "(default: rank all three)")
+    plan.add_argument("--cluster", default="WS",
+                      help="WS | EC2-10 | EC2-<n> (default: WS)")
+    plan.add_argument("--left", default="taxi:2000", metavar="NAME:N",
+                      help="left dataset spec (taxi | census | tiger | "
+                           "water, default taxi:2000)")
+    plan.add_argument("--right", default="census:400", metavar="NAME:N",
+                      help="right dataset spec (default census:400)")
+    plan.add_argument("--predicate", default="intersects",
+                      help="intersects | within_distance:<d>")
+    plan.add_argument("--explain", action="store_true",
+                      help="print the ranked candidate table, not just "
+                           "the winning plan")
+    plan.add_argument("--top", type=int, default=10,
+                      help="candidates to list with --explain")
+    plan.add_argument("--seed", type=int, default=DEFAULT_SEED)
+
     service = sub.add_parser(
         "service",
         help="demo the prepared-path query service (prepare once, "
@@ -246,6 +270,51 @@ def _cmd_calibrate(_args) -> int:
     return 0
 
 
+def _dataset_from_spec(spec: str, seed: int):
+    from .data import (
+        census_blocks_batch,
+        linear_water_batch,
+        taxi_points_batch,
+        tiger_edges_batch,
+    )
+
+    generators = {
+        "taxi": taxi_points_batch,
+        "census": census_blocks_batch,
+        "tiger": tiger_edges_batch,
+        "water": linear_water_batch,
+    }
+    name, _, count = spec.partition(":")
+    if name not in generators:
+        raise ValueError(
+            f"unknown dataset {name!r}; choose from {sorted(generators)}"
+        )
+    return generators[name](int(count) if count else 1000, seed=seed)
+
+
+def _cmd_plan(args) -> int:
+    from .data.stats import describe
+    from .experiments.runner import resolve_cluster
+    from .plan import PLAN_SYSTEMS, rank_plans, render_ranking
+
+    stats_l = describe(_dataset_from_spec(args.left, args.seed))
+    stats_r = describe(_dataset_from_spec(args.right, args.seed + 1))
+    cluster = resolve_cluster(args.cluster)
+    systems = [args.system] if args.system else list(PLAN_SYSTEMS)
+    print(f"planning {args.left} ⋈ {args.right} "
+          f"({args.predicate}) on {args.cluster}")
+    for system in systems:
+        ranked = rank_plans(
+            stats_l, stats_r, args.predicate, cluster, system=system
+        )
+        est, best = ranked[0]
+        print(f"\n{system}: {best.describe()}  "
+              f"(est. {est.seconds:,.2f}s, {est.rows:,.0f} pairs)")
+        if args.explain:
+            print(render_ranking(ranked, top=args.top))
+    return 0
+
+
 def _cmd_service(args) -> int:
     import time
 
@@ -300,6 +369,7 @@ _COMMANDS = {
     "report": _cmd_report,
     "validate": _cmd_validate,
     "calibrate": _cmd_calibrate,
+    "plan": _cmd_plan,
     "service": _cmd_service,
 }
 

@@ -33,13 +33,21 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Mapping, Optional
+from typing import Callable, Mapping, Optional
 
 from ..metrics import Counters
 from .simclock import PhaseRecord, SimClock
 from .specs import MB, ClusterConfig
 
-__all__ = ["CostParams", "CostModel", "DEFAULT_CPU_COSTS"]
+__all__ = [
+    "CostParams",
+    "CostModel",
+    "CostEstimate",
+    "DEFAULT_CPU_COSTS",
+    "OPERATOR_ESTIMATORS",
+    "register_operator",
+    "estimate_operator",
+]
 
 #: Baseline per-op CPU costs in microseconds on a cpu_speed=1.0 core.
 #: ``geom.*`` entries here are fallbacks — engines supply their own profile.
@@ -115,6 +123,78 @@ class CostParams:
         return DEFAULT_CPU_COSTS.get(key, 0.0)
 
 
+@dataclass(frozen=True)
+class CostEstimate:
+    """A QLever-style operator estimate: cost, output size, multiplicity.
+
+    ``seconds`` is the modelled cost of the operator on one cluster;
+    ``rows`` estimates its output cardinality and ``multiplicity`` the
+    average duplication per input row (multi-assignment blow-up, 1.0 for
+    assignment-free operators).  ``counters`` holds the predicted
+    resource counts the seconds were priced from, so an estimate can be
+    audited against a measured phase ledger key by key.
+    """
+
+    seconds: float
+    rows: float = 0.0
+    multiplicity: float = 1.0
+    counters: Mapping[str, float] = field(default_factory=dict)
+    tasks: int = 1
+
+    @staticmethod
+    def sequence(parts: "list[CostEstimate]") -> "CostEstimate":
+        """Pipeline composition: seconds add, the last operator's output
+        cardinality flows on, multiplicities compound."""
+        if not parts:
+            return CostEstimate(0.0)
+        mult = 1.0
+        for p in parts:
+            mult *= p.multiplicity
+        return CostEstimate(
+            seconds=sum(p.seconds for p in parts),
+            rows=parts[-1].rows,
+            multiplicity=mult,
+        )
+
+
+#: Registry of per-operator estimators.  Each entry maps an operator name
+#: (``ingest``, ``partition``, ``index_build``, ``global_join.*``,
+#: ``local_join.<algorithm>``, ``refine``) to a callable
+#: ``fn(model, **context) -> CostEstimate`` that predicts the operator's
+#: resource counts from dataset statistics and prices them through the
+#: SAME :class:`CostModel` components that price measured phases — one
+#: costing path for estimates and measurements alike.  Estimators live in
+#: :mod:`repro.plan.estimate` and register themselves here on import.
+OPERATOR_ESTIMATORS: dict[str, Callable[..., CostEstimate]] = {}
+
+
+def register_operator(name: str):
+    """Class decorator registering an operator estimator under *name*."""
+
+    def deco(fn: Callable[..., CostEstimate]):
+        OPERATOR_ESTIMATORS[name] = fn
+        return fn
+
+    return deco
+
+
+def estimate_operator(name: str, model: "CostModel", **context) -> CostEstimate:
+    """Run the registered estimator *name* against *model*."""
+    if name not in OPERATOR_ESTIMATORS:
+        # The built-in estimators register on import of repro.plan.
+        from importlib import import_module
+
+        import_module("repro.plan.estimate")
+    try:
+        fn = OPERATOR_ESTIMATORS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown operator {name!r}; registered: "
+            f"{sorted(OPERATOR_ESTIMATORS)}"
+        ) from None
+    return fn(model, **context)
+
+
 class CostModel:
     """Costs :class:`PhaseRecord` objects for one cluster configuration."""
 
@@ -143,6 +223,33 @@ class CostModel:
         return 1.0 + params.gc_scale * (p - params.gc_floor) / (params.gc_ceiling - p)
 
     # ------------------------------------------------------------ components
+    def component_seconds(
+        self, counters: Mapping[str, float], tasks: int = 1
+    ) -> dict[str, float]:
+        """The four cost components for one counter ledger.
+
+        The single pricing path: measured phases (:meth:`phase_seconds`),
+        cost explanations (:mod:`repro.experiments.explain`) and planner
+        estimates (:mod:`repro.plan`) all price counters through here, so
+        an estimate and a measurement of the same operator differ only in
+        the counts, never in the constants.
+        """
+        counters = (
+            counters if isinstance(counters, Counters) else Counters(counters)
+        )
+        return {
+            "cpu": self._cpu_seconds(counters, tasks),
+            "io": self._io_seconds(counters),
+            "shuffle": self._shuffle_seconds(counters),
+            "overhead": self._overhead_seconds(counters),
+        }
+
+    def seconds_for(
+        self, counters: Mapping[str, float], tasks: int = 1
+    ) -> float:
+        """Total simulated seconds for one counter ledger."""
+        return sum(self.component_seconds(counters, tasks).values())
+
     def _cpu_seconds(self, counters: Counters, tasks: int) -> float:
         micros = 0.0
         for key, count in counters.items():
@@ -215,11 +322,19 @@ class CostModel:
     # ---------------------------------------------------------------- public
     def phase_seconds(self, phase: PhaseRecord) -> float:
         """Simulated seconds for one phase on this cluster."""
-        return (
-            self._cpu_seconds(phase.counters, phase.tasks)
-            + self._io_seconds(phase.counters)
-            + self._shuffle_seconds(phase.counters)
-            + self._overhead_seconds(phase.counters)
+        return self.seconds_for(phase.counters, phase.tasks)
+
+    def price(
+        self, counters: Mapping[str, float], tasks: int = 1, *,
+        rows: float = 0.0, multiplicity: float = 1.0,
+    ) -> CostEstimate:
+        """Price predicted *counters* into a :class:`CostEstimate`."""
+        return CostEstimate(
+            seconds=self.seconds_for(counters, tasks),
+            rows=rows,
+            multiplicity=multiplicity,
+            counters=dict(counters),
+            tasks=tasks,
         )
 
     def cost_clock(self, clock: SimClock) -> SimClock:

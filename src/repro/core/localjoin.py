@@ -168,6 +168,7 @@ def indexed_nested_loop_join(
     counters: Optional[Counters] = None,
     leaf_capacity: int = 16,
     predicate: JoinPredicate = INTERSECTS,
+    info: Optional[dict] = None,
 ) -> "list[tuple[int, int]] | np.ndarray":
     """Index the right side with an STR tree, probe with every left MBR.
 
@@ -199,6 +200,8 @@ def indexed_nested_loop_join(
     else:
         candidates = list(zip(qi.tolist(), cj.tolist()))
     counters.add("join.candidates", len(candidates))
+    if info is not None:
+        info["candidates"] = len(candidates)
     return refine_candidates(left, right, candidates, engine, predicate)
 
 
@@ -209,6 +212,7 @@ def plane_sweep_join(
     *,
     counters: Optional[Counters] = None,
     predicate: JoinPredicate = INTERSECTS,
+    info: Optional[dict] = None,
 ) -> "list[tuple[int, int]] | np.ndarray":
     """Classic plane-sweep MBR join along the x axis.
 
@@ -236,6 +240,8 @@ def plane_sweep_join(
     else:
         candidates = _sweep_candidates_object(lb, rb, counters)
     counters.add("join.candidates", len(candidates))
+    if info is not None:
+        info["candidates"] = len(candidates)
     return refine_candidates(left, right, candidates, engine, predicate)
 
 
@@ -346,6 +352,7 @@ def sync_rtree_join(
     counters: Optional[Counters] = None,
     leaf_capacity: int = 16,
     predicate: JoinPredicate = INTERSECTS,
+    info: Optional[dict] = None,
 ) -> "list[tuple[int, int]] | np.ndarray":
     """Synchronized traversal of STR trees built over both sides.
 
@@ -371,6 +378,8 @@ def sync_rtree_join(
     candidates: "np.ndarray | list[tuple[int, int]]" = sync_tree_join(
         ltree, rtree, counters)
     counters.add("join.candidates", len(candidates))
+    if info is not None:
+        info["candidates"] = len(candidates)
     if not (isinstance(left, GeometryBatch) and isinstance(right, GeometryBatch)):
         candidates = list(map(tuple, candidates.tolist()))
     return refine_candidates(left, right, candidates, engine, predicate)
@@ -391,8 +400,16 @@ def local_join(
     *,
     counters: Optional[Counters] = None,
     predicate: JoinPredicate = INTERSECTS,
+    info: Optional[dict] = None,
 ) -> list[tuple[int, int]]:
-    """Dispatch a local join by algorithm name."""
+    """Dispatch a local join by algorithm name.
+
+    *info*, when given, receives algorithm-side observations that are
+    awkward to recover from the shared ledger under parallel backends
+    (counter adds redirect to per-task sinks, so snapshot/diff around
+    the call reads zero there): currently ``info["candidates"]``, the
+    MBR-filter candidate count before refinement.
+    """
     try:
         fn = LOCAL_JOIN_ALGORITHMS[algorithm]
     except KeyError:
@@ -400,4 +417,5 @@ def local_join(
             f"unknown local join algorithm {algorithm!r}; "
             f"options: {sorted(LOCAL_JOIN_ALGORITHMS)}"
         ) from None
-    return fn(left, right, engine, counters=counters, predicate=predicate)
+    return fn(left, right, engine, counters=counters, predicate=predicate,
+              info=info)

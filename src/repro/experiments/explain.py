@@ -46,17 +46,20 @@ class PhaseCost:
 
 
 def explain_report(
-    report: RunReport, *, top: int = 3, min_seconds: float = 0.0
+    report: RunReport, *, top: int = 3, min_seconds: float = 0.0, params=None
 ) -> list[PhaseCost]:
     """Decompose every phase of a (possibly failed) run report.
 
     The report's cluster name selects the cost model; the phases carry
     whatever counters were accumulated, so partial clocks of failed runs
-    explain the work done before the failure.
+    explain the work done before the failure.  Pass *params* (e.g. a
+    calibrated :meth:`repro.plan.CalibrationProfile.cost_params`) to
+    re-price the same counters under different constants.
     """
     cluster = resolve_cluster(report.cluster)
     model = CostModel(
         cluster,
+        params=params,
         engine_profile=report.engine_profile,
         memory_pressure=report.memory_pressure,
     )
@@ -70,10 +73,9 @@ def explain_report(
                 measured.setdefault(sp.name, []).append(sp.seconds)
     out = []
     for phase in report.clock.phases:
-        cpu = model._cpu_seconds(phase.counters, phase.tasks)
-        io = model._io_seconds(phase.counters)
-        shuffle = model._shuffle_seconds(phase.counters)
-        overhead = model._overhead_seconds(phase.counters)
+        comp = model.component_seconds(phase.counters, phase.tasks)
+        cpu, io = comp["cpu"], comp["io"]
+        shuffle, overhead = comp["shuffle"], comp["overhead"]
         if cpu + io + shuffle + overhead < min_seconds:
             continue
         parallel = cluster.effective_parallelism(phase.tasks)

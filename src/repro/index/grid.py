@@ -44,14 +44,19 @@ class GridIndex:
 
     # ------------------------------------------------------------- helpers
     def _col_range(self, xmin: float, xmax: float) -> tuple[int, int]:
+        # Clamp both endpoints into the grid: a box touching the extent's
+        # max edge floors to column nx, which must land in the last cell
+        # (not an empty range) so every inserted item reaches >= 1 cell.
         lo = int(np.floor((xmin - self.extent.xmin) / self._cell_w))
         hi = int(np.floor((xmax - self.extent.xmin) / self._cell_w))
-        return max(lo, 0), min(hi, self.nx - 1)
+        lo = min(max(lo, 0), self.nx - 1)
+        return lo, max(min(hi, self.nx - 1), lo)
 
     def _row_range(self, ymin: float, ymax: float) -> tuple[int, int]:
         lo = int(np.floor((ymin - self.extent.ymin) / self._cell_h))
         hi = int(np.floor((ymax - self.extent.ymin) / self._cell_h))
-        return max(lo, 0), min(hi, self.ny - 1)
+        lo = min(max(lo, 0), self.ny - 1)
+        return lo, max(min(hi, self.ny - 1), lo)
 
     def cell_id(self, col: int, row: int) -> int:
         """Row-major id of grid cell (col, row)."""

@@ -83,6 +83,10 @@ COUNTER_SCHEMA: dict[str, str] = {
     "service.cache.misses": "queries that had to execute",
     "service.cache.evictions": "cached results evicted by the LRU policy",
     "service.unloads": "dataset handles unloaded from the registry",
+    # -- query planner (repro.plan decision + feedback ledger) -------------
+    "plan.candidates": "candidate plans priced by the planner",
+    "plan.cached": "plans answered from the service's plan cache",
+    "plan.observations": "measured phase spans ingested by the calibrator",
 }
 
 #: Thread-local charge redirection, keyed by the instance's redirect

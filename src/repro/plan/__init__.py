@@ -1,0 +1,45 @@
+"""Cost-based query planning: estimate → decide → execute → calibrate.
+
+``repro.plan`` closes the loop the paper leaves open: no single design
+choice (local-join algorithm, partitioner, broadcast-vs-shuffle) wins
+across workloads, so the planner chooses per query from per-operator
+cost estimates — and feeds measured phase spans back into the constants.
+
+* :mod:`repro.plan.estimate` — per-operator :class:`CostEstimate`
+  predictions from dataset statistics (the registry in
+  :mod:`repro.cluster.costmodel`).
+* :mod:`repro.plan.planner` — candidate enumeration and the argmin
+  (:func:`plan_query`), producing frozen fingerprintable :class:`Plan`
+  objects the execution layer accepts directly.
+* :mod:`repro.plan.calibrate` — the :class:`Calibrator` feedback loop
+  refitting cost constants from measured spans.
+"""
+
+from .calibrate import CalibrationObservation, CalibrationProfile, Calibrator
+from .estimate import EstimateContext, estimate_plan
+from .planner import (
+    GRANULARITIES,
+    PLAN_SYSTEMS,
+    Plan,
+    enumerate_plans,
+    fixed_from_system,
+    plan_query,
+    rank_plans,
+    render_ranking,
+)
+
+__all__ = [
+    "Plan",
+    "PLAN_SYSTEMS",
+    "GRANULARITIES",
+    "enumerate_plans",
+    "rank_plans",
+    "plan_query",
+    "fixed_from_system",
+    "render_ranking",
+    "EstimateContext",
+    "estimate_plan",
+    "CalibrationObservation",
+    "CalibrationProfile",
+    "Calibrator",
+]

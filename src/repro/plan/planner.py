@@ -1,0 +1,317 @@
+"""The decision layer: enumerate candidate plans, pick the argmin.
+
+``plan_query(stats_l, stats_r, predicate, cluster)`` is the QLever-style
+entry point: every *candidate* — a frozen :class:`Plan` naming the
+local-join algorithm, the partitioner, the grid granularity and the
+broadcast-vs-shuffle strategy — is priced by the estimate layer
+(:mod:`repro.plan.estimate`) through the same :class:`~repro.cluster.
+costmodel.CostModel` components that price measured phases, and the
+cheapest one wins.  Ties break deterministically on the plan's sort key,
+so identical statistics always produce the identical plan (a property
+the workload-matrix tests pin down).
+
+Plans are *fingerprintable*: :meth:`Plan.fingerprint` composes into the
+service result-cache key, so a cached result is never served across two
+different plans for the same dataset pair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from ..cluster.costmodel import CostEstimate, CostParams
+from ..core.predicate import INTERSECTS, JoinPredicate, resolve_predicate
+from ..service.cache import compose_key
+
+__all__ = [
+    "Plan",
+    "PLAN_SYSTEMS",
+    "GRANULARITIES",
+    "enumerate_plans",
+    "rank_plans",
+    "plan_query",
+    "fixed_from_system",
+    "render_ranking",
+]
+
+#: Systems the planner can choose between (the paper's three designs).
+PLAN_SYSTEMS = ("HadoopGIS", "SpatialHadoop", "SpatialSpark")
+
+#: Grid granularities enumerated per candidate space; 0 means "the
+#: system's own default rule" (partitions sized to HDFS blocks).
+GRANULARITIES = (0, 16, 64)
+
+#: Local-join algorithms each system's local stage supports.
+_SYSTEM_LOCALS = {
+    "HadoopGIS": ("indexed_nested_loop", "plane_sweep", "sync_rtree"),
+    "SpatialHadoop": ("plane_sweep", "sync_rtree"),
+    "SpatialSpark": ("indexed_nested_loop", "plane_sweep", "sync_rtree"),
+}
+
+#: Partitioners each system's global stage supports.  HadoopGIS and
+#: SpatialSpark multi-assign both sides, which requires tiling schemes;
+#: SpatialHadoop assigns each record to its best partition, so the
+#: non-tiling (str, hilbert) schemes are legal too.
+_SYSTEM_PARTITIONERS = {
+    "HadoopGIS": ("grid", "bsp", "quadtree"),
+    "SpatialHadoop": ("grid", "bsp", "quadtree", "str", "hilbert"),
+    "SpatialSpark": ("grid", "bsp", "quadtree"),
+}
+
+#: The partitioner each system used before the planner existed (the
+#: hardcoded choice the refactor lifted into plan fields).
+_SYSTEM_DEFAULT_PARTITIONER = {
+    "HadoopGIS": "grid",
+    "SpatialHadoop": "str",
+    "SpatialSpark": "bsp",
+}
+
+_SYSTEM_DEFAULT_LOCAL = {
+    "HadoopGIS": "indexed_nested_loop",
+    "SpatialHadoop": "plane_sweep",
+    "SpatialSpark": "indexed_nested_loop",
+}
+
+
+@dataclass(frozen=True, order=True)
+class Plan:
+    """One frozen, fingerprintable execution choice for a join query.
+
+    ``n_partitions=0`` means "the system's default granularity rule"
+    (partitions sized to the input's HDFS blocks), which is how the
+    pre-planner constructors behaved with ``n_partitions=None``.
+    Broadcast plans canonicalize their partitioned-only fields so two
+    spellings of the same physical execution share one fingerprint.
+    """
+
+    system: str
+    local_algorithm: str = "indexed_nested_loop"
+    partitioner: str = "bsp"
+    n_partitions: int = 0
+    strategy: str = "partitioned"
+
+    def __post_init__(self):
+        if self.system not in PLAN_SYSTEMS:
+            raise ValueError(
+                f"unknown system {self.system!r}; options: {PLAN_SYSTEMS}"
+            )
+        if self.strategy not in ("partitioned", "broadcast"):
+            raise ValueError(f"unknown strategy {self.strategy!r}")
+        if self.strategy == "broadcast":
+            if self.system != "SpatialSpark":
+                raise ValueError(
+                    "broadcast strategy is a SpatialSpark design "
+                    "(the early design of its ref. [6])"
+                )
+            # Broadcast runs no partitioner and no per-partition local
+            # join: canonicalize those fields so equal executions get
+            # equal fingerprints.
+            object.__setattr__(self, "local_algorithm", "indexed_nested_loop")
+            object.__setattr__(self, "partitioner", "bsp")
+            object.__setattr__(self, "n_partitions", 0)
+            return
+        if self.local_algorithm not in _SYSTEM_LOCALS[self.system]:
+            raise ValueError(
+                f"{self.system} local stage offers "
+                f"{_SYSTEM_LOCALS[self.system]}, not {self.local_algorithm!r}"
+            )
+        if self.partitioner not in _SYSTEM_PARTITIONERS[self.system]:
+            raise ValueError(
+                f"{self.system} supports partitioners "
+                f"{_SYSTEM_PARTITIONERS[self.system]}, not {self.partitioner!r}"
+            )
+        if self.n_partitions < 0:
+            raise ValueError("n_partitions must be >= 0 (0 = system default)")
+
+    # ------------------------------------------------------------- identity
+    def fingerprint(self) -> str:
+        """Canonical cache-key fragment (composes into service keys)."""
+        return compose_key(
+            "plan",
+            system=self.system,
+            local=self.local_algorithm,
+            partitioner=self.partitioner,
+            n_partitions=self.n_partitions,
+            strategy=self.strategy,
+        )
+
+    def describe(self) -> str:
+        """Short human/span-attribute spelling of the decision."""
+        if self.strategy == "broadcast":
+            return f"{self.system}/broadcast"
+        parts = self.n_partitions or "auto"
+        return (
+            f"{self.system}/{self.strategy}/{self.partitioner}"
+            f"/p={parts}/{self.local_algorithm}"
+        )
+
+    # ------------------------------------------------------------ execution
+    def system_kwargs(self) -> dict:
+        """Constructor kwargs reproducing this plan on ``make_system``.
+
+        The systems also accept ``plan=`` directly; this spelling exists
+        for the bit-identity tests (planner-chosen vs explicit kwargs)
+        and for serializing a plan into a plain config.
+        """
+        kwargs: dict = {}
+        if self.n_partitions:
+            kwargs["n_partitions"] = self.n_partitions
+        if self.system == "SpatialSpark":
+            kwargs["broadcast_join"] = self.strategy == "broadcast"
+            if self.strategy == "partitioned":
+                kwargs["partitioner"] = self.partitioner
+                kwargs["local_algorithm"] = self.local_algorithm
+        elif self.system == "SpatialHadoop":
+            kwargs["partitioner"] = self.partitioner
+            kwargs["local_algorithm"] = self.local_algorithm
+        else:  # HadoopGIS
+            kwargs["partitioner"] = self.partitioner
+            kwargs["local_algorithm"] = self.local_algorithm
+        return kwargs
+
+
+def enumerate_plans(system: Optional[str] = None) -> list[Plan]:
+    """Every candidate plan for *system* (all systems when ``None``).
+
+    The candidate space of the tentpole: local-join algorithm ×
+    partitioner × grid granularity × broadcast-vs-shuffle, restricted to
+    the combinations each system's design can execute.
+    """
+    systems = PLAN_SYSTEMS if system is None else (system,)
+    plans: list[Plan] = []
+    for sysname in systems:
+        if sysname not in PLAN_SYSTEMS:
+            raise ValueError(
+                f"unknown system {sysname!r}; options: {PLAN_SYSTEMS}"
+            )
+        if sysname == "SpatialSpark":
+            plans.append(Plan(system=sysname, strategy="broadcast"))
+        for local in _SYSTEM_LOCALS[sysname]:
+            for part in _SYSTEM_PARTITIONERS[sysname]:
+                for n in GRANULARITIES:
+                    plans.append(
+                        Plan(
+                            system=sysname,
+                            local_algorithm=local,
+                            partitioner=part,
+                            n_partitions=n,
+                        )
+                    )
+    return plans
+
+
+def fixed_from_system(system_obj, *, strategy: Optional[str] = None) -> Plan:
+    """Freeze an already-configured system object into the Plan it runs.
+
+    The inverse of :meth:`Plan.system_kwargs`: lets the service compose
+    a plan fingerprint into cache keys even for handles prepared with
+    explicit legacy kwargs.
+    """
+    name = system_obj.name
+    local = getattr(
+        system_obj, "local_algorithm", _SYSTEM_DEFAULT_LOCAL[name]
+    )
+    partitioner = getattr(system_obj, "partitioner", None)
+    part_name = (
+        partitioner.name if partitioner is not None
+        else _SYSTEM_DEFAULT_PARTITIONER[name]
+    )
+    if strategy is None:
+        strategy = (
+            "broadcast"
+            if getattr(system_obj, "broadcast_join", False)
+            else "partitioned"
+        )
+    return Plan(
+        system=name,
+        local_algorithm=local,
+        partitioner=part_name,
+        n_partitions=int(getattr(system_obj, "n_partitions", None) or 0),
+        strategy=strategy,
+    )
+
+
+def rank_plans(
+    stats_l,
+    stats_r,
+    predicate: Union[JoinPredicate, str] = INTERSECTS,
+    cluster="WS",
+    *,
+    system: Optional[str] = None,
+    block_size: int = 1 << 16,
+    params: Optional[CostParams] = None,
+    blocks_l: Optional[int] = None,
+    blocks_r: Optional[int] = None,
+) -> "list[tuple[CostEstimate, Plan]]":
+    """All candidates with their estimates, cheapest first.
+
+    Deterministic: equal-cost candidates order by the plan's own sort
+    key, so the ranking (and therefore :func:`plan_query`'s argmin) is a
+    pure function of the statistics.
+    """
+    from ..experiments.runner import resolve_cluster
+    from .estimate import EstimateContext, estimate_plan
+
+    predicate = resolve_predicate(predicate)
+    ctx = EstimateContext(
+        stats_a=stats_l,
+        stats_b=stats_r,
+        cluster=resolve_cluster(cluster),
+        margin=predicate.filter_margin,
+        block_size=block_size,
+        blocks_a=blocks_l,
+        blocks_b=blocks_r,
+    )
+    ranked = [
+        (estimate_plan(plan, ctx, params=params), plan)
+        for plan in enumerate_plans(system)
+    ]
+    ranked.sort(key=lambda pair: (pair[0].seconds, pair[1]))
+    return ranked
+
+
+def plan_query(
+    stats_l,
+    stats_r,
+    predicate: Union[JoinPredicate, str] = INTERSECTS,
+    cluster="WS",
+    *,
+    system: Optional[str] = None,
+    block_size: int = 1 << 16,
+    params: Optional[CostParams] = None,
+    blocks_l: Optional[int] = None,
+    blocks_r: Optional[int] = None,
+) -> Plan:
+    """Choose the cheapest plan for joining two datasets on *cluster*.
+
+    *system* restricts the candidate space to one system (the
+    ``spatial_join(system=..., plan="auto")`` path); ``None`` lets the
+    planner pick the system too.  *blocks_l* / *blocks_r* override the
+    estimated HDFS block counts with measured ones when the data is
+    already staged (the service path).
+    """
+    ranked = rank_plans(
+        stats_l, stats_r, predicate, cluster,
+        system=system, block_size=block_size, params=params,
+        blocks_l=blocks_l, blocks_r=blocks_r,
+    )
+    return ranked[0][1]
+
+
+def render_ranking(
+    ranked: "list[tuple[CostEstimate, Plan]]", *, top: int = 10
+) -> str:
+    """Human-readable candidate table for ``repro plan --explain``."""
+    lines = [
+        f"{'rank':>4}  {'est. seconds':>12}  {'est. pairs':>10}  "
+        f"{'mult':>6}  plan"
+    ]
+    for i, (est, plan) in enumerate(ranked[:top], start=1):
+        lines.append(
+            f"{i:>4}  {est.seconds:>12,.2f}  {est.rows:>10,.0f}  "
+            f"{est.multiplicity:>6,.2f}  {plan.describe()}"
+        )
+    if len(ranked) > top:
+        lines.append(f"      … {len(ranked) - top} more candidates")
+    return "\n".join(lines)

@@ -70,19 +70,36 @@ class RangeResult:
 
 @dataclass(frozen=True)
 class Query:
-    """One query of a :meth:`SpatialQueryService.execute` batch."""
+    """One query of a :meth:`SpatialQueryService.execute` batch.
+
+    ``plan`` selects the execution layer's knobs for join queries:
+    ``"auto"`` (the default) asks the cost-based planner
+    (:mod:`repro.plan`) to choose; a frozen
+    :class:`~repro.plan.planner.Plan` pins the choice; ``None`` keeps
+    the legacy behaviour (whatever the handles' systems were configured
+    with at prepare time).
+    """
 
     kind: str  # "join" | "range"
     a: "DatasetHandle"
     b: Optional["DatasetHandle"] = None
     predicate: JoinPredicate = INTERSECTS
     box: Optional[tuple] = None
+    plan: object = "auto"
 
     def __post_init__(self):
         if self.kind not in ("join", "range"):
             raise ValueError(f"unknown query kind {self.kind!r}")
         if self.kind == "join" and self.b is None:
             raise ValueError("join queries need a right-side handle")
+        if not (
+            self.plan is None
+            or (isinstance(self.plan, str) and self.plan == "auto")
+            or hasattr(self.plan, "fingerprint")
+        ):
+            raise ValueError(
+                "plan must be 'auto', None, or a repro.plan Plan instance"
+            )
         if self.kind == "range":
             if self.box is None:
                 raise ValueError("range queries need a box")
@@ -121,6 +138,9 @@ class DatasetHandle:
         #: serializes role preparation for this handle (queries never
         #: take it — prepared entries are immutable once present).
         self._prep_lock = threading.Lock()
+        #: memoized per-role DatasetStats (planner input); describe() is
+        #: deterministic, so racing fills compute identical values.
+        self._stats: dict = {}
 
     # ------------------------------------------------------------- info
     @property
@@ -131,6 +151,14 @@ class DatasetHandle:
     def roles(self) -> tuple:
         """Join sides this handle has been prepared for."""
         return tuple(r for r in ROLES if r in self.preps)
+
+    def stats(self, role: str):
+        """Dataset statistics of a prepared role (memoized planner input)."""
+        if role not in self._stats:
+            from ..data.stats import describe
+
+            self._stats[role] = describe(self.preps[role].batch)
+        return self._stats[role]
 
     def __len__(self) -> int:
         prep = next(iter(self.preps.values()))
@@ -148,10 +176,17 @@ class DatasetHandle:
         self,
         other: "DatasetHandle",
         predicate: Union[JoinPredicate, str] = INTERSECTS,
+        *,
+        plan: object = "auto",
     ) -> RunReport:
-        """Join this handle (left) with *other* (right); costed report."""
+        """Join this handle (left) with *other* (right); costed report.
+
+        *plan* follows :class:`Query` semantics: ``"auto"`` plans
+        cost-based, a :class:`~repro.plan.planner.Plan` pins the choice,
+        ``None`` keeps the prepare-time configuration.
+        """
         return self._service.execute(
-            [Query("join", self, other, predicate=predicate)]
+            [Query("join", self, other, predicate=predicate, plan=plan)]
         )[0]
 
     def range(self, box) -> RangeResult:
@@ -202,6 +237,9 @@ class SpatialQueryService:
         )
         self._synced_evictions = 0
         self._handles: dict[str, DatasetHandle] = {}
+        #: resolved plans per (left key, right key, predicate); plans are
+        #: pure functions of prepared statistics, so entries never expire.
+        self._plan_cache: dict[tuple, object] = {}
         self._lock = threading.Lock()
         self._closed = False
         #: finished span tree after close() when tracing was on.
@@ -313,9 +351,15 @@ class SpatialQueryService:
         from .dispatch import run_queries
 
         self._check_open()
+        queries = list(queries)
         for q in queries:
             self._validate(q)
-        return run_queries(self, list(queries), concurrency)
+        # Plans resolve serially before dispatch: the per-pair plan cache
+        # is filled exactly once per distinct key, so the plan.* ledger
+        # charges are a function of the submitted sequence, not of
+        # thread interleaving.
+        plans = [self._resolve_plan(q) for q in queries]
+        return run_queries(self, queries, concurrency, plans)
 
     def _validate(self, q: Query) -> None:
         if not isinstance(q, Query):
@@ -392,26 +436,105 @@ class SpatialQueryService:
         if self._root is not None and sp is not None:
             self._root.children.append(sp)
 
-    def _fingerprint(self, q: Query) -> str:
+    # ---------------------------------------------------------- planning
+    def _resolve_plan(self, q: Query):
+        """The plan a join query will execute under (None = legacy).
+
+        ``"auto"`` ranks the candidate space against the prepared
+        statistics and memoizes the winner per (left, right, predicate)
+        key.  Candidates incompatible with what the handles *prepared*
+        (SpatialHadoop bakes its partitioning and granularity into the
+        indexed files; explicit ``system_kwargs`` always win over plan
+        fields) are filtered out so the chosen plan describes the
+        execution that actually runs.
+        """
+        if q.kind != "join" or q.plan is None:
+            return None
+        if not isinstance(q.plan, str):
+            return q.plan
+        key = (q.a.key, q.b.key, str(q.predicate))
+        with self._lock:
+            plan = self._plan_cache.get(key)
+        if plan is not None:
+            return plan
+        from ..plan.planner import fixed_from_system, rank_plans
+
+        ranked = rank_plans(
+            q.a.stats("a"), q.b.stats("b"), q.predicate, self.cluster,
+            system=q.a.system, block_size=self.block_size,
+            params=self.cost_params,
+            blocks_l=q.a.preps["a"].num_input_blocks,
+            blocks_r=q.b.preps["b"].num_input_blocks,
+        )
+        fixed = fixed_from_system(q.a._system)
+        admissible = [
+            pair for pair in ranked if self._admissible(pair[1], q.a, fixed)
+        ]
+        plan = (admissible or ranked)[0][1]
+        with self._lock:
+            if key not in self._plan_cache:
+                self._plan_cache[key] = plan
+                self.counters.add("plan.candidates", len(ranked))
+                self.counters.add("plan.cached", 1)
+            else:  # lost a race with a concurrent execute() batch
+                plan = self._plan_cache[key]
+        return plan
+
+    @staticmethod
+    def _admissible(plan, handle: DatasetHandle, fixed) -> bool:
+        """Can *plan* actually execute against *handle*'s prepared state?"""
+        locked = set(handle._system_kwargs)
+        if handle.system == "SpatialHadoop":
+            # The partitioning and granularity are baked into the indexed
+            # block files at prepare time; only the local stage is free.
+            locked |= {"partitioner", "n_partitions"}
+        partitioned = plan.strategy == "partitioned"
+        if "partitioner" in locked and partitioned \
+                and plan.partitioner != fixed.partitioner:
+            return False
+        if "n_partitions" in locked and partitioned \
+                and plan.n_partitions != fixed.n_partitions:
+            return False
+        if "local_algorithm" in locked and partitioned \
+                and plan.local_algorithm != fixed.local_algorithm:
+            return False
+        if "broadcast_join" in locked and plan.strategy != fixed.strategy:
+            return False
+        return True
+
+    def _fingerprint(self, q: Query, plan=None) -> str:
         if q.kind == "join":
+            parts = [q.a.key, q.b.key]
+            if plan is not None:
+                # The plan fingerprint composes into the cache key: a
+                # cached result is never served across different plans
+                # for the same dataset pair.
+                parts.append(plan.fingerprint())
             return compose_key(
-                "join", q.a.key, q.b.key, predicate=str(q.predicate)
+                "join", *parts, predicate=str(q.predicate)
             )
         return compose_key(
             "range", q.a.key, box=",".join(map(repr, q.box))
         )
 
-    def _compute(self, q: Query):
+    def _compute(self, q: Query, plan=None):
         """Execute one query in a fresh environment (the cache-miss
         path); returns (result, finished_span_or_None)."""
         if q.kind == "join":
             prep_a, prep_b = q.a.preps["a"], q.b.preps["b"]
             env = self._fresh_env(prep_a, prep_b)
+            sys_obj = q.a._system
+            attrs = {}
+            if plan is not None:
+                sys_obj = make_system(
+                    q.a.system, plan=plan, **q.a._system_kwargs
+                )
+                attrs["plan"] = plan.describe()
             with self._maybe_span(
                 "query:join", counters=env.counters,
-                system=q.a.system, predicate=str(q.predicate),
+                system=q.a.system, predicate=str(q.predicate), **attrs,
             ) as sp:
-                report = q.a._system.join_prepared(
+                report = sys_obj.join_prepared(
                     env, prep_a, prep_b, q.predicate
                 )
             report = report.costed(self.cost_params, cluster=self.cluster)
@@ -464,6 +587,7 @@ def one_shot_join(
     cost_params=None,
     system_kwargs: Optional[dict] = None,
     trace: bool = False,
+    plan: object = "auto",
 ) -> RunReport:
     """The legacy single-call path: prepare both sides and join them in
     ONE shared environment, so the report carries the full pipeline's
@@ -473,6 +597,14 @@ def one_shot_join(
     same halves the serving path runs — composed by each system's
     :meth:`~repro.systems.base.SpatialJoinSystem.run`.  *system_kwargs*
     is copied at this boundary; the caller's dict is never mutated.
+
+    *plan*: ``"auto"`` (default) lets the cost-based planner choose the
+    execution knobs within *system* from the inputs' statistics; a
+    frozen :class:`~repro.plan.planner.Plan` pins them (and selects its
+    own system); ``None`` keeps the legacy fixed defaults.  Explicit
+    *system_kwargs* always override plan fields.  Planning never charges
+    the run's ledger, and result pairs are plan-invariant by the local
+    joins' shared refinement.
     """
     from ..experiments.runner import DEFAULT_SEED, resolve_cluster
 
@@ -485,17 +617,41 @@ def one_shot_join(
         workers=workers,
         backend=backend,
     )
-    sys_obj = make_system(system, **dict(system_kwargs or {}))
+    kwargs = dict(system_kwargs or {})
+    plan_obj = None
+    if isinstance(plan, str) and plan == "auto":
+        from ..data.stats import describe
+        from ..plan.planner import plan_query
+        from ..systems.base import SpatialJoinSystem
+
+        plan_obj = plan_query(
+            describe(SpatialJoinSystem._as_batch(left)),
+            describe(SpatialJoinSystem._as_batch(right)),
+            predicate,
+            config,
+            system=system,
+            block_size=block_size,
+            params=cost_params,
+        )
+    elif plan is not None:
+        plan_obj = plan
+        system = plan_obj.system
+    if plan_obj is not None:
+        kwargs["plan"] = plan_obj
+    sys_obj = make_system(system, **kwargs)
     if trace:
         from ..trace import Tracer
         from ..trace.core import span as trace_span
 
         tracer = Tracer()
+        attrs = {"plan": plan_obj.describe()} if plan_obj is not None else {}
         with tracer.session(
             "spatial_join", kind="experiment", counters=env.counters,
             system=sys_obj.name, cluster=config.name,
         ):
-            with trace_span(sys_obj.name, kind="run", counters=env.counters):
+            with trace_span(
+                sys_obj.name, kind="run", counters=env.counters, **attrs
+            ):
                 report = sys_obj.run(env, left, right, predicate)
         report.trace = tracer.root
     else:

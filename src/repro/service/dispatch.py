@@ -39,19 +39,26 @@ class _Outcome:
     cache_hit: bool = False
 
 
-def run_queries(service, queries, concurrency: int) -> list:
-    """Execute *queries* for *service*; results in submission order."""
+def run_queries(service, queries, concurrency: int, plans=None) -> list:
+    """Execute *queries* for *service*; results in submission order.
 
-    def make_runner(q):
+    *plans* pairs each query with its resolved plan (None = legacy); the
+    service resolves them serially before dispatch so the plan cache and
+    its ledger charges stay deterministic under concurrency.
+    """
+    if plans is None:
+        plans = [None] * len(queries)
+
+    def make_runner(q, plan):
         def run() -> _Outcome:
-            fingerprint = service._fingerprint(q)
+            fingerprint = service._fingerprint(q, plan)
             if service.cache is None:
-                result, sp, counters = service._compute(q)
+                result, sp, counters = service._compute(q, plan)
                 return _Outcome(result, sp, counters)
             holder = {}
 
             def compute():
-                result, sp, counters = service._compute(q)
+                result, sp, counters = service._compute(q, plan)
                 holder["span"] = sp
                 holder["counters"] = counters
                 return result
@@ -77,7 +84,8 @@ def run_queries(service, queries, concurrency: int) -> list:
         return run
 
     outcomes = run_ordered(
-        [make_runner(q) for q in queries], workers=concurrency
+        [make_runner(q, plan) for q, plan in zip(queries, plans)],
+        workers=concurrency,
     )
 
     # Ordered merge on the calling thread.

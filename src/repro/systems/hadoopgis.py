@@ -36,8 +36,8 @@ from ..core.framework import (
     StageStep,
     StageTrace,
 )
-from ..core.localjoin import refine_candidates
-from ..core.partitioning import GridPartitioner, SpatialPartitioning
+from ..core.localjoin import LOCAL_JOIN_ALGORITHMS, local_join, refine_candidates
+from ..core.partitioning import GridPartitioner, SpatialPartitioning, make_partitioner
 from ..core.predicate import INTERSECTS, JoinPredicate
 from ..data.loaders import from_tsv_line, to_tsv_line
 from ..geometry.engine import GEOS_COST_PROFILE, make_engine
@@ -68,9 +68,39 @@ class HadoopGIS(SpatialJoinSystem):
         *,
         n_partitions: Optional[int] = None,
         sample_fraction: float = 0.05,
+        partitioner=None,
+        local_algorithm: Optional[str] = None,
+        plan=None,
     ):
+        # Resolution order: explicit kwargs > plan fields > legacy
+        # defaults (grid tiles, dynamic-R-tree nested loop).
+        if plan is not None:
+            if plan.system != self.name:
+                raise ValueError(
+                    f"plan targets {plan.system}, not {self.name}"
+                )
+            if n_partitions is None and plan.n_partitions:
+                n_partitions = plan.n_partitions
+            if partitioner is None:
+                partitioner = plan.partitioner
+            if local_algorithm is None:
+                local_algorithm = plan.local_algorithm
         self.n_partitions = n_partitions
         self.sample_fraction = sample_fraction
+        if isinstance(partitioner, str):
+            partitioner = make_partitioner(partitioner)
+        self.partitioner = partitioner or GridPartitioner()
+        if not self.partitioner.produces_tiles:
+            raise ValueError(
+                "HadoopGIS multi-assigns records to tiles, which requires "
+                "a tiling partitioner (grid, bsp or quadtree)"
+            )
+        self.local_algorithm = local_algorithm or "indexed_nested_loop"
+        if self.local_algorithm not in LOCAL_JOIN_ALGORITHMS:
+            raise ValueError(
+                f"unknown local join algorithm {self.local_algorithm!r}; "
+                f"options: {sorted(LOCAL_JOIN_ALGORITHMS)}"
+            )
 
     # ------------------------------------------------------------------ run
     def run(
@@ -333,7 +363,7 @@ class HadoopGIS(SpatialJoinSystem):
             )
             boxes = _parse_mbr_lines(lines)
             counters.add("cpu.ops", max(len(boxes), 1))
-            part = GridPartitioner().partition(boxes, n_parts, universe)
+            part = self.partitioner.partition(boxes, n_parts, universe)
             part_lines = [f"{b.xmin},{b.ymin},{b.xmax},{b.ymax}" for b in part.boxes]
             annotate(samples=len(lines), partitions=len(part))
             hdfs.copy_from_local("/hgis/join/partitions", part_lines, overwrite=True)
@@ -405,30 +435,50 @@ class HadoopGIS(SpatialJoinSystem):
             policy.check("hgis.join", "reduce", logical_volume)
             if not a_recs or not b_recs:
                 return
-            # Local join: dynamic R-tree over the B side, probe with A.
-            tree = RTree(counters=counters)
-            for j, rec in enumerate(b_recs):
-                tree.insert(rec.geometry.mbr, j)
-            candidates = []
-            for i, rec in enumerate(a_recs):
-                for j in tree.query(predicate.expand(rec.geometry.mbr)):
-                    candidates.append((i, int(j)))
-            counters.add("join.candidates", len(candidates))
-            # Each candidate refinement is a separate call from the Python
-            # streaming layer into the C++ GEOS library — the per-call
-            # overhead, not the geometry math, dominates HadoopGIS's DJ.
-            counters.add("streaming.refine_calls", len(candidates))
-            refined = refine_candidates(
-                [r.geometry for r in a_recs],
-                [r.geometry for r in b_recs],
-                candidates,
-                engine,
-                predicate,
-            )
+            if self.local_algorithm == "indexed_nested_loop":
+                # Local join: dynamic R-tree over the B side, probe with A
+                # — HadoopGIS's historical in-reducer join, charge-exact.
+                tree = RTree(counters=counters)
+                for j, rec in enumerate(b_recs):
+                    tree.insert(rec.geometry.mbr, j)
+                candidates = []
+                for i, rec in enumerate(a_recs):
+                    for j in tree.query(predicate.expand(rec.geometry.mbr)):
+                        candidates.append((i, int(j)))
+                counters.add("join.candidates", len(candidates))
+                n_candidates = len(candidates)
+                # Each candidate refinement is a separate call from the
+                # Python streaming layer into the C++ GEOS library — the
+                # per-call overhead, not the geometry math, dominates
+                # HadoopGIS's DJ.
+                counters.add("streaming.refine_calls", n_candidates)
+                refined = refine_candidates(
+                    [r.geometry for r in a_recs],
+                    [r.geometry for r in b_recs],
+                    candidates,
+                    engine,
+                    predicate,
+                )
+            else:
+                # Plan-selected alternative: same refined pairs, different
+                # filter cost; the per-candidate streaming-call tax stays
+                # (refinement still crosses the pipe either way).
+                info: dict = {}
+                refined = local_join(
+                    self.local_algorithm,
+                    [r.geometry for r in a_recs],
+                    [r.geometry for r in b_recs],
+                    engine,
+                    counters=counters,
+                    predicate=predicate,
+                    info=info,
+                )
+                n_candidates = info.get("candidates", 0)
+                counters.add("streaming.refine_calls", n_candidates)
             # Lands on the enclosing partition span (from MapReduceJob).
             annotate(
                 a_records=len(a_recs), b_records=len(b_recs),
-                candidates=len(candidates), refined=len(refined),
+                candidates=n_candidates, refined=len(refined),
             )
             for i, j in refined:
                 yield (a_recs[i].rid, b_recs[j].rid)

@@ -107,9 +107,24 @@ class SpatialHadoop(SpatialJoinSystem):
         *,
         n_partitions: Optional[int] = None,
         sample_fraction: float = 0.05,
-        local_algorithm: str = "plane_sweep",
+        local_algorithm: Optional[str] = None,
         partitioner=None,
+        plan=None,
     ):
+        # Resolution order: explicit kwargs > plan fields > legacy
+        # defaults (plane sweep over an STR partitioning).
+        if plan is not None:
+            if plan.system != self.name:
+                raise ValueError(
+                    f"plan targets {plan.system}, not {self.name}"
+                )
+            if n_partitions is None and plan.n_partitions:
+                n_partitions = plan.n_partitions
+            if partitioner is None:
+                partitioner = plan.partitioner
+            if local_algorithm is None:
+                local_algorithm = plan.local_algorithm
+        local_algorithm = local_algorithm or "plane_sweep"
         if local_algorithm not in ("plane_sweep", "sync_rtree"):
             raise ValueError(
                 "SpatialHadoop offers plane_sweep or sync_rtree local joins"
@@ -117,6 +132,10 @@ class SpatialHadoop(SpatialJoinSystem):
         self.n_partitions = n_partitions
         self.sample_fraction = sample_fraction
         self.local_algorithm = local_algorithm
+        if isinstance(partitioner, str):
+            from ..core.partitioning import make_partitioner
+
+            partitioner = make_partitioner(partitioner)
         self.partitioner = partitioner or STRPartitioner()
 
     # ------------------------------------------------------------------ run

@@ -40,8 +40,8 @@ from ..core.framework import (
     StageStep,
     StageTrace,
 )
-from ..core.localjoin import refine_candidates
-from ..core.partitioning import BSPPartitioner
+from ..core.localjoin import LOCAL_JOIN_ALGORITHMS, local_join, refine_candidates
+from ..core.partitioning import BSPPartitioner, make_partitioner
 from ..core.predicate import INTERSECTS, JoinPredicate
 from ..data.loaders import SpatialRecord, from_tsv_line
 from ..geometry.batch import GeometryBatch
@@ -71,17 +71,43 @@ class SpatialSpark(SpatialJoinSystem):
         n_partitions: Optional[int] = None,
         sample_fraction: float = 0.05,
         partitioner=None,
-        broadcast_join: bool = False,
+        broadcast_join: Optional[bool] = None,
+        local_algorithm: Optional[str] = None,
+        plan=None,
     ):
+        # Resolution order: explicit kwargs > plan fields > legacy
+        # defaults — so a caller can take a planner decision and still
+        # override one knob of it.
+        if plan is not None:
+            if plan.system != self.name:
+                raise ValueError(
+                    f"plan targets {plan.system}, not {self.name}"
+                )
+            if n_partitions is None and plan.n_partitions:
+                n_partitions = plan.n_partitions
+            if broadcast_join is None:
+                broadcast_join = plan.strategy == "broadcast"
+            if partitioner is None:
+                partitioner = plan.partitioner
+            if local_algorithm is None:
+                local_algorithm = plan.local_algorithm
         self.n_partitions = n_partitions
         self.sample_fraction = sample_fraction
+        if isinstance(partitioner, str):
+            partitioner = make_partitioner(partitioner)
         self.partitioner = partitioner or BSPPartitioner()
         if not self.partitioner.produces_tiles:
             raise ValueError(
                 "SpatialSpark multi-assigns both sides, which requires a "
                 "tiling partitioner (grid or bsp)"
             )
-        self.broadcast_join = broadcast_join
+        self.broadcast_join = bool(broadcast_join)
+        self.local_algorithm = local_algorithm or "indexed_nested_loop"
+        if self.local_algorithm not in LOCAL_JOIN_ALGORITHMS:
+            raise ValueError(
+                f"unknown local join algorithm {self.local_algorithm!r}; "
+                f"options: {sorted(LOCAL_JOIN_ALGORITHMS)}"
+            )
 
     # ------------------------------------------------------------------ run
     def run(
@@ -245,31 +271,18 @@ class SpatialSpark(SpatialJoinSystem):
                     (r.rid for r in b_recs), dtype=np.int64, count=len(b_recs)
                 )
                 a_batch, b_batch = left.take(a_rows), right.take(b_rows)
-                tree = STRtree(b_batch.mbrs, counters=counters)
-                probes = a_batch.mbrs
-                if predicate.filter_margin:
-                    probes = MBRArray(
-                        probes.data
-                        + np.array([-1.0, -1.0, 1.0, 1.0]) * predicate.filter_margin
-                    )
-                hits = tree.query_many(probes)
-                counts = np.fromiter(
-                    (h.size for h in hits), dtype=np.int64, count=len(hits)
-                )
-                qi = np.repeat(np.arange(len(hits), dtype=np.int64), counts)
-                cj = (
-                    np.concatenate(hits)
-                    if hits
-                    else np.empty(0, dtype=np.int64)
-                )
-                candidates = np.stack([qi, cj], axis=1)
-                counters.add("join.candidates", len(candidates))
-                refined = refine_candidates(
-                    a_batch, b_batch, candidates, engine, predicate
+                # Plan-selected local algorithm: all three produce the
+                # identical refined pair plane; they differ in filter
+                # cost, which the counters capture.
+                info: dict = {}
+                refined = local_join(
+                    self.local_algorithm, a_batch, b_batch, engine,
+                    counters=counters, predicate=predicate, info=info,
                 )
                 annotate(
                     a_records=len(a_recs), b_records=len(b_recs),
-                    candidates=len(candidates), refined=len(refined),
+                    candidates=info.get("candidates", 0),
+                    refined=len(refined),
                 )
                 partition_span.__exit__(None, None, None)
                 # Survivors stay columnar: one PairBlock per partition

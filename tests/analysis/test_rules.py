@@ -207,6 +207,22 @@ class TestCTR001CounterLedger:
         """
         assert codes(src) == ["CTR001"]
 
+    def test_planner_keys_are_registered(self):
+        # The planner/calibrator ledger keys ride the same schema gate as
+        # every other subsystem: charging them is clean, typos are not.
+        src = """
+            def work(counters):
+                counters.add("plan.candidates", 27)
+                counters.add("plan.cached")
+                counters.add("plan.observations", 4)
+        """
+        assert codes(src) == []
+        src_typo = """
+            def work(counters):
+                counters.add("plan.candidate")
+        """
+        assert codes(src_typo) == ["CTR001"]
+
     def test_schema_override(self):
         session = LintSession(counter_schema=["custom.key"])
         src = """

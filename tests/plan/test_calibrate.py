@@ -1,0 +1,107 @@
+"""The feedback layer: measured spans in, monotonically better constants out.
+
+``Calibrator.fit`` is keep-if-better, so refitting can never make the
+mean relative error on the recorded observations worse — the property
+that lets a long-running deployment feed every traced run back without
+risking drift.  Profiles are explicit values: JSON round-trippable, and
+materializable into :class:`CostParams` for the planner.
+"""
+
+import pytest
+
+from repro import spatial_join
+from repro.cluster.costmodel import CostParams
+from repro.data import census_blocks, taxi_points
+from repro.plan import CalibrationProfile, Calibrator
+
+
+def traced_run(system="SpatialSpark", n=300, seed=3, **kwargs):
+    return spatial_join(
+        taxi_points(n, seed=seed), census_blocks(max(n // 5, 20), seed=seed + 1),
+        system=system, cluster="WS", seed=7, trace=True, **kwargs,
+    )
+
+
+@pytest.fixture(scope="module")
+def observed():
+    cal = Calibrator()
+    for system in ("SpatialSpark", "SpatialHadoop", "HadoopGIS"):
+        assert cal.observe_report(traced_run(system)) > 0
+    return cal
+
+
+class TestObservation:
+    def test_untraced_report_yields_nothing(self):
+        cal = Calibrator()
+        report = spatial_join(
+            taxi_points(200, seed=3), census_blocks(40, seed=4),
+            system="SpatialSpark", seed=7,
+        )
+        assert cal.observe_report(report) == 0
+        assert not cal.observations
+
+    def test_observations_are_charged(self, observed):
+        assert observed.counters["plan.observations"] == len(
+            observed.observations
+        )
+        assert len(observed.observations) > 0
+
+
+class TestMonotonicImprovement:
+    def test_fit_never_increases_error(self, observed):
+        profile = CalibrationProfile()
+        errors = [observed.error(profile)]
+        # Repeated refits with the incumbent as base: keep-if-better makes
+        # the training-error sequence monotonically non-increasing.
+        for _ in range(4):
+            profile = observed.fit(base=profile)
+            errors.append(observed.error(profile))
+        for before, after in zip(errors, errors[1:]):
+            assert after <= before + 1e-12
+        assert profile.training_error == pytest.approx(errors[-1])
+
+    def test_fit_beats_or_matches_uncalibrated(self, observed):
+        fitted = observed.fit()
+        assert observed.error(fitted) <= observed.error(
+            CalibrationProfile()
+        ) + 1e-12
+        assert fitted.observations == len(observed.observations)
+
+    def test_growing_observation_set_stays_monotonic(self):
+        cal = Calibrator()
+        profile = CalibrationProfile()
+        for seed in (3, 11):
+            cal.observe_report(traced_run(seed=seed))
+            refit = cal.fit(base=profile)
+            assert cal.error(refit) <= cal.error(profile) + 1e-12
+            profile = refit
+
+
+class TestProfileValue:
+    def test_json_round_trip(self, observed):
+        fitted = observed.fit()
+        clone = CalibrationProfile.from_json(fitted.to_json())
+        assert clone == fitted
+
+    def test_cost_params_materialization(self):
+        profile = CalibrationProfile(
+            cpu_scale=2.0, mr_task_overhead_s=5.0, spark_task_overhead_s=0.5
+        )
+        params = profile.cost_params()
+        base = CostParams()
+        assert params.mr_task_overhead_s == 5.0
+        assert params.spark_task_overhead_s == 0.5
+        assert params.cpu_cost("geom.pip_tests") == pytest.approx(
+            2.0 * base.cpu_cost("geom.pip_tests")
+        )
+
+    def test_calibrated_params_feed_the_planner(self, observed):
+        from repro.data.stats import describe
+        from repro.plan import plan_query
+
+        params = observed.fit().cost_params()
+        left = taxi_points(300, seed=3)
+        right = census_blocks(60, seed=4)
+        chosen = plan_query(describe(left), describe(right), "intersects",
+                            "WS", system="SpatialSpark", params=params)
+        assert chosen.system == "SpatialSpark"

@@ -1,0 +1,158 @@
+"""Cost-based planner: decision quality, determinism, result invariance.
+
+The acceptance matrix of the planner tentpole:
+
+* the auto-chosen plan's *measured* simulated seconds never lose to any
+  hand-pinned fixed configuration (beyond a small tolerance) across a
+  workload × cluster × system grid;
+* plans are a deterministic pure function of the statistics;
+* result pairs are bit-identical whether the configuration came from the
+  planner, from explicit kwargs reproducing the plan, or from a frozen
+  ``Plan`` object — the plan moves work, never results.
+"""
+
+import pytest
+
+from repro import spatial_join
+from repro.data import census_blocks, taxi_points, tiger_edges
+from repro.data.stats import describe
+from repro.experiments.runner import resolve_cluster
+from repro.plan import (
+    GRANULARITIES,
+    PLAN_SYSTEMS,
+    EstimateContext,
+    Plan,
+    enumerate_plans,
+    estimate_plan,
+    plan_query,
+    rank_plans,
+)
+
+#: auto measured seconds may exceed the best fixed config by this factor.
+TOLERANCE = 1.02
+
+SYSTEMS = list(PLAN_SYSTEMS)
+
+WORKLOADS = {
+    "taxi-census": lambda: (taxi_points(400, seed=3), census_blocks(80, seed=4)),
+    "edges-census": lambda: (tiger_edges(240, seed=5), census_blocks(60, seed=6)),
+}
+
+#: Fixed configurations a user could pin by hand, per system.
+FIXED = {
+    "SpatialSpark": [
+        {"broadcast_join": False},
+        {"broadcast_join": True},
+        {"broadcast_join": False, "local_algorithm": "plane_sweep"},
+    ],
+    "SpatialHadoop": [
+        {"local_algorithm": "plane_sweep"},
+        {"local_algorithm": "sync_rtree"},
+        {"partitioner": "grid"},
+    ],
+    "HadoopGIS": [
+        {"local_algorithm": "indexed_nested_loop"},
+        {"local_algorithm": "plane_sweep"},
+        {"partitioner": "bsp"},
+    ],
+}
+
+
+def run(left, right, *, system, cluster, plan, system_kwargs=None):
+    return spatial_join(
+        left, right, system=system, cluster=cluster, seed=9,
+        plan=plan, system_kwargs=system_kwargs,
+    )
+
+
+class TestPlannerNeverLoses:
+    @pytest.mark.parametrize("cluster", ["WS", "EC2-10"])
+    @pytest.mark.parametrize("system", SYSTEMS)
+    @pytest.mark.parametrize("workload", sorted(WORKLOADS))
+    def test_auto_at_most_best_fixed(self, workload, system, cluster):
+        left, right = WORKLOADS[workload]()
+        auto = run(left, right, system=system, cluster=cluster, plan="auto")
+        assert auto.ok
+        for kwargs in FIXED[system]:
+            fixed = run(left, right, system=system, cluster=cluster,
+                        plan=None, system_kwargs=kwargs)
+            assert fixed.pairs == auto.pairs, kwargs
+            assert (
+                auto.clock.total_seconds
+                <= fixed.clock.total_seconds * TOLERANCE + 1e-9
+            ), (f"{system}@{cluster}: auto "
+                f"{auto.clock.total_seconds:.2f}s loses to {kwargs} "
+                f"{fixed.clock.total_seconds:.2f}s")
+
+
+class TestDeterminism:
+    def test_same_stats_same_plan(self):
+        left, right = WORKLOADS["taxi-census"]()
+        stats_l, stats_r = describe(left), describe(right)
+        for system in SYSTEMS:
+            first = plan_query(stats_l, stats_r, "intersects", "WS",
+                               system=system)
+            second = plan_query(stats_l, stats_r, "intersects", "WS",
+                                system=system)
+            assert first == second
+            assert first.fingerprint() == second.fingerprint()
+
+    def test_ranking_is_total_and_stable(self):
+        left, right = WORKLOADS["taxi-census"]()
+        ranked = rank_plans(describe(left), describe(right), "intersects",
+                            "WS", system="SpatialSpark")
+        seconds = [est.seconds for est, _ in ranked]
+        assert seconds == sorted(seconds)
+        assert len({plan for _, plan in ranked}) == len(ranked)
+
+
+class TestResultInvariance:
+    @pytest.mark.parametrize("system", SYSTEMS)
+    def test_planner_vs_explicit_kwargs_bit_identical(self, system):
+        left, right = WORKLOADS["taxi-census"]()
+        chosen = plan_query(describe(left), describe(right), "intersects",
+                            "WS", system=system)
+        via_auto = run(left, right, system=system, cluster="WS", plan="auto")
+        via_plan = run(left, right, system=system, cluster="WS", plan=chosen)
+        via_kwargs = run(left, right, system=system, cluster="WS", plan=None,
+                         system_kwargs=chosen.system_kwargs())
+        assert via_auto.pairs == via_plan.pairs == via_kwargs.pairs
+        assert via_plan.clock.total_seconds == pytest.approx(
+            via_kwargs.clock.total_seconds
+        )
+
+
+class TestCandidateSpace:
+    def test_enumerate_respects_system_constraints(self):
+        for system in SYSTEMS:
+            plans = enumerate_plans(system)
+            assert plans, system
+            for plan in plans:
+                assert plan.system == system
+                assert plan.n_partitions in GRANULARITIES
+                if plan.strategy == "broadcast":
+                    assert plan.system == "SpatialSpark"
+            assert len({p.fingerprint() for p in plans}) == len(plans)
+
+    def test_unknown_system_rejected(self):
+        with pytest.raises(ValueError):
+            enumerate_plans("Sedona")
+        with pytest.raises(ValueError):
+            Plan(system="Sedona")
+
+    def test_broadcast_blocked_by_memory_guard(self):
+        left, right = WORKLOADS["taxi-census"]()
+        stats_l, stats_r = describe(left), describe(right)
+        # A build side far larger than the cluster's usable memory makes
+        # every broadcast candidate infinitely expensive.
+        import dataclasses
+
+        huge = dataclasses.replace(stats_r, total_bytes=1 << 45)
+        ctx = EstimateContext(stats_a=stats_l, stats_b=huge,
+                              cluster=resolve_cluster("WS"))
+        est = estimate_plan(Plan(system="SpatialSpark",
+                                 strategy="broadcast"), ctx)
+        assert est.seconds == float("inf")
+        chosen = plan_query(stats_l, huge, "intersects", "WS",
+                            system="SpatialSpark")
+        assert chosen.strategy == "partitioned"

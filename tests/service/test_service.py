@@ -196,6 +196,38 @@ class TestResultCache:
         assert not r2.cache_hit
         assert r2.pairs != r1.pairs
 
+    def test_distinct_plans_do_not_collide(self, svc):
+        """Regression: the plan fingerprint is part of the result-cache
+        key, so a result computed under one plan is never served for a
+        query pinned to a different plan (same pair, same predicate)."""
+        from repro.plan import Plan
+
+        a = svc.prepare(points(), system="SpatialSpark")
+        b = svc.prepare(blocks(), system="SpatialSpark")
+        shuffle = Plan(system="SpatialSpark", strategy="partitioned",
+                       local_algorithm="indexed_nested_loop")
+        sweep = Plan(system="SpatialSpark", strategy="partitioned",
+                     local_algorithm="plane_sweep")
+        first = a.join(b, plan=shuffle)
+        second = a.join(b, plan=sweep)
+        assert not second.cache_hit  # different plan -> different key
+        assert second.pairs == first.pairs  # plans never change results
+        assert a.join(b, plan=shuffle).cache_hit  # same plan still hits
+
+    def test_auto_plan_hits_across_queries(self, svc):
+        # plan="auto" resolves through the per-pair plan cache, so two
+        # auto queries over one pair share a fingerprint and the second
+        # is a cache hit that charges no extra plan.* counters.
+        a = svc.prepare(points(), system="SpatialSpark")
+        b = svc.prepare(blocks(), system="SpatialSpark")
+        first = a.join(b)
+        planned = svc.counters["plan.candidates"]
+        assert planned > 0 and svc.counters["plan.cached"] == 1
+        second = a.join(b)
+        assert second.cache_hit and second.pairs == first.pairs
+        assert svc.counters["plan.candidates"] == planned
+        assert svc.counters["plan.cached"] == 1
+
     def test_lru_eviction(self):
         with SpatialQueryService(cluster="WS", seed=SEED, cache_entries=1) as s:
             a = s.prepare(points(), system="SpatialSpark")
