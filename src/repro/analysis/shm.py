@@ -1,0 +1,98 @@
+"""SHM001: ``multiprocessing.shared_memory`` is confined to the shm plane.
+
+Shared-memory segments are system-global named resources: a segment
+created and forgotten anywhere survives the process and leaks into
+``/dev/shm``.  The repo therefore funnels every segment's create, attach
+and unlink through one module — :mod:`repro.exec.shm` — whose
+:class:`~repro.exec.shm.ShmRegistry` owns cleanup on normal exit, task
+error, pool teardown and process exit, and whose ``_LIVE_SEGMENTS``
+accounting is what the leak tests audit.
+
+Everything else talks to shared memory through that module's
+abstractions: the warm pool (:mod:`repro.exec.shm_pool`) holds a
+``ShmRegistry``/``AttachCache``/``ResultArena``, and
+``GeometryBatch.attach_shared`` takes the registry as a duck-typed
+argument.  A direct ``SharedMemory(...)`` call anywhere else would be a
+second, un-audited segment owner — exactly the lifecycle bug class the
+single-owner design removes.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .core import FileContext, Rule, register
+
+__all__ = ["SharedMemoryConfinement", "SHM_WHITELIST"]
+
+#: The one module allowed to touch multiprocessing.shared_memory: the
+#: registry/arena plane that owns every segment's lifecycle.
+SHM_WHITELIST = frozenset({"repro.exec.shm"})
+
+_SHM_MODULES = frozenset(
+    {
+        "multiprocessing.shared_memory",
+        "multiprocessing.resource_tracker",
+    }
+)
+
+_SHM_CALLS = frozenset(
+    {
+        "multiprocessing.shared_memory.SharedMemory",
+        "multiprocessing.shared_memory.ShareableList",
+        "multiprocessing.resource_tracker.register",
+        "multiprocessing.resource_tracker.unregister",
+    }
+)
+
+
+@register
+class SharedMemoryConfinement(Rule):
+    """SHM001: shared-memory segments have exactly one owning module."""
+
+    code = "SHM001"
+    name = "shared-memory-confinement"
+    description = (
+        "multiprocessing.shared_memory used outside repro.exec.shm; "
+        "segments are system-global resources and must be owned by the "
+        "one registry that guarantees their cleanup"
+    )
+
+    def _flag(self, node: ast.AST, ctx: FileContext, what: str) -> None:
+        ctx.report(
+            self,
+            node,
+            f"{what} outside the shm whitelist "
+            f"({', '.join(sorted(SHM_WHITELIST))}): every segment must be "
+            "created/attached/unlinked through repro.exec.shm so the "
+            "registry's cleanup accounting stays complete",
+        )
+
+    def visit_Import(self, node: ast.Import, ctx: FileContext) -> None:
+        """Flag ``import multiprocessing.shared_memory`` outside the plane."""
+        if ctx.module in SHM_WHITELIST:
+            return
+        for alias in node.names:
+            if alias.name in _SHM_MODULES:
+                self._flag(node, ctx, f"import {alias.name}")
+
+    def visit_ImportFrom(self, node: ast.ImportFrom, ctx: FileContext) -> None:
+        """Flag ``from multiprocessing import shared_memory`` (and friends)."""
+        if ctx.module in SHM_WHITELIST or node.level:
+            return
+        if node.module in _SHM_MODULES:
+            self._flag(node, ctx, f"from {node.module} import ...")
+            return
+        if node.module == "multiprocessing":
+            for alias in node.names:
+                dotted = f"multiprocessing.{alias.name}"
+                if dotted in _SHM_MODULES:
+                    self._flag(node, ctx, f"from multiprocessing import {alias.name}")
+
+    def visit_Call(self, node: ast.Call, ctx: FileContext) -> None:
+        """Flag resolved SharedMemory/resource_tracker calls."""
+        if ctx.module in SHM_WHITELIST:
+            return
+        dotted = ctx.resolve_imported(node.func)
+        if dotted in _SHM_CALLS:
+            self._flag(node, ctx, f"{dotted}()")

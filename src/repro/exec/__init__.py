@@ -2,11 +2,17 @@
 
 ``MapReduceJob`` map/reduce attempts and ``RDD`` per-partition stage
 tasks run on a pluggable :class:`ExecutorBackend` (serial, threads, or
-forked processes).  Parallel execution is *observationally equivalent*
-to serial: every task runs against its own scratch counters and side
-channel, and outcomes are merged in task-index order, so result pairs,
-per-phase counters and failure outcomes are bit-identical across
-backends — only wall-clock time changes.
+a warm pool of forked processes).  Parallel execution is
+*observationally equivalent* to serial: every task runs against its own
+scratch counters and side channel, and outcomes are merged in
+task-index order, so result pairs, per-phase counters and failure
+outcomes are bit-identical across backends — only wall-clock time
+changes.
+
+The process path (:mod:`repro.exec.shm_pool` + :mod:`repro.exec.shm`)
+forks its workers once per run and keeps them warm across stages; large
+arrays and ``GeometryBatch`` planes cross process boundaries through
+``multiprocessing.shared_memory`` segments instead of pickle streams.
 """
 
 from .backend import (
@@ -19,6 +25,8 @@ from .backend import (
     resolve_backend,
 )
 from .pool import run_ordered
+from .shm import live_segment_names
+from .shm_pool import WarmPool, shutdown_warm_pools
 from .task import TaskOutcome, emit, redirect_counters, run_task
 
 __all__ = [
@@ -34,4 +42,7 @@ __all__ = [
     "emit",
     "redirect_counters",
     "run_task",
+    "WarmPool",
+    "shutdown_warm_pools",
+    "live_segment_names",
 ]

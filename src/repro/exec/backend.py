@@ -18,10 +18,15 @@ back in task-index order, so counters, phase records, result ordering
 and failure outcomes are bit-identical across backends.  The backends
 only change wall-clock time, never the simulated run.
 
-Task bodies are closures over driver state; they cannot be pickled, so
-:class:`ProcessBackend` relies on ``fork`` (the task list is published in
-a module global that forked workers inherit, and only task *indices*
-cross the pipe).  On platforms without ``fork`` it degrades to threads.
+:class:`ProcessBackend` dispatches onto a persistent *warm pool*
+(:mod:`repro.exec.shm_pool`): workers fork once and stay alive across
+every stage of a run, each stage crosses the pipes as one broadcast
+payload plus one contiguous index slice per worker, and large arrays /
+``GeometryBatch`` planes travel through ``multiprocessing.shared_memory``
+segments instead of pickle bytes (:mod:`repro.exec.shm`).  On platforms
+without ``fork`` it degrades to threads — loudly: the degradation charges
+the ``exec.backend_fallback`` counter and surfaces a warning on the
+:class:`~repro.systems.base.RunReport`.
 """
 
 from __future__ import annotations
@@ -29,7 +34,8 @@ from __future__ import annotations
 import concurrent.futures
 import multiprocessing
 import os
-from typing import Any, Callable, Optional, Sequence
+import weakref
+from typing import Any, Callable, Sequence
 
 from ..metrics import _REDIRECT, Counters
 from ..trace.core import attach as _attach_span
@@ -44,6 +50,21 @@ __all__ = [
     "merge_outcomes",
     "BACKENDS",
 ]
+
+
+def _even_slices(n: int, workers: int) -> list[tuple[int, int]]:
+    """Contiguous ``(lo, hi)`` task-index slices, sized as evenly as
+    possible — the common dispatch geometry of the thread and process
+    backends (identical slicing keeps their stage shapes comparable)."""
+    workers = min(workers, n)
+    base, extra = divmod(n, workers)
+    slices = []
+    start = 0
+    for w in range(workers):
+        stop = start + base + (1 if w < extra else 0)
+        slices.append((start, stop))
+        start = stop
+    return slices
 
 
 def merge_outcomes(
@@ -179,49 +200,61 @@ class ThreadBackend(ExecutorBackend):
     name = "thread"
 
     def _execute(self, fns, shared):
+        from ..geometry.kernels import parallel_chunk_scope
+
         workers = min(self.workers, len(fns))
-        # Contiguous slices, sized as evenly as possible.
-        base, extra = divmod(len(fns), workers)
-        slices = []
-        start = 0
-        for w in range(workers):
-            stop = start + base + (1 if w < extra else 0)
-            slices.append(range(start, stop))
-            start = stop
+        slices = _even_slices(len(fns), workers)
 
-        def run_slice(indices):
-            return [run_task(i, fns[i], shared) for i in indices]
+        def run_slice(bounds):
+            lo, hi = bounds
+            return [run_task(i, fns[i], shared) for i in range(lo, hi)]
 
-        with concurrent.futures.ThreadPoolExecutor(max_workers=workers) as pool:
-            chunks = pool.map(run_slice, slices)
-            return [outcome for chunk in chunks for outcome in chunk]
-
-
-#: Task list published for forked ProcessBackend workers (fork-inherited;
-#: only task indices are pickled across the pipe).
-_FORK_STATE: Optional[tuple[Sequence[Callable[[], Any]], Counters]] = None
-
-
-def _fork_worker(index: int) -> TaskOutcome:
-    fns, shared = _FORK_STATE
-    return run_task(index, fns[index], shared)
+        # Larger CSR kernel chunks while slices run concurrently: keeps
+        # each thread inside NumPy's GIL-releasing loops for longer.
+        with parallel_chunk_scope(workers):
+            with concurrent.futures.ThreadPoolExecutor(
+                max_workers=workers
+            ) as pool:
+                chunks = pool.map(run_slice, slices)
+                return [outcome for chunk in chunks for outcome in chunk]
 
 
 class ProcessBackend(ExecutorBackend):
-    """Fork-based multi-process backend: real multi-core execution.
+    """Warm-pool multi-process backend: real multi-core execution.
 
-    Each task runs in a forked worker against an inherited snapshot of
-    the driver state; only its :class:`TaskOutcome` (result records,
-    scratch counters, side outputs, error, timing) crosses back.  Falls
-    back to :class:`ThreadBackend` semantics where ``fork`` is missing.
+    Stages dispatch onto a persistent pool of forked workers
+    (:class:`~repro.exec.shm_pool.WarmPool`) that stays alive for the
+    backend's whole lifetime — fork cost is paid once per run, not once
+    per stage — and each worker receives one contiguous task-index slice
+    per stage, mirroring :class:`ThreadBackend`'s dispatch geometry.
 
-    Columnar :class:`~repro.geometry.batch.GeometryBatch` payloads cross
-    the pipe as their underlying arrays (``GeometryBatch.__reduce__``),
-    never as per-geometry objects — crossing a batch costs a handful of
-    buffer copies regardless of geometry count.
+    Data crosses process boundaries zero-copy where it counts: large
+    arrays and :class:`~repro.geometry.batch.GeometryBatch` planes map
+    into ``multiprocessing.shared_memory`` segments, immutable HDFS
+    blocks ship once per pool lifetime, and result ndarrays return
+    through preallocated shared arenas (:mod:`repro.exec.shm`).
+
+    The pool itself lives in a module registry under an integer
+    *pool key* — never on the backend instance, which must stay
+    picklable inside shipped task closures.  A backend that owns its key
+    releases the pool when it is garbage-collected; a service can pass a
+    shared *pool_key* so many backends (one per query environment) reuse
+    one warm pool, releasing it at ``service.close()``.
+
+    Where ``fork`` is missing the backend degrades to
+    :class:`ThreadBackend` semantics — charging ``exec.backend_fallback``
+    once and recording a warning surfaced on the run's ``RunReport``.
     """
 
     name = "process"
+
+    def __init__(self, workers: int = 1, pool_key: "int | None" = None):
+        super().__init__(workers)
+        self._owns_pool = pool_key is None
+        self._pool_key = pool_key
+        self._fallback_noted = False
+        #: warning strings surfaced on RunReport.warnings by the systems.
+        self.warnings: tuple = ()
 
     @staticmethod
     def available() -> bool:
@@ -230,20 +263,56 @@ class ProcessBackend(ExecutorBackend):
             "fork" in multiprocessing.get_all_start_methods()
         )
 
+    def _key(self) -> int:
+        from . import shm_pool
+
+        if self._pool_key is None:
+            self._pool_key = shm_pool.reserve_key()
+            # Release the pool when the owning backend dies.  The pid
+            # guard keeps by-value copies of this backend unpickled in
+            # workers from tearing down the driver's live pool.
+            weakref.finalize(
+                self, shm_pool.release_pool, self._pool_key, os.getpid()
+            )
+        return self._pool_key
+
+    def close(self) -> None:
+        """Release the owned warm pool (idempotent; no-op when shared)."""
+        from . import shm_pool
+
+        if self._owns_pool and self._pool_key is not None:
+            shm_pool.release_pool(self._pool_key, os.getpid())
+            self._pool_key = None
+
+    def warm_up(self) -> None:
+        """Fork the workers now (from the calling thread).
+
+        Services call this from the main thread at construction so the
+        fork never happens on a dispatcher thread mid-query.
+        """
+        from . import shm_pool
+
+        if self.available():
+            shm_pool.get_pool(self._key(), self.workers)
+
+    def _note_fallback(self, shared: Counters) -> None:
+        if not self._fallback_noted:
+            self._fallback_noted = True
+            shared.add("exec.backend_fallback", 1)
+            self.warnings = self.warnings + (
+                "process backend unavailable on this platform "
+                "(no fork start method); degraded to thread semantics",
+            )
+
     def _execute(self, fns, shared):
         if not self.available():  # pragma: no cover - non-POSIX fallback
+            self._note_fallback(shared)
             return ThreadBackend(self.workers)._execute(fns, shared)
-        global _FORK_STATE
-        workers = min(self.workers, len(fns))
-        _FORK_STATE = (fns, shared)
-        try:
-            with concurrent.futures.ProcessPoolExecutor(
-                max_workers=workers,
-                mp_context=multiprocessing.get_context("fork"),
-            ) as pool:
-                return list(pool.map(_fork_worker, range(len(fns))))
-        finally:
-            _FORK_STATE = None
+        from . import shm_pool
+
+        pool = shm_pool.get_pool(self._key(), self.workers)
+        slices = _even_slices(len(fns), self.workers)
+        return pool.run_stage(fns, shared, slices)
 
 
 BACKENDS = {

@@ -1,0 +1,662 @@
+"""The zero-copy shared-memory data plane of the warm process pool.
+
+The fork-per-stage process backend paid three taxes the columnar data
+plane was built to avoid: every stage re-pickled every
+:class:`~repro.geometry.batch.GeometryBatch` buffer into the task pipe,
+every task paid one executor round-trip, and every result array crossed
+back through a second pickle.  This module supplies the transport that
+removes the first and third tax for :mod:`repro.exec.shm_pool`:
+
+* :class:`ShmRegistry` (driver side) places NumPy buffers into named
+  ``multiprocessing.shared_memory`` segments **once** — repeated ships of
+  the same array resolve to the same segment through an identity cache —
+  and owns every segment's lifetime: normal reclaim (the source array was
+  garbage collected), explicit :meth:`ShmRegistry.close`, and the
+  process-exit backstop all unlink through the registry, so nothing is
+  orphaned in ``/dev/shm``.
+* :class:`AttachCache` (worker side) maps segments on first reference and
+  returns **read-only** array views over the mapped buffer — workers
+  never copy, and never mutate, the shared plane.
+* :class:`ShipPickler` is the driver→worker payload pickler: large arrays
+  become :class:`ArrayRef` descriptors, geometry batches ship through the
+  :meth:`GeometryBatch.attach_shared` protocol, immutable HDFS blocks
+  ship **once per pool lifetime** (identity-memoized ``KNOWN`` tokens),
+  and task closures — unpicklable by reference — are rebuilt by value
+  (marshalled code + cells), bound to the worker's real module namespace
+  whenever the module is importable there.
+* :class:`ResultArena` carries large result arrays (``PairBlock`` data,
+  materialized partitions) back through a preallocated per-worker shared
+  segment; small object-plane payloads fall back to plain pickle bytes.
+
+Segment names are derived from the creating pid and a monotonic counter —
+no RNG, no clock — so repeated runs create the same name sequence and the
+leak tests can account for every segment this process ever created.
+"""
+
+from __future__ import annotations
+
+import builtins
+import importlib
+import io
+import itertools
+import marshal
+import os
+import pickle
+import sys
+import types
+import weakref
+from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
+from typing import Optional
+
+import numpy as np
+
+__all__ = [
+    "ArrayRef",
+    "ArenaRef",
+    "ShmRegistry",
+    "AttachCache",
+    "ResultArena",
+    "ShipPickler",
+    "ResultPickler",
+    "load_payload",
+    "load_results",
+    "dump_results",
+    "live_segment_names",
+    "SHARE_MIN_BYTES",
+    "RESULT_MIN_BYTES",
+]
+
+#: Arrays below this size are cheaper to inline into the pickle stream
+#: than to place in a dedicated segment (page-granular mappings).
+SHARE_MIN_BYTES = 1 << 12
+#: Result arrays below this size ride inside the result pickle.
+RESULT_MIN_BYTES = 1 << 12
+
+_SEG_IDS = itertools.count(1)
+#: Names of segments created by this process and not yet unlinked — the
+#: leak tests assert this is empty after runs, errors and pool teardown.
+_LIVE_SEGMENTS: set[str] = set()
+
+
+def _segment_name() -> str:
+    """Deterministic per-process segment name (pid + monotonic counter)."""
+    return f"reproshm_{os.getpid()}_{next(_SEG_IDS)}"
+
+
+def live_segment_names() -> frozenset[str]:
+    """Segments this process created and still owns (test/debug hook)."""
+    return frozenset(_LIVE_SEGMENTS)
+
+
+def _create_segment(size: int) -> shared_memory.SharedMemory:
+    seg = shared_memory.SharedMemory(name=_segment_name(), create=True, size=size)
+    _LIVE_SEGMENTS.add(seg.name)
+    return seg
+
+
+def _unlink_segment(seg: shared_memory.SharedMemory) -> None:
+    name = seg.name
+    try:
+        seg.close()
+    except BufferError:  # pragma: no cover - exported views still alive
+        pass
+    try:
+        seg.unlink()
+    except FileNotFoundError:  # pragma: no cover - already reclaimed
+        pass
+    _LIVE_SEGMENTS.discard(name)
+
+
+def _attach_segment(name: str) -> shared_memory.SharedMemory:
+    """Map an existing segment without adopting its lifetime.
+
+    The driver's registry owns every unlink; an attach must therefore
+    leave the resource tracker alone entirely.  ``track=False`` (3.13+)
+    does exactly that.  On older interpreters the attach would register
+    the name with *whichever* tracker the attaching process has — and a
+    worker forked before the driver's tracker started lazily spawns its
+    own, which then never sees the driver's unregister and floods exit
+    with bogus leak warnings.  So pre-3.13 the attach runs with
+    ``resource_tracker.register`` swapped for a no-op: only workers (and
+    their single dispatch thread) attach, so the swap cannot race.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # pragma: no cover - Python < 3.13
+        original = resource_tracker.register
+        resource_tracker.register = lambda *args, **kwargs: None
+        try:
+            return shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original
+
+
+# --------------------------------------------------------------------- refs
+@dataclass(frozen=True)
+class ArrayRef:
+    """A picklable descriptor of one shared C-contiguous array."""
+
+    name: str
+    dtype: str
+    shape: tuple
+
+    @property
+    def nbytes(self) -> int:
+        count = 1
+        for dim in self.shape:
+            count *= dim
+        return count * np.dtype(self.dtype).itemsize
+
+
+@dataclass(frozen=True)
+class ArenaRef:
+    """A picklable descriptor of one worker's result segment."""
+
+    name: str
+    size: int
+
+
+# ----------------------------------------------------------------- registry
+class ShmRegistry:
+    """Driver-side owner of every shared input segment.
+
+    ``share`` is identity-memoized: sharing the same array object twice
+    returns the same :class:`ArrayRef` without a second copy.  The cache
+    verifies ``ref() is arr`` before trusting a hit — ``id()`` alone can
+    be recycled by the allocator after a GC (the repo's DET001 lesson).
+    Dead entries queue their segment for reclaim; :meth:`drain_forgets`
+    unlinks them and reports the names so workers drop their mappings.
+    """
+
+    def __init__(self):
+        self._segments: dict[str, shared_memory.SharedMemory] = {}
+        #: id(arr) -> (weakref(arr), ArrayRef)
+        self._by_id: dict[int, tuple] = {}
+        self._dead: list[str] = []
+        self.bytes_shared = 0
+        self.segments_created = 0
+        self._closed = False
+
+    def __len__(self) -> int:
+        return len(self._segments)
+
+    def share(self, arr: np.ndarray) -> Optional[ArrayRef]:
+        """Place *arr* in shared memory (memoized); None = inline instead.
+
+        Object-dtype arrays and tiny arrays are not worth a segment; the
+        caller pickles those inline.
+        """
+        if self._closed:
+            raise RuntimeError("registry is closed")
+        if arr.dtype == object or arr.nbytes < SHARE_MIN_BYTES:
+            return None
+        # id() here is a cache hint only — the weakref identity check on
+        # the next line rejects any address-reuse collision.
+        entry = self._by_id.get(id(arr))  # repro: noqa[DET001]
+        if entry is not None and entry[0]() is arr:
+            return entry[1]
+        data = np.ascontiguousarray(arr)
+        seg = _create_segment(data.nbytes)
+        view = np.ndarray(data.shape, dtype=data.dtype, buffer=seg.buf)
+        view[...] = data
+        ref = ArrayRef(seg.name, data.dtype.str, tuple(data.shape))
+        self._segments[seg.name] = seg
+        self.bytes_shared += data.nbytes
+        self.segments_created += 1
+
+        def _on_dead(_wr, *, _self=weakref.ref(self), _name=seg.name):
+            registry = _self()
+            if registry is not None:
+                registry._dead.append(_name)
+
+        self._by_id[id(arr)] = (  # repro: noqa[DET001]
+            weakref.ref(arr, _on_dead), ref,
+        )
+        return ref
+
+    def drain_forgets(self) -> list[str]:
+        """Unlink segments whose source arrays died; names for workers."""
+        if not self._dead:
+            return []
+        names, self._dead = self._dead, []
+        for name in names:
+            seg = self._segments.pop(name, None)
+            if seg is not None:
+                _unlink_segment(seg)
+        # Dead identity-cache entries point at dead weakrefs; sweep them.
+        self._by_id = {
+            key: entry for key, entry in self._by_id.items()
+            if entry[0]() is not None
+        }
+        return names
+
+    def close(self) -> None:
+        """Unlink every owned segment (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for seg in self._segments.values():
+            _unlink_segment(seg)
+        self._segments.clear()
+        self._by_id.clear()
+        self._dead.clear()
+
+
+# -------------------------------------------------------------- worker side
+class AttachCache:
+    """Worker-side cache of mapped segments; views are read-only."""
+
+    def __init__(self):
+        self._segments: dict[str, shared_memory.SharedMemory] = {}
+
+    def get(self, ref: ArrayRef) -> np.ndarray:
+        """A read-only array view over the referenced segment."""
+        seg = self._segments.get(ref.name)
+        if seg is None:
+            seg = self._segments[ref.name] = _attach_segment(ref.name)
+        view = np.ndarray(ref.shape, dtype=np.dtype(ref.dtype), buffer=seg.buf)
+        view.flags.writeable = False
+        return view
+
+    def forget(self, names) -> None:
+        """Drop mappings of reclaimed segments (deferred while views live)."""
+        for name in names:
+            seg = self._segments.pop(name, None)
+            if seg is not None:
+                try:
+                    seg.close()
+                except BufferError:  # pragma: no cover - view still exported
+                    pass
+
+    def close(self) -> None:
+        """Drop every mapping (worker shutdown)."""
+        self.forget(list(self._segments))
+
+
+class ResultArena:
+    """Bump allocator over one preallocated shared result segment.
+
+    The **driver** creates (and unlinks) the segment; the worker attaches
+    and writes result arrays sequentially.  When a stage's results exceed
+    the arena, the overflow arrays fall back to inline pickle bytes and
+    the worker reports how much was missing so the driver can grow the
+    arena for the next stage.
+    """
+
+    ALIGN = 64
+
+    def __init__(self, buf: memoryview, size: int):
+        self._buf = buf
+        self.size = size
+        self.used = 0
+        self.overflow = 0
+
+    def reset(self) -> None:
+        """Recycle the arena for the next stage."""
+        self.used = 0
+        self.overflow = 0
+
+    def put(self, data: np.ndarray) -> Optional[int]:
+        """Copy *data* into the arena; returns its offset, or None if full."""
+        start = -(-self.used // self.ALIGN) * self.ALIGN
+        if start + data.nbytes > self.size:
+            self.overflow += data.nbytes
+            return None
+        view = np.ndarray(data.shape, dtype=data.dtype,
+                          buffer=self._buf[start:start + data.nbytes])
+        view[...] = data
+        self.used = start + data.nbytes
+        return start
+
+    def read(self, offset: int, dtype: str, shape: tuple) -> np.ndarray:
+        """Copy one array back out (driver side)."""
+        dt = np.dtype(dtype)
+        count = 1
+        for dim in shape:
+            count *= dim
+        nbytes = count * dt.itemsize
+        view = np.ndarray(shape, dtype=dt, buffer=self._buf[offset:offset + nbytes])
+        return np.array(view)  # materialize: the arena is reused next stage
+
+
+# ------------------------------------------------- unpickle-time resolution
+#: Worker-side attach cache / KNOWN store active during payload loading,
+#: and driver-side arena active during result loading.  Both sides
+#: unpickle on one thread at a time (the pool serializes stages), so a
+#: module slot is sufficient — and keeps the reduce functions picklable.
+_ACTIVE_CACHE: Optional[AttachCache] = None
+_ACTIVE_KNOWN: Optional[dict] = None
+_ACTIVE_ARENA: Optional[ResultArena] = None
+
+
+def _attach_array(ref: ArrayRef) -> np.ndarray:
+    return _ACTIVE_CACHE.get(ref)
+
+
+def _arena_array(offset: int, dtype: str, shape: tuple) -> np.ndarray:
+    return _ACTIVE_ARENA.read(offset, dtype, shape)
+
+
+def _attach_batch(refs: tuple):
+    from ..geometry.batch import GeometryBatch
+
+    return GeometryBatch.from_shared(refs, _resolve_plane)
+
+
+def _resolve_plane(ref):
+    """One plane of a shared batch: an ArrayRef or an inlined array."""
+    if isinstance(ref, ArrayRef):
+        return _ACTIVE_CACHE.get(ref)
+    return ref
+
+
+def _known_fetch(token: int):
+    try:
+        return _ACTIVE_KNOWN[token]
+    except KeyError:  # pragma: no cover - driver/worker memo drift
+        raise RuntimeError(
+            f"shared-object token {token} unknown to this worker; the "
+            "driver's ship-once memo and the worker store diverged"
+        ) from None
+
+
+def _known_store(token: int, obj):
+    _ACTIVE_KNOWN[token] = obj
+    return obj
+
+
+def _load_module(name: str) -> types.ModuleType:
+    return importlib.import_module(name)
+
+
+# ----------------------------------------------- by-value function shipping
+class _EmptyCell:
+    """Sentinel for closure cells that were empty at pickling time."""
+
+
+_EMPTY_CELL = _EmptyCell()
+
+
+def _make_function(code_bytes, module: Optional[str], name, qualname, ncells):
+    """Build the function skeleton (cells empty, state filled later).
+
+    When *module* is importable here the function binds to the real
+    module namespace — module-level mutables (redirect tables, registries)
+    keep their identity.  Otherwise a fresh globals dict is used and
+    :func:`_fill_function` installs the shipped global values.
+    """
+    code = marshal.loads(code_bytes)
+    g = None
+    if module is not None:
+        try:
+            g = importlib.import_module(module).__dict__
+        except Exception:
+            g = None
+    if g is None:
+        g = {"__builtins__": builtins, "__repro_synthesized__": True}
+    cells = tuple(types.CellType() for _ in range(ncells))
+    fn = types.FunctionType(code, g, name, None, cells or None)
+    fn.__qualname__ = qualname
+    return fn
+
+
+def _fill_function(fn, state):
+    """State setter of the 6-tuple reduce: runs after memoization, so
+    cell cycles (a closure referencing itself) rebuild correctly."""
+    shipped = state.get("globals")
+    if shipped and fn.__globals__.get("__repro_synthesized__"):
+        # Only a synthesized namespace accepts shipped globals; a real
+        # module dict must never be clobbered with stale copies.
+        fn.__globals__.update(shipped)
+    fn.__defaults__ = state["defaults"]
+    fn.__kwdefaults__ = state["kwdefaults"]
+    if state["dict"]:
+        fn.__dict__.update(state["dict"])
+    for cell, value in zip(fn.__closure__ or (), state["cells"]):
+        if not isinstance(value, _EmptyCell):
+            cell.cell_contents = value
+
+
+def _global_names(code: types.CodeType) -> set:
+    """Global names referenced by *code*, including nested code objects."""
+    names = set(code.co_names)
+    for const in code.co_consts:
+        if isinstance(const, types.CodeType):
+            names |= _global_names(const)
+    return names
+
+
+def _is_importable(obj, module_name: str, qualname: str) -> bool:
+    module = sys.modules.get(module_name)
+    if module is None:
+        return False
+    target = module
+    try:
+        for part in qualname.split("."):
+            target = getattr(target, part)
+    except AttributeError:
+        return False
+    return target is obj
+
+
+# ----------------------------------------------------------------- picklers
+class ShipPickler(pickle.Pickler):
+    """Driver→worker payload pickler of the warm pool.
+
+    *pool_state* provides the shared plumbing: ``registry`` (segment
+    owner), ``known_token(obj)`` (ship-once identity memo, returning
+    ``(token, first_time)``), and ``importable_modules`` (modules the
+    forked workers inherited — anything else ships by value).
+    """
+
+    def __init__(self, file, pool_state):
+        super().__init__(file, protocol=pickle.HIGHEST_PROTOCOL)
+        self.state = pool_state
+
+    def reducer_override(self, obj):
+        """Route functions, modules, arrays, batches and blocks through
+        the shared-memory transports; everything else pickles normally."""
+        if isinstance(obj, types.FunctionType):
+            return self._reduce_function(obj)
+        if isinstance(obj, types.ModuleType):
+            return (_load_module, (obj.__name__,))
+        if isinstance(obj, np.ndarray) and type(obj) is np.ndarray:
+            ref = self.state.registry.share(obj)
+            if ref is None:
+                return NotImplemented
+            return (_attach_array, (ref,))
+        klass = type(obj)
+        if klass.__name__ == "GeometryBatch":
+            from ..geometry.batch import GeometryBatch
+
+            if klass is GeometryBatch:
+                return (_attach_batch,
+                        (obj.attach_shared(self.state.registry),))
+        if klass.__name__ == "Block":
+            from ..hdfs.filesystem import Block
+
+            if klass is Block:
+                return self._reduce_known(obj)
+        return NotImplemented
+
+    # -- ship-once immutables --------------------------------------------
+    def _reduce_known(self, block):
+        token, first = self.state.known_token(block)
+        if not first:
+            return (_known_fetch, (token,))
+        return (_known_store, (token, _Shipment(block)))
+
+    # -- by-value functions ----------------------------------------------
+    def _reduce_function(self, fn):
+        module_name = getattr(fn, "__module__", None)
+        qualname = getattr(fn, "__qualname__", fn.__name__)
+        if (
+            module_name is not None
+            and module_name in self.state.importable_modules
+            and _is_importable(fn, module_name, qualname)
+        ):
+            return NotImplemented  # plain by-reference pickling
+        code = fn.__code__
+        cells = []
+        for cell in fn.__closure__ or ():
+            try:
+                cells.append(cell.cell_contents)
+            except ValueError:  # not yet filled (self-referential defs)
+                cells.append(_EMPTY_CELL)
+        bind_module = (
+            module_name
+            if module_name in self.state.importable_modules
+            else None
+        )
+        shipped_globals = {}
+        if bind_module is None:
+            fn_globals = fn.__globals__
+            for name in sorted(_global_names(code)):
+                if name in fn_globals:
+                    shipped_globals[name] = fn_globals[name]
+        state = {
+            "defaults": fn.__defaults__,
+            "kwdefaults": fn.__kwdefaults__,
+            "dict": fn.__dict__ or None,
+            "cells": cells,
+            "globals": shipped_globals,
+        }
+        return (
+            _make_function,
+            (
+                marshal.dumps(code),
+                bind_module,
+                fn.__name__,
+                qualname,
+                len(cells),
+            ),
+            state,
+            None,
+            None,
+            _fill_function,
+        )
+
+
+class _Shipment:
+    """Wraps a first-time shipped object so its payload pickles normally
+    (returning the object itself from a reducer would recurse)."""
+
+    __slots__ = ("obj",)
+
+    def __init__(self, obj):
+        self.obj = obj
+
+    def __reduce__(self):
+        from ..hdfs.filesystem import Block
+
+        block = self.obj
+        if isinstance(block, Block):
+            return (
+                _rebuild_block,
+                (block.records, block.nbytes, block.aux, block.aux_nbytes),
+            )
+        raise TypeError(  # pragma: no cover - only blocks ship-once today
+            f"no shipment protocol for {type(block).__name__}"
+        )
+
+
+def _rebuild_block(records, nbytes, aux, aux_nbytes):
+    from ..hdfs.filesystem import Block
+
+    return Block(records, nbytes, aux, aux_nbytes)
+
+
+class ResultPickler(pickle.Pickler):
+    """Worker→driver outcome pickler: large arrays go through the arena."""
+
+    def __init__(self, file, arena: Optional[ResultArena]):
+        super().__init__(file, protocol=pickle.HIGHEST_PROTOCOL)
+        self.arena = arena
+
+    def reducer_override(self, obj):
+        """Divert large non-object result arrays into the arena."""
+        if (
+            isinstance(obj, np.ndarray)
+            and type(obj) is np.ndarray
+            and obj.dtype != object
+            and obj.nbytes >= RESULT_MIN_BYTES
+            and self.arena is not None
+        ):
+            data = np.ascontiguousarray(obj)
+            offset = self.arena.put(data)
+            if offset is None:  # arena full: inline this one
+                return NotImplemented
+            return (
+                _arena_array,
+                (offset, data.dtype.str, tuple(data.shape)),
+            )
+        return NotImplemented
+
+
+# -------------------------------------------------------------- entry points
+def dump_payload(payload, pool_state) -> bytes:
+    """Pickle a stage payload once (broadcast to every worker)."""
+    buf = io.BytesIO()
+    ShipPickler(buf, pool_state).dump(payload)
+    return buf.getvalue()
+
+
+def load_payload(blob: bytes, cache: AttachCache, known: dict):
+    """Worker side: unpickle a stage payload against the attach cache."""
+    global _ACTIVE_CACHE, _ACTIVE_KNOWN
+    _ACTIVE_CACHE, _ACTIVE_KNOWN = cache, known
+    try:
+        return pickle.loads(blob)
+    finally:
+        _ACTIVE_CACHE = _ACTIVE_KNOWN = None
+
+
+def dump_results(outcomes, arena: Optional[ResultArena]) -> bytes:
+    """Worker side: pickle outcomes, diverting large arrays to the arena.
+
+    An outcome whose payload cannot pickle is replaced by an error
+    outcome carrying the pickling failure — the merge loop then raises it
+    at that task's index, like any other task error.
+    """
+    if arena is not None:
+        arena.reset()
+    try:
+        buf = io.BytesIO()
+        ResultPickler(buf, arena).dump(outcomes)
+        return buf.getvalue()
+    except Exception:
+        if arena is not None:
+            arena.reset()
+        safe = []
+        for outcome in outcomes:
+            try:
+                probe = io.BytesIO()
+                ResultPickler(probe, arena).dump(outcome)
+                safe.append(outcome)
+            except Exception as err:
+                from .task import TaskOutcome
+
+                safe.append(TaskOutcome(
+                    index=outcome.index,
+                    error=RuntimeError(
+                        f"task {outcome.index} produced an unpicklable "
+                        f"outcome: {type(err).__name__}: {err}"
+                    ),
+                    seconds=outcome.seconds,
+                ))
+        if arena is not None:
+            arena.reset()
+        buf = io.BytesIO()
+        ResultPickler(buf, arena).dump(safe)
+        return buf.getvalue()
+
+
+def load_results(blob: bytes, arena: Optional[ResultArena]):
+    """Driver side: unpickle outcomes, copying arrays out of the arena."""
+    global _ACTIVE_ARENA
+    _ACTIVE_ARENA = arena
+    try:
+        return pickle.loads(blob)
+    finally:
+        _ACTIVE_ARENA = None

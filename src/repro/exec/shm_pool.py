@@ -1,0 +1,382 @@
+"""The persistent warm worker pool behind :class:`ProcessBackend`.
+
+The previous process path forked a fresh ``ProcessPoolExecutor`` for
+*every stage* and shipped one pickled index per task; at Table-1 scale
+that meant ~9 pool setups and ~850 task round-trips per join, and the
+backend measured **slower than serial**.  This pool inverts the design:
+
+* **fork once per run** — workers are forked on the first parallel stage
+  and stay alive across every later stage (and, through a shared pool
+  key, across every query of a :class:`~repro.service.SpatialQueryService`);
+* **one round-trip per worker per stage** — the driver pickles the stage
+  payload once, broadcasts the same bytes to every worker, and assigns
+  each worker one contiguous task-index slice, exactly like
+  :class:`~repro.exec.backend.ThreadBackend`;
+* **zero-copy data plane** — large arrays and ``GeometryBatch`` planes
+  cross through ``multiprocessing.shared_memory`` segments owned by the
+  pool's :class:`~repro.exec.shm.ShmRegistry`; immutable HDFS blocks ship
+  once per pool lifetime; result arrays return through preallocated
+  per-worker arenas (see :mod:`repro.exec.shm`).
+
+Determinism is untouched: workers run the same
+:func:`~repro.exec.task.run_task` isolation as every other backend, the
+slices are concatenated in task-index order, and trace spans recorded in
+workers graft through the ordinary merge.  Pools are registered in a
+module table keyed by integer *pool keys* (never stored on backend
+instances, which must stay picklable inside task closures); cleanup runs
+on owner finalization, explicit release, and a process-exit backstop.
+"""
+
+from __future__ import annotations
+
+import atexit
+import itertools
+import os
+import sys
+import threading
+import traceback
+import weakref
+from typing import Optional, Sequence
+
+from ..metrics import Counters
+from ..trace import core as _trace
+from .shm import (
+    ArenaRef,
+    AttachCache,
+    ResultArena,
+    ShmRegistry,
+    _attach_segment,
+    _create_segment,
+    _unlink_segment,
+    dump_payload,
+    dump_results,
+    load_payload,
+    load_results,
+)
+from .task import run_task
+
+__all__ = [
+    "WarmPool",
+    "PoolBrokenError",
+    "reserve_key",
+    "get_pool",
+    "release_pool",
+    "shutdown_warm_pools",
+    "DEFAULT_ARENA_BYTES",
+]
+
+#: Initial size of each worker's shared result arena; grown (doubled past
+#: the observed need) whenever a stage's results overflow into inline
+#: pickle bytes.
+DEFAULT_ARENA_BYTES = 1 << 22
+
+
+class PoolBrokenError(RuntimeError):
+    """A worker died or desynchronized; the pool was torn down."""
+
+
+class _PoolState:
+    """What :class:`~repro.exec.shm.ShipPickler` needs from the pool."""
+
+    def __init__(self, registry: ShmRegistry, importable_modules):
+        self.registry = registry
+        self.importable_modules = importable_modules
+        #: id(obj) -> (weakref, token) ship-once memo (driver side).
+        self._known: dict[int, tuple] = {}
+        self._tokens = itertools.count(1)
+        self._dead_tokens: list[int] = []
+
+    def known_token(self, obj):
+        # id() here is a memo hint only — the weakref identity check on
+        # the next line rejects any address-reuse collision, and the
+        # cross-process key is the explicit monotonic token, never id().
+        entry = self._known.get(id(obj))  # repro: noqa[DET001]
+        if entry is not None and entry[0]() is obj:
+            return entry[1], False
+        token = next(self._tokens)
+        dead = self._dead_tokens
+
+        def _on_dead(_wr, *, _dead=dead, _token=token):
+            _dead.append(_token)
+
+        self._known[id(obj)] = (  # repro: noqa[DET001]
+            weakref.ref(obj, _on_dead), token,
+        )
+        return token, True
+
+    def drain_dead_tokens(self) -> list[int]:
+        if not self._dead_tokens:
+            return []
+        # The death callbacks captured this exact list: clear in place.
+        tokens = list(self._dead_tokens)
+        self._dead_tokens.clear()
+        self._known = {
+            key: entry for key, entry in self._known.items()
+            if entry[0]() is not None
+        }
+        return tokens
+
+
+class WarmPool:
+    """A fork-once pool of warm workers speaking the shm stage protocol."""
+
+    def __init__(self, workers: int, arena_bytes: int = DEFAULT_ARENA_BYTES):
+        import multiprocessing
+
+        ctx = multiprocessing.get_context("fork")
+        self.workers = max(1, int(workers))
+        self.registry = ShmRegistry()
+        self.state = _PoolState(self.registry, frozenset(sys.modules))
+        self.broken = False
+        self._closed = False
+        self._lock = threading.Lock()
+        self._conns = []
+        self._procs = []
+        self._arenas: list = [None] * self.workers  # (SharedMemory, size)
+        self._arena_bytes = [arena_bytes] * self.workers
+        self.stats = {
+            "stages": 0,
+            "payload_bytes": 0,
+            "result_bytes": 0,
+            "arena_overflow_bytes": 0,
+        }
+        try:
+            for _ in range(self.workers):
+                parent, child = ctx.Pipe()
+                proc = ctx.Process(
+                    target=_worker_main, args=(child,), daemon=True
+                )
+                proc.start()
+                child.close()
+                self._conns.append(parent)
+                self._procs.append(proc)
+        except BaseException:
+            self.shutdown()
+            raise
+
+    # ------------------------------------------------------------ dispatch
+    def run_stage(
+        self,
+        fns: Sequence,
+        shared: Counters,
+        slices: Sequence[tuple[int, int]],
+    ) -> list:
+        """Run one stage: broadcast the payload, collect ordered outcomes.
+
+        *slices* is a list of ``(lo, hi)`` task-index ranges, one per
+        participating worker, covering ``range(len(fns))`` contiguously.
+        """
+        with self._lock:
+            if self.broken or self._closed:
+                raise PoolBrokenError("warm pool is not available")
+            seg_forgets = self.registry.drain_forgets()
+            token_forgets = self.state.drain_dead_tokens()
+            trace_on = _trace.active()
+            payload = dump_payload((list(fns), shared), self.state)
+            self.stats["stages"] += 1
+            self.stats["payload_bytes"] += len(payload)
+            # EVERY worker receives every stage — workers idle this stage
+            # get an empty slice.  Skipping them would desynchronize their
+            # ship-once KNOWN stores and forget lists from the driver's.
+            slices = list(slices)
+            while len(slices) < self.workers:
+                slices.append((0, 0))
+            active = len(slices)
+            try:
+                for w, (lo, hi) in enumerate(slices):
+                    arena_ref = self._ensure_arena(w)
+                    self._conns[w].send((
+                        "stage", lo, hi, trace_on,
+                        seg_forgets, token_forgets, arena_ref,
+                    ))
+                    self._conns[w].send_bytes(payload)
+                outcomes = []
+                errors = []
+                for w in range(active):
+                    status = self._conns[w].recv()
+                    if status[0] == "ok":
+                        blob = self._conns[w].recv_bytes()
+                        self.stats["result_bytes"] += len(blob)
+                        arena = self._attach_arena(w)
+                        outcomes.extend(load_results(blob, arena))
+                        del arena
+                        overflow = status[1]
+                        if overflow:
+                            # Some result arrays fell back to inline
+                            # pickle: retire this arena (after reading
+                            # it!) and provision a bigger one next stage.
+                            self.stats["arena_overflow_bytes"] += overflow
+                            need = self._arena_bytes[w] + overflow
+                            self._arena_bytes[w] = 2 * need
+                            self._drop_arena(w)
+                    else:
+                        errors.append(f"worker {w}: {status[1]}")
+                if errors:
+                    raise PoolBrokenError(
+                        "warm pool stage failed:\n" + "\n".join(errors)
+                    )
+                return outcomes
+            except (EOFError, ConnectionError, OSError, BrokenPipeError) as err:
+                self._teardown()
+                raise PoolBrokenError(
+                    f"warm pool worker died mid-stage: {err!r}"
+                ) from err
+            except PoolBrokenError:
+                self._teardown()
+                raise
+
+    # -------------------------------------------------------------- arenas
+    def _ensure_arena(self, w: int) -> ArenaRef:
+        entry = self._arenas[w]
+        if entry is None:
+            size = self._arena_bytes[w]
+            seg = _create_segment(size)
+            entry = self._arenas[w] = (seg, size)
+        return ArenaRef(entry[0].name, entry[1])
+
+    def _drop_arena(self, w: int) -> None:
+        entry = self._arenas[w]
+        if entry is not None:
+            _unlink_segment(entry[0])
+            self._arenas[w] = None
+
+    def _attach_arena(self, w: int) -> Optional[ResultArena]:
+        entry = self._arenas[w]
+        if entry is None:
+            return None
+        seg, size = entry
+        return ResultArena(seg.buf, size)
+
+    # ------------------------------------------------------------ teardown
+    def shutdown(self) -> None:
+        """Stop workers and unlink every shared segment (idempotent)."""
+        with self._lock:
+            self._teardown()
+
+    def _teardown(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self.broken = True
+        for conn in self._conns:
+            try:
+                conn.send(("shutdown",))
+            except (OSError, BrokenPipeError, ValueError):
+                pass
+        for proc in self._procs:
+            proc.join(timeout=2.0)
+            if proc.is_alive():  # pragma: no cover - stuck worker
+                proc.terminate()
+                proc.join(timeout=2.0)
+        for conn in self._conns:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+        for w in range(self.workers):
+            self._drop_arena(w)
+        self.registry.close()
+
+
+# ----------------------------------------------------------------- registry
+_POOL_KEYS = itertools.count(1)
+_POOLS: dict[int, WarmPool] = {}
+_POOLS_LOCK = threading.Lock()
+
+
+def reserve_key() -> int:
+    """Allocate a pool key (no pool is created until :func:`get_pool`)."""
+    return next(_POOL_KEYS)
+
+
+def get_pool(key: int, workers: int) -> WarmPool:
+    """The live pool registered under *key*, creating/replacing as needed.
+
+    A broken pool (worker death, stage desync) is transparently replaced;
+    a pool whose worker count no longer matches is rebuilt.
+    """
+    with _POOLS_LOCK:
+        pool = _POOLS.get(key)
+        if pool is not None and (pool.broken or pool.workers != workers):
+            pool.shutdown()
+            pool = None
+        if pool is None:
+            pool = _POOLS[key] = WarmPool(workers)
+        return pool
+
+
+def release_pool(key: int, owner_pid: Optional[int] = None) -> None:
+    """Shut down and forget the pool under *key*.
+
+    *owner_pid* guards finalizers that may run in a forked child holding
+    a by-value copy of the owning backend: only the creating process
+    tears the shared pool down.
+    """
+    if owner_pid is not None and owner_pid != os.getpid():
+        return
+    with _POOLS_LOCK:
+        pool = _POOLS.pop(key, None)
+    if pool is not None:
+        pool.shutdown()
+
+
+def shutdown_warm_pools() -> None:
+    """Process-exit backstop: tear down every pool still registered."""
+    with _POOLS_LOCK:
+        pools = list(_POOLS.values())
+        _POOLS.clear()
+    for pool in pools:
+        pool.shutdown()
+
+
+atexit.register(shutdown_warm_pools)
+
+
+# -------------------------------------------------------------- worker side
+def _worker_main(conn) -> None:
+    """Warm worker loop: stages in, outcomes out, until shutdown."""
+    cache = AttachCache()
+    known: dict = {}
+    arena_seg = None  # (name, SharedMemory)
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):  # driver died: exit quietly
+            break
+        if msg[0] == "shutdown":
+            break
+        _, lo, hi, trace_on, seg_forgets, token_forgets, arena_ref = msg
+        try:
+            blob = conn.recv_bytes()
+        except (EOFError, OSError):  # pragma: no cover - driver died
+            break
+        try:
+            cache.forget(seg_forgets)
+            for token in token_forgets:
+                known.pop(token, None)
+            if arena_seg is not None and arena_seg[0] != arena_ref.name:
+                try:
+                    arena_seg[1].close()
+                except BufferError:  # pragma: no cover - view exported
+                    pass
+                arena_seg = None
+            if arena_seg is None:
+                arena_seg = (arena_ref.name, _attach_segment(arena_ref.name))
+            arena = ResultArena(arena_seg[1].buf, arena_ref.size)
+            _trace.set_worker_session(trace_on)
+            fns, shared = load_payload(blob, cache, known)
+            outcomes = [run_task(i, fns[i], shared) for i in range(lo, hi)]
+            result = dump_results(outcomes, arena)
+            conn.send(("ok", arena.overflow))
+            conn.send_bytes(result)
+            del fns, shared, outcomes, result, arena
+        except BaseException:
+            try:
+                conn.send(("err", traceback.format_exc()))
+            except (OSError, BrokenPipeError):  # pragma: no cover
+                break
+    cache.close()
+    try:
+        conn.close()
+    except OSError:  # pragma: no cover
+        pass

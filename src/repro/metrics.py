@@ -87,6 +87,11 @@ COUNTER_SCHEMA: dict[str, str] = {
     "plan.candidates": "candidate plans priced by the planner",
     "plan.cached": "plans answered from the service's plan cache",
     "plan.observations": "measured phase spans ingested by the calibrator",
+    # -- execution backends (repro.exec health ledger) ---------------------
+    "exec.backend_fallback": (
+        "requested process backend degraded to thread semantics "
+        "(fork unavailable on this platform)"
+    ),
 }
 
 #: Thread-local charge redirection, keyed by the instance's redirect

@@ -222,6 +222,8 @@ class SpatialQueryService:
         cache_entries: int = 128,
         cost_params=None,
         trace: bool = False,
+        workers: int = 1,
+        backend: Optional[str] = None,
     ):
         from ..experiments.runner import DEFAULT_SEED, resolve_cluster
 
@@ -229,6 +231,22 @@ class SpatialQueryService:
         self.block_size = block_size
         self.seed = DEFAULT_SEED if seed is None else seed
         self.cost_params = cost_params
+        #: intra-query parallelism: every prepare/query environment runs
+        #: its stages on this many workers.  With the process backend all
+        #: environments share ONE warm pool (forked here, in the calling
+        #: thread, never on a dispatcher thread mid-query) so queries pay
+        #: no per-query fork cost.
+        self.workers = max(1, int(workers))
+        self.backend = backend
+        self._pool_key: Optional[int] = None
+        if self.workers > 1 and backend in (None, "process"):
+            from ..exec.backend import ProcessBackend
+
+            if ProcessBackend.available():
+                from ..exec import shm_pool
+
+                self._pool_key = shm_pool.reserve_key()
+                shm_pool.get_pool(self._pool_key, self.workers)
         #: the service ledger: every prepare's and query's counters merge
         #: here (in submission order), plus the service.* lifecycle keys.
         self.counters = Counters()
@@ -265,7 +283,8 @@ class SpatialQueryService:
         self.close()
 
     def close(self) -> None:
-        """End the service session (idempotent); finalize the trace."""
+        """End the service session (idempotent); finalize the trace and
+        release the shared warm worker pool."""
         if self._closed:
             return
         self._closed = True
@@ -274,6 +293,13 @@ class SpatialQueryService:
             self.trace_root = self._tracer.root
             self._session = None
             self._root = None
+        if self._pool_key is not None:
+            import os
+
+            from ..exec import shm_pool
+
+            shm_pool.release_pool(self._pool_key, os.getpid())
+            self._pool_key = None
 
     def _check_open(self) -> None:
         if self._closed:
@@ -400,11 +426,19 @@ class SpatialQueryService:
         prep_a: Optional[PreparedDataset] = None,
         prep_b: Optional[PreparedDataset] = None,
     ) -> RunEnvironment:
-        """A private serial environment, optionally with prepared files
-        installed by reference (concurrency comes from the dispatcher,
-        not from intra-query parallelism)."""
+        """A private environment, optionally with prepared files
+        installed by reference.  Each environment gets its own executor
+        (profile rows must not interleave across concurrent queries), but
+        process executors share the service's single warm pool through
+        its pool key — queries never pay a fork."""
+        backend = self.backend
+        if self._pool_key is not None:
+            from ..exec.backend import ProcessBackend
+
+            backend = ProcessBackend(self.workers, pool_key=self._pool_key)
         env = RunEnvironment.create(
             self.cluster, block_size=self.block_size, seed=self.seed,
+            workers=self.workers, backend=backend,
         )
         preps = [p for p in (prep_a, prep_b) if p is not None]
         if preps:

@@ -170,6 +170,10 @@ class RunReport:
     #: without executing any stage (see :mod:`repro.service`); the payload
     #: (pairs, counters, clock) is the original computation's.
     cache_hit: bool = False
+    #: Execution-environment degradation notices (e.g. the process
+    #: backend falling back to threads because ``fork`` is unavailable).
+    #: Empty on a healthy run; never affects results, only wall-clock.
+    warnings: tuple = ()
 
     @property
     def ok(self) -> bool:
@@ -412,4 +416,5 @@ class SpatialJoinSystem(ABC):
             pairs=frozenset(pairs) if pairs is not None else None,
             engine_profile=profile,
             memory_pressure=memory_pressure,
+            warnings=tuple(getattr(env.executor, "warnings", ()) or ()),
         )

@@ -108,6 +108,7 @@ class TestRegistry:
             "CLK001",
             "CTR001",
             "API001",
+            "SHM001",
         }
         for code, rule in RULES.items():
             assert rule.code == code

@@ -1,0 +1,373 @@
+"""The shared-memory data plane: round trips, ownership, leak audits.
+
+Three contracts under test:
+
+* **Bit-identity** — every ``GeometryBatch`` plane (any dtype/shape,
+  including empty batches and degenerate rings) survives
+  ``attach_shared → worker map → rebuild`` unchanged, whether the worker
+  is simulated in-process or a real forked warm-pool worker.
+* **Single ownership** — the driver's :class:`ShmRegistry` is the only
+  segment owner: memoized ships create one segment, dead source arrays
+  reclaim theirs, and ``close()`` unlinks everything.
+* **No leaks** — after normal runs, task errors and pool shutdown, this
+  process owns zero live segments and ``/dev/shm`` holds no file this
+  process created.
+"""
+
+import os
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exec import ProcessBackend
+from repro.exec.shm import (
+    RESULT_MIN_BYTES,
+    SHARE_MIN_BYTES,
+    AttachCache,
+    ResultArena,
+    ShmRegistry,
+    live_segment_names,
+)
+from repro.geometry import GeometryBatch, Point, PolyLine, Polygon
+from repro.metrics import Counters
+
+pytestmark = pytest.mark.skipif(
+    not ProcessBackend.available(), reason="requires fork"
+)
+
+
+def shm_files() -> set:
+    """Files this process (or its pools) created in /dev/shm."""
+    prefix = f"reproshm_{os.getpid()}_"
+    try:
+        return {f for f in os.listdir("/dev/shm") if f.startswith(prefix)}
+    except FileNotFoundError:  # pragma: no cover - no tmpfs mount
+        return set()
+
+
+@pytest.fixture
+def no_shm_leaks():
+    """Assert the test created no net segments or /dev/shm files.
+
+    Delta-based on purpose: warm pools owned by *other* test modules
+    legitimately keep arena segments alive for the whole session, so a
+    global emptiness check would be order-dependent.
+    """
+    segments_before = set(live_segment_names())
+    files_before = shm_files()
+    yield
+    assert set(live_segment_names()) - segments_before == set()
+    assert shm_files() - files_before == set()
+
+
+def batch_planes(batch):
+    return (
+        batch.kinds,
+        batch.coords,
+        batch.ring_offsets,
+        batch.geom_rings,
+        batch.ids,
+        batch.mbrs.data,
+    )
+
+
+def assert_batches_bit_identical(rebuilt, original):
+    for got, want in zip(batch_planes(rebuilt), batch_planes(original)):
+        assert got.dtype == want.dtype
+        assert got.shape == want.shape
+        assert np.array_equal(got, want)
+
+
+def roundtrip_in_process(batch):
+    """attach_shared → (simulated) worker map → rebuild, same process."""
+    registry = ShmRegistry()
+    cache = AttachCache()
+    try:
+        refs = batch.attach_shared(registry)
+
+        def attach(ref):
+            from repro.exec.shm import ArrayRef
+
+            return cache.get(ref) if isinstance(ref, ArrayRef) else ref
+
+        return GeometryBatch.from_shared(refs, attach)
+    finally:
+        cache.close()
+        registry.close()
+
+
+coord = st.floats(
+    min_value=-1e3, max_value=1e3, allow_nan=False, allow_infinity=False,
+    width=64,
+)
+
+
+@st.composite
+def geometries(draw):
+    kind = draw(st.sampled_from(["point", "polyline", "polygon"]))
+    if kind == "point":
+        return Point(draw(coord), draw(coord))
+    if kind == "polyline":
+        n = draw(st.integers(2, 6))
+        return PolyLine([(draw(coord), draw(coord)) for _ in range(n)])
+    cx, cy = draw(coord), draw(coord)
+    r = draw(st.floats(0.1, 10.0))
+    n = draw(st.integers(3, 7))
+    angles = np.linspace(0, 2 * np.pi, n, endpoint=False)
+    return Polygon([(cx + r * np.cos(a), cy + r * np.sin(a)) for a in angles])
+
+
+class TestBatchRoundTrip:
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(geometries(), min_size=0, max_size=25))
+    def test_any_batch_roundtrips_bit_identically(self, geoms):
+        batch = GeometryBatch.from_geometries(geoms)
+        rebuilt = roundtrip_in_process(batch)
+        assert_batches_bit_identical(rebuilt, batch)
+        if geoms:
+            assert rebuilt.to_geometries() == geoms
+
+    def test_empty_batch(self):
+        batch = GeometryBatch.empty()
+        rebuilt = roundtrip_in_process(batch)
+        assert_batches_bit_identical(rebuilt, batch)
+        assert len(rebuilt) == 0
+
+    def test_degenerate_rings(self):
+        # Zero-area polygon (all vertices collinear) and a zero-length
+        # polyline segment: shape/dtype edge cases, not validity checks.
+        geoms = [
+            Polygon([(0.0, 0.0), (1.0, 0.0), (2.0, 0.0)]),
+            PolyLine([(5.0, 5.0), (5.0, 5.0)]),
+            Point(-0.0, 0.0),
+        ]
+        batch = GeometryBatch.from_geometries(geoms)
+        rebuilt = roundtrip_in_process(batch)
+        assert_batches_bit_identical(rebuilt, batch)
+
+    def test_large_batch_planes_become_segments(self):
+        # Enough coordinates that coords/mbrs cross SHARE_MIN_BYTES.
+        n = SHARE_MIN_BYTES  # 4096 points -> 64 KiB coords
+        xs = np.linspace(0.0, 1.0, n)
+        batch = GeometryBatch.from_geometries(
+            [Point(x, -x) for x in xs]
+        )
+        registry = ShmRegistry()
+        cache = AttachCache()
+        try:
+            from repro.exec.shm import ArrayRef
+
+            refs = batch.attach_shared(registry)
+            assert any(isinstance(r, ArrayRef) for r in refs)
+            rebuilt = GeometryBatch.from_shared(
+                refs,
+                lambda r: cache.get(r) if isinstance(r, ArrayRef) else r,
+            )
+            assert_batches_bit_identical(rebuilt, batch)
+            # Mapped planes are read-only: the shared plane is immutable.
+            assert not rebuilt.coords.flags.writeable
+        finally:
+            cache.close()
+            registry.close()
+
+    def test_roundtrip_through_real_worker(self, no_shm_leaks):
+        # The full pipeline: driver ships a batch through the warm pool,
+        # the forked worker maps the planes and sends back a checksum and
+        # the raw coords; both must match bit for bit.
+        n = SHARE_MIN_BYTES
+        xs = np.linspace(-5.0, 5.0, n)
+        batch = GeometryBatch.from_geometries([Point(x, 2 * x) for x in xs])
+        backend = ProcessBackend(2)
+        shared = Counters()
+        try:
+            def inspect(b=batch):
+                return (
+                    len(b),
+                    b.coords.copy(),
+                    bool(b.coords.flags.writeable),
+                )
+
+            outcomes = backend.run_tasks(
+                "inspect", [inspect, inspect], shared
+            )
+            for outcome in outcomes:
+                assert outcome.error is None
+                length, coords, writeable = outcome.result
+                assert length == len(batch)
+                assert np.array_equal(coords, batch.coords)
+                assert writeable is False  # worker saw the mapped plane
+        finally:
+            backend.close()
+
+
+class TestShmRegistry:
+    def test_memoized_share(self):
+        registry = ShmRegistry()
+        try:
+            arr = np.arange(SHARE_MIN_BYTES, dtype=np.float64)
+            ref1 = registry.share(arr)
+            ref2 = registry.share(arr)
+            assert ref1 is not None and ref1 == ref2
+            assert registry.segments_created == 1
+        finally:
+            registry.close()
+
+    def test_small_and_object_arrays_inline(self):
+        registry = ShmRegistry()
+        try:
+            assert registry.share(np.arange(4)) is None
+            obj = np.empty(SHARE_MIN_BYTES, dtype=object)
+            obj[:] = "x"
+            assert registry.share(obj) is None
+            assert registry.segments_created == 0
+        finally:
+            registry.close()
+
+    def test_dead_source_array_reclaims_segment(self):
+        registry = ShmRegistry()
+        try:
+            arr = np.arange(SHARE_MIN_BYTES, dtype=np.float64)
+            ref = registry.share(arr)
+            assert ref.name in live_segment_names()
+            del arr
+            names = registry.drain_forgets()
+            assert ref.name in names
+            assert ref.name not in live_segment_names()
+        finally:
+            registry.close()
+
+    def test_close_unlinks_everything(self):
+        registry = ShmRegistry()
+        refs = [
+            registry.share(np.full(SHARE_MIN_BYTES, i, dtype=np.float64))
+            for i in range(3)
+        ]
+        registry.close()
+        registry.close()  # idempotent
+        for ref in refs:
+            assert ref.name not in live_segment_names()
+
+    def test_roundtrip_values(self):
+        registry = ShmRegistry()
+        cache = AttachCache()
+        try:
+            for dtype in (np.float64, np.int64, np.int8, np.bool_):
+                arr = np.arange(SHARE_MIN_BYTES).astype(dtype)
+                ref = registry.share(arr)
+                view = cache.get(ref)
+                assert view.dtype == arr.dtype
+                assert np.array_equal(view, arr)
+                assert not view.flags.writeable
+        finally:
+            cache.close()
+            registry.close()
+
+
+class TestResultArena:
+    def _arena(self, size=1 << 16):
+        from repro.exec.shm import _create_segment, _unlink_segment
+
+        seg = _create_segment(size)
+        return seg, ResultArena(seg.buf, size), _unlink_segment
+
+    def test_put_read_roundtrip_and_alignment(self):
+        seg, arena, unlink = self._arena()
+        try:
+            a = np.arange(600, dtype=np.float64)
+            b = np.arange(300, dtype=np.int64) * -1
+            off_a = arena.put(a)
+            off_b = arena.put(b)
+            assert off_a % ResultArena.ALIGN == 0
+            assert off_b % ResultArena.ALIGN == 0
+            assert np.array_equal(arena.read(off_a, a.dtype.str, a.shape), a)
+            assert np.array_equal(arena.read(off_b, b.dtype.str, b.shape), b)
+        finally:
+            unlink(seg)
+
+    def test_overflow_returns_none_and_tallies(self):
+        seg, arena, unlink = self._arena(size=1 << 12)
+        try:
+            big = np.zeros(1 << 12, dtype=np.float64)  # 8x the arena
+            assert arena.put(big) is None
+            assert arena.overflow == big.nbytes
+            arena.reset()
+            assert arena.overflow == 0 and arena.used == 0
+        finally:
+            unlink(seg)
+
+
+class TestNoLeaks:
+    def make_tasks(self, shared, batch, n=6, fail_at=None):
+        def make(i):
+            def body():
+                shared.add("work.ops", float(batch.coords[i, 0]))
+                if fail_at == i:
+                    raise RuntimeError("modelled task failure")
+                # Big result array: exercises the result arena.
+                return np.full(RESULT_MIN_BYTES, i, dtype=np.float64)
+
+            return body
+
+        return [make(i) for i in range(n)]
+
+    def big_batch(self):
+        xs = np.linspace(0.0, 1.0, SHARE_MIN_BYTES)
+        return GeometryBatch.from_geometries([Point(x, x) for x in xs])
+
+    def test_normal_run_leaves_no_segments(self, no_shm_leaks):
+        batch = self.big_batch()
+        backend = ProcessBackend(3)
+        outcomes = backend.run_tasks(
+            "stage", self.make_tasks(Counters(), batch), Counters()
+        )
+        assert all(o.error is None for o in outcomes)
+        backend.close()
+
+    def test_task_error_leaves_no_segments(self, no_shm_leaks):
+        batch = self.big_batch()
+        backend = ProcessBackend(3)
+        outcomes = backend.run_tasks(
+            "stage", self.make_tasks(Counters(), batch, fail_at=2), Counters()
+        )
+        errs = [o for o in outcomes if o.error is not None]
+        assert len(errs) == 1 and errs[0].index == 2
+        backend.close()
+
+    def test_pool_shutdown_unlinks_everything(self, no_shm_leaks):
+        from repro.exec.shm_pool import WarmPool
+
+        before = set(live_segment_names())
+        pool = WarmPool(2, arena_bytes=1 << 16)
+        batch = self.big_batch()
+        shared = Counters()
+        fns = self.make_tasks(shared, batch, n=4)
+        outcomes = pool.run_stage(fns, shared, [(0, 2), (2, 4)])
+        assert len(outcomes) == 4
+        assert set(live_segment_names()) - before  # arenas + planes live
+        pool.shutdown()
+        pool.shutdown()  # idempotent
+
+    def test_arena_overflow_grows_and_still_cleans_up(self, no_shm_leaks):
+        from repro.exec.shm_pool import WarmPool
+
+        # Tiny arenas force the inline-overflow path on stage 1; stage 2
+        # must see grown arenas and both must return bit-identical data.
+        pool = WarmPool(2, arena_bytes=1 << 12)
+        shared = Counters()
+
+        def make(i):
+            def body():
+                return np.full(1 << 12, i, dtype=np.float64)  # 32 KiB
+
+            return body
+
+        fns = [make(i) for i in range(4)]
+        first = pool.run_stage(fns, shared, [(0, 2), (2, 4)])
+        assert pool.stats["arena_overflow_bytes"] > 0
+        second = pool.run_stage(fns, shared, [(0, 2), (2, 4)])
+        for a, b in zip(first, second):
+            assert np.array_equal(a.result, b.result)
+            assert a.result.dtype == b.result.dtype
+        pool.shutdown()

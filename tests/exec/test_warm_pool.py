@@ -1,0 +1,238 @@
+"""The warm worker pool: reuse, determinism, degradation, breakage.
+
+The pool's value proposition is forking once and staying warm; its risk
+is exactly that persistence — worker state drifting across stages, a
+dead worker poisoning later runs, or a platform without ``fork`` silently
+producing different results.  These tests pin each of those edges:
+
+* the same forked workers serve many stages and many backend runs;
+* trace fingerprints and ledgers through the warm pool match serial;
+* ``ProcessBackend`` without fork degrades loudly — the
+  ``exec.backend_fallback`` counter is charged and the run report
+  carries a warning;
+* a task exception surfaces at its exact index without killing the run;
+* a broken pool raises :class:`PoolBrokenError` and the registry
+  replaces it on the next request.
+"""
+
+import os
+
+import pytest
+
+from repro import spatial_join
+from repro.data import census_blocks, taxi_points
+from repro.exec import ProcessBackend
+from repro.exec.shm import live_segment_names
+from repro.exec.shm_pool import (
+    PoolBrokenError,
+    WarmPool,
+    get_pool,
+    release_pool,
+    reserve_key,
+)
+from repro.metrics import Counters
+
+pytestmark = pytest.mark.skipif(
+    not ProcessBackend.available(), reason="requires fork"
+)
+
+
+def worker_pids(pool: WarmPool) -> tuple:
+    return tuple(proc.pid for proc in pool._procs)
+
+
+def charge_tasks(shared, n=6):
+    def make(i):
+        def body():
+            shared.add("work.ops", float(i + 1))
+            return (os.getpid(), i * i)
+
+        return body
+
+    return [make(i) for i in range(n)]
+
+
+class TestPoolReuse:
+    def test_workers_survive_across_stages(self):
+        pool = WarmPool(2)
+        try:
+            pids = worker_pids(pool)
+            seen = set()
+            for _ in range(3):
+                shared = Counters()
+                outcomes = pool.run_stage(
+                    charge_tasks(shared), shared, [(0, 3), (3, 6)]
+                )
+                assert [o.index for o in outcomes] == list(range(6))
+                seen.update(o.result[0] for o in outcomes)
+                assert worker_pids(pool) == pids  # nobody re-forked
+            # Every stage ran inside the original forked workers.
+            assert seen <= set(pids)
+            assert pool.stats["stages"] == 3
+        finally:
+            pool.shutdown()
+
+    def test_backend_runs_share_one_pool(self):
+        before = set(live_segment_names())
+        key = reserve_key()
+        try:
+            backend = ProcessBackend(2, pool_key=key)
+            shared = Counters()
+            backend.run_tasks("a", charge_tasks(shared), shared)
+            pids = worker_pids(get_pool(key, 2))
+            backend.run_tasks("b", charge_tasks(shared), shared)
+            assert worker_pids(get_pool(key, 2)) == pids
+            # A second backend instance on the same key reuses the pool
+            # too — this is how the query service shares its warm pool
+            # across per-query environments.
+            other = ProcessBackend(2, pool_key=key)
+            other.run_tasks("c", charge_tasks(shared), shared)
+            assert worker_pids(get_pool(key, 2)) == pids
+        finally:
+            release_pool(key, os.getpid())
+        # Releasing the pool reclaimed everything this test created
+        # (other modules' warm pools may legitimately still hold arenas).
+        assert set(live_segment_names()) - before == set()
+
+    def test_worker_count_change_replaces_pool(self):
+        key = reserve_key()
+        try:
+            first = get_pool(key, 2)
+            pids = worker_pids(first)
+            second = get_pool(key, 3)
+            assert second is not first
+            assert second.workers == 3
+            assert set(worker_pids(second)).isdisjoint(pids)
+        finally:
+            release_pool(key, os.getpid())
+
+
+class TestWarmPoolDeterminism:
+    def run(self, backend, trace=True):
+        return spatial_join(
+            taxi_points(400, seed=21),
+            census_blocks(50, seed=22),
+            system="SpatialHadoop",
+            workers=1 if backend == "serial" else 3,
+            backend=backend,
+            seed=5,
+            trace=trace,
+        )
+
+    def test_fingerprints_and_ledgers_match_serial(self):
+        serial = self.run("serial")
+        # Two consecutive process runs: the second rides the pool the
+        # first warmed up, and both must match serial bit for bit.
+        warm1 = self.run("process")
+        warm2 = self.run("process")
+        for warm in (warm1, warm2):
+            assert warm.pairs == serial.pairs
+            assert dict(warm.counters) == dict(serial.counters)
+            assert warm.trace.fingerprint() == serial.trace.fingerprint()
+
+    def test_untraced_then_traced_runs_stay_correct(self):
+        # Worker trace state is pinned per stage; interleaving traced and
+        # untraced runs over the same warm pool must not bleed state.
+        quiet = self.run("process", trace=False)
+        traced = self.run("process", trace=True)
+        serial = self.run("serial", trace=True)
+        assert quiet.trace is None
+        assert quiet.pairs == serial.pairs
+        assert traced.trace.fingerprint() == serial.trace.fingerprint()
+
+
+class TestFallback:
+    def test_no_fork_degrades_to_threads_loudly(self, monkeypatch):
+        monkeypatch.setattr(
+            ProcessBackend, "available", staticmethod(lambda: False)
+        )
+        report = spatial_join(
+            taxi_points(200, seed=31),
+            census_blocks(30, seed=32),
+            system="SpatialHadoop",
+            workers=3,
+            backend="process",
+        )
+        assert report.ok
+        assert report.counters.get("exec.backend_fallback") == 1.0
+        assert report.warnings
+        assert any("fallback" in w or "thread" in w for w in report.warnings)
+
+    def test_fallback_charged_once_per_backend(self, monkeypatch):
+        monkeypatch.setattr(
+            ProcessBackend, "available", staticmethod(lambda: False)
+        )
+        backend = ProcessBackend(2)
+        shared = Counters()
+        backend.run_tasks("a", charge_tasks(shared), shared)
+        backend.run_tasks("b", charge_tasks(shared), shared)
+        assert shared.get("exec.backend_fallback") == 1.0
+        assert len(backend.warnings) == 1
+
+    def test_healthy_backend_never_charges_fallback(self):
+        backend = ProcessBackend(2)
+        try:
+            shared = Counters()
+            backend.run_tasks("a", charge_tasks(shared), shared)
+            assert shared.get("exec.backend_fallback") is None
+            assert backend.warnings == ()
+        finally:
+            backend.close()
+
+
+class TestErrorPaths:
+    def test_task_error_surfaces_at_its_index(self):
+        pool = WarmPool(2)
+        try:
+            shared = Counters()
+
+            def make(i):
+                def body():
+                    if i == 4:
+                        raise ValueError(f"task {i} exploded")
+                    return i
+
+                return body
+
+            outcomes = pool.run_stage(
+                [make(i) for i in range(6)], shared, [(0, 3), (3, 6)]
+            )
+            assert [o.index for o in outcomes] == list(range(6))
+            failed = [o for o in outcomes if o.error is not None]
+            assert len(failed) == 1
+            assert failed[0].index == 4
+            assert "task 4 exploded" in str(failed[0].error)
+            assert not pool.broken  # a task error is data, not breakage
+        finally:
+            pool.shutdown()
+
+    def test_dead_worker_breaks_pool_and_registry_replaces_it(self):
+        before = set(live_segment_names())
+        key = reserve_key()
+        try:
+            pool = get_pool(key, 2)
+            shared = Counters()
+
+            def die():
+                os._exit(13)  # simulate a worker crash mid-stage
+
+            with pytest.raises(PoolBrokenError):
+                pool.run_stage([die, die], shared, [(0, 1), (1, 2)])
+            assert pool.broken
+            # Teardown reclaimed everything this pool created.
+            assert set(live_segment_names()) - before == set()
+
+            fresh = get_pool(key, 2)
+            assert fresh is not pool
+            outcomes = fresh.run_stage(
+                charge_tasks(shared, n=4), shared, [(0, 2), (2, 4)]
+            )
+            assert all(o.error is None for o in outcomes)
+        finally:
+            release_pool(key, os.getpid())
+
+    def test_stage_on_shut_down_pool_raises(self):
+        pool = WarmPool(2)
+        pool.shutdown()
+        with pytest.raises(PoolBrokenError):
+            pool.run_stage([lambda: 1], Counters(), [(0, 1)])
