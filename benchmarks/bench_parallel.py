@@ -93,6 +93,39 @@ def measure(points, blocks, *, system: str, backend: str, workers: int,
     }
 
 
+def classify_rows(runs: list[dict], affinity: int) -> list[dict]:
+    """Annotate measured rows with speedup and gate eligibility.
+
+    The first row is the serial baseline.  A parallel config counts as
+    ``slower_than_serial`` only when the host actually granted it the
+    cores it asked for; undersubscribed rows are recorded but exempt —
+    a 1-core container cannot fail a parallelism gate it cannot
+    exercise.
+    """
+    baseline = None
+    for row in runs:
+        if baseline is None:
+            baseline = row["wall_seconds"]
+        row["speedup"] = round(baseline / max(row["wall_seconds"], 1e-9), 2)
+        row["undersubscribed"] = row["workers"] > 1 and affinity < row["workers"]
+        row["slower_than_serial"] = (
+            not row["undersubscribed"] and row["speedup"] < 1.0
+        )
+    return runs
+
+
+def strict_gate(runs: list[dict], env=None) -> int:
+    """Exit code for BENCH_PARALLEL_STRICT: 1 iff an *eligible* row lost.
+
+    Rows flagged ``undersubscribed`` never trip the gate, with or
+    without the environment variable.
+    """
+    env = os.environ if env is None else env
+    if not env.get("BENCH_PARALLEL_STRICT"):
+        return 0
+    return 1 if any(r["slower_than_serial"] for r in runs) else 0
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--exec-records", type=int, default=20_000,
@@ -110,23 +143,15 @@ def main() -> int:
     affinity = _affinity_cores()
 
     runs = []
-    baseline = None
     for backend, workers in GRID:
-        row = measure(points, blocks, system=args.system,
-                      backend=backend, workers=workers,
-                      repeats=args.repeats)
-        if baseline is None:
-            baseline = row["wall_seconds"]
-        row["speedup"] = round(baseline / max(row["wall_seconds"], 1e-9), 2)
-        # A parallel config can only be judged against serial when the
-        # host actually grants it the cores it asked for.
-        row["undersubscribed"] = workers > 1 and affinity < workers
-        row["slower_than_serial"] = (
-            not row["undersubscribed"] and row["speedup"] < 1.0
-        )
-        runs.append(row)
+        runs.append(measure(points, blocks, system=args.system,
+                            backend=backend, workers=workers,
+                            repeats=args.repeats))
+    classify_rows(runs, affinity)
+    for row in runs:
         note = " [undersubscribed]" if row["undersubscribed"] else ""
-        print(f"{backend:>8} x{workers}: {row['wall_seconds']:7.2f}s "
+        print(f"{row['backend']:>8} x{row['workers']}: "
+              f"{row['wall_seconds']:7.2f}s "
               f"(speedup {row['speedup']:.2f}x, pairs {row['pairs']:,})"
               f"{note}")
 
@@ -171,11 +196,11 @@ def main() -> int:
         with open(args.out, "w", encoding="utf-8") as fh:
             fh.write(text + "\n")
         print(f"wrote {args.out}")
-    if slow and os.environ.get("BENCH_PARALLEL_STRICT"):
+    code = strict_gate(runs)
+    if code:
         print(f"BENCH_PARALLEL_STRICT: {len(slow)} configuration(s) "
               f"slower than serial — failing")
-        return 1
-    return 0
+    return code
 
 
 if __name__ == "__main__":

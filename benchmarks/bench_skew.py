@@ -1,0 +1,161 @@
+#!/usr/bin/env python
+"""Skew mitigation on the golden hot-cell dataset, per system.
+
+Runs each system twice on the deliberately skewed workload (90% of the
+left side in one 3%x3% corner cell, right side confined to the
+lower-left half-domain): once with the skew-aware shuffle off, once
+with adaptive repartitioning + sFilter pruning on.  Reports, per
+system:
+
+* the deterministic straggler ratio (max-over-mean of
+  ``join.candidates`` per task — wall-clock durations are
+  nondeterministic, counter ledgers are not);
+* the system's data-movement analogue (HadoopGIS shuffle bytes to
+  disk, SpatialSpark in-memory exchange bytes, SpatialHadoop records
+  deserialized from blocks — its map-only join has no shuffle);
+* prune/split counters, and a check that pairs are bit-identical.
+
+Run:  PYTHONPATH=src python benchmarks/bench_skew.py [--out FILE]
+
+Emits a ``::warning`` annotation (mirroring bench_parallel's
+``slower_than_serial``) if pruning removed zero records on a dataset
+engineered so that it must, and exits non-zero if any system's answer
+changed with the feature on.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+
+from repro import spatial_join
+from repro.data import DOMAIN_NYC, census_blocks, hotspot_points
+from repro.geometry.mbr import MBR
+from repro.trace.skew import skew_report
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+SYSTEMS = ("HadoopGIS", "SpatialHadoop", "SpatialSpark")
+
+#: Data-movement counter that must drop when pruning is on.
+VOLUME_KEY = {
+    "HadoopGIS": "shuffle.bytes_disk",
+    "SpatialSpark": "shuffle.bytes_mem",
+    "SpatialHadoop": "deser.records",
+}
+
+
+def golden_inputs(n_points: int, n_blocks: int):
+    half = MBR(
+        DOMAIN_NYC.xmin,
+        DOMAIN_NYC.ymin,
+        DOMAIN_NYC.xmin + DOMAIN_NYC.width / 2,
+        DOMAIN_NYC.ymin + DOMAIN_NYC.height / 2,
+    )
+    return (
+        hotspot_points(n_points, seed=33),
+        census_blocks(n_blocks, seed=34, domain=half),
+    )
+
+
+def straggler_ratio(trace) -> float:
+    """Worst max-over-mean of join.candidates across traced phases."""
+    rows = skew_report(trace, counter_keys=["join.candidates"])
+    ratios = [
+        stats["max"] * row.tasks / stats["total"]
+        for row in rows
+        for stats in [row.counter_stats.get("join.candidates")]
+        if stats is not None and stats["total"]
+    ]
+    return max(ratios) if ratios else 1.0
+
+
+def bench_system(system: str, points, blocks, *, n_partitions: int) -> dict:
+    reports = {}
+    for mode in ("off", "on"):
+        # plan=None pins each system's fixed partitioned pipeline; the
+        # "auto" planner may pick a broadcast join at this scale, which
+        # has no shuffle to prune.
+        reports[mode] = spatial_join(
+            points, blocks, system=system, plan=None, trace=True,
+            system_kwargs={
+                "partitioner": "grid",
+                "n_partitions": n_partitions,
+                "shuffle": mode == "on",
+            },
+        )
+    off, on = reports["off"], reports["on"]
+    c_off, c_on = off.counters.snapshot(), on.counters.snapshot()
+    key = VOLUME_KEY[system]
+    row = {
+        "system": system,
+        "volume_key": key,
+        "volume_off": c_off.get(key, 0),
+        "volume_on": c_on.get(key, 0),
+        "straggler_off": round(straggler_ratio(off.trace), 3),
+        "straggler_on": round(straggler_ratio(on.trace), 3),
+        "records_pruned": c_on.get("shuffle.records_pruned", 0),
+        "bytes_pruned": c_on.get("shuffle.bytes_pruned", 0),
+        "cells_split": c_on.get("skew.cells_split", 0),
+        "cells_added": c_on.get("skew.cells_added", 0),
+        "pairs": len(off.pairs),
+        "pairs_identical": off.pairs == on.pairs,
+    }
+    return row
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--points", type=int, default=600,
+                        help="hotspot points on the left side (default 600)")
+    parser.add_argument("--blocks", type=int, default=60,
+                        help="census blocks on the right side (default 60)")
+    parser.add_argument("--n-partitions", type=int, default=9,
+                        help="grid cells before splitting (default 9)")
+    parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_skew.json"),
+                        help="output JSON path (default: repo root)")
+    args = parser.parse_args()
+
+    points, blocks = golden_inputs(args.points, args.blocks)
+
+    rows = []
+    failed = False
+    for system in SYSTEMS:
+        row = bench_system(system, points, blocks,
+                           n_partitions=args.n_partitions)
+        rows.append(row)
+        print(f"{system:>13}: straggler {row['straggler_off']:.2f} -> "
+              f"{row['straggler_on']:.2f}, {row['volume_key']} "
+              f"{row['volume_off']:,.0f} -> {row['volume_on']:,.0f}, "
+              f"pruned {row['records_pruned']:,.0f} records, "
+              f"split {row['cells_split']:.0f} cell(s)")
+        if not row["pairs_identical"]:
+            print(f"::error title=bench_skew answer changed::"
+                  f"{system} pairs differ with the skew shuffle on")
+            failed = True
+        if row["records_pruned"] <= 0:
+            print(f"::warning title=bench_skew no pruning::"
+                  f"{system} pruned zero records on a dataset engineered "
+                  f"to be prunable — the sFilter is not engaging")
+
+    document = {
+        "workload": {
+            "datasets": "hotspot_points x census_blocks(half-domain)",
+            "points": args.points,
+            "blocks": args.blocks,
+            "n_partitions": args.n_partitions,
+        },
+        "systems": rows,
+    }
+    text = json.dumps(document, indent=2)
+    print(text)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+        print(f"wrote {args.out}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

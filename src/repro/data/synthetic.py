@@ -33,10 +33,12 @@ __all__ = [
     "census_blocks",
     "tiger_edges",
     "linear_water",
+    "hotspot_points",
     "taxi_points_batch",
     "census_blocks_batch",
     "tiger_edges_batch",
     "linear_water_batch",
+    "hotspot_points_batch",
 ]
 
 def _quantize(coords: np.ndarray, decimals: int = 6) -> np.ndarray:
@@ -93,6 +95,56 @@ def taxi_points_batch(n: int, seed: int = 0) -> GeometryBatch:
     generating Table-1-scale point sets never materializes a ``Point``.
     """
     return GeometryBatch.from_points(_taxi_xy(n, seed))
+
+
+def _hotspot_xy(
+    n: int, seed: int, hot_fraction: float, domain: MBR
+) -> np.ndarray:
+    if n < 0:
+        raise ValueError("n must be >= 0")
+    if not 0.0 <= hot_fraction <= 1.0:
+        raise ValueError("hot_fraction must be in [0, 1]")
+    rng = np.random.default_rng(seed)
+    hot = int(n * hot_fraction)
+    xs = np.concatenate([
+        domain.xmin + rng.random(hot) * domain.width * 0.03,
+        domain.xmin + rng.random(n - hot) * domain.width,
+    ])
+    ys = np.concatenate([
+        domain.ymin + rng.random(hot) * domain.height * 0.03,
+        domain.ymin + rng.random(n - hot) * domain.height,
+    ])
+    return _quantize(np.column_stack([xs, ys]))
+
+
+def hotspot_points(
+    n: int = 600,
+    seed: int = 33,
+    *,
+    hot_fraction: float = 0.9,
+    domain: MBR = DOMAIN_NYC,
+) -> list[Point]:
+    """Generate *n* points with a deliberate single hot cell.
+
+    *hot_fraction* of the points land in a 3%×3% square at the domain's
+    lower-left corner and the rest are uniform — the worst case for any
+    equal-area partitioning, and the golden workload of the skew suite
+    (``tests/shuffle/``, ``benchmarks/bench_skew.py``): one partition
+    cell holds ~90% of the records while its siblings idle.  Same recipe
+    as the ``skewed_points`` fixture in ``tests/trace/``.
+    """
+    return [Point(float(x), float(y)) for x, y in _hotspot_xy(n, seed, hot_fraction, domain)]
+
+
+def hotspot_points_batch(
+    n: int = 600,
+    seed: int = 33,
+    *,
+    hot_fraction: float = 0.9,
+    domain: MBR = DOMAIN_NYC,
+) -> GeometryBatch:
+    """Columnar :func:`hotspot_points` (identical values and RNG draws)."""
+    return GeometryBatch.from_points(_hotspot_xy(n, seed, hot_fraction, domain))
 
 
 def census_blocks(n: int, seed: int = 0, *, domain: MBR = DOMAIN_NYC) -> list[Polygon]:

@@ -67,6 +67,12 @@ COUNTER_SCHEMA: dict[str, str] = {
     "shuffle.bytes_mem": "Spark in-memory exchange bytes",
     "spark.shuffle_records": "records crossing a Spark shuffle boundary",
     "net.bytes_broadcast": "broadcast payload bytes, replicated per node",
+    # -- skew-aware shuffle (repro.shuffle) -------------------------------
+    "shuffle.records_pruned": "records dropped by the sFilter pre-shuffle",
+    "shuffle.bytes_pruned": "serialized bytes the sFilter kept off the wire",
+    "shuffle.sfilter_builds": "sFilter bitmaps built from one side's MBRs",
+    "skew.cells_split": "hot partition cells re-gridded at finer granularity",
+    "skew.cells_added": "net new cells produced by hot-cell splitting",
     # -- framework overheads (fixed costs per unit) -----------------------
     "mr.jobs": "MapReduce jobs launched",
     "mr.tasks": "map/reduce tasks launched",

@@ -35,7 +35,13 @@ from ..cluster.costmodel import (
 from ..cluster.specs import ClusterConfig
 from ..data.stats import DatasetStats
 
-__all__ = ["EstimateContext", "estimate_plan"]
+__all__ = ["EstimateContext", "estimate_plan", "SKEW_TRIGGER"]
+
+#: Measured skew ratio (max/mean cell density) beyond which the planner
+#: considers ``shuffle="skew"`` candidates and penalizes plain-shuffle
+#: partitioned plans for their expected straggler wave.  Matches the
+#: default :attr:`repro.shuffle.ShuffleConfig.hot_factor`.
+SKEW_TRIGGER = 4.0
 
 
 @dataclass(frozen=True)
@@ -53,6 +59,10 @@ class EstimateContext:
     blocks_a: Optional[int] = None
     blocks_b: Optional[int] = None
     sample_fraction: float = 0.05
+    #: measured skew ratio of the denser input (max/mean cell density);
+    #: 1.0 = uniform.  Only set when the caller measured it — the
+    #: planner never guesses skew from the summary statistics.
+    skew: float = 1.0
 
 
 # --------------------------------------------------------------- derived
@@ -592,19 +602,42 @@ def _est_refine(model: CostModel, *, ctx: EstimateContext, plan) -> CostEstimate
     )
 
 
+@register_operator("shuffle.skew")
+def _est_shuffle_skew(model: CostModel, *, ctx: EstimateContext, plan) -> CostEstimate:
+    """The skew/prune pipeline's own cost (:mod:`repro.shuffle`).
+
+    Two sFilter builds plus one vectorized keep-mask pass over every
+    record, and a quality-stats pass over the sample — cheap next to the
+    straggler wave it removes, which is exactly why the planner picks it
+    once :data:`SKEW_TRIGGER` trips.  Zero for ``shuffle="off"`` plans.
+    """
+    if getattr(plan, "shuffle", "off") != "skew":
+        return CostEstimate(0.0)
+    n = float(ctx.stats_a.count + ctx.stats_b.count)
+    sample_n = max(1.0, n * ctx.sample_fraction)
+    counters = {
+        "shuffle.sfilter_builds": 2.0,
+        "cpu.ops": n + sample_n,
+    }
+    return _price_phases(model, [(counters, 1)])
+
+
 # ============================================================== pipelines
 def _pipeline(plan) -> list[str]:
     local = f"local_join.{plan.local_algorithm}"
+    skew = ["shuffle.skew"] if getattr(plan, "shuffle", "off") == "skew" else []
     if plan.system == "SpatialSpark":
         if plan.strategy == "broadcast":
             return ["global_join.broadcast", "refine"]
-        return ["ingest", "partition", "global_join.shuffle", local, "refine"]
+        return ["ingest", "partition", *skew, "global_join.shuffle", local,
+                "refine"]
     if plan.system == "SpatialHadoop":
         return [
-            "ingest", "partition", "index_build", "global_join.splits",
-            local, "refine",
+            "ingest", "partition", *skew, "index_build",
+            "global_join.splits", local, "refine",
         ]
-    return ["ingest", "partition", "global_join.mr_streaming", local, "refine"]
+    return ["ingest", "partition", *skew, "global_join.mr_streaming", local,
+            "refine"]
 
 
 def estimate_plan(
@@ -637,7 +670,19 @@ def estimate_plan(
     for part in parts:
         for key, value in part.counters.items():
             merged[key] = merged.get(key, 0.0) + value
+    seconds = seq.seconds
+    if (
+        ctx.skew > SKEW_TRIGGER
+        and plan.strategy == "partitioned"
+        and getattr(plan, "shuffle", "off") != "skew"
+    ):
+        # Straggler penalty: on measured-skewed inputs the per-partition
+        # waves of a plain-shuffle plan finish when the hottest cell
+        # does, so the parallel phases lose up to their whole speedup.
+        # Capped at 5x; shuffle="skew" plans split the hot cells and
+        # escape the penalty entirely.
+        seconds *= 1.0 + min(ctx.skew / SKEW_TRIGGER - 1.0, 4.0)
     return CostEstimate(
-        seconds=seq.seconds, rows=seq.rows, multiplicity=seq.multiplicity,
+        seconds=seconds, rows=seq.rows, multiplicity=seq.multiplicity,
         counters=merged, tasks=max(p.tasks for p in parts),
     )

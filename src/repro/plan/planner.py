@@ -90,6 +90,9 @@ class Plan:
     partitioner: str = "bsp"
     n_partitions: int = 0
     strategy: str = "partitioned"
+    #: skew handling: "off" (legacy pipelines) or "skew" (sFilter shuffle
+    #: pruning + adaptive hot-cell repartitioning, :mod:`repro.shuffle`).
+    shuffle: str = "off"
 
     def __post_init__(self):
         if self.system not in PLAN_SYSTEMS:
@@ -98,6 +101,10 @@ class Plan:
             )
         if self.strategy not in ("partitioned", "broadcast"):
             raise ValueError(f"unknown strategy {self.strategy!r}")
+        if self.shuffle not in ("off", "skew"):
+            raise ValueError(
+                f"shuffle must be 'off' or 'skew', not {self.shuffle!r}"
+            )
         if self.strategy == "broadcast":
             if self.system != "SpatialSpark":
                 raise ValueError(
@@ -106,10 +113,12 @@ class Plan:
                 )
             # Broadcast runs no partitioner and no per-partition local
             # join: canonicalize those fields so equal executions get
-            # equal fingerprints.
+            # equal fingerprints.  It has no exchange to prune and no
+            # cells to split, so shuffle canonicalizes to off too.
             object.__setattr__(self, "local_algorithm", "indexed_nested_loop")
             object.__setattr__(self, "partitioner", "bsp")
             object.__setattr__(self, "n_partitions", 0)
+            object.__setattr__(self, "shuffle", "off")
             return
         if self.local_algorithm not in _SYSTEM_LOCALS[self.system]:
             raise ValueError(
@@ -134,6 +143,7 @@ class Plan:
             partitioner=self.partitioner,
             n_partitions=self.n_partitions,
             strategy=self.strategy,
+            shuffle=self.shuffle,
         )
 
     def describe(self) -> str:
@@ -141,9 +151,10 @@ class Plan:
         if self.strategy == "broadcast":
             return f"{self.system}/broadcast"
         parts = self.n_partitions or "auto"
+        suffix = "/skew" if self.shuffle == "skew" else ""
         return (
             f"{self.system}/{self.strategy}/{self.partitioner}"
-            f"/p={parts}/{self.local_algorithm}"
+            f"/p={parts}/{self.local_algorithm}{suffix}"
         )
 
     # ------------------------------------------------------------ execution
@@ -168,6 +179,8 @@ class Plan:
         else:  # HadoopGIS
             kwargs["partitioner"] = self.partitioner
             kwargs["local_algorithm"] = self.local_algorithm
+        if self.shuffle == "skew":
+            kwargs["shuffle"] = True
         return kwargs
 
 
@@ -229,6 +242,10 @@ def fixed_from_system(system_obj, *, strategy: Optional[str] = None) -> Plan:
         partitioner=part_name,
         n_partitions=int(getattr(system_obj, "n_partitions", None) or 0),
         strategy=strategy,
+        shuffle=(
+            "skew" if getattr(system_obj, "shuffle", None) is not None
+            else "off"
+        ),
     )
 
 
@@ -243,17 +260,30 @@ def rank_plans(
     params: Optional[CostParams] = None,
     blocks_l: Optional[int] = None,
     blocks_r: Optional[int] = None,
+    skew_l: Optional[float] = None,
+    skew_r: Optional[float] = None,
 ) -> "list[tuple[CostEstimate, Plan]]":
     """All candidates with their estimates, cheapest first.
 
     Deterministic: equal-cost candidates order by the plan's own sort
     key, so the ranking (and therefore :func:`plan_query`'s argmin) is a
     pure function of the statistics.
+
+    *skew_l* / *skew_r* are optional measured skew ratios (max/mean cell
+    density, e.g. :func:`repro.data.stats.skew_ratio` or a sampled
+    :attr:`repro.shuffle.QualityStats.skew`).  When either side exceeds
+    the trigger, ``shuffle="skew"`` variants of every partitioned
+    candidate join the space and the straggler penalty inflates the
+    plain-shuffle plans — skew is opt-in: with both at ``None`` the
+    candidate space and ranking are exactly the legacy ones.
     """
+    import dataclasses
+
     from ..experiments.runner import resolve_cluster
-    from .estimate import EstimateContext, estimate_plan
+    from .estimate import SKEW_TRIGGER, EstimateContext, estimate_plan
 
     predicate = resolve_predicate(predicate)
+    skew = max(skew_l or 1.0, skew_r or 1.0)
     ctx = EstimateContext(
         stats_a=stats_l,
         stats_b=stats_r,
@@ -262,10 +292,18 @@ def rank_plans(
         block_size=block_size,
         blocks_a=blocks_l,
         blocks_b=blocks_r,
+        skew=skew,
     )
+    candidates = enumerate_plans(system)
+    if skew > SKEW_TRIGGER:
+        candidates = candidates + [
+            dataclasses.replace(plan, shuffle="skew")
+            for plan in candidates
+            if plan.strategy == "partitioned"
+        ]
     ranked = [
         (estimate_plan(plan, ctx, params=params), plan)
-        for plan in enumerate_plans(system)
+        for plan in candidates
     ]
     ranked.sort(key=lambda pair: (pair[0].seconds, pair[1]))
     return ranked
@@ -282,6 +320,8 @@ def plan_query(
     params: Optional[CostParams] = None,
     blocks_l: Optional[int] = None,
     blocks_r: Optional[int] = None,
+    skew_l: Optional[float] = None,
+    skew_r: Optional[float] = None,
 ) -> Plan:
     """Choose the cheapest plan for joining two datasets on *cluster*.
 
@@ -289,12 +329,15 @@ def plan_query(
     ``spatial_join(system=..., plan="auto")`` path); ``None`` lets the
     planner pick the system too.  *blocks_l* / *blocks_r* override the
     estimated HDFS block counts with measured ones when the data is
-    already staged (the service path).
+    already staged (the service path).  *skew_l* / *skew_r* are measured
+    skew ratios that unlock ``shuffle="skew"`` candidates (see
+    :func:`rank_plans`).
     """
     ranked = rank_plans(
         stats_l, stats_r, predicate, cluster,
         system=system, block_size=block_size, params=params,
         blocks_l=blocks_l, blocks_r=blocks_r,
+        skew_l=skew_l, skew_r=skew_r,
     )
     return ranked[0][1]
 

@@ -521,7 +521,12 @@ class SpatialQueryService:
         if handle.system == "SpatialHadoop":
             # The partitioning and granularity are baked into the indexed
             # block files at prepare time; only the local stage is free.
-            locked |= {"partitioner", "n_partitions"}
+            # Adaptive repartitioning splits hot cells at index time too,
+            # so the shuffle mode is equally frozen into the blocks.
+            locked |= {"partitioner", "n_partitions", "shuffle"}
+        if "shuffle" in locked and plan.strategy == "partitioned" \
+                and plan.shuffle != fixed.shuffle:
+            return False
         partitioned = plan.strategy == "partitioned"
         if "partitioner" in locked and partitioned \
                 and plan.partitioner != fixed.partitioner:

@@ -1,0 +1,77 @@
+"""Skew-aware shuffle machinery: sFilter pruning + adaptive repartitioning.
+
+LocationSpark (Tang et al., PAPERS.md) names the two mechanisms this
+package supplies to the three reproduced systems:
+
+* an **sFilter** (:class:`SFilter`) — a spatial bloom filter built from
+  one side's MBRs that drops records whose MBR provably cannot match
+  anything on the other side *before* they enter the MapReduce shuffle
+  or the RDD exchange.  Conservative by construction: a pruned record
+  has an MBR disjoint from every opposite-side MBR (never a false
+  negative; false positives merely forgo savings).
+* **adaptive repartitioning** (:func:`split_hot_cells`) — SATO-style
+  sampled partition-quality statistics (:func:`quality_stats`, Aji et
+  al.) decide *when* a cell is hot, and the hot cells are re-gridded at
+  finer granularity with median splits so the sampled load balances.
+
+Both are opt-in per system via the ``shuffle=`` constructor kwarg (or a
+plan with ``shuffle="skew"``); with the feature off, every charge and
+byte is bit-identical to the pre-feature pipelines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from .repartition import QualityStats, SplitReport, quality_stats, split_hot_cells
+from .sfilter import SFilter
+
+__all__ = [
+    "SFilter",
+    "ShuffleConfig",
+    "QualityStats",
+    "SplitReport",
+    "quality_stats",
+    "split_hot_cells",
+    "resolve_shuffle",
+]
+
+
+@dataclass(frozen=True)
+class ShuffleConfig:
+    """Knobs of the skew/prune pipeline (frozen: safe to share/hash).
+
+    ``hot_factor`` is the SATO-style trigger: a cell is hot when its
+    sampled count exceeds ``hot_factor`` × the mean cell count.  Hot
+    cells are re-gridded into ``split_leaves`` median-split sub-cells,
+    at most ``max_splits`` cells per partitioning.  ``resolution`` is
+    the sFilter bitmap's cells per axis.
+    """
+
+    sfilter: bool = True
+    repartition: bool = True
+    hot_factor: float = 4.0
+    max_splits: int = 4
+    split_leaves: int = 8
+    resolution: int = 64
+
+
+def resolve_shuffle(
+    value: Union[None, bool, ShuffleConfig],
+) -> Optional[ShuffleConfig]:
+    """Normalize a system's ``shuffle=`` kwarg to a config or ``None``.
+
+    ``None``/``False`` → off (the default, bit-identical to the legacy
+    pipelines); ``True`` → the default :class:`ShuffleConfig`; a config
+    passes through.
+    """
+    if value is None or value is False:
+        return None
+    if value is True:
+        return ShuffleConfig()
+    if isinstance(value, ShuffleConfig):
+        return value
+    raise TypeError(
+        f"shuffle= accepts None, a bool or a ShuffleConfig, not {value!r}"
+    )

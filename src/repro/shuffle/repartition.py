@@ -1,0 +1,169 @@
+"""Adaptive repartitioning: split hot cells at finer granularity.
+
+SATO-style sampled partition-quality statistics (Aji et al., "Effective
+Spatial Data Partitioning for Scalable Query Processing") decide *when*
+to split: a cell whose sampled record count exceeds ``hot_factor`` × the
+mean is a straggler in the making.  LocationSpark's remedy is applied
+*to those cells only*: each hot cell is re-gridded with BSP-style median
+splits of its in-cell sample — the sub-cells tile the original cell
+exactly, so a tiling partitioning stays a tiling and best-assignment
+partitionings keep their expand-to-contents safety net.
+
+Determinism discipline (the DET003 fixture pins this): hot cells are
+selected by ``(-count, cell_id)`` and the rebuilt box list iterates
+cells in ascending original id order — never set/dict-arrival order —
+so the emitted partitioning is a pure function of (partitioning, sample).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.partitioning import SpatialPartitioning
+from ..geometry.batch import as_mbr_array
+from ..geometry.mbr import MBRArray
+
+__all__ = ["QualityStats", "SplitReport", "quality_stats", "split_hot_cells"]
+
+
+@dataclass(frozen=True)
+class QualityStats:
+    """SATO-style sampled per-cell load statistics of a partitioning."""
+
+    counts: tuple[int, ...]
+    mean: float
+    max_count: int
+    #: max/mean sampled cell load (1 = balanced; large = hot cells).
+    skew: float
+    #: cell ids over the hot threshold, ascending (deterministic order).
+    hot_cells: tuple[int, ...]
+
+
+def _stats_from_counts(counts: np.ndarray, hot_factor: float) -> QualityStats:
+    mean = float(counts.mean()) if counts.size else 0.0
+    max_count = int(counts.max()) if counts.size else 0
+    # A cell needs >= 2 sampled records to be splittable at all.
+    hot = (
+        np.flatnonzero((counts > hot_factor * mean) & (counts >= 2))
+        if mean > 0
+        else np.array([], dtype=np.int64)
+    )
+    return QualityStats(
+        counts=tuple(int(c) for c in counts),
+        mean=mean,
+        max_count=max_count,
+        skew=(max_count / mean) if mean > 0 else 0.0,
+        hot_cells=tuple(int(c) for c in hot),
+    )
+
+
+def quality_stats(
+    partitioning: SpatialPartitioning, sample, *, hot_factor: float = 4.0
+) -> QualityStats:
+    """Sampled load per cell via deterministic point assignment.
+
+    Sample MBR centers are assigned with
+    :meth:`~repro.core.partitioning.SpatialPartitioning.assign_points`
+    (lowest-id tie-break on shared edges), so the statistics are
+    bit-identical across backends and planes.
+    """
+    boxes = as_mbr_array(sample)
+    if len(partitioning) == 0 or len(boxes) == 0:
+        return _stats_from_counts(np.zeros(len(partitioning), dtype=np.int64),
+                                  hot_factor)
+    assign = partitioning.assign_points(boxes.centers)
+    counts = np.bincount(assign, minlength=len(partitioning))
+    return _stats_from_counts(counts, hot_factor)
+
+
+@dataclass(frozen=True)
+class SplitReport:
+    """What :func:`split_hot_cells` did to one partitioning."""
+
+    #: original ids of the cells that were split, ascending.
+    hot_cells: tuple[int, ...]
+    cells_before: int
+    cells_after: int
+
+    @property
+    def cells_added(self) -> int:
+        return self.cells_after - self.cells_before
+
+
+def _median_split(
+    box: tuple[float, float, float, float], pts: np.ndarray, want: int,
+    rows: list,
+) -> None:
+    """Recursive BSP median split of *box* into ≈ *want* leaves.
+
+    The same balance-oriented scheme as
+    :class:`~repro.core.partitioning.BSPPartitioner`: split the widest
+    axis at the sample median (midpoint fallback on degenerate medians),
+    recurse with the points on each side.  The leaves tile *box* exactly.
+    """
+    if want <= 1 or pts.shape[0] <= 1:
+        rows.append(box)
+        return
+    xmin, ymin, xmax, ymax = box
+    horizontal = (xmax - xmin) >= (ymax - ymin)
+    axis = 0 if horizontal else 1
+    cut = float(np.median(pts[:, axis]))
+    lo_limit, hi_limit = (xmin, xmax) if horizontal else (ymin, ymax)
+    if not (lo_limit < cut < hi_limit):
+        cut = (lo_limit + hi_limit) / 2.0
+    left_want = want // 2
+    right_want = want - left_want
+    mask = pts[:, axis] <= cut
+    if horizontal:
+        _median_split((xmin, ymin, cut, ymax), pts[mask], left_want, rows)
+        _median_split((cut, ymin, xmax, ymax), pts[~mask], right_want, rows)
+    else:
+        _median_split((xmin, ymin, xmax, cut), pts[mask], left_want, rows)
+        _median_split((xmin, cut, xmax, ymax), pts[~mask], right_want, rows)
+
+
+def split_hot_cells(
+    partitioning: SpatialPartitioning,
+    sample,
+    *,
+    hot_factor: float = 4.0,
+    max_splits: int = 4,
+    leaves: int = 8,
+) -> tuple[SpatialPartitioning, QualityStats, SplitReport]:
+    """Re-grid the hot cells of *partitioning* at finer granularity.
+
+    Returns ``(new_partitioning, quality_stats, split_report)``.  When no
+    cell is hot the input partitioning is returned unchanged (same
+    object), so the feature is charge-free on balanced data.
+    """
+    boxes = as_mbr_array(sample)
+    n = len(partitioning)
+    if n == 0 or len(boxes) == 0:
+        stats = _stats_from_counts(np.zeros(n, dtype=np.int64), hot_factor)
+        return partitioning, stats, SplitReport((), n, n)
+    centers = boxes.centers
+    assign = partitioning.assign_points(centers)
+    counts = np.bincount(assign, minlength=n)
+    stats = _stats_from_counts(counts, hot_factor)
+    if not stats.hot_cells:
+        return partitioning, stats, SplitReport((), n, n)
+    # Budget the hottest cells first, then process in ascending id order
+    # so the output box order never depends on load ties or set order.
+    budget = sorted(
+        sorted(stats.hot_cells, key=lambda c: (-counts[c], c))[:max_splits]
+    )
+    hot_set = frozenset(budget)
+    data = partitioning.boxes.data
+    rows: list[tuple[float, float, float, float]] = []
+    for cell in range(n):
+        if cell not in hot_set:
+            rows.append(tuple(data[cell]))
+            continue
+        _median_split(tuple(data[cell]), centers[assign == cell], leaves, rows)
+    new = SpatialPartitioning(
+        boxes=MBRArray(np.array(rows, dtype=np.float64)),
+        tiles=partitioning.tiles,
+    )
+    return new, stats, SplitReport(tuple(budget), n, len(new))

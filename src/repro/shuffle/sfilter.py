@@ -1,0 +1,120 @@
+"""The sFilter: a spatial bloom filter over one join side's MBRs.
+
+A coarse occupancy bitmap over the build side's extent: bit (j, i) is set
+iff at least one build-side MBR intersects grid cell (j, i).  Queries ask
+"could this box intersect *any* build-side box?" — answered in O(1) per
+box from a 2-D prefix-sum (summed-area table) of the bitmap, vectorized
+over whole :class:`~repro.geometry.mbr.MBRArray` batches.
+
+The guarantee the property tests pin down: **never a false negative**.
+If a query box Q intersects some build box B, their (non-empty)
+intersection lies inside the build extent; any point of it falls in a
+cell that both Q's clipped cell range and B's cell range cover, so the
+bit is set and Q is kept.  A query box wholly outside the build extent
+can intersect nothing and is always prunable; an *empty* build side
+prunes everything.  False positives (a kept box that matches nothing)
+only forgo savings — correctness never depends on the filter.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..geometry.batch import as_mbr_array
+
+__all__ = ["SFilter"]
+
+
+class SFilter:
+    """Grid-bitmap filter built from MBRs; query with :meth:`contains`."""
+
+    def __init__(self, boxes, *, resolution: int = 64):
+        if resolution < 1:
+            raise ValueError("resolution must be >= 1")
+        boxes = as_mbr_array(boxes)
+        self.n_build = len(boxes)
+        if self.n_build == 0:
+            # Empty build side: nothing can match, prune every query box.
+            self.nx = self.ny = 0
+            self.bounds = (0.0, 0.0, 0.0, 0.0)
+            self._psum = None
+            return
+        extent = boxes.extent()
+        self.bounds = extent.as_tuple()
+        xmin, ymin, xmax, ymax = self.bounds
+        # Degenerate axes (all boxes share one x or y) collapse to 1 cell.
+        self.nx = resolution if xmax > xmin else 1
+        self.ny = resolution if ymax > ymin else 1
+        self._cw = (xmax - xmin) / self.nx if xmax > xmin else 1.0
+        self._ch = (ymax - ymin) / self.ny if ymax > ymin else 1.0
+        data = boxes.data
+        i0, j0 = self._cell_of(data[:, 0], data[:, 1])
+        i1, j1 = self._cell_of(data[:, 2], data[:, 3])
+        bitmap = np.zeros((self.ny, self.nx), dtype=bool)
+        single = (i0 == i1) & (j0 == j1)
+        bitmap[j0[single], i0[single]] = True
+        for k in np.flatnonzero(~single):
+            bitmap[j0[k] : j1[k] + 1, i0[k] : i1[k] + 1] = True
+        self.cells_set = int(bitmap.sum())
+        psum = np.zeros((self.ny + 1, self.nx + 1), dtype=np.int64)
+        np.cumsum(np.cumsum(bitmap, axis=0), axis=1, out=psum[1:, 1:])
+        self._psum = psum
+
+    # ------------------------------------------------------------- geometry
+    @staticmethod
+    def _axis_cell(vals: np.ndarray, vmin: float, cw: float, n: int):
+        # A degenerate axis (zero-width extent) collapses to one cell;
+        # dividing by its zero cell width would produce NaN/inf.  Clip
+        # before the int cast: a tiny cell width can push the float
+        # quotient past the int64 range.
+        if cw <= 0.0:
+            return np.zeros(len(vals), dtype=np.int64)
+        return np.clip(np.floor((vals - vmin) / cw), 0, n - 1).astype(np.int64)
+
+    def _cell_of(self, xs: np.ndarray, ys: np.ndarray):
+        xmin, ymin, _, _ = self.bounds
+        i = self._axis_cell(xs, xmin, self._cw, self.nx)
+        j = self._axis_cell(ys, ymin, self._ch, self.ny)
+        return i, j
+
+    @property
+    def n_cells(self) -> int:
+        return self.nx * self.ny
+
+    @property
+    def nbytes(self) -> int:
+        """Approximate serialized size (bitmap bits + header)."""
+        return self.n_cells // 8 + 64
+
+    # --------------------------------------------------------------- query
+    def contains(self, boxes, margin: float = 0.0) -> np.ndarray:
+        """Keep mask: ``True`` where a box *may* match the build side.
+
+        *margin* expands the query boxes (distance joins); axis-aligned
+        expansion is side-symmetric, so applying it on the query side
+        alone is exact: ``expand(Q, m) ∩ B ≠ ∅  ⟺  Q ∩ expand(B, m) ≠ ∅``.
+        ``False`` means *provably* no build-side MBR intersects the
+        (expanded) box — the prune decision is safe by construction.
+        """
+        boxes = as_mbr_array(boxes)
+        n = len(boxes)
+        if self.n_build == 0 or n == 0:
+            return np.zeros(n, dtype=bool)
+        q = boxes.data
+        qx0, qy0 = q[:, 0] - margin, q[:, 1] - margin
+        qx1, qy1 = q[:, 2] + margin, q[:, 3] + margin
+        xmin, ymin, xmax, ymax = self.bounds
+        outside = (qx1 < xmin) | (qx0 > xmax) | (qy1 < ymin) | (qy0 > ymax)
+        i0, j0 = self._cell_of(qx0, qy0)
+        i1, j1 = self._cell_of(qx1, qy1)
+        s = self._psum
+        occupied = (
+            s[j1 + 1, i1 + 1] - s[j0, i1 + 1] - s[j1 + 1, i0] + s[j0, i0]
+        ) > 0
+        return ~outside & occupied
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"SFilter(build={self.n_build}, grid={self.nx}x{self.ny}, "
+            f"set={getattr(self, 'cells_set', 0)})"
+        )

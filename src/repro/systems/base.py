@@ -47,7 +47,7 @@ GROUPS = ("index_a", "index_b", "join")
 
 #: The two join sides.  Role names double as HDFS namespaces
 #: (``/input/a``, ``/hgis/b/...``) and feed the sampling seeds
-#: (``(env.seed, hash(role) & 0xFFFF)``), so they are fixed: a dataset
+#: (``(env.seed, int.from_bytes(role) & 0xFFFF)``), so they are fixed: a dataset
 #: prepared as ``"a"`` serves as the left side of joins, ``"b"`` as the
 #: right.
 ROLES = ("a", "b")

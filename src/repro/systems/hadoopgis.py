@@ -51,6 +51,7 @@ from ..mapreduce.streaming import (
     parse_charge,
     serialize_charge,
 )
+from ..shuffle import SFilter, resolve_shuffle, split_hot_cells
 from ..trace.core import annotate, span as trace_span
 from .base import RunEnvironment, RunReport, SpatialJoinSystem
 
@@ -71,6 +72,7 @@ class HadoopGIS(SpatialJoinSystem):
         partitioner=None,
         local_algorithm: Optional[str] = None,
         plan=None,
+        shuffle=None,
     ):
         # Resolution order: explicit kwargs > plan fields > legacy
         # defaults (grid tiles, dynamic-R-tree nested loop).
@@ -85,6 +87,9 @@ class HadoopGIS(SpatialJoinSystem):
                 partitioner = plan.partitioner
             if local_algorithm is None:
                 local_algorithm = plan.local_algorithm
+            if shuffle is None:
+                shuffle = plan.shuffle == "skew"
+        self.shuffle = resolve_shuffle(shuffle)
         self.n_partitions = n_partitions
         self.sample_fraction = sample_fraction
         if isinstance(partitioner, str):
@@ -159,9 +164,11 @@ class HadoopGIS(SpatialJoinSystem):
         try:
             with trace_span("global_join", kind="stage", counters=env.counters):
                 partitioning = self._combine_samples(env, universe, n_parts)
+                keep_masks = self._build_sfilters(env, prep_a, prep_b, predicate)
             with trace_span("local_join", kind="stage", counters=env.counters):
                 pairs = self._distributed_join(
-                    env, policy_join, engine, partitioning, predicate
+                    env, policy_join, engine, partitioning, predicate,
+                    keep_masks=keep_masks,
                 )
         except StreamingPipeError as err:
             return self._report(env, error=err, engine_profile=GEOS_COST_PROFILE)
@@ -193,7 +200,10 @@ class HadoopGIS(SpatialJoinSystem):
         ).run()
 
         # Step 2: map-only sampling of MBRs.
-        seed = (env.seed, hash(d) & 0xFFFF)
+        # int.from_bytes, not hash(): str hashing is PYTHONHASHSEED-salted,
+        # which would make the sample (and any skew split derived from it)
+        # differ across processes.
+        seed = (env.seed, int.from_bytes(d.encode(), "big") & 0xFFFF)
 
         def sample_map(data):
             # Sample raw lines first; only sampled records are parsed.
@@ -364,6 +374,25 @@ class HadoopGIS(SpatialJoinSystem):
             boxes = _parse_mbr_lines(lines)
             counters.add("cpu.ops", max(len(boxes), 1))
             part = self.partitioner.partition(boxes, n_parts, universe)
+            if self.shuffle is not None and self.shuffle.repartition:
+                # SATO-style quality stats over the combined sample: hot
+                # cells are re-gridded before the partition file ships,
+                # so the join job's reducers see the finer granularity.
+                part, qstats, report = split_hot_cells(
+                    part,
+                    boxes,
+                    hot_factor=self.shuffle.hot_factor,
+                    max_splits=self.shuffle.max_splits,
+                    leaves=self.shuffle.split_leaves,
+                )
+                if report.hot_cells:
+                    counters.add("skew.cells_split", len(report.hot_cells))
+                    counters.add("skew.cells_added", report.cells_added)
+                annotate(
+                    sampled_skew=round(qstats.skew, 4),
+                    cells_split=len(report.hot_cells),
+                    cells_added=report.cells_added,
+                )
             part_lines = [f"{b.xmin},{b.ymin},{b.xmax},{b.ymax}" for b in part.boxes]
             annotate(samples=len(lines), partitions=len(part))
             hdfs.copy_from_local("/hgis/join/partitions", part_lines, overwrite=True)
@@ -377,6 +406,48 @@ class HadoopGIS(SpatialJoinSystem):
             )
         return part
 
+    def _build_sfilters(
+        self, env: RunEnvironment, prep_a, prep_b, predicate: JoinPredicate
+    ) -> Optional[dict]:
+        """Serial local step: one sFilter per side from the prepared MBRs.
+
+        Returns ``{"A": keep_mask, "B": keep_mask}`` (rid-positional) or
+        ``None`` when the feature is off.  A ``False`` entry means the
+        record's MBR provably intersects nothing on the opposite side, so
+        the join job's mappers drop it before it is serialized into the
+        shuffle.
+        """
+        if self.shuffle is None or not self.shuffle.sfilter:
+            return None
+        counters = env.counters
+        with trace_span(
+            "hgis.join.build_sfilter", kind="phase", counters=counters,
+            group="join",
+        ):
+            before = counters.snapshot()
+            sf_a = SFilter(prep_a.batch.mbrs, resolution=self.shuffle.resolution)
+            sf_b = SFilter(prep_b.batch.mbrs, resolution=self.shuffle.resolution)
+            counters.add("shuffle.sfilter_builds", 2)
+            counters.add("cpu.ops", len(prep_a.batch.mbrs) + len(prep_b.batch.mbrs))
+            margin = predicate.filter_margin
+            keep_masks = {
+                "A": sf_b.contains(prep_a.batch.mbrs, margin=margin),
+                "B": sf_a.contains(prep_b.batch.mbrs, margin=margin),
+            }
+            annotate(
+                sfilter_keep_a=int(keep_masks["A"].sum()),
+                sfilter_keep_b=int(keep_masks["B"].sum()),
+            )
+            env.clock.record(
+                PhaseRecord(
+                    name="hgis.join.build_sfilter",
+                    counters=counters.diff(before),
+                    tasks=1,  # serial local program, like gen_partitions
+                    group="join",
+                )
+            )
+        return keep_masks
+
     def _distributed_join(
         self,
         env: RunEnvironment,
@@ -384,6 +455,8 @@ class HadoopGIS(SpatialJoinSystem):
         engine,
         partitioning: SpatialPartitioning,
         predicate: JoinPredicate = INTERSECTS,
+        *,
+        keep_masks: Optional[dict] = None,
     ) -> set[tuple[int, int]]:
         """The final MR job: map assigns new partition ids to *both*
         datasets, reducers perform the local join per partition.
@@ -410,6 +483,16 @@ class HadoopGIS(SpatialJoinSystem):
                 parse_charge(counters, 1, len(line))
                 logical_volume += (len(line) + 1) * scale_of[side]
                 rec = from_tsv_line(line)
+                if keep_masks is not None and not keep_masks[side][rec.rid]:
+                    # sFilter prune: never serialized, never shuffled —
+                    # the record's would-be shuffle bytes are credited to
+                    # shuffle.bytes_pruned instead of shuffle.bytes_disk.
+                    counters.add("shuffle.records_pruned", 1)
+                    counters.add(
+                        "shuffle.bytes_pruned",
+                        (len(line) + 1) * scale_of[side],
+                    )
+                    continue
                 probe = (
                     predicate.expand(rec.geometry.mbr) if side == "A" else rec.geometry.mbr
                 )

@@ -46,6 +46,7 @@ from ..index.strtree import STRtree
 from ..mapreduce.job import InputFormat, MapReduceJob, Split
 from ..mapreduce.streaming import parse_charge, serialize_charge
 from ..pairs import PairBlock, unique_pairs
+from ..shuffle import SFilter, resolve_shuffle, split_hot_cells
 from ..trace.core import annotate, span as trace_span
 from .base import RunEnvironment, RunReport, SpatialJoinSystem
 
@@ -110,6 +111,7 @@ class SpatialHadoop(SpatialJoinSystem):
         local_algorithm: Optional[str] = None,
         partitioner=None,
         plan=None,
+        shuffle=None,
     ):
         # Resolution order: explicit kwargs > plan fields > legacy
         # defaults (plane sweep over an STR partitioning).
@@ -124,6 +126,9 @@ class SpatialHadoop(SpatialJoinSystem):
                 partitioner = plan.partitioner
             if local_algorithm is None:
                 local_algorithm = plan.local_algorithm
+            if shuffle is None:
+                shuffle = plan.shuffle == "skew"
+        self.shuffle = resolve_shuffle(shuffle)
         local_algorithm = local_algorithm or "plane_sweep"
         if local_algorithm not in ("plane_sweep", "sync_rtree"):
             raise ValueError(
@@ -193,7 +198,10 @@ class SpatialHadoop(SpatialJoinSystem):
     ) -> None:
         counters, hdfs = env.counters, env.hdfs
         universe = batch.extent()
-        seed = (env.seed, hash(d) & 0xFFFF)
+        # int.from_bytes, not hash(): str hashing is PYTHONHASHSEED-salted,
+        # which would make the sample (and any skew split derived from it)
+        # differ across processes.
+        seed = (env.seed, int.from_bytes(d.encode(), "big") & 0xFFFF)
 
         # ---- MR job 1: sample and build the partitioning. -----------------
         def sample_map(data):
@@ -211,6 +219,25 @@ class SpatialHadoop(SpatialJoinSystem):
             counters.add("cpu.ops", len(values))
             boxes = MBRArray(np.array(values).reshape(len(values), 4))
             part = self.partitioner.partition(boxes, n_parts, universe)
+            if self.shuffle is not None and self.shuffle.repartition:
+                # SATO-style quality stats over this dataset's sample:
+                # hot cells split before the indexed blocks are written,
+                # so the map-only join sees the finer block granularity.
+                part, qstats, report = split_hot_cells(
+                    part,
+                    boxes,
+                    hot_factor=self.shuffle.hot_factor,
+                    max_splits=self.shuffle.max_splits,
+                    leaves=self.shuffle.split_leaves,
+                )
+                if report.hot_cells:
+                    counters.add("skew.cells_split", len(report.hot_cells))
+                    counters.add("skew.cells_added", report.cells_added)
+                annotate(
+                    sampled_skew=round(qstats.skew, 4),
+                    cells_split=len(report.hot_cells),
+                    cells_added=report.cells_added,
+                )
             # Reduce tasks may run in another process: the partitioning
             # travels back to the job master on the task side channel.
             emit("part", part)
@@ -324,6 +351,32 @@ class SpatialHadoop(SpatialJoinSystem):
             )
             if not len(a_batch) or not len(b_batch):
                 return
+            if self.shuffle is not None and self.shuffle.sfilter:
+                # Per-split sFilters from the block-head MBRs (readable
+                # without record deserialization): a record whose MBR
+                # provably intersects nothing in the *paired* block is
+                # dropped before it pays the Writable-decoding cost —
+                # SpatialHadoop has no shuffle, so deser.records is its
+                # data-movement ledger and the prune credits it.
+                margin = predicate.filter_margin
+                sf_a = SFilter(a_batch.mbrs, resolution=self.shuffle.resolution)
+                sf_b = SFilter(b_batch.mbrs, resolution=self.shuffle.resolution)
+                counters.add("shuffle.sfilter_builds", 2)
+                keep_a = sf_b.contains(a_batch.mbrs, margin=margin)
+                keep_b = sf_a.contains(b_batch.mbrs, margin=margin)
+                n_pruned = int((~keep_a).sum() + (~keep_b).sum())
+                if n_pruned:
+                    bytes_pruned = int(
+                        a_batch.record_sizes()[~keep_a].sum()
+                        + b_batch.record_sizes()[~keep_b].sum()
+                    )
+                    counters.add("shuffle.records_pruned", n_pruned)
+                    counters.add("shuffle.bytes_pruned", bytes_pruned)
+                    annotate(pruned=n_pruned)
+                    a_batch = a_batch.take(np.flatnonzero(keep_a))
+                    b_batch = b_batch.take(np.flatnonzero(keep_b))
+                    if not len(a_batch) or not len(b_batch):
+                        return
             # Binary block deserialization: every record materialized from
             # a block file pays a per-record Writable-decoding cost.
             counters.add("deser.records", len(a_batch) + len(b_batch))

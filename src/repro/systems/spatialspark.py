@@ -51,6 +51,7 @@ from ..hdfs.sizeof import estimate_size
 from ..index.strtree import STRtree
 from ..mapreduce.streaming import parse_charge
 from ..pairs import PairBlock, unique_pairs
+from ..shuffle import SFilter, resolve_shuffle, split_hot_cells
 from ..spark.context import SparkContext
 from ..spark.memory import MemoryLedger, SparkOutOfMemoryError
 from ..trace.core import annotate, span as trace_span
@@ -74,6 +75,7 @@ class SpatialSpark(SpatialJoinSystem):
         broadcast_join: Optional[bool] = None,
         local_algorithm: Optional[str] = None,
         plan=None,
+        shuffle=None,
     ):
         # Resolution order: explicit kwargs > plan fields > legacy
         # defaults — so a caller can take a planner decision and still
@@ -91,6 +93,9 @@ class SpatialSpark(SpatialJoinSystem):
                 partitioner = plan.partitioner
             if local_algorithm is None:
                 local_algorithm = plan.local_algorithm
+            if shuffle is None:
+                shuffle = plan.shuffle == "skew"
+        self.shuffle = resolve_shuffle(shuffle)
         self.n_partitions = n_partitions
         self.sample_fraction = sample_fraction
         if isinstance(partitioner, str):
@@ -228,6 +233,55 @@ class SpatialSpark(SpatialJoinSystem):
             )
             counters.add("cpu.ops", max(len(sample), 1))
             partitioning = self.partitioner.partition(sample_boxes, n_parts, universe)
+            keep_left = keep_right = None
+            if self.shuffle is not None and self.shuffle.repartition:
+                # SpatialSpark samples only the right side, but the hot
+                # cells usually live on the *left* (probe) side — sample
+                # it too (LocationSpark-style) so skew on either input
+                # drives the hot-cell detection.
+                left_sample = left_rdd.sample(
+                    self.sample_fraction, seed=env.seed
+                ).collect()
+                left_boxes = left.mbrs.take(
+                    np.fromiter(
+                        (r.rid for r in left_sample),
+                        dtype=np.int64,
+                        count=len(left_sample),
+                    )
+                )
+                combined = MBRArray(
+                    np.vstack([sample_boxes.data, left_boxes.data])
+                )
+                partitioning, qstats, report = split_hot_cells(
+                    partitioning,
+                    combined,
+                    hot_factor=self.shuffle.hot_factor,
+                    max_splits=self.shuffle.max_splits,
+                    leaves=self.shuffle.split_leaves,
+                )
+                if report.hot_cells:
+                    counters.add("skew.cells_split", len(report.hot_cells))
+                    counters.add("skew.cells_added", report.cells_added)
+                annotate(
+                    sampled_skew=round(qstats.skew, 4),
+                    cells_split=len(report.hot_cells),
+                    cells_added=report.cells_added,
+                )
+            if self.shuffle is not None and self.shuffle.sfilter:
+                # One sFilter per side; each side's records are kept only
+                # if the *opposite* filter says their MBR may match.  The
+                # bitmaps ride the same broadcast as the partition index.
+                sf_a = SFilter(left.mbrs, resolution=self.shuffle.resolution)
+                sf_b = SFilter(right.mbrs, resolution=self.shuffle.resolution)
+                counters.add("shuffle.sfilter_builds", 2)
+                sc.broadcast((sf_a, sf_b), nbytes=sf_a.nbytes + sf_b.nbytes)
+                margin = predicate.filter_margin
+                keep_left = sf_b.contains(left.mbrs, margin=margin)
+                keep_right = sf_a.contains(right.mbrs, margin=margin)
+                annotate(
+                    sfilter_keep_left=int(keep_left.sum()),
+                    sfilter_keep_right=int(keep_right.sum()),
+                )
             tree = STRtree(partitioning.boxes, counters=counters)
             index_bytes = 40 * len(partitioning.boxes) + 64
             bcast = sc.broadcast(tree, nbytes=index_bytes)
@@ -236,12 +290,24 @@ class SpatialSpark(SpatialJoinSystem):
             "sspark.global_join", group="join", tasks=sc.default_parallelism
         ):
             def assign_left(rec: SpatialRecord):
+                # sFilter prune: a record whose MBR provably matches
+                # nothing on the other side never enters the exchange —
+                # it is dropped *before* the groupByKey charges
+                # shuffle.bytes_mem / spark.shuffle_records for it.
+                if keep_left is not None and not keep_left[rec.rid]:
+                    counters.add("shuffle.records_pruned", 1)
+                    counters.add("shuffle.bytes_pruned", estimate_size(rec))
+                    return
                 # Distance joins expand the left probe boxes so pairs
                 # within the margin are co-partitioned.
                 for pid in bcast.value.query(predicate.expand(rec.geometry.mbr)):
                     yield (int(pid), rec)
 
             def assign_right(rec: SpatialRecord):
+                if keep_right is not None and not keep_right[rec.rid]:
+                    counters.add("shuffle.records_pruned", 1)
+                    counters.add("shuffle.bytes_pruned", estimate_size(rec))
+                    return
                 for pid in bcast.value.query(rec.geometry.mbr):
                     yield (int(pid), rec)
 

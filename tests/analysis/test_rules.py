@@ -127,6 +127,24 @@ class TestDET003UnorderedIteration:
         # set -> set keeps order invisible.
         assert codes("out = {f(x) for x in set(a)}\n") == []
 
+    def test_hot_cell_split_order_must_be_sorted(self):
+        # The adaptive repartitioner's discipline: hot cells are
+        # processed in ascending cell-id order.  Splitting in
+        # set-arrival order would make the output partitioning (and
+        # every downstream ledger) depend on hash seeding.
+        flagged = """
+            hot = {4, 0, 7}
+            for cell in hot:
+                rows.extend(split(cell))
+        """
+        assert codes(flagged) == ["DET003"]
+        clean = """
+            hot = {4, 0, 7}
+            for cell in sorted(hot):
+                rows.extend(split(cell))
+        """
+        assert codes(clean) == []
+
 
 class TestCLK001WallClock:
     def test_perf_counter_outside_whitelist(self):
@@ -220,6 +238,24 @@ class TestCTR001CounterLedger:
         src_typo = """
             def work(counters):
                 counters.add("plan.candidate")
+        """
+        assert codes(src_typo) == ["CTR001"]
+
+    def test_shuffle_skew_keys_are_registered(self):
+        # The skew-aware shuffle ledger keys (repro.shuffle) ride the
+        # same schema gate: charging them is clean, typos are not.
+        src = """
+            def work(counters):
+                counters.add("shuffle.records_pruned", 74)
+                counters.add("shuffle.bytes_pruned", 18640)
+                counters.add("shuffle.sfilter_builds", 2)
+                counters.add("skew.cells_split")
+                counters.add("skew.cells_added", 7)
+        """
+        assert codes(src) == []
+        src_typo = """
+            def work(counters):
+                counters.add("shuffle.records_prunedd")
         """
         assert codes(src_typo) == ["CTR001"]
 

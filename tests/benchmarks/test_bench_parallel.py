@@ -1,0 +1,79 @@
+"""Negative-path tests of the bench_parallel strict gate.
+
+``benchmarks/`` is a flat script directory, not a package, so the
+module is loaded by file path.  The rows below are hand-built (no
+joins are timed): the point is pinning the gate *policy* —
+undersubscribed rows are exempt from ``BENCH_PARALLEL_STRICT=1``,
+fully-subscribed regressions still fail.
+"""
+
+import importlib.util
+from pathlib import Path
+
+BENCH_PATH = (
+    Path(__file__).resolve().parents[2] / "benchmarks" / "bench_parallel.py"
+)
+spec = importlib.util.spec_from_file_location("bench_parallel", BENCH_PATH)
+bench_parallel = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(bench_parallel)
+
+
+def _rows(parallel_wall):
+    """A serial baseline at 10s plus one 4-worker row."""
+    return [
+        {"backend": "serial", "workers": 1, "wall_seconds": 10.0},
+        {"backend": "process", "workers": 4, "wall_seconds": parallel_wall},
+    ]
+
+
+class TestClassifyRows:
+    def test_serial_baseline_is_1x_and_never_flagged(self):
+        rows = bench_parallel.classify_rows(_rows(5.0), affinity=8)
+        assert rows[0]["speedup"] == 1.0
+        assert not rows[0]["undersubscribed"]
+        assert not rows[0]["slower_than_serial"]
+
+    def test_fully_subscribed_speedup(self):
+        rows = bench_parallel.classify_rows(_rows(5.0), affinity=8)
+        assert rows[1]["speedup"] == 2.0
+        assert not rows[1]["undersubscribed"]
+        assert not rows[1]["slower_than_serial"]
+
+    def test_fully_subscribed_regression_is_flagged(self):
+        rows = bench_parallel.classify_rows(_rows(20.0), affinity=8)
+        assert rows[1]["speedup"] == 0.5
+        assert not rows[1]["undersubscribed"]
+        assert rows[1]["slower_than_serial"]
+
+    def test_undersubscribed_regression_is_exempt(self):
+        # 1 usable core, 4 workers: slow, but not a regression signal.
+        rows = bench_parallel.classify_rows(_rows(20.0), affinity=1)
+        assert rows[1]["undersubscribed"]
+        assert not rows[1]["slower_than_serial"]
+
+    def test_affinity_boundary_is_inclusive(self):
+        # Exactly as many cores as workers is fully subscribed.
+        rows = bench_parallel.classify_rows(_rows(20.0), affinity=4)
+        assert not rows[1]["undersubscribed"]
+        assert rows[1]["slower_than_serial"]
+
+
+class TestStrictGate:
+    def test_gate_off_never_fails(self):
+        rows = bench_parallel.classify_rows(_rows(20.0), affinity=8)
+        assert bench_parallel.strict_gate(rows, env={}) == 0
+
+    def test_fully_subscribed_regression_fails_under_strict(self):
+        rows = bench_parallel.classify_rows(_rows(20.0), affinity=8)
+        env = {"BENCH_PARALLEL_STRICT": "1"}
+        assert bench_parallel.strict_gate(rows, env=env) == 1
+
+    def test_undersubscribed_regression_passes_under_strict(self):
+        rows = bench_parallel.classify_rows(_rows(20.0), affinity=1)
+        env = {"BENCH_PARALLEL_STRICT": "1"}
+        assert bench_parallel.strict_gate(rows, env=env) == 0
+
+    def test_healthy_speedup_passes_under_strict(self):
+        rows = bench_parallel.classify_rows(_rows(5.0), affinity=8)
+        env = {"BENCH_PARALLEL_STRICT": "1"}
+        assert bench_parallel.strict_gate(rows, env=env) == 0
