@@ -44,8 +44,12 @@ from .core import (
 )
 from .reporting import render_json, render_text
 
-# Importing the rule modules registers the rule pack.
+# Importing the rule modules registers the rule pack (per-file rules
+# first, then the whole-program pack, which depends on the graph engine).
 from . import api, clock, counters, determinism, shm  # noqa: F401  isort: skip
+from . import interproc  # noqa: F401  isort: skip
+from .graph import ProjectGraph, build_graph
+from .interproc import lint_project
 
 __all__ = [
     "Baseline",
@@ -53,11 +57,14 @@ __all__ = [
     "FileContext",
     "Finding",
     "LintSession",
+    "ProjectGraph",
     "RULES",
     "Rule",
+    "build_graph",
     "iter_python_files",
     "lint_file",
     "lint_paths",
+    "lint_project",
     "lint_source",
     "main",
     "register",

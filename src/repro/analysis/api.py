@@ -30,7 +30,8 @@ from typing import Optional
 
 from .core import FileContext, Rule, register
 
-__all__ = ["ExportIntegrity"]
+# ExportIntegrity is reached through the RULES registry, not by name —
+# this module deliberately exports nothing.
 
 
 @dataclass

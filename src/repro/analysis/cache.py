@@ -1,0 +1,214 @@
+"""Incremental lint cache: skip re-linting files whose content is unchanged.
+
+The cache is a JSON document (default ``.repro-lint-cache.json``) mapping
+each linted file to its content SHA and the findings the per-file rule
+pack produced for it.  On the next run, a file whose SHA still matches is
+served from the cache instead of being re-parsed and re-walked.  The
+whole-program phase (WRK001/CTR002/DET004/API002) is cached under a
+single *project digest* — the hash of every ``(path, sha)`` pair — so it
+re-runs iff **any** file changed.
+
+Soundness
+---------
+
+A cache hit must be indistinguishable from a re-lint, so the keys cover
+every input a finding can depend on:
+
+* the file's own content (the SHA);
+* the rule selection and the effective counter schema (the *config
+  digest* — the whole cache is dropped when either changes, because
+  CTR001 findings depend on ``repro.metrics.COUNTER_SCHEMA`` and a
+  ``--select`` change alters which rules ran);
+* sibling modules, for API001 only: a module with a lazy ``_EXPORTS``
+  table validates attributes *of other files*, so such files are simply
+  never cached (there are only a handful of lazy packages, and parsing
+  one extra ``__init__.py`` per run is cheaper than dependency-accurate
+  invalidation).
+
+``# repro: noqa`` edits change the content SHA, so suppression changes
+invalidate naturally.  Findings round-trip losslessly (including the
+``trace`` chains ``--why`` prints), so ``--why`` works on cached runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Iterable, Optional, Sequence
+
+from .core import Finding, LintSession, _module_name, iter_python_files, lint_source
+
+__all__ = ["LintCache", "DEFAULT_CACHE", "lint_paths_cached"]
+
+#: Cache file used when ``--cache`` is not given.
+DEFAULT_CACHE = ".repro-lint-cache.json"
+
+_VERSION = 1
+
+
+def _content_sha(text: str) -> str:
+    return hashlib.sha1(text.encode()).hexdigest()
+
+
+def _config_digest(session: LintSession) -> str:
+    """Hash of everything findings depend on besides file contents."""
+    schema = session.counter_schema
+    if schema is None:
+        try:
+            from repro.metrics import COUNTER_SCHEMA
+
+            schema = frozenset(COUNTER_SCHEMA)
+        except Exception:  # pragma: no cover - metrics must be importable
+            schema = frozenset()
+    payload = f"v{_VERSION}|{','.join(session.codes)}|{','.join(sorted(schema))}"
+    return hashlib.sha1(payload.encode()).hexdigest()
+
+
+def _finding_to_dict(f: Finding) -> dict:
+    return {
+        "rule": f.rule,
+        "line": f.line,
+        "col": f.col,
+        "message": f.message,
+        "snippet": f.snippet,
+        "trace": list(f.trace),
+    }
+
+
+def _finding_from_dict(path: str, doc: dict) -> Finding:
+    return Finding(
+        rule=doc["rule"],
+        path=path,
+        line=doc["line"],
+        col=doc["col"],
+        message=doc["message"],
+        snippet=doc["snippet"],
+        trace=tuple(doc.get("trace", ())),
+    )
+
+
+class LintCache:
+    """Content-addressed finding store for one (rule-config, tree) pair."""
+
+    def __init__(self, path: Path, config: str):
+        self.path = path
+        self.config = config
+        #: path str -> {"sha": str, "findings": [dict]}
+        self._files: dict[str, dict] = {}
+        #: project digest -> [finding dict with "path"]
+        self._project: dict[str, list] = {}
+
+    @classmethod
+    def load(cls, path: Path, session: LintSession) -> "LintCache":
+        """Load *path*, discarding state from a different config/version."""
+        cache = cls(path, _config_digest(session))
+        try:
+            doc = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return cache
+        if doc.get("version") != _VERSION or doc.get("config") != cache.config:
+            return cache
+        files = doc.get("files")
+        project = doc.get("project")
+        if isinstance(files, dict):
+            cache._files = files
+        if isinstance(project, dict):
+            cache._project = project
+        return cache
+
+    def save(self) -> None:
+        """Persist, dropping entries whose file no longer exists."""
+        self._files = {
+            p: entry for p, entry in self._files.items() if Path(p).exists()
+        }
+        doc = {
+            "version": _VERSION,
+            "config": self.config,
+            "files": self._files,
+            "project": self._project,
+        }
+        try:
+            self.path.write_text(json.dumps(doc, sort_keys=True) + "\n")
+        except OSError:  # read-only checkout: caching is best-effort
+            pass
+
+    # -- per-file phase ----------------------------------------------------
+    def get_file(self, path: str, sha: str) -> Optional[list[Finding]]:
+        """Cached findings for *path* iff its content SHA still matches."""
+        entry = self._files.get(path)
+        if entry is None or entry.get("sha") != sha:
+            return None
+        return [_finding_from_dict(path, d) for d in entry["findings"]]
+
+    def put_file(self, path: str, sha: str, findings: Sequence[Finding]) -> None:
+        """Record the per-file findings for *path* at content *sha*."""
+        self._files[path] = {
+            "sha": sha,
+            "findings": [_finding_to_dict(f) for f in findings],
+        }
+
+    # -- whole-program phase -----------------------------------------------
+    def project_digest(self, shas: dict[str, str]) -> str:
+        """Digest of the whole tree: any one file changing changes it."""
+        pairs = "|".join(f"{p}={s}" for p, s in sorted(shas.items()))
+        return hashlib.sha1(f"{self.config}|{pairs}".encode()).hexdigest()
+
+    def get_project(self, digest: str) -> Optional[list[Finding]]:
+        """Replay the whole-program findings for an unchanged tree."""
+        entries = self._project.get(digest)
+        if entries is None:
+            return None
+        return [_finding_from_dict(d["path"], d) for d in entries]
+
+    def put_project(self, digest: str, findings: Sequence[Finding]) -> None:
+        """Record the whole-program findings for one tree state."""
+        # One digest per tree state; keep only the latest so the file
+        # doesn't accrete a project entry per historical edit.
+        self._project = {
+            digest: [dict(_finding_to_dict(f), path=f.path) for f in findings]
+        }
+
+
+def lint_paths_cached(
+    paths: Iterable[Path],
+    *,
+    session: LintSession,
+    cache: LintCache,
+) -> list[Finding]:
+    """:func:`repro.analysis.core.lint_paths`, consulting *cache*.
+
+    Serves unchanged files from the cache, re-lints the rest, and runs
+    (or replays) the whole-program phase keyed on the full-tree digest.
+    The caller saves the cache; this function only mutates it in memory.
+    """
+    files = list(iter_python_files(paths))
+    findings: list[Finding] = []
+    shas: dict[str, str] = {}
+    for path in files:
+        text = path.read_text()
+        sha = _content_sha(text)
+        shas[str(path)] = sha
+        hit = cache.get_file(str(path), sha)
+        if hit is None:
+            module, root = _module_name(path)
+            hit = lint_source(
+                text, str(path), session=session, module=module, root=root
+            )
+            # API001 validates _EXPORTS targets in *other* files, so a
+            # module carrying that table can change meaning without
+            # changing content — never cache those (see module docstring).
+            if "_EXPORTS" not in text:
+                cache.put_file(str(path), sha, hit)
+        findings.extend(hit)
+
+    if session.project_codes():
+        digest = cache.project_digest(shas)
+        project = cache.get_project(digest)
+        if project is None:
+            from .interproc import lint_project
+
+            project = lint_project(files, session=session)
+            cache.put_project(digest, project)
+        findings.extend(project)
+    return sorted(findings, key=Finding.sort_key)

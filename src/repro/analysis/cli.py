@@ -15,8 +15,9 @@ from pathlib import Path
 from typing import Optional, Sequence
 
 from .baseline import Baseline
-from .core import RULES, LintSession, iter_python_files, lint_file
-from .reporting import render_json, render_text
+from .cache import DEFAULT_CACHE, LintCache, lint_paths_cached
+from .core import RULES, LintSession, iter_python_files, lint_paths
+from .reporting import render_github, render_json, render_text
 
 __all__ = ["main"]
 
@@ -30,7 +31,9 @@ def _build_parser() -> argparse.ArgumentParser:
         description=(
             "AST-based invariant linter for the repro codebase: determinism "
             "(DET*), clock discipline (CLK*), the counter ledger (CTR*), "
-            "and API export integrity (API*)."
+            "API export integrity (API*), shared-memory confinement (SHM*), "
+            "and whole-program worker purity / flow rules (WRK001, CTR002, "
+            "DET004, API002) over the project call graph."
         ),
     )
     parser.add_argument(
@@ -41,9 +44,12 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "github"),
         default="text",
-        help="report format (default: text)",
+        help=(
+            "report format (default: text); 'github' emits ::error "
+            "workflow commands for inline PR annotations"
+        ),
     )
     parser.add_argument(
         "--baseline",
@@ -77,6 +83,38 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--list-rules", action="store_true", help="list registered rules and exit"
     )
+    parser.add_argument(
+        "--graph-dump",
+        metavar="PATH",
+        help=(
+            "write the project call graph as JSON to PATH ('-' for stdout) "
+            "after linting"
+        ),
+    )
+    parser.add_argument(
+        "--why",
+        nargs=2,
+        metavar=("CODE", "PATH:LINE"),
+        help=(
+            "explain one finding: print the interprocedural witness chain "
+            "for rule CODE at PATH:LINE (suffix-matched), then exit 0 if "
+            "the finding exists, 1 otherwise"
+        ),
+    )
+    parser.add_argument(
+        "--cache",
+        type=Path,
+        default=None,
+        help=(
+            "incremental cache file keyed by content SHA "
+            f"(default: ./{DEFAULT_CACHE})"
+        ),
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="lint every file from scratch; do not read or write the cache",
+    )
     return parser
 
 
@@ -87,6 +125,32 @@ def _default_paths() -> list[Path]:
     return []
 
 
+def _why(findings: list, code: str, where: str, parser) -> int:
+    """``--why``: print the witness chain for one finding; 0 = found."""
+    path_part, sep, line_part = where.rpartition(":")
+    if not sep or not line_part.isdigit():
+        parser.error(f"--why location must be PATH:LINE, got {where!r}")
+    want_line = int(line_part)
+    matches = [
+        f
+        for f in findings
+        if f.rule == code
+        and f.line == want_line
+        and Path(f.path).as_posix().endswith(Path(path_part).as_posix())
+    ]
+    if not matches:
+        print(f"no {code} finding at {path_part}:{want_line}")
+        return 1
+    for f in matches:
+        print(f"{f.rule} {f.path}:{f.line}:{f.col + 1} {f.message}")
+        if f.trace:
+            for step in f.trace:
+                print(f"  {step}")
+        else:
+            print("  (per-file rule: the finding is local to the reported line)")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point of ``repro-lint``; returns the process exit code."""
     parser = _build_parser()
@@ -95,7 +159,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.list_rules:
         for code in sorted(RULES):
             rule = RULES[code]
-            print(f"{code}  {rule.name:<28} {rule.description}")
+            scope = "whole-program" if getattr(rule, "whole_program", False) else "per-file"
+            print(f"{code}  {rule.name:<28} [{scope:>13}] {rule.description}")
         return 0
 
     paths = args.paths or _default_paths()
@@ -113,11 +178,27 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     except ValueError as exc:
         parser.error(str(exc))
 
-    files = list(iter_python_files(paths))
-    findings = []
-    for path in files:
-        findings.extend(lint_file(path, session=session))
-    findings.sort(key=lambda f: f.sort_key())
+    if args.no_cache:
+        findings = lint_paths(paths, session=session)
+    else:
+        cache = LintCache.load(args.cache or Path(DEFAULT_CACHE), session)
+        findings = lint_paths_cached(paths, session=session, cache=cache)
+        cache.save()
+
+    if args.graph_dump is not None:
+        if session.graph is None:
+            # Project phase served from cache (or disabled): build fresh.
+            from .graph import build_graph
+
+            session.graph = build_graph(iter_python_files(paths))
+        doc = json.dumps(session.graph.to_json(), indent=2, sort_keys=True)
+        if args.graph_dump == "-":
+            print(doc)
+        else:
+            Path(args.graph_dump).write_text(doc + "\n")
+
+    if args.why is not None:
+        return _why(findings, args.why[0], args.why[1], parser)
 
     baseline_path = args.baseline
     if baseline_path is None and not args.no_baseline:
@@ -141,13 +222,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             parser.error(str(exc))
         findings, stale, matched = result.new, result.stale, len(result.matched)
 
+    n_files = len(list(iter_python_files(paths)))
     if args.format == "json":
         print(json.dumps(
-            render_json(findings, stale=stale, matched=matched, files=len(files)),
+            render_json(findings, stale=stale, matched=matched, files=n_files),
             indent=2,
         ))
+    elif args.format == "github":
+        out = render_github(findings, stale=stale)
+        if out:
+            print(out)
     else:
-        print(render_text(findings, stale=stale, matched=matched, files=len(files)))
+        print(render_text(findings, stale=stale, matched=matched, files=n_files))
     return 1 if findings or stale else 0
 
 

@@ -23,7 +23,7 @@ import ast
 
 from .core import FileContext, Rule, register
 
-__all__ = ["WallClock", "CLOCK_WHITELIST"]
+__all__ = ["CLOCK_WHITELIST"]
 
 #: Modules allowed to read the real clock (measured-on-purpose paths).
 CLOCK_WHITELIST = frozenset(

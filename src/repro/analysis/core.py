@@ -66,6 +66,10 @@ class Finding:
     #: the stripped source line — baselines fingerprint on this, not the
     #: line number, so unrelated edits above a finding don't churn them
     snippet: str
+    #: whole-program findings only: the witness chain (entry point →
+    #: … → primitive) rendered by ``repro-lint --why``; excluded from
+    #: the fingerprint so baselines stay chain-independent
+    trace: tuple = ()
 
     @property
     def fingerprint(self) -> str:
@@ -99,11 +103,17 @@ class Rule:
     of: ``visit_<NodeType>(node, ctx)`` (called during the shared walk) or
     ``check_module(tree, ctx)`` (called once per file after the walk).
     A fresh instance is created per file, so rules may keep per-file state.
+
+    Whole-program rules set ``whole_program = True`` and implement
+    ``check_project(graph, pctx)`` instead; they run once per lint run,
+    after every file has been parsed into the project call graph (see
+    :mod:`repro.analysis.graph` / :mod:`repro.analysis.interproc`).
     """
 
     code = "XXX000"
     name = "unnamed"
     description = ""
+    whole_program = False
 
 
 # ------------------------------------------------------------------- session
@@ -131,6 +141,15 @@ class LintSession:
         )
         #: API001's cache of parsed sibling modules: path -> _ModuleSurface
         self.module_surfaces: dict = {}
+        #: the ProjectGraph built by the whole-program phase (None until
+        #: lint_paths/lint_project runs with project rules enabled)
+        self.graph = None
+
+    def project_codes(self) -> list:
+        """The enabled rules that run in the whole-program phase."""
+        return [
+            c for c in self.codes if getattr(RULES[c], "whole_program", False)
+        ]
 
     def make_rules(self) -> list:
         """Fresh per-file instances of every enabled rule."""
@@ -459,11 +478,26 @@ def iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
 
 
 def lint_paths(
-    paths: Iterable[Path], *, session: Optional[LintSession] = None
+    paths: Iterable[Path],
+    *,
+    session: Optional[LintSession] = None,
+    project: bool = True,
 ) -> list[Finding]:
-    """Lint every ``.py`` file under *paths* (deterministic order)."""
+    """Lint every ``.py`` file under *paths* (deterministic order).
+
+    Runs the per-file rule pack on each file, then — unless ``project``
+    is False — the whole-program phase: one project call graph over all
+    the files, powering the interprocedural rules (WRK001/CTR002/DET004/
+    API002).  The built graph is left on ``session.graph`` for callers
+    (``--graph-dump``, ``--why``).
+    """
     session = session or LintSession()
     findings: list[Finding] = []
-    for path in iter_python_files(paths):
+    files = list(iter_python_files(paths))
+    for path in files:
         findings.extend(lint_file(path, session=session))
+    if project and session.project_codes():
+        from .interproc import lint_project
+
+        findings.extend(lint_project(files, session=session))
     return sorted(findings, key=Finding.sort_key)

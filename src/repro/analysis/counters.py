@@ -26,7 +26,8 @@ import ast
 
 from .core import FileContext, Rule, is_counterish, register
 
-__all__ = ["CounterLedger"]
+# CounterLedger is reached through the RULES registry, not by name —
+# this module deliberately exports nothing.
 
 
 @register

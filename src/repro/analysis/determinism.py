@@ -26,9 +26,45 @@ from __future__ import annotations
 
 import ast
 
+from typing import Optional
+
 from .core import FileContext, Rule, is_setish, register
 
-__all__ = ["IdAsKey", "UnseededRng", "UnorderedIteration"]
+__all__ = ["unseeded_rng_message"]
+
+#: constructors that are fine *when* given a seed argument
+_SEEDABLE = frozenset(
+    {"numpy.random.default_rng", "numpy.random.RandomState", "random.Random"}
+)
+#: numpy.random names that never touch the global RNG state
+_BENIGN = frozenset({"numpy.random.SeedSequence", "numpy.random.Generator"})
+
+
+def unseeded_rng_message(dotted: str, *, has_args: bool) -> Optional[str]:
+    """Why calling *dotted* violates the seeded-RNG contract (None = fine).
+
+    Shared between the per-file DET002 rule and the whole-program WRK001
+    worker-purity pass, so both flag exactly the same primitive set.
+    """
+    if dotted in _SEEDABLE:
+        if not has_args:
+            return (
+                f"{dotted}() without a seed draws entropy from the OS; "
+                "pass a seed derived from DEFAULT_SEED"
+            )
+        return None
+    if dotted in _BENIGN:
+        return None
+    if dotted == "random.SystemRandom" or dotted.startswith("random.SystemRandom."):
+        return "SystemRandom is nondeterministic by design"
+    for prefix, label in (("numpy.random.", "numpy"), ("random.", "stdlib")):
+        if dotted.startswith(prefix) and "." not in dotted[len(prefix):]:
+            return (
+                f"{dotted}() uses the {label} module-level RNG (hidden "
+                "process-global state); use a seeded "
+                "np.random.default_rng(...) generator instead"
+            )
+    return None
 
 
 def _is_id_call(node: ast.AST) -> bool:

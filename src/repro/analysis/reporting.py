@@ -1,4 +1,4 @@
-"""Finding reporters: a human text format and a machine JSON document."""
+"""Finding reporters: human text, machine JSON, and GitHub annotations."""
 
 from __future__ import annotations
 
@@ -6,7 +6,7 @@ from typing import Optional, Sequence
 
 from .core import RULES, Finding
 
-__all__ = ["render_text", "render_json"]
+__all__ = ["render_text", "render_json", "render_github"]
 
 
 def render_text(
@@ -40,6 +40,43 @@ def render_text(
         scanned = f" in {files} files" if files is not None else ""
         baselined = f" ({matched} baselined)" if matched else ""
         lines.append(f"All checks passed{scanned}{baselined}.")
+    return "\n".join(lines)
+
+
+def _gh_escape(value: str, *, prop: bool = False) -> str:
+    """GitHub workflow-command escaping (data; *prop* adds ``:``/``,``)."""
+    value = value.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+    if prop:
+        value = value.replace(":", "%3A").replace(",", "%2C")
+    return value
+
+
+def render_github(
+    findings: Sequence[Finding],
+    *,
+    stale: Sequence[dict] = (),
+) -> str:
+    """``::error file=…,line=…`` workflow commands — one per finding.
+
+    Emitted on stdout inside a GitHub Actions job, these surface as
+    inline PR annotations at the offending line.  Clean runs produce no
+    output (annotations only exist to point at problems).
+    """
+    lines = []
+    for f in findings:
+        lines.append(
+            f"::error file={_gh_escape(f.path, prop=True)}"
+            f",line={f.line},col={f.col + 1}"
+            f",title={_gh_escape(f.rule, prop=True)}"
+            f"::{_gh_escape(f.message)}"
+        )
+    for entry in stale:
+        lines.append(
+            f"::error file={_gh_escape(entry['path'], prop=True)}"
+            f",title={_gh_escape(entry['rule'] + ' (stale baseline)', prop=True)}"
+            f"::stale baseline entry (no longer observed): "
+            f"{_gh_escape(repr(entry['snippet']))}"
+        )
     return "\n".join(lines)
 
 

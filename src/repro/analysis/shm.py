@@ -23,7 +23,7 @@ import ast
 
 from .core import FileContext, Rule, register
 
-__all__ = ["SharedMemoryConfinement", "SHM_WHITELIST"]
+__all__ = ["SHM_WHITELIST"]
 
 #: The one module allowed to touch multiprocessing.shared_memory: the
 #: registry/arena plane that owns every segment's lifecycle.

@@ -44,7 +44,6 @@ __all__ = [
     "CostModel",
     "CostEstimate",
     "DEFAULT_CPU_COSTS",
-    "OPERATOR_ESTIMATORS",
     "register_operator",
     "estimate_operator",
 ]

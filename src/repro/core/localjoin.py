@@ -43,7 +43,6 @@ __all__ = [
     "sync_rtree_join",
     "LOCAL_JOIN_ALGORITHMS",
     "local_join",
-    "GeometrySource",
 ]
 
 #: Either representation of one join side: a list of geometry objects or

@@ -25,8 +25,8 @@ from .backend import (
     resolve_backend,
 )
 from .pool import run_ordered
-from .shm import live_segment_names
-from .shm_pool import WarmPool, shutdown_warm_pools
+from .shm import RESULT_MIN_BYTES, SHARE_MIN_BYTES, ArrayRef, live_segment_names
+from .shm_pool import PoolBrokenError, WarmPool, shutdown_warm_pools
 from .task import TaskOutcome, emit, redirect_counters, run_task
 
 __all__ = [
@@ -43,6 +43,10 @@ __all__ = [
     "redirect_counters",
     "run_task",
     "WarmPool",
+    "PoolBrokenError",
     "shutdown_warm_pools",
     "live_segment_names",
+    "ArrayRef",
+    "SHARE_MIN_BYTES",
+    "RESULT_MIN_BYTES",
 ]

@@ -51,6 +51,13 @@ __all__ = [
     "BACKENDS",
 ]
 
+#: repro-lint whole-program declaration (WRK001): every function-valued
+#: argument at a ``*.run_tasks(...)`` call site is a task body that may
+#: execute inside a pool worker — everything reachable from it must be
+#: free of wall-clock reads, unseeded RNG, module-global writes, and
+#: out-of-plane shared memory.
+_DISPATCH_POINTS = ("ExecutorBackend.run_tasks",)
+
 
 def _even_slices(n: int, workers: int) -> list[tuple[int, int]]:
     """Contiguous ``(lo, hi)`` task-index slices, sized as evenly as

@@ -17,6 +17,11 @@ from typing import Callable, Sequence, TypeVar
 
 __all__ = ["run_ordered"]
 
+#: repro-lint whole-program declaration (WRK001): the query closures
+#: handed to ``run_ordered`` execute on dispatcher threads concurrently —
+#: the same transitive purity contract as pool-worker task bodies.
+_DISPATCH_POINTS = ("run_ordered",)
+
 T = TypeVar("T")
 
 

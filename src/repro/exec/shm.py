@@ -57,8 +57,6 @@ __all__ = [
     "ShmRegistry",
     "AttachCache",
     "ResultArena",
-    "ShipPickler",
-    "ResultPickler",
     "load_payload",
     "load_results",
     "dump_results",

@@ -62,8 +62,14 @@ __all__ = [
     "get_pool",
     "release_pool",
     "shutdown_warm_pools",
-    "DEFAULT_ARENA_BYTES",
 ]
+
+#: repro-lint whole-program declarations (WRK001).  ``_worker_main`` is
+#: the warm worker's own loop — its body executes in the forked child —
+#: and any function-valued argument reaching ``WarmPool.run_stage``
+#: crosses the pipe into that loop.
+_WORKER_ENTRY_POINTS = ("_worker_main",)
+_DISPATCH_POINTS = ("WarmPool.run_stage",)
 
 #: Initial size of each worker's shared result arena; grown (doubled past
 #: the observed need) whenever a stage's results overflow into inline

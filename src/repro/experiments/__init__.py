@@ -10,10 +10,16 @@ from .runner import (
     resolve_cluster,
     run_experiment,
 )
+from .calibration import (
+    Observation,
+    collect_observations,
+    evaluate_fit,
+    fit_cost_constants,
+)
 from .explain import PhaseCost, explain_report, render_explanation
 from .report import generate_report
 from .sensitivity import SensitivityRow, render_sensitivity, speedup_sensitivity
-from .validate import run_validation, validation_cases
+from .validate import ValidationCase, run_validation, validation_cases
 from .tables import (
     Table2Result,
     Table3Result,
@@ -49,7 +55,12 @@ __all__ = [
     "PhaseCost",
     "run_validation",
     "validation_cases",
+    "ValidationCase",
     "speedup_sensitivity",
     "render_sensitivity",
     "SensitivityRow",
+    "Observation",
+    "collect_observations",
+    "fit_cost_constants",
+    "evaluate_fit",
 ]

@@ -25,12 +25,24 @@ from .mbr import EMPTY_MBR, MBR, MBRArray
 from .predicates import (
     geometries_intersect,
     geometry_distance,
+    on_segment,
+    orientation,
     point_in_polygon,
+    point_in_ring,
+    point_on_ring,
+    point_polygon_distance,
     point_polyline_distance,
+    point_segment_distance,
+    polygon_contains_point,
+    polygon_intersects_polygon,
+    polyline_intersects_polygon,
     polyline_intersects_polyline,
+    polyline_polygon_distance,
+    polyline_polyline_distance,
     segment_segment_distance,
     segments_intersect,
 )
+from .vectorized import points_in_ring, points_on_ring, segments_intersect_matrix
 from .primitives import Geometry, GeometryLike, Point, PolyLine, Polygon
 from .wkt import WktError, from_wkt, to_wkt, wkt_of_parts, wkt_parts
 
@@ -67,4 +79,18 @@ __all__ = [
     "point_polyline_distance",
     "polyline_intersects_polyline",
     "segments_intersect",
+    "orientation",
+    "on_segment",
+    "point_in_ring",
+    "point_on_ring",
+    "point_segment_distance",
+    "point_polygon_distance",
+    "polyline_polyline_distance",
+    "polyline_polygon_distance",
+    "polygon_contains_point",
+    "polyline_intersects_polygon",
+    "polygon_intersects_polygon",
+    "points_on_ring",
+    "points_in_ring",
+    "segments_intersect_matrix",
 ]

@@ -50,6 +50,11 @@ __all__ = [
 #: Hadoop's default mapreduce.map/reduce.maxattempts.
 MAX_TASK_ATTEMPTS = 4
 
+#: repro-lint whole-program declaration (WRK001): the map/reduce/combiner
+#: callables (and hooks) passed to a ``MapReduceJob`` run inside executor
+#: task bodies, which the process backend ships to pool workers.
+_DISPATCH_POINTS = ("MapReduceJob",)
+
 
 class TaskAttemptError(RuntimeError):
     """A task failed more times than Hadoop's attempt limit allows."""

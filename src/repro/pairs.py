@@ -19,7 +19,7 @@ from typing import Iterable, Iterator, Sequence
 
 import numpy as np
 
-__all__ = ["PairBlock", "concat_pairs", "unique_pairs"]
+__all__ = ["PairBlock", "unique_pairs"]
 
 #: estimate_size((int, int)) in :mod:`repro.hdfs.sizeof`: two 12-byte
 #: varint-ish ints plus one separator byte per element.

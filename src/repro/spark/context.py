@@ -24,6 +24,11 @@ from .rdd import RDD
 
 __all__ = ["SparkContext", "Broadcast"]
 
+#: repro-lint whole-program declaration (WRK001): per-partition task
+#: bodies handed to ``run_stage_tasks`` are forwarded to the executor
+#: backend and may run inside pool workers.
+_DISPATCH_POINTS = ("SparkContext.run_stage_tasks",)
+
 
 class Broadcast:
     """A broadcast variable: read-only value shipped to every executor."""

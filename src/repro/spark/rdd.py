@@ -30,6 +30,21 @@ from ..trace.core import span as trace_span
 
 __all__ = ["RDD"]
 
+#: repro-lint whole-program declaration (WRK001): user functions handed
+#: to RDD transformations run inside stage task bodies, which the
+#: process backend ships to pool workers.
+_DISPATCH_POINTS = (
+    "RDD.map",
+    "RDD.flatMap",
+    "RDD.filter",
+    "RDD.mapPartitions",
+    "RDD.mapValues",
+    "RDD.keyBy",
+    "RDD.sortBy",
+    "RDD.reduceByKey",
+    "RDD.reduce",
+)
+
 
 def _default_partitioner(key: Any, n: int) -> int:
     return hash(key) % n

@@ -1,0 +1,131 @@
+"""The incremental lint cache: hits, content invalidation, config scoping.
+
+The sharp test here plants a sentinel finding directly in the cache
+file: if a re-run reports it, the file was served from cache; after an
+edit (new content SHA) the sentinel must vanish because the entry is
+stale and the file is re-linted for real.
+"""
+
+import json
+import textwrap
+from pathlib import Path
+
+from repro.analysis.cache import LintCache, lint_paths_cached
+from repro.analysis.cli import main
+from repro.analysis.core import LintSession
+
+VIOLATION = textwrap.dedent(
+    """
+    import time
+
+
+    def f():
+        return time.perf_counter()
+    """
+)
+
+
+def session():
+    return LintSession(counter_schema=frozenset({"join.pairs"}))
+
+
+class TestCacheRoundTrip:
+    def test_warm_run_reproduces_cold_findings(self, tmp_path):
+        (tmp_path / "mod.py").write_text(VIOLATION)
+        cache_path = tmp_path / "cache.json"
+
+        cache = LintCache.load(cache_path, session())
+        cold = lint_paths_cached([tmp_path], session=session(), cache=cache)
+        cache.save()
+
+        cache2 = LintCache.load(cache_path, session())
+        warm = lint_paths_cached([tmp_path], session=session(), cache=cache2)
+        assert warm == cold
+        assert len(warm) == 1 and warm[0].rule == "CLK001"
+
+    def test_hit_is_served_from_cache_and_invalidated_by_edit(self, tmp_path):
+        target = tmp_path / "mod.py"
+        target.write_text(VIOLATION)
+        cache_path = tmp_path / "cache.json"
+        cache = LintCache.load(cache_path, session())
+        lint_paths_cached([tmp_path], session=session(), cache=cache)
+        cache.save()
+
+        # Plant a sentinel finding in the cached entry for mod.py.
+        doc = json.loads(cache_path.read_text())
+        entry = doc["files"][str(target)]
+        entry["findings"].append({
+            "rule": "CLK001", "line": 1, "col": 0,
+            "message": "SENTINEL-FROM-CACHE", "snippet": "import time",
+            "trace": [],
+        })
+        cache_path.write_text(json.dumps(doc))
+
+        cache = LintCache.load(cache_path, session())
+        served = lint_paths_cached([tmp_path], session=session(), cache=cache)
+        assert any(f.message == "SENTINEL-FROM-CACHE" for f in served)
+
+        # Any edit changes the SHA: the stale entry must be discarded.
+        target.write_text(VIOLATION + "\n# touched\n")
+        cache = LintCache.load(cache_path, session())
+        fresh = lint_paths_cached([tmp_path], session=session(), cache=cache)
+        assert not any(f.message == "SENTINEL-FROM-CACHE" for f in fresh)
+        assert len(fresh) == 1
+
+    def test_fixing_the_violation_clears_findings(self, tmp_path):
+        target = tmp_path / "mod.py"
+        target.write_text(VIOLATION)
+        cache_path = tmp_path / "cache.json"
+        cache = LintCache.load(cache_path, session())
+        assert lint_paths_cached([tmp_path], session=session(), cache=cache)
+        cache.save()
+
+        target.write_text("x = 1\n")
+        cache = LintCache.load(cache_path, session())
+        assert lint_paths_cached([tmp_path], session=session(), cache=cache) == []
+
+    def test_rule_selection_change_drops_cache(self, tmp_path):
+        (tmp_path / "mod.py").write_text(VIOLATION)
+        cache_path = tmp_path / "cache.json"
+        cache = LintCache.load(cache_path, session())
+        lint_paths_cached([tmp_path], session=session(), cache=cache)
+        cache.save()
+
+        narrow = LintSession(
+            select=["DET001"], counter_schema=frozenset({"join.pairs"})
+        )
+        cache2 = LintCache.load(cache_path, narrow)
+        assert cache2.get_file(
+            str(tmp_path / "mod.py"), "anything"
+        ) is None  # config digest differs: stored entries unusable
+        assert lint_paths_cached([tmp_path], session=narrow, cache=cache2) == []
+
+    def test_exports_modules_are_never_cached(self, tmp_path):
+        # API001 reads _EXPORTS target files, so carriers must re-lint
+        # every run: no entry may exist for them.
+        (tmp_path / "pkg").mkdir()
+        init = tmp_path / "pkg" / "__init__.py"
+        init.write_text('_EXPORTS = {"f": ("pkg.mod", "f")}\n')
+        (tmp_path / "pkg" / "mod.py").write_text("def f():\n    return 1\n")
+        cache_path = tmp_path / "cache.json"
+        cache = LintCache.load(cache_path, session())
+        lint_paths_cached([tmp_path], session=session(), cache=cache)
+        cache.save()
+        doc = json.loads(cache_path.read_text())
+        assert str(init) not in doc["files"]
+        assert str(tmp_path / "pkg" / "mod.py") in doc["files"]
+
+
+class TestCacheCli:
+    def test_no_cache_flag_skips_cache_file(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        (tmp_path / "mod.py").write_text("x = 1\n")
+        assert main(["mod.py", "--no-baseline", "--no-cache"]) == 0
+        assert not Path(".repro-lint-cache.json").exists()
+
+    def test_default_cache_file_created_and_reused(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        (tmp_path / "mod.py").write_text(VIOLATION)
+        assert main(["mod.py", "--no-baseline"]) == 1
+        assert Path(".repro-lint-cache.json").exists()
+        assert main(["mod.py", "--no-baseline"]) == 1  # warm run, same verdict

@@ -1,0 +1,260 @@
+"""The project call-graph builder: symbol resolution, edges, entry points.
+
+Each test writes a tiny package into ``tmp_path`` and asserts the exact
+edges / entry points the builder derives — aliased imports, partial
+application, self-resolved methods with inheritance, dispatch-argument
+seeding, and an explicit mutual-recursion cycle pinning fixpoint/BFS
+termination.
+"""
+
+import textwrap
+
+from repro.analysis.graph import build_graph
+
+
+def write_tree(root, files):
+    (root / "pkg" / "__init__.py").parent.mkdir(parents=True, exist_ok=True)
+    (root / "pkg" / "__init__.py").write_text("")
+    for rel, text in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(text))
+    return root
+
+
+def edges_of(graph, qualname, kind=None):
+    fn = graph.functions[qualname]
+    return {e.target for e in fn.edges if kind is None or e.kind == kind}
+
+
+class TestImports:
+    def test_aliased_absolute_and_relative_imports(self, tmp_path):
+        write_tree(tmp_path, {
+            "pkg/a.py": """
+                def f():
+                    return 1
+            """,
+            "pkg/b.py": """
+                import pkg.a as mod
+                from pkg.a import f as renamed
+
+                def caller():
+                    renamed()
+                    return mod.f()
+            """,
+            "pkg/c.py": """
+                from .a import f
+
+                def caller():
+                    return f()
+            """,
+        })
+        graph = build_graph([tmp_path])
+        assert edges_of(graph, "pkg.b.caller", "call") == {"pkg.a.f"}
+        assert edges_of(graph, "pkg.c.caller", "call") == {"pkg.a.f"}
+
+    def test_package_reexport_resolution(self, tmp_path):
+        # ``from pkg import f`` where pkg/__init__ re-exports a.f must
+        # resolve through the package's own import table.
+        root = write_tree(tmp_path, {
+            "pkg/a.py": """
+                def f():
+                    return 1
+            """,
+            "other.py": """
+                from pkg import f
+
+                def caller():
+                    return f()
+            """,
+        })
+        (root / "pkg" / "__init__.py").write_text("from .a import f\n")
+        graph = build_graph([root])
+        assert edges_of(graph, "other.caller", "call") == {"pkg.a.f"}
+
+
+class TestPartialApplication:
+    def test_functools_partial_records_call_edge(self, tmp_path):
+        write_tree(tmp_path, {
+            "pkg/a.py": """
+                def f(x):
+                    return x
+            """,
+            "pkg/b.py": """
+                import functools
+                from functools import partial
+                from pkg.a import f
+
+                def via_module():
+                    return functools.partial(f, 1)
+
+                def via_name():
+                    return partial(f, 2)
+            """,
+        })
+        graph = build_graph([tmp_path])
+        assert "pkg.a.f" in edges_of(graph, "pkg.b.via_module", "call")
+        assert "pkg.a.f" in edges_of(graph, "pkg.b.via_name", "call")
+
+
+class TestMethods:
+    def test_self_method_resolves_to_override(self, tmp_path):
+        write_tree(tmp_path, {
+            "pkg/d.py": """
+                class Base:
+                    def step(self):
+                        return 1
+
+                class Impl(Base):
+                    def run(self):
+                        return self.step()
+
+                    def step(self):
+                        return 2
+
+                class Other(Base):
+                    def go(self):
+                        return self.step()
+            """,
+        })
+        graph = build_graph([tmp_path])
+        # Own override wins; no override walks project-known bases.
+        assert "pkg.d.Impl.step" in edges_of(graph, "pkg.d.Impl.run", "call")
+        assert "pkg.d.Base.step" not in edges_of(graph, "pkg.d.Impl.run")
+        assert "pkg.d.Base.step" in edges_of(graph, "pkg.d.Other.go", "call")
+
+    def test_local_constructed_instance_method(self, tmp_path):
+        write_tree(tmp_path, {
+            "pkg/d.py": """
+                class Worker:
+                    def run(self):
+                        return 1
+
+                def driver():
+                    w = Worker()
+                    return w.run()
+            """,
+        })
+        graph = build_graph([tmp_path])
+        assert "pkg.d.Worker.run" in edges_of(graph, "pkg.d.driver", "call")
+
+
+class TestDispatchArguments:
+    def test_functions_in_dispatch_args_become_entry_points(self, tmp_path):
+        write_tree(tmp_path, {
+            "pkg/e.py": """
+                _DISPATCH_POINTS = ("run_tasks",)
+
+                def run_tasks(fns):
+                    return [fn() for fn in fns]
+            """,
+            "pkg/f.py": """
+                from pkg.e import run_tasks
+
+                def task_a():
+                    return 1
+
+                def not_shipped():
+                    return 2
+
+                def submit():
+                    return run_tasks([task_a, lambda: 2])
+            """,
+        })
+        graph = build_graph([tmp_path])
+        seeded = {e.qualname for e in graph.entry_points}
+        assert "pkg.f.task_a" in seeded
+        assert any(q.startswith("pkg.f.submit.<lambda") for q in seeded)
+        assert "pkg.f.not_shipped" not in seeded
+        reason = next(
+            e.reason for e in graph.entry_points if e.qualname == "pkg.f.task_a"
+        )
+        assert "pkg.e.run_tasks" in reason
+
+    def test_method_dispatch_point_with_typed_receiver(self, tmp_path):
+        write_tree(tmp_path, {
+            "pkg/e.py": """
+                _DISPATCH_POINTS = ("Pool.run",)
+
+                class Pool:
+                    def run(self, fn):
+                        return fn()
+            """,
+            "pkg/f.py": """
+                from pkg.e import Pool
+
+                def task():
+                    return 1
+
+                def submit():
+                    pool = Pool()
+                    return pool.run(task)
+            """,
+        })
+        graph = build_graph([tmp_path])
+        assert "pkg.f.task" in {e.qualname for e in graph.entry_points}
+
+
+class TestWorkerEntryDeclarations:
+    def test_bare_and_class_method_declarations(self, tmp_path):
+        write_tree(tmp_path, {
+            "pkg/g.py": """
+                _WORKER_ENTRY_POINTS = ("main", "Loop.run")
+
+                def main():
+                    return 1
+
+                class Loop:
+                    def run(self):
+                        return 2
+            """,
+        })
+        graph = build_graph([tmp_path])
+        seeded = {e.qualname for e in graph.entry_points}
+        assert seeded == {"pkg.g.main", "pkg.g.Loop.run"}
+
+
+class TestFixpointTermination:
+    def test_mutual_recursion_cycle_terminates_with_stable_chain(self, tmp_path):
+        write_tree(tmp_path, {
+            "pkg/h.py": """
+                _WORKER_ENTRY_POINTS = ("ping",)
+
+                def ping(n):
+                    return pong(n - 1)
+
+                def pong(n):
+                    return ping(n - 1)
+            """,
+        })
+        graph = build_graph([tmp_path])
+        parents = graph.reachable_from_entries()
+        assert {"pkg.h.ping", "pkg.h.pong"} <= set(parents)
+        chain = graph.chain(parents, "pkg.h.pong")
+        assert [q for q, _ in chain] == ["pkg.h.ping", "pkg.h.pong"]
+        # The entry itself has no incoming edge; the cycle-closing edge
+        # back to ping must not extend the chain (BFS visits once).
+        assert chain[0][1] is None
+        assert chain[1][1].kind == "call"
+
+
+class TestSerialization:
+    def test_to_json_shape(self, tmp_path):
+        write_tree(tmp_path, {
+            "pkg/g.py": """
+                _WORKER_ENTRY_POINTS = ("main",)
+
+                def helper():
+                    return 1
+
+                def main():
+                    return helper()
+            """,
+        })
+        doc = build_graph([tmp_path]).to_json()
+        assert doc["version"] == 1
+        assert doc["modules"]["pkg.g"]["worker_entry_points"] == ["main"]
+        main_edges = doc["functions"]["pkg.g.main"]["edges"]
+        assert {"target": "pkg.g.helper", "kind": "call",
+                "line": main_edges[0]["line"]} in main_edges
+        assert doc["entry_points"][0]["function"] == "pkg.g.main"

@@ -13,14 +13,14 @@ counter_dicts = st.dictionaries(keys, st.floats(0, 1e9), max_size=5)
 class TestBasics:
     def test_missing_key_is_zero(self):
         c = Counters()
-        assert c["nope"] == 0.0
+        assert c["nope"] == 0.0  # repro: noqa[CTR001]
         assert "nope" not in c  # reading must not create the key
 
     def test_add(self):
         c = Counters()
-        c.add("x")
-        c.add("x", 2.5)
-        assert c["x"] == 3.5
+        c.add("x")  # repro: noqa[CTR001]
+        c.add("x", 2.5)  # repro: noqa[CTR001]
+        assert c["x"] == 3.5  # repro: noqa[CTR001]
 
     def test_merge_returns_self(self):
         c = Counters({"a": 1})
@@ -30,8 +30,8 @@ class TestBasics:
     def test_snapshot_is_independent(self):
         c = Counters({"a": 1})
         snap = c.snapshot()
-        c.add("a")
-        assert snap["a"] == 1
+        c.add("a")  # repro: noqa[CTR001]
+        assert snap["a"] == 1  # repro: noqa[CTR001]
 
     def test_diff(self):
         c = Counters({"a": 5, "b": 2})
@@ -89,7 +89,7 @@ class TestRedirectToken:
     def test_token_not_allocated_until_asked(self):
         c = Counters()
         assert "_token" not in c.__dict__
-        c.add("x")  # plain charges never allocate a token
+        c.add("x")  # plain charges never allocate a token  # repro: noqa[CTR001]
         assert "_token" not in c.__dict__
         c.token
         assert "_token" in c.__dict__
@@ -104,11 +104,11 @@ class TestRedirectToken:
         # Simulate the old bug's poison: a sink registered under this
         # instance's id() (as if a dead Counters once lived there).
         stale = {}
-        sinks[id(c)] = stale
+        sinks[id(c)] = stale  # repro: noqa[DET001]
         try:
-            c.add("x", 5)
+            c.add("x", 5)  # repro: noqa[CTR001]
         finally:
-            del sinks[id(c)]
+            del sinks[id(c)]  # repro: noqa[DET001]
         assert stale == {}
         assert c == {"x": 5}
 
@@ -121,7 +121,7 @@ class TestRedirectToken:
         c = Counters()
 
         def body():
-            c.add("x", 3)
+            c.add("x", 3)  # repro: noqa[CTR001]
 
         outcome = run_task(0, body, c)
         assert outcome.counters == {"x": 3}
@@ -135,7 +135,7 @@ class TestRedirectToken:
         tokens = set()
         for _ in range(64):
             c = Counters()
-            addresses.add(id(c))
+            addresses.add(id(c))  # repro: noqa[DET001]
             tokens.add(c.token)
             del c
         assert len(tokens) == 64

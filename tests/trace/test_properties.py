@@ -39,7 +39,7 @@ def record(program, counters):
     charge, children = program
     with span("node", counters=counters):
         for key, amount in charge.items():
-            counters.add(key, amount)
+            counters.add(key, amount)  # repro: noqa[CTR001]
         for child in children:
             record(child, counters)
 
@@ -128,7 +128,7 @@ class TestExecutorTaskSpans:
             def make(spec):
                 def body():
                     for key, amount in spec.items():
-                        shared.add(key, amount)
+                        shared.add(key, amount)  # repro: noqa[CTR001]
 
                 return body
 
